@@ -1,0 +1,14 @@
+"""Report queue shared between benchmark modules and the conftest hook."""
+
+from __future__ import annotations
+
+_REPORTS: list[str] = []
+
+
+def record_report(title: str, text: str) -> None:
+    """Queue a rendered experiment report for the terminal summary."""
+    _REPORTS.append(f"\n===== {title} =====\n{text}")
+
+
+def all_reports() -> list[str]:
+    return list(_REPORTS)

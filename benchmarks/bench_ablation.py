@@ -1,0 +1,46 @@
+"""Ablation benchmark: what each CFS ingredient contributes.
+
+Expected directions (DESIGN.md section 5):
+
+* removing follow-up probing (Step 4) costs the most completeness;
+* removing alias propagation (Step 3) costs resolution;
+* removing IP-to-ASN repair costs accuracy;
+* removing the proximity heuristic costs far-end yield only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_ablation
+
+from _report import record_report
+
+
+def test_ablation(benchmark, bench_run):
+    env, _, _ = bench_run
+    # A fresh initial-campaign corpus: the cached study corpus already
+    # contains follow-up traces, which would dilute the no-followups
+    # variant (it would inherit the full run's probing for free).
+    corpus = env.run_campaign(seed_offset=40)
+
+    result = benchmark.pedantic(
+        run_ablation, args=(env, corpus), rounds=1, iterations=1
+    )
+    full = result.row("full")
+    no_alias = result.row("no-alias-step")
+    no_repair = result.row("no-asn-repair")
+    no_followups = result.row("no-followups")
+    no_proximity = result.row("no-proximity")
+    random_targets = result.row("random-targets")
+
+    assert full.resolved_fraction > no_followups.resolved_fraction
+    assert full.resolved_fraction >= no_alias.resolved_fraction - 0.02
+    assert full.facility_accuracy >= no_repair.facility_accuracy - 0.02
+    assert full.far_ends_resolved > no_proximity.far_ends_resolved
+    # The smallest-overlap rule must not lose to overlap-blind targeting.
+    assert full.resolved_fraction >= random_targets.resolved_fraction - 0.02
+
+    record_report("Ablations (CFS ingredients)", result.format())
+    benchmark.extra_info["full_resolved"] = round(full.resolved_fraction, 3)
+    benchmark.extra_info["no_followups_resolved"] = round(
+        no_followups.resolved_fraction, 3
+    )

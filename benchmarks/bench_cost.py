@@ -1,0 +1,23 @@
+"""Section 3.2 benchmark: per-platform probing cost for one target.
+
+Shape: the rate-limited looking glasses cost far more simulated time
+per target than the concurrent Atlas campaign — the asymmetry that
+makes CFS reserve them for targeted follow-ups.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_measurement_cost
+
+from _report import record_report
+
+
+def test_measurement_cost(benchmark, bench_env):
+    cost = benchmark.pedantic(
+        run_measurement_cost, args=(bench_env,), rounds=1, iterations=1
+    )
+    assert cost.lg_to_atlas_cost_ratio > 2.0
+    record_report("Section 3.2 (per-target probing cost)", cost.format())
+    benchmark.extra_info["lg_to_atlas_ratio"] = round(
+        cost.lg_to_atlas_cost_ratio, 1
+    )

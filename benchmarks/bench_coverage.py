@@ -1,0 +1,31 @@
+"""Section 8 benchmark: incremental map construction.
+
+Shape: the pinned-link count grows monotonically with every study
+target added, and growth is concave (early targets contribute most,
+because their traceroutes also cross other networks' peerings).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_coverage_growth
+
+from _report import record_report
+
+
+def test_coverage_growth(benchmark, bench_env):
+    result = benchmark.pedantic(
+        run_coverage_growth,
+        args=(bench_env,),
+        kwargs={"max_targets": 6},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == 6
+    assert result.is_monotone()
+    first_gain = result.points[0].links_pinned
+    last_gain = (
+        result.points[-1].links_pinned - result.points[-2].links_pinned
+    )
+    assert first_gain > last_gain  # concave growth
+    record_report("Section 8 (incremental map construction)", result.format())
+    benchmark.extra_info["final_links_pinned"] = result.points[-1].links_pinned

@@ -1,0 +1,35 @@
+"""Figure 10 benchmark: per-target peering interfaces by type and region.
+
+Shape: content providers skew to the public fabric, Tier-1 backbones to
+private interconnects; Europe contributes the most inferred interfaces.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig10
+from repro.experiments.fig10 import role_contrast
+
+from _report import record_report
+
+
+def test_fig10(benchmark, bench_run):
+    env, _, result = bench_run
+    fig10 = benchmark.pedantic(
+        run_fig10, args=(env, result), rounds=1, iterations=1
+    )
+    cdn_public, tier1_public = role_contrast(fig10)
+    assert cdn_public > 2 * tier1_public
+    assert cdn_public > 0.25
+
+    europe = sum(
+        row.total for row in fig10.rows if row.region == "Europe"
+    )
+    asia = sum(row.total for row in fig10.rows if row.region == "Asia")
+    assert europe > asia  # vantage-point and facility density skew
+
+    for asn in env.target_asns:
+        assert fig10.row(asn, "total") is not None
+
+    record_report("Figure 10 (per-target peering mix)", fig10.format())
+    benchmark.extra_info["cdn_public_fraction"] = round(cdn_public, 3)
+    benchmark.extra_info["tier1_public_fraction"] = round(tier1_public, 3)

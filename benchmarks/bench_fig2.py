@@ -1,0 +1,25 @@
+"""Figure 2 benchmark: NOC-website facilities vs PeeringDB coverage.
+
+Shape assertions mirror the paper: a sizeable share of the checked ASes
+have missing PeeringDB links, some list nothing at all, yet the same
+operators publish full lists on their own sites.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig2
+
+from _report import record_report
+
+
+def test_fig2(benchmark, bench_env):
+    result = benchmark.pedantic(
+        run_fig2, args=(bench_env,), rounds=3, iterations=1
+    )
+    assert result.ases_checked >= 20
+    assert result.ases_with_missing_links > 0
+    assert result.total_missing_links > result.ases_with_missing_links
+    assert result.ases_absent_from_pdb >= 1
+    record_report("Figure 2 (NOC sites vs PeeringDB)", result.format())
+    benchmark.extra_info["ases_checked"] = result.ases_checked
+    benchmark.extra_info["missing_links"] = result.total_missing_links

@@ -1,0 +1,35 @@
+"""Figure 3 benchmark: metros ranked by interconnection facilities.
+
+Shape: heavy-tailed counts led by the global hubs, and roughly 3x more
+facilities than exchanges per metro (Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3
+
+from _report import record_report
+
+
+def test_fig3(benchmark, bench_env):
+    result = benchmark.pedantic(
+        run_fig3, args=(bench_env.topology,), rounds=5, iterations=1
+    )
+    assert result.is_heavy_tailed()
+    top_names = {metro for metro, _, _ in result.rows[:8]}
+    assert top_names & {
+        "London",
+        "New York",
+        "Paris",
+        "Frankfurt",
+        "Amsterdam",
+        "San Jose",
+        "Moscow",
+        "Los Angeles",
+    }
+    assert result.facility_to_ixp_ratio > 1.5
+    record_report("Figure 3 (facilities per metro)", result.format(limit=20))
+    benchmark.extra_info["top_metro"] = result.rows[0][0]
+    benchmark.extra_info["fac_to_ixp_ratio"] = round(
+        result.facility_to_ixp_ratio, 2
+    )

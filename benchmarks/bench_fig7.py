@@ -1,0 +1,44 @@
+"""Figure 7 benchmark: CFS convergence per platform, vs DNS geolocation.
+
+Shape assertions, following Section 5:
+
+* convergence is monotone with diminishing returns;
+* a majority of interfaces resolve by the timeout with all platforms;
+* Atlas-only resolves more interfaces per run than LG-only;
+* a substantial share of LG-resolved interfaces is invisible to Atlas;
+* DNS geolocation locates far fewer interfaces than full CFS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig7
+
+from _report import record_report
+
+
+def test_fig7(benchmark, bench_env):
+    result = benchmark.pedantic(
+        run_fig7, args=(bench_env,), rounds=1, iterations=1
+    )
+    full = result.series["all"]
+    atlas = result.series["ripe-atlas"]
+    lgs = result.series["looking-glass"]
+
+    # Resolved *counts* are monotone; the fraction can dip slightly when
+    # follow-ups discover brand-new interfaces (denominator growth).
+    resolved_counts = [resolved for _, resolved, _ in full.points]
+    assert all(b >= a for a, b in zip(resolved_counts, resolved_counts[1:]))
+    fractions = [fraction for _, fraction in full.fractions()]
+    assert all(b >= a - 0.01 for a, b in zip(fractions, fractions[1:]))
+    assert full.final_fraction() > 0.55
+
+    assert atlas.points[-1][1] >= lgs.points[-1][1]  # resolved counts
+    assert result.lg_unique_fraction > 0.1
+    assert result.dns_located_fraction < full.final_fraction()
+
+    record_report("Figure 7 (convergence by platform)", result.format(step=10))
+    benchmark.extra_info["final_resolved_fraction"] = round(
+        full.final_fraction(), 3
+    )
+    benchmark.extra_info["dns_located"] = round(result.dns_located_fraction, 3)
+    benchmark.extra_info["lg_unique"] = round(result.lg_unique_fraction, 3)

@@ -1,0 +1,37 @@
+"""Figure 8 benchmark: robustness to missing facility data.
+
+Shape: the unresolved fraction grows (roughly monotonically) as dataset
+facilities are removed; removing half the facilities un-resolves a large
+minority of interfaces; changed inferences appear at moderate removals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig8
+
+from _report import record_report
+
+
+def test_fig8(benchmark, bench_run):
+    env, corpus, _ = bench_run
+
+    def run():
+        return run_fig8(
+            env,
+            corpus,
+            removal_fractions=(0.1, 0.2, 0.3, 0.5, 0.65, 0.8),
+            repeats=3,
+            seed=8,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.baseline_resolved > 200
+    assert result.unresolved_is_monotonic(slack=0.05)
+    by_fraction = {p.removed_fraction: p for p in result.points}
+    assert by_fraction[0.5].unresolved_fraction > 0.15
+    assert by_fraction[0.8].unresolved_fraction > by_fraction[0.2].unresolved_fraction
+    assert any(p.changed_fraction > 0.0 for p in result.points)
+    record_report("Figure 8 (facility removal robustness)", result.format())
+    benchmark.extra_info["unresolved_at_half"] = round(
+        by_fraction[0.5].unresolved_fraction, 3
+    )

@@ -1,0 +1,31 @@
+"""Figure 9 benchmark: validation accuracy by source and link type.
+
+Shape: overall validated accuracy around or above 90% (the paper's
+headline), with every populated cell comfortably above chance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig9
+
+from _report import record_report
+
+
+def test_fig9(benchmark, bench_run):
+    env, _, result = bench_run
+    fig9 = benchmark.pedantic(
+        run_fig9, args=(env, result), rounds=1, iterations=1
+    )
+    assert fig9.overall_accuracy() > 0.85
+    populated = [cell for cell in fig9.cells if cell.total >= 10]
+    assert len(populated) >= 4
+    for cell in populated:
+        assert cell.accuracy > 0.6, (cell.source, cell.link_type)
+    sources = {cell.source for cell in fig9.cells}
+    assert sources >= {
+        "bgp-communities",
+        "dns-records",
+        "ixp-websites",
+    }
+    record_report("Figure 9 (validation accuracy)", fig9.format())
+    benchmark.extra_info["overall_accuracy"] = round(fig9.overall_accuracy(), 3)

@@ -1,0 +1,29 @@
+"""Section 5 benchmark: multi-role and multi-IXP router census.
+
+Paper headlines: 39% of observed routers implement both public and
+private peering; 11.9% of public-peering routers span several IXPs.  We
+assert both phenomena are present at substantial rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_multirole_census
+
+from _report import record_report
+
+
+def test_multirole_census(benchmark, bench_run):
+    env, _, result = bench_run
+    census = benchmark.pedantic(
+        run_multirole_census, args=(env, result), rounds=3, iterations=1
+    )
+    assert census.routers_observed > 300
+    assert census.both_roles_fraction > 0.10
+    assert census.multi_ixp_fraction > 0.05
+    record_report("Section 5 (multi-role routers)", census.format())
+    benchmark.extra_info["both_roles_fraction"] = round(
+        census.both_roles_fraction, 3
+    )
+    benchmark.extra_info["multi_ixp_fraction"] = round(
+        census.multi_ixp_fraction, 3
+    )

@@ -1,0 +1,60 @@
+"""End-to-end pipeline benchmarks: environment build, campaign, CFS.
+
+Timed at the small scale so the stages are individually measurable with
+multiple rounds; the figure benchmarks exercise the default scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, build_environment
+
+from _report import record_report
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_env():
+    return build_environment(PipelineConfig.small(seed=5))
+
+
+def test_environment_build(benchmark):
+    env = benchmark.pedantic(
+        build_environment,
+        args=(PipelineConfig.small(seed=6),),
+        rounds=3,
+        iterations=1,
+    )
+    assert env.topology.summary()["ases"] > 50
+
+
+def test_initial_campaign(benchmark, small_pipeline_env):
+    corpus = benchmark.pedantic(
+        small_pipeline_env.run_campaign,
+        kwargs={"seed_offset": 300},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(corpus) > 500
+
+
+def test_cfs_full_run(benchmark, small_pipeline_env):
+    env = small_pipeline_env
+    corpus = env.run_campaign(seed_offset=301)
+
+    counter = iter(range(1000))
+
+    def run():
+        from repro.experiments.context import clone_corpus
+
+        return env.run_cfs(clone_corpus(corpus), seed_offset=310 + next(counter))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.resolved_fraction() > 0.4
+    record_report(
+        "End-to-end pipeline (small scale)",
+        f"interfaces={result.peering_interfaces_seen} "
+        f"resolved_fraction={result.resolved_fraction():.3f} "
+        f"iterations={result.iterations_run} "
+        f"followup_traces={result.followup_traces}",
+    )

@@ -1,0 +1,25 @@
+"""Section 4.4 benchmark: switch proximity heuristic vs detailed data.
+
+The paper's AMS-IX calibration found the exact facility in 77% of the
+decided two-facility cases; ties (same backhaul) are undecidable by
+design.  We assert the heuristic clearly beats the 50% coin-flip.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_proximity_validation
+
+from _report import record_report
+
+
+def test_proximity_heuristic(benchmark, bench_run):
+    env, _, result = bench_run
+    validation = benchmark.pedantic(
+        run_proximity_validation, args=(env, result), rounds=1, iterations=1
+    )
+    assert validation.attempted >= 10
+    assert validation.accuracy > 0.55
+    record_report("Section 4.4 (switch proximity heuristic)", validation.format())
+    benchmark.extra_info["accuracy"] = round(validation.accuracy, 3)
+    benchmark.extra_info["decided_cases"] = validation.attempted
+    benchmark.extra_info["undecided"] = validation.undecided

@@ -1,0 +1,39 @@
+"""In-text statistics benchmarks (Sections 3.1.1 and 4.1).
+
+Paper figures: 54% of ASes connect to more than one IXP and 66% to more
+than one facility; alias resolution grouped 25,756 peering interfaces
+into 2,895 alias sets, 240 of which carried conflicting IP-to-ASN
+mappings (1,138 interfaces).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_alias_census, run_as_connectivity_stats
+
+from _report import record_report
+
+
+def test_as_connectivity(benchmark, bench_env):
+    stats = benchmark.pedantic(
+        run_as_connectivity_stats, args=(bench_env,), rounds=3, iterations=1
+    )
+    assert stats.multi_facility_fraction > 0.5
+    assert stats.multi_ixp_fraction > 0.3
+    record_report("Section 3.1.1 (AS connectivity)", stats.format())
+    benchmark.extra_info["multi_ixp"] = round(stats.multi_ixp_fraction, 3)
+    benchmark.extra_info["multi_facility"] = round(
+        stats.multi_facility_fraction, 3
+    )
+
+
+def test_alias_census(benchmark, bench_run):
+    env, corpus, _ = bench_run
+    census = benchmark.pedantic(
+        run_alias_census, args=(env, corpus), rounds=1, iterations=1
+    )
+    assert census.alias_sets > 100
+    assert census.conflicting_sets > 0
+    assert census.conflicting_addresses > census.conflicting_sets
+    record_report("Section 4.1 (alias resolution census)", census.format())
+    benchmark.extra_info["alias_sets"] = census.alias_sets
+    benchmark.extra_info["conflicting_sets"] = census.conflicting_sets

@@ -1,0 +1,21 @@
+"""Table 1 benchmark: measurement-platform population summary.
+
+Regenerates the paper's Table 1 (vantage points / ASNs / countries per
+platform) and asserts its shape: Atlas dominates, archives are small.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+
+from _report import record_report
+
+
+def test_table1(benchmark, bench_env):
+    result = benchmark.pedantic(
+        run_table1, args=(bench_env,), rounds=3, iterations=1
+    )
+    assert result.shape_holds()
+    record_report("Table 1 (measurement platforms)", result.format())
+    benchmark.extra_info["atlas_vps"] = result.row("ripe-atlas").vantage_points
+    benchmark.extra_info["total_asns"] = result.row("total-unique").asns

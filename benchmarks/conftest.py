@@ -1,0 +1,36 @@
+"""Benchmark plumbing: shared study run + report printing.
+
+Every figure benchmark regenerates its table/series from the same cached
+default-scale study run (one environment, one campaign, one CFS pass),
+then times the experiment-specific computation.  Rendered reports are
+printed in the terminal summary so ``pytest benchmarks/
+--benchmark-only`` leaves the reproduced tables in the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import experiment_environment, experiment_run
+
+from _report import all_reports
+
+#: Master seed of the benchmark study run.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    """The cached default-scale environment."""
+    return experiment_environment(seed=BENCH_SEED, small=False)
+
+
+@pytest.fixture(scope="session")
+def bench_run():
+    """The cached default-scale study run (env, corpus, CFS result)."""
+    return experiment_run(seed=BENCH_SEED, small=False)
+
+
+def pytest_terminal_summary(terminalreporter):
+    for report in all_reports():
+        terminalreporter.write_line(report)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Peering-engineering study of a content provider (the Figure 10 cut).
+
+The paper's motivating scenario: where, and by which technical approach,
+does a large CDN interconnect?  This example targets the biggest content
+network of the generated Internet, maps its interconnections with CFS,
+and prints the public/private mix per region plus the multi-role router
+findings of Section 5.
+
+Usage::
+
+    python examples/content_provider_study.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.core import PipelineConfig, build_environment
+from repro.core.types import PeeringKind
+from repro.experiments import run_fig10, run_multirole_census
+from repro.topology import ASRole
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11, help="master seed")
+    args = parser.parse_args()
+
+    env = build_environment(PipelineConfig.small(seed=args.seed))
+    topology = env.topology
+    cdn_asn = next(
+        asn
+        for asn in env.target_asns
+        if topology.ases[asn].role is ASRole.CONTENT
+    )
+    cdn = topology.ases[cdn_asn]
+    print(f"study target: {cdn.name} (AS{cdn.asn})")
+    print(
+        f"ground truth footprint: {len(cdn.facility_ids)} facilities, "
+        f"{len(cdn.ixp_ids)} local + {len(cdn.remote_ixp_ids)} remote IXPs"
+    )
+
+    print("\nrunning campaign + CFS ...")
+    corpus = env.run_campaign()
+    result = env.run_cfs(corpus)
+
+    fig10 = run_fig10(env, result)
+    print("\npeering interfaces by inferred engineering type:")
+    for region in ("total", "Europe", "North America", "Asia"):
+        row = fig10.row(cdn_asn, region)
+        if row is None or row.total == 0:
+            continue
+        mix = ", ".join(
+            f"{name}={count}" for name, count in sorted(row.counts.items())
+        )
+        print(f"  {region:>14}: {row.total:3d}  ({mix})")
+    total_row = fig10.row(cdn_asn, "total")
+    if total_row is not None and total_row.total:
+        print(f"  public-fabric share: {total_row.public_fraction:.1%}")
+
+    print("\nexchanges carrying the CDN's public peerings:")
+    per_ixp = Counter(
+        link.ixp_id
+        for link in result.links
+        if link.kind is PeeringKind.PUBLIC and cdn_asn in (link.near_asn, link.far_asn)
+    )
+    for ixp_id, sessions in per_ixp.most_common(6):
+        print(f"  {topology.ixps[ixp_id].name:>22}: {sessions} sessions observed")
+
+    census = run_multirole_census(env, result)
+    print(f"\n{census.format()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro: reproduction of "Mapping Peering Interconnections to a Facility".
+
+Giotsas, Smaragdakis, Huffaker, Luckie, claffy — ACM CoNEXT 2015.
+
+The package implements the paper's Constrained Facility Search (CFS)
+inference algorithm (``repro.core``) together with every substrate it
+needs, generated synthetically: a ground-truth Internet topology
+(``repro.topology``), traceroute measurement platforms
+(``repro.measurement``), noisy public datasets (``repro.datasets``),
+alias resolution (``repro.alias``), baselines (``repro.baselines``),
+validation oracles (``repro.validation``) and the experiment harnesses
+reproducing every table and figure (``repro.experiments``).
+
+Quickstart::
+
+    from repro.core.pipeline import run_pipeline, PipelineConfig
+    result = run_pipeline(PipelineConfig.small(seed=7))
+    print(result.cfs_result.resolved_fraction())
+"""
+
+from .core.cfs import CfsConfig, ConstrainedFacilitySearch
+from .core.facility_db import FacilityDatabase
+from .core.pipeline import (
+    Environment,
+    PipelineConfig,
+    PipelineResult,
+    build_environment,
+    run_pipeline,
+)
+from .core.types import CfsResult, InferredType, InterfaceStatus, LinkInference
+from .export import dumps_result, export_result, export_topology_summary
+from .topology.builder import TopologyConfig, build_topology
+from .validation.metrics import score_interfaces, validate_against_sources
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "build_environment",
+    "build_topology",
+    "CfsConfig",
+    "CfsResult",
+    "ConstrainedFacilitySearch",
+    "dumps_result",
+    "Environment",
+    "export_result",
+    "export_topology_summary",
+    "FacilityDatabase",
+    "InferredType",
+    "InterfaceStatus",
+    "LinkInference",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "score_interfaces",
+    "TopologyConfig",
+    "validate_against_sources",
+]

@@ -1,0 +1,21 @@
+"""Alias resolution (MIDAR-style monotonic bounds testing)."""
+
+from .midar import (
+    AliasSets,
+    MidarConfig,
+    MidarResolver,
+    UnionFind,
+    monotonic_mod_sequence,
+    repair_ip_to_asn,
+    velocity_estimate,
+)
+
+__all__ = [
+    "AliasSets",
+    "MidarConfig",
+    "MidarResolver",
+    "monotonic_mod_sequence",
+    "repair_ip_to_asn",
+    "UnionFind",
+    "velocity_estimate",
+]

@@ -1,0 +1,23 @@
+"""Downstream analytics over inferred interconnection maps.
+
+The paper motivates facility-level mapping with operational use cases —
+resilience assessment, troubleshooting, peering-strategy transparency.
+This subpackage provides those consumers: facility criticality and
+outage blast radii (:mod:`resilience`), per-network peering profiles
+(:mod:`profiles`) and run-to-run map diffs (:mod:`mapdiff`).
+"""
+
+from .mapdiff import MapDiff, diff_results
+from .profiles import PeeringProfile, build_profile, build_profiles
+from .resilience import BlastRadius, CriticalityIndex, FacilityCriticality
+
+__all__ = [
+    "BlastRadius",
+    "build_profile",
+    "build_profiles",
+    "CriticalityIndex",
+    "diff_results",
+    "FacilityCriticality",
+    "MapDiff",
+    "PeeringProfile",
+]

@@ -1,0 +1,77 @@
+"""Diffing two inferred maps.
+
+Re-running a study — with more data, a degraded dataset (Figure 8), a
+different platform mix (Figure 7), or simply at a later date — yields a
+second map.  The diff quantifies what changed: which interfaces gained
+or lost a facility pin, and where the two runs disagree.  The Figure 8
+robustness harness computes exactly these quantities; this module makes
+them a reusable primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import CfsResult
+
+__all__ = ["MapDiff", "diff_results"]
+
+
+@dataclass(frozen=True, slots=True)
+class MapDiff:
+    """Interface-level comparison of two CFS runs."""
+
+    #: Resolved in both runs, same facility.
+    agreeing: frozenset[int]
+    #: Resolved in both runs, different facility.
+    changed: dict[int, tuple[int, int]]
+    #: Resolved only in the first run.
+    lost: frozenset[int]
+    #: Resolved only in the second run.
+    gained: frozenset[int]
+
+    @property
+    def agreement_rate(self) -> float:
+        """Agreement among interfaces resolved in both runs."""
+        both = len(self.agreeing) + len(self.changed)
+        return len(self.agreeing) / both if both else 1.0
+
+    @property
+    def churn(self) -> int:
+        """Interfaces whose answer differs in any way between runs."""
+        return len(self.changed) + len(self.lost) + len(self.gained)
+
+    def summary(self) -> dict[str, float | int]:
+        """The diff as a flat JSON-friendly dictionary."""
+        return {
+            "agreeing": len(self.agreeing),
+            "changed": len(self.changed),
+            "lost": len(self.lost),
+            "gained": len(self.gained),
+            "agreement_rate": self.agreement_rate,
+            "churn": self.churn,
+        }
+
+
+def diff_results(first: CfsResult, second: CfsResult) -> MapDiff:
+    """Compare the facility pins of two runs."""
+    resolved_a = first.resolved_interfaces()
+    resolved_b = second.resolved_interfaces()
+    agreeing: set[int] = set()
+    changed: dict[int, tuple[int, int]] = {}
+    for address, facility in resolved_a.items():
+        other = resolved_b.get(address)
+        if other is None:
+            continue
+        if other == facility:
+            agreeing.add(address)
+        else:
+            changed[address] = (facility, other)
+    lost = frozenset(set(resolved_a) - set(resolved_b))
+    gained = frozenset(set(resolved_b) - set(resolved_a))
+    return MapDiff(
+        agreeing=frozenset(agreeing),
+        changed=changed,
+        lost=lost,
+        gained=gained,
+    )

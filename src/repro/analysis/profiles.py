@@ -1,0 +1,115 @@
+"""Per-network peering-strategy profiles from an inferred map.
+
+Section 5 closes with "our study also sheds light on peering
+engineering strategies used by different types of networks around the
+globe" — CDNs riding public fabrics, Tier-1s cross-connecting, and
+"significant variance in peering strategies even among Tier-1
+networks".  This module distils a :class:`~repro.core.types.CfsResult`
+into exactly that kind of per-AS profile.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.facility_db import FacilityDatabase
+from ..core.types import CfsResult, InferredType, PeeringKind
+
+__all__ = ["PeeringProfile", "build_profile", "build_profiles"]
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringProfile:
+    """One network's inferred peering engineering footprint."""
+
+    asn: int
+    #: Interconnections observed with this AS as either endpoint.
+    links: int
+    #: Distinct peer ASNs.
+    peers: int
+    #: Link counts by inferred engineering type.
+    type_counts: dict[str, int]
+    #: Facilities where this AS's side of a link was pinned.
+    facilities: frozenset[int]
+    #: Metros spanned by those facilities (when a database is supplied).
+    metros: frozenset[str]
+    #: Exchanges carrying this AS's public peerings.
+    exchanges: frozenset[int]
+
+    @property
+    def public_fraction(self) -> float:
+        """Share of typed links riding an exchange fabric."""
+        public = self.type_counts.get(
+            InferredType.PUBLIC_LOCAL.value, 0
+        ) + self.type_counts.get(InferredType.PUBLIC_REMOTE.value, 0)
+        typed = sum(
+            count
+            for name, count in self.type_counts.items()
+            if name != InferredType.UNKNOWN.value
+        )
+        return public / typed if typed else 0.0
+
+    @property
+    def private_fraction(self) -> float:
+        """Share of typed links on dedicated/private media."""
+        typed = sum(
+            count
+            for name, count in self.type_counts.items()
+            if name != InferredType.UNKNOWN.value
+        )
+        if not typed:
+            return 0.0
+        return 1.0 - self.public_fraction
+
+
+def build_profile(
+    result: CfsResult,
+    asn: int,
+    facility_db: FacilityDatabase | None = None,
+) -> PeeringProfile:
+    """Profile one AS from the inferred map."""
+    type_counts: Counter = Counter()
+    peers: set[int] = set()
+    facilities: set[int] = set()
+    exchanges: set[int] = set()
+    links = 0
+    for link in result.links:
+        if asn == link.near_asn:
+            own_facility = link.near_facility
+            peer = link.far_asn
+        elif asn == link.far_asn:
+            own_facility = link.far_facility
+            peer = link.near_asn
+        else:
+            continue
+        links += 1
+        peers.add(peer)
+        type_counts[link.inferred_type.value] += 1
+        if own_facility is not None:
+            facilities.add(own_facility)
+        if link.kind is PeeringKind.PUBLIC and link.ixp_id is not None:
+            exchanges.add(link.ixp_id)
+    metros: set[str] = set()
+    if facility_db is not None:
+        metros = facility_db.metros_of(facilities)
+    return PeeringProfile(
+        asn=asn,
+        links=links,
+        peers=len(peers),
+        type_counts=dict(type_counts),
+        facilities=frozenset(facilities),
+        metros=frozenset(metros),
+        exchanges=frozenset(exchanges),
+    )
+
+
+def build_profiles(
+    result: CfsResult,
+    asns: list[int],
+    facility_db: FacilityDatabase | None = None,
+) -> dict[int, PeeringProfile]:
+    """Profiles for several networks at once."""
+    return {
+        asn: build_profile(result, asn, facility_db) for asn in asns
+    }

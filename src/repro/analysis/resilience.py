@@ -1,0 +1,151 @@
+"""Resilience analytics over an inferred interconnection map.
+
+The paper's motivation list (Section 1) includes "assessment of the
+resilience of interconnections in the event of natural disasters,
+facility or router outages, peering disputes and denial of service
+attacks".  This module turns a :class:`~repro.core.types.CfsResult`
+into exactly those assessments:
+
+* per-facility **criticality**: how many inferred interconnections and
+  distinct networks terminate in each building;
+* **blast radius** of a facility (or a whole metro) going dark;
+* the most critical facilities, ranked.
+
+Everything operates on the inferred map only — the same analyses run
+unchanged on a map produced from real measurements.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.facility_db import FacilityDatabase
+from ..core.types import CfsResult, LinkInference
+
+__all__ = ["BlastRadius", "FacilityCriticality", "CriticalityIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlastRadius:
+    """What an outage of ``facilities`` takes down, per the inferred map."""
+
+    facilities: frozenset[int]
+    links_affected: int
+    asns_affected: frozenset[int]
+    types_affected: dict[str, int]
+    exchanges_affected: frozenset[int]
+
+
+@dataclass(frozen=True, slots=True)
+class FacilityCriticality:
+    """Criticality score of one facility."""
+
+    facility_id: int
+    metro: str | None
+    link_endpoints: int
+    distinct_asns: int
+    exchanges: int
+
+    @property
+    def score(self) -> tuple[int, int]:
+        """Rank key: endpoints first, then network diversity."""
+        return (self.link_endpoints, self.distinct_asns)
+
+
+class CriticalityIndex:
+    """Indexes an inferred map for resilience queries."""
+
+    def __init__(
+        self, result: CfsResult, facility_db: FacilityDatabase | None = None
+    ) -> None:
+        self._facility_db = facility_db
+        self._links_by_facility: dict[int, list[LinkInference]] = {}
+        for link in result.links:
+            for facility in self._facilities_of(link):
+                self._links_by_facility.setdefault(facility, []).append(link)
+
+    @staticmethod
+    def _facilities_of(link: LinkInference) -> set[int]:
+        facilities = set()
+        if link.near_facility is not None:
+            facilities.add(link.near_facility)
+        if link.far_facility is not None:
+            facilities.add(link.far_facility)
+        return facilities
+
+    # ------------------------------------------------------------------
+
+    def facilities(self) -> list[int]:
+        """Facilities with at least one inferred link endpoint."""
+        return sorted(self._links_by_facility)
+
+    def criticality(self, facility_id: int) -> FacilityCriticality:
+        """Criticality metrics for one facility."""
+        links = self._links_by_facility.get(facility_id, [])
+        asns = set()
+        exchanges = set()
+        for link in links:
+            asns.add(link.near_asn)
+            asns.add(link.far_asn)
+            if link.ixp_id is not None:
+                exchanges.add(link.ixp_id)
+        metro = (
+            self._facility_db.metro_of(facility_id)
+            if self._facility_db is not None
+            else None
+        )
+        return FacilityCriticality(
+            facility_id=facility_id,
+            metro=metro,
+            link_endpoints=len(links),
+            distinct_asns=len(asns),
+            exchanges=len(exchanges),
+        )
+
+    def ranked(self, limit: int | None = None) -> list[FacilityCriticality]:
+        """Facilities by descending criticality."""
+        rows = [self.criticality(fid) for fid in self.facilities()]
+        rows.sort(key=lambda row: (-row.link_endpoints, -row.distinct_asns, row.facility_id))
+        return rows[:limit] if limit is not None else rows
+
+    # ------------------------------------------------------------------
+
+    def blast_radius(self, facilities: set[int] | frozenset[int]) -> BlastRadius:
+        """Aggregate impact of the given facilities going dark."""
+        affected_links: list[LinkInference] = []
+        seen: set[int] = set()
+        for facility_id in facilities:
+            for link in self._links_by_facility.get(facility_id, []):
+                marker = id(link)
+                if marker not in seen:
+                    seen.add(marker)
+                    affected_links.append(link)
+        asns = set()
+        types = Counter()
+        exchanges = set()
+        for link in affected_links:
+            asns.add(link.near_asn)
+            asns.add(link.far_asn)
+            types[link.inferred_type.value] += 1
+            if link.ixp_id is not None:
+                exchanges.add(link.ixp_id)
+        return BlastRadius(
+            facilities=frozenset(facilities),
+            links_affected=len(affected_links),
+            asns_affected=frozenset(asns),
+            types_affected=dict(types),
+            exchanges_affected=frozenset(exchanges),
+        )
+
+    def metro_blast_radius(self, metro: str) -> BlastRadius:
+        """Impact of every known facility in ``metro`` going dark (the
+        natural-disaster scenario).  Requires a facility database."""
+        if self._facility_db is None:
+            raise ValueError("metro queries require a facility database")
+        facilities = {
+            fid
+            for fid in self._links_by_facility
+            if self._facility_db.metro_of(fid) == metro
+        }
+        return self.blast_radius(facilities)

@@ -1,0 +1,11 @@
+"""Baselines the paper compares against: DNS and IP geolocation."""
+
+from .drop import DnsGeolocationResult, DropGeolocator
+from .ipgeo import IpGeoBaseline, IpGeoResult
+
+__all__ = [
+    "DnsGeolocationResult",
+    "DropGeolocator",
+    "IpGeoBaseline",
+    "IpGeoResult",
+]

@@ -1,0 +1,66 @@
+"""IP-geolocation baseline: facility guessing from a geolocation DB.
+
+Section 7 dismisses commercial IP geolocation for this problem — it is
+reliable at the country level at best, and content-provider space all
+maps to headquarters.  The baseline nevertheless tries its best: take
+the database's metro answer for the interface address and, if the
+owning AS is present at exactly one facility in that metro (per the
+facility map), report that facility; otherwise report the metro only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.facility_db import FacilityDatabase
+from ..datasets.geolocation import GeoDatabase
+
+__all__ = ["IpGeoResult", "IpGeoBaseline"]
+
+
+@dataclass(frozen=True, slots=True)
+class IpGeoResult:
+    """Outcome of database-driven facility guessing for one address."""
+
+    address: int
+    country: str | None
+    metro: str | None
+    facility: int | None
+
+
+class IpGeoBaseline:
+    """Geolocation-database facility heuristic."""
+
+    def __init__(self, geodb: GeoDatabase, facility_db: FacilityDatabase) -> None:
+        self._geodb = geodb
+        self._facility_db = facility_db
+
+    def locate(self, address: int, owner_asn: int | None = None) -> IpGeoResult:
+        """Best-effort location for ``address``.
+
+        ``owner_asn`` (when known from IP-to-ASN mapping) narrows the
+        metro answer to a facility if the AS has exactly one known
+        facility there.
+        """
+        record = self._geodb.lookup(address)
+        if record is None:
+            return IpGeoResult(address, None, None, None)
+        facility: int | None = None
+        if owner_asn is not None:
+            in_metro = [
+                facility_id
+                for facility_id in self._facility_db.facilities_of(owner_asn)
+                if self._facility_db.metro_of(facility_id) == record.metro
+            ]
+            if len(in_metro) == 1:
+                facility = in_metro[0]
+        return IpGeoResult(address, record.country, record.metro, facility)
+
+    def locate_all(
+        self, addresses: dict[int, int | None]
+    ) -> dict[int, IpGeoResult]:
+        """Batch lookup; ``addresses`` maps address -> owner ASN."""
+        return {
+            address: self.locate(address, owner)
+            for address, owner in addresses.items()
+        }

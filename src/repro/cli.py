@@ -1,0 +1,198 @@
+"""Command-line interface: run the pipeline and the paper's experiments.
+
+Usage (via ``python -m repro``)::
+
+    python -m repro summary  [--seed N] [--scale small|default|large]
+    python -m repro run      [--seed N] [--scale ...] [--json PATH]
+    python -m repro experiment {table1,fig2,fig3,fig7,fig8,fig9,fig10,
+                                proximity,multirole,ablation}
+                             [--seed N] [--scale ...]
+
+``summary`` prints the generated Internet's shape; ``run`` executes the
+full campaign + CFS and reports (optionally exporting the inferred map
+as JSON); ``experiment`` regenerates one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.pipeline import Environment, PipelineConfig, build_environment
+from .export import dumps_result
+from .topology.builder import TopologyConfig
+from .validation.metrics import score_interfaces, unresolved_city_constrained
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_for(scale: str, seed: int) -> PipelineConfig:
+    if scale == "small":
+        return PipelineConfig.small(seed)
+    if scale == "default":
+        return PipelineConfig.default(seed)
+    if scale == "large":
+        config = PipelineConfig.default(seed)
+        config.topology = TopologyConfig.large(seed=seed + 1)
+        return config
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constrained Facility Search over a synthetic Internet",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default", "large"),
+        default="small",
+        help="topology scale (default: small)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("summary", help="print the generated Internet's shape")
+
+    run = commands.add_parser("run", help="run the campaign and CFS")
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the inferred map as JSON to PATH ('-' for stdout)",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=(
+            "table1",
+            "fig2",
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "proximity",
+            "multirole",
+            "ablation",
+        ),
+    )
+    return parser
+
+
+def _cmd_summary(env: Environment) -> int:
+    topology = env.topology
+    print("generated Internet:")
+    for key, value in topology.summary().items():
+        print(f"  {key:>16}: {value}")
+    print("study targets:")
+    for asn in env.target_asns:
+        record = topology.ases[asn]
+        print(
+            f"  AS{asn:<6} {record.name:<12} role={record.role.value:<8}"
+            f" facilities={len(record.facility_ids)}"
+        )
+    rows = env.platforms.table1()
+    print("platforms (VPs/ASNs/countries):")
+    for stats in rows:
+        print(
+            f"  {stats.platform:>14}: {stats.vantage_points:>5} / "
+            f"{stats.asns:>4} / {stats.countries:>3}"
+        )
+    return 0
+
+
+def _cmd_run(env: Environment, json_path: str | None) -> int:
+    started = time.perf_counter()
+    print("running initial campaign ...")
+    corpus = env.run_campaign()
+    print(f"  {len(corpus)} traceroutes collected")
+    print("running Constrained Facility Search ...")
+    result = env.run_cfs(corpus)
+    elapsed = time.perf_counter() - started
+    print(
+        f"  {result.iterations_run} iterations, "
+        f"{result.followup_traces} follow-up traces, {elapsed:.1f}s"
+    )
+    print(
+        f"resolved {len(result.resolved_interfaces())} of "
+        f"{result.peering_interfaces_seen} peering interfaces "
+        f"({result.resolved_fraction():.1%})"
+    )
+    city_frac = unresolved_city_constrained(result, env.facility_db)
+    print(f"unresolved interfaces pinned to a single city: {city_frac:.1%}")
+    report = score_interfaces(env.topology, result)
+    print(
+        f"omniscient accuracy: facility {report.facility_accuracy:.1%}, "
+        f"city {report.city_accuracy:.1%}"
+    )
+    if json_path is not None:
+        text = dumps_result(result, env.facility_db)
+        if json_path == "-":
+            print(text)
+        else:
+            with open(json_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"inferred map written to {json_path}")
+    return 0
+
+
+def _cmd_experiment(env: Environment, name: str) -> int:
+    # Imported lazily: the experiments package pulls in every harness.
+    from . import experiments
+
+    if name == "table1":
+        print(experiments.run_table1(env).format())
+        return 0
+    if name == "fig2":
+        print(experiments.run_fig2(env).format())
+        return 0
+    if name == "fig3":
+        print(experiments.run_fig3(env.topology).format())
+        return 0
+    if name == "fig7":
+        print(experiments.run_fig7(env).format())
+        return 0
+
+    corpus = env.run_campaign()
+    if name == "fig8":
+        print(experiments.run_fig8(env, corpus, repeats=2).format())
+        return 0
+    if name == "ablation":
+        print(experiments.run_ablation(env, corpus).format())
+        return 0
+
+    result = env.run_cfs(corpus)
+    if name == "fig9":
+        print(experiments.run_fig9(env, result).format())
+    elif name == "fig10":
+        print(experiments.run_fig10(env, result).format())
+    elif name == "proximity":
+        print(experiments.run_proximity_validation(env, result).format())
+    elif name == "multirole":
+        print(experiments.run_multirole_census(env, result).format())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    env = build_environment(_config_for(args.scale, args.seed))
+    if args.command == "summary":
+        return _cmd_summary(env)
+    if args.command == "run":
+        return _cmd_run(env, args.json)
+    if args.command == "experiment":
+        return _cmd_experiment(env, args.name)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Constrained Facility Search — the paper's contribution.
+
+Modules map onto the method sections: :mod:`classify` (Step 1),
+:mod:`constrain` (Step 2), :mod:`alias_constraints` (Step 3),
+:mod:`followup` (Step 4), :mod:`remote` (delay-based remote-peering
+detection), :mod:`proximity` and :mod:`farside` (Sections 4.3-4.4),
+:mod:`cfs` (the iteration loop), :mod:`facility_db` (Section 3.1
+assembly) and :mod:`pipeline` (the Figure-4 end-to-end stack).
+"""
+
+from .alias_constraints import propagate_alias_constraints
+from .cfs import CfsConfig, ConstrainedFacilitySearch
+from .classify import PeeringClassifier
+from .constrain import InitialFacilitySearch
+from .facility_db import FacilityDatabase
+from .farside import LinkFinalizer
+from .followup import FollowupPlan, FollowupPlanner
+from .pipeline import (
+    Environment,
+    PipelineConfig,
+    PipelineResult,
+    build_environment,
+    run_pipeline,
+    select_targets,
+)
+from .proximity import SwitchProximityModel
+from .remote import DEFAULT_METRO_LOCAL_BOUND_MS, RemotePeeringDetector
+from .types import (
+    CfsResult,
+    InferredType,
+    InterfaceState,
+    InterfaceStatus,
+    IterationStats,
+    LinkInference,
+    ObservedPeering,
+    PeeringKind,
+)
+
+__all__ = [
+    "build_environment",
+    "CfsConfig",
+    "CfsResult",
+    "ConstrainedFacilitySearch",
+    "DEFAULT_METRO_LOCAL_BOUND_MS",
+    "Environment",
+    "FacilityDatabase",
+    "FollowupPlan",
+    "FollowupPlanner",
+    "InferredType",
+    "InitialFacilitySearch",
+    "InterfaceState",
+    "InterfaceStatus",
+    "IterationStats",
+    "LinkFinalizer",
+    "LinkInference",
+    "ObservedPeering",
+    "PeeringClassifier",
+    "PeeringKind",
+    "PipelineConfig",
+    "PipelineResult",
+    "propagate_alias_constraints",
+    "RemotePeeringDetector",
+    "run_pipeline",
+    "select_targets",
+    "SwitchProximityModel",
+]

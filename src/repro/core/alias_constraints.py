@@ -1,0 +1,55 @@
+"""CFS Step 3: constraint propagation across router aliases.
+
+All interfaces of one router are in one building, so the candidate
+facilities of an interface must also cover its aliases (Section 4.2,
+Step 3 and the worked example of Figure 5: ``A.1 -> {f1, f2}`` and
+``A.3 -> {f2, f3}`` being aliases forces both to ``{f2}``).
+
+Propagation intersects the candidate sets of every alias set and
+rewrites all members with the intersection.  An empty intersection
+signals inconsistent facility data (or a false alias); the states are
+left untouched and the conflict is counted, mirroring how the paper's
+incomplete-data analysis treats contradictions (Section 5, Figure 8).
+"""
+
+from __future__ import annotations
+
+from ..alias.midar import AliasSets
+from .types import InterfaceState
+
+__all__ = ["propagate_alias_constraints"]
+
+
+def propagate_alias_constraints(
+    states: dict[int, InterfaceState], alias_sets: AliasSets
+) -> int:
+    """One propagation pass; returns the number of interfaces narrowed."""
+    narrowed = 0
+    for alias_set in alias_sets.sets:
+        members = [
+            states[address] for address in alias_set if address in states
+        ]
+        if len(members) < 2:
+            continue
+        constrained = [
+            member.candidates
+            for member in members
+            if member.candidates is not None
+        ]
+        if not constrained:
+            continue
+        intersection = set(constrained[0])
+        for candidates in constrained[1:]:
+            intersection &= candidates
+        if not intersection:
+            for member in members:
+                member.conflicts += 1
+            continue
+        remote = any(member.remote for member in members)
+        for member in members:
+            if member.candidates is None or member.candidates != intersection:
+                member.candidates = set(intersection)
+                narrowed += 1
+            if remote:
+                member.remote = True
+    return narrowed

@@ -1,0 +1,257 @@
+"""The Constrained Facility Search loop (Section 4.2, Figure 4).
+
+One CFS iteration repeats Steps 2-4 over the accumulated measurement
+corpus:
+
+1. (once per corpus growth) map new interface addresses to ASNs and
+   refresh alias resolution, repairing IP-to-ASN conflicts by alias
+   majority vote;
+2. re-extract public/private crossings (Step 1) and apply the initial
+   facility search constraints (Step 2);
+3. propagate constraints across router aliases (Step 3);
+4. plan and launch targeted follow-up traceroutes for interfaces that
+   have not converged (Step 4).
+
+The loop stops at convergence, at quiescence (no constraint changed and
+no follow-up is available), or at the iteration timeout (the paper used
+100 rounds and observed diminishing returns after ~40).  Afterwards the
+far ends of public peerings are settled with reverse-path constraints
+and the switch proximity heuristic, and every observed link receives a
+facility and engineering-type inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..alias.midar import AliasSets, MidarResolver, repair_ip_to_asn
+from ..measurement.campaign import CampaignDriver, TraceCorpus
+from ..measurement.platforms import MeasurementPlatform
+from .alias_constraints import propagate_alias_constraints
+from .classify import PeeringClassifier
+from .constrain import InitialFacilitySearch
+from .facility_db import FacilityDatabase
+from .farside import LinkFinalizer
+from .followup import FollowupPlanner
+from .proximity import SwitchProximityModel
+from .remote import RemotePeeringDetector
+from .types import (
+    CfsResult,
+    InterfaceState,
+    InterfaceStatus,
+    IterationStats,
+    ObservedPeering,
+)
+
+__all__ = ["CfsConfig", "ConstrainedFacilitySearch"]
+
+
+@dataclass(frozen=True, slots=True)
+class CfsConfig:
+    """Knobs of the search loop (ablation switches included)."""
+
+    #: Iteration timeout (the paper's 100 rounds).
+    max_iterations: int = 100
+    #: Follow-up probes planned per iteration.
+    followup_budget: int = 32
+    #: Step 3 on/off (ablation).
+    use_alias_constraints: bool = True
+    #: Step 4 on/off (ablation).
+    use_followups: bool = True
+    #: Step 4 target ordering: the paper's "smallest-overlap" rule, or
+    #: "random" (ablation).
+    followup_strategy: str = "smallest-overlap"
+    #: Section 4.4 far-end heuristic on/off (ablation).
+    use_proximity: bool = True
+    #: IP-to-ASN repair by alias majority vote on/off (ablation).
+    use_asn_repair: bool = True
+    #: Apply the campus mirror constraint to the far interface of
+    #: private crossings.  The paper does NOT (Step 2 constrains only
+    #: the near interface; far sides come from reverse-direction paths,
+    #: Section 4.3), and enabling it trades a lot of precision for some
+    #: coverage: boundary-shifted observations (unrepaired shared /31s)
+    #: pin *interior* far-AS interfaces to wrong facilities.  Kept as an
+    #: ablation switch.
+    constrain_private_far_side: bool = False
+    #: Re-run alias resolution when the address pool grew by this factor.
+    alias_refresh_fraction: float = 0.10
+
+
+class ConstrainedFacilitySearch:
+    """Drives the CFS loop over a corpus, optionally probing as it goes."""
+
+    def __init__(
+        self,
+        facility_db: FacilityDatabase,
+        ip_to_asn,
+        alias_resolver: MidarResolver | None = None,
+        driver: CampaignDriver | None = None,
+        remote_detector: RemotePeeringDetector | None = None,
+        config: CfsConfig | None = None,
+    ) -> None:
+        """Args:
+            facility_db: the assembled Section-3.1 knowledge base.
+            ip_to_asn: object with ``lookup(address) -> int | None``
+                (e.g. :class:`repro.datasets.CymruService`).
+            alias_resolver: MIDAR front-end; ``None`` disables alias
+                resolution entirely (a harsher ablation than switching
+                off Step 3, since IP-to-ASN repair also vanishes).
+            driver: campaign driver for follow-up traceroutes; ``None``
+                makes the run passive (archived corpus only).
+            remote_detector: the delay-based remote-peering test.
+            config: loop knobs.
+        """
+        self._db = facility_db
+        self._ip_to_asn = ip_to_asn
+        self._midar = alias_resolver
+        self._driver = driver
+        self.config = config or CfsConfig()
+        self._classifier = PeeringClassifier(facility_db)
+        self._search = InitialFacilitySearch(
+            facility_db,
+            remote_detector or RemotePeeringDetector(),
+            constrain_private_far_side=self.config.constrain_private_far_side,
+        )
+        self._planner = FollowupPlanner(
+            facility_db, strategy=self.config.followup_strategy
+        )
+        self.proximity = SwitchProximityModel()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        corpus: TraceCorpus,
+        platforms: list[MeasurementPlatform] | None = None,
+    ) -> CfsResult:
+        """Run the loop to convergence/timeout and finalize inferences."""
+        known_addresses: set[int] = set()
+        raw_mapping: dict[int, int | None] = {}
+        mapping: dict[int, int | None] = {}
+        alias_sets = AliasSets()
+        addresses_at_last_resolve = 0
+        parsed_traces = 0
+        observations: dict[tuple, ObservedPeering] = {}
+        states: dict[int, InterfaceState] = {}
+        probed_pairs: set[tuple[int, int]] = set()
+        history: list[IterationStats] = []
+        followup_traces = 0
+        iterations_run = 0
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            iterations_run = iteration
+            # --- mapping upkeep for newly observed addresses ----------
+            fresh = [
+                address
+                for trace in corpus.traces[parsed_traces:]
+                for address in trace.responsive_addresses()
+                if address not in known_addresses
+            ]
+            for address in fresh:
+                known_addresses.add(address)
+                asn = self._ip_to_asn.lookup(address)
+                raw_mapping[address] = asn
+                mapping[address] = asn
+
+            # --- alias refresh + IP-to-ASN repair ----------------------
+            grew_enough = len(known_addresses) - addresses_at_last_resolve > (
+                self.config.alias_refresh_fraction * max(1, addresses_at_last_resolve)
+            )
+            if self._midar is not None and (iteration == 1 or grew_enough):
+                alias_sets = self._midar.resolve(sorted(known_addresses))
+                addresses_at_last_resolve = len(known_addresses)
+                if self.config.use_asn_repair:
+                    mapping = repair_ip_to_asn(alias_sets, raw_mapping)
+                else:
+                    mapping = dict(raw_mapping)
+                # Boundaries may move under the repaired mapping.
+                observations = {}
+                parsed_traces = 0
+
+            # --- Step 1: (re)extract crossings -------------------------
+            self._classifier.extract(
+                corpus.traces[parsed_traces:], mapping, into=observations
+            )
+            parsed_traces = len(corpus.traces)
+
+            # --- Step 2: initial facility search -----------------------
+            changed = False
+            for observation in observations.values():
+                if self._search.apply(observation, states):
+                    changed = True
+
+            # --- Step 3: alias constraint propagation ------------------
+            if self.config.use_alias_constraints and len(alias_sets):
+                narrowed = propagate_alias_constraints(states, alias_sets)
+                if narrowed:
+                    changed = True
+                self._search.refresh_statuses(states)
+
+            # --- Step 4: targeted follow-ups ----------------------------
+            plans = []
+            if (
+                self.config.use_followups
+                and self._driver is not None
+                and self._has_unresolved(states)
+            ):
+                plans = self._planner.plan(
+                    states, probed_pairs, self.config.followup_budget
+                )
+                for plan in plans:
+                    probed_pairs.add((plan.near_asn, plan.target_asn))
+                    followup_traces += self._driver.probe_peering(
+                        plan.near_asn, plan.target_asn, corpus, platforms
+                    )
+
+            history.append(self._snapshot(iteration, states, len(plans)))
+            if not self._has_unresolved(states) and not self._has_missing(states):
+                break
+            if not changed and not plans:
+                break
+
+        finalizer = LinkFinalizer(self._db, self.proximity)
+        links = finalizer.finalize(
+            observations, states, use_proximity=self.config.use_proximity
+        )
+        return CfsResult(
+            interfaces=states,
+            links=links,
+            history=history,
+            iterations_run=iterations_run,
+            followup_traces=followup_traces,
+            peering_interfaces_seen=len(states),
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _has_unresolved(states: dict[int, InterfaceState]) -> bool:
+        return any(
+            state.status
+            in (InterfaceStatus.UNRESOLVED_LOCAL, InterfaceStatus.UNRESOLVED_REMOTE)
+            for state in states.values()
+        )
+
+    @staticmethod
+    def _has_missing(states: dict[int, InterfaceState]) -> bool:
+        return any(
+            state.status is InterfaceStatus.MISSING_DATA
+            for state in states.values()
+        )
+
+    @staticmethod
+    def _snapshot(
+        iteration: int, states: dict[int, InterfaceState], followups: int
+    ) -> IterationStats:
+        counts = {status: 0 for status in InterfaceStatus}
+        for state in states.values():
+            counts[state.status] += 1
+        return IterationStats(
+            iteration=iteration,
+            total_interfaces=len(states),
+            resolved=counts[InterfaceStatus.RESOLVED],
+            unresolved_local=counts[InterfaceStatus.UNRESOLVED_LOCAL],
+            unresolved_remote=counts[InterfaceStatus.UNRESOLVED_REMOTE],
+            missing_data=counts[InterfaceStatus.MISSING_DATA],
+            followups_issued=followups,
+        )

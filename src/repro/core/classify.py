@@ -1,0 +1,200 @@
+"""CFS Step 1: identify public and private peerings in traceroute data.
+
+Section 4.2, Step 1.  Given IP-to-ASN mapped traceroute paths:
+
+* a hop sequence ``(IP_A, IP_e, IP_B)`` where ``IP_e`` falls inside the
+  address space of an active IXP marks a **public** peering ``(A, B)``
+  established over that exchange;
+* a direct sequence ``(IP_A, IP_B)`` with the two addresses mapping to
+  different ASes (and neither inside IXP space) marks a **private**
+  interconnection — cross-connect, tethering, or remote private peering;
+* sequences interrupted by unresponsive or unmapped hops are discarded
+  (the paper drops paths where ``IP_e`` is unresolved or unresponsive).
+
+The near-side interface of every crossing — and, for public peerings,
+the far side's peering-LAN port — become the subjects of Steps 2-4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..measurement.traceroute import TraceHop, Traceroute
+from .facility_db import FacilityDatabase
+from .types import ObservedPeering, PeeringKind
+
+__all__ = ["PeeringClassifier"]
+
+
+class PeeringClassifier:
+    """Extracts :class:`ObservedPeering` records from traceroutes."""
+
+    def __init__(self, facility_db: FacilityDatabase) -> None:
+        self._db = facility_db
+
+    # ------------------------------------------------------------------
+
+    def extract(
+        self,
+        traces: Iterable[Traceroute],
+        ip_to_asn: Mapping[int, int | None],
+        into: dict[tuple, ObservedPeering] | None = None,
+    ) -> dict[tuple, ObservedPeering]:
+        """Parse ``traces`` and merge crossings into ``into``.
+
+        Repeated sightings of the same crossing are merged: observation
+        counts accumulate and the RTT step keeps its minimum (the paper
+        repeats measurements at different times of day to shed transient
+        congestion before the delay-based remote-peering test).
+        """
+        observations = into if into is not None else {}
+        for trace in traces:
+            for run in self._responsive_runs(trace):
+                self._scan_run(
+                    run, ip_to_asn, observations, dst_address=trace.dst_address
+                )
+        return observations
+
+    @staticmethod
+    def _responsive_runs(trace: Traceroute) -> list[list[TraceHop]]:
+        """Maximal sub-paths of consecutive responsive hops.
+
+        An unresponsive hop hides a router, so adjacency across it is
+        unknown and any crossing spanning it must be discarded.
+        """
+        runs: list[list[TraceHop]] = []
+        current: list[TraceHop] = []
+        for hop in trace.hops:
+            if hop.address is None:
+                if len(current) >= 2:
+                    runs.append(current)
+                current = []
+            else:
+                current.append(hop)
+        if len(current) >= 2:
+            runs.append(current)
+        return runs
+
+    # ------------------------------------------------------------------
+
+    def _scan_run(
+        self,
+        run: list[TraceHop],
+        ip_to_asn: Mapping[int, int | None],
+        observations: dict[tuple, ObservedPeering],
+        dst_address: int | None = None,
+    ) -> None:
+        index = 0
+        while index < len(run) - 1:
+            near = run[index]
+            middle = run[index + 1]
+            assert near.address is not None and middle.address is not None
+            middle_ixp = self._db.ixp_of_address(middle.address)
+            if middle_ixp is not None:
+                # Public peering candidate: (near, IXP hop, far).
+                if index + 2 < len(run):
+                    far = run[index + 2]
+                    assert far.address is not None
+                    self._record_public(
+                        near, middle, far, middle_ixp, ip_to_asn, observations
+                    )
+                # The far border router has been consumed as the IXP hop;
+                # continue scanning from it.
+                index += 1
+                continue
+            if middle.address == dst_address:
+                # The destination answers the echo from the probed
+                # address, not from its ingress interface — the crossing
+                # type (and the real ingress) is unobservable, so no
+                # constraint may be derived from this pair.
+                index += 1
+                continue
+            if self._db.ixp_of_address(near.address) is None:
+                self._record_private(near, middle, ip_to_asn, observations)
+            index += 1
+
+    def _record_public(
+        self,
+        near: TraceHop,
+        middle: TraceHop,
+        far: TraceHop,
+        ixp_id: int,
+        ip_to_asn: Mapping[int, int | None],
+        observations: dict[tuple, ObservedPeering],
+    ) -> None:
+        near_asn = ip_to_asn.get(near.address)
+        # The peering-LAN port belongs to the far border router, so its
+        # (alias-repaired) mapping identifies the far AS most reliably —
+        # essential when the hop after it is another exchange's LAN port
+        # (multi-IXP routers, Section 5).  Fall back to the next hop.
+        far_asn = ip_to_asn.get(middle.address)
+        if far_asn is None or far_asn not in self._db.members_of(ixp_id):
+            far_asn = ip_to_asn.get(far.address)
+        if near_asn is None or far_asn is None or near_asn == far_asn:
+            return
+        rtt_step = self._rtt_step(near, middle)
+        observation = ObservedPeering(
+            kind=PeeringKind.PUBLIC,
+            near_address=near.address,  # type: ignore[arg-type]
+            near_asn=near_asn,
+            far_asn=far_asn,
+            far_address=far.address,
+            ixp_id=ixp_id,
+            ixp_address=middle.address,
+            min_rtt_step_ms=rtt_step,
+        )
+        self._merge(observations, observation)
+
+    def _record_private(
+        self,
+        near: TraceHop,
+        far: TraceHop,
+        ip_to_asn: Mapping[int, int | None],
+        observations: dict[tuple, ObservedPeering],
+    ) -> None:
+        near_asn = ip_to_asn.get(near.address)
+        far_asn = ip_to_asn.get(far.address)
+        if near_asn is None or far_asn is None or near_asn == far_asn:
+            return
+        rtt_step = self._rtt_step(near, far)
+        observation = ObservedPeering(
+            kind=PeeringKind.PRIVATE,
+            near_address=near.address,  # type: ignore[arg-type]
+            near_asn=near_asn,
+            far_asn=far_asn,
+            far_address=far.address,
+            min_rtt_step_ms=rtt_step,
+        )
+        self._merge(observations, observation)
+
+    @staticmethod
+    def _rtt_step(near: TraceHop, far: TraceHop) -> float | None:
+        if near.rtt_ms is None or far.rtt_ms is None:
+            return None
+        return far.rtt_ms - near.rtt_ms
+
+    @staticmethod
+    def _merge(
+        observations: dict[tuple, ObservedPeering], observation: ObservedPeering
+    ) -> None:
+        key = observation.key()
+        existing = observations.get(key)
+        if existing is None:
+            observations[key] = observation
+            return
+        steps = [
+            step
+            for step in (existing.min_rtt_step_ms, observation.min_rtt_step_ms)
+            if step is not None
+        ]
+        observations[key] = ObservedPeering(
+            kind=existing.kind,
+            near_address=existing.near_address,
+            near_asn=existing.near_asn,
+            far_asn=existing.far_asn,
+            far_address=existing.far_address,
+            ixp_id=existing.ixp_id,
+            ixp_address=existing.ixp_address,
+            min_rtt_step_ms=min(steps) if steps else None,
+            observations=existing.observations + observation.observations,
+        )

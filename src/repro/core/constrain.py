@@ -1,0 +1,238 @@
+"""CFS Step 2: the initial facility search.
+
+For every crossing found in Step 1, intersect what the facility map
+knows about the two sides (Section 4.2):
+
+* **public** ``(IP_A, IP_e, IP_B)`` over exchange *E*: interface
+  ``IP_A`` lies in ``F(A) ∩ F(E)`` — one common facility resolves it,
+  several leave it *unresolved local*, none means either remote peering
+  (delay test positive; candidates fall back to ``F(A)``) or missing
+  data.  The far port ``IP_e`` belongs to *B*'s router and is
+  constrained by ``F(B) ∩ F(E)`` symmetrically;
+* **private** ``(IP_A, IP_B)``: ``IP_A`` lies in a facility of *A* from
+  which *B* is cross-connectable — the same building, or a campus
+  building of the same operator.  No such facility means tethering or
+  remote private peering (the two routers need not share a building) or
+  missing data; common membership of an active exchange supports the
+  tethering reading.
+"""
+
+from __future__ import annotations
+
+from .facility_db import FacilityDatabase
+from .remote import RemotePeeringDetector
+from .types import (
+    InferredType,
+    InterfaceState,
+    InterfaceStatus,
+    ObservedPeering,
+    PeeringKind,
+)
+
+__all__ = ["InitialFacilitySearch"]
+
+
+class InitialFacilitySearch:
+    """Applies Step-2 constraints from observations to interface states."""
+
+    def __init__(
+        self,
+        facility_db: FacilityDatabase,
+        remote_detector: RemotePeeringDetector | None = None,
+        constrain_private_far_side: bool = False,
+    ) -> None:
+        """``constrain_private_far_side`` applies the campus mirror
+        constraint to the far interface of private crossings.  The
+        paper's Step 2 constrains only the near interface (far sides are
+        resolved through reverse-direction paths, Section 4.3), because
+        the mirror is vulnerable to boundary-shifted observations:
+        unrepaired shared /31s make an *interior* far-AS interface look
+        like the crossing interface and pin it to a wrong facility.
+        Enabling it is a coverage-over-precision ablation."""
+        self._db = facility_db
+        self._remote = remote_detector or RemotePeeringDetector()
+        self._constrain_private_far = constrain_private_far_side
+        # Constraint-set caches: the loop re-applies every observation on
+        # every iteration, and the sets only depend on (asn, ixp) or
+        # (asn, other_asn) pairs over an immutable facility database.
+        self._public_cache: dict[tuple[int, int], frozenset[int]] = {}
+        self._private_cache: dict[tuple[int, int], frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def state_for(
+        self, states: dict[int, InterfaceState], address: int, owner_asn: int
+    ) -> InterfaceState:
+        """Get or create the constraint state of one interface."""
+        state = states.get(address)
+        if state is None:
+            state = InterfaceState(address=address, owner_asn=owner_asn)
+            states[address] = state
+        elif state.owner_asn is None:
+            state.owner_asn = owner_asn
+        return state
+
+    def apply(
+        self,
+        observation: ObservedPeering,
+        states: dict[int, InterfaceState],
+    ) -> bool:
+        """Constrain the interfaces involved in one observation.
+
+        Returns True if any candidate set changed.
+        """
+        if observation.kind is PeeringKind.PUBLIC:
+            return self._apply_public(observation, states)
+        return self._apply_private(observation, states)
+
+    # ------------------------------------------------------------------
+
+    def _apply_public(
+        self, observation: ObservedPeering, states: dict[int, InterfaceState]
+    ) -> bool:
+        assert observation.ixp_id is not None
+        changed = False
+        fabric = self._db.facilities_of_ixp(observation.ixp_id)
+        changed |= self._constrain_public_side(
+            states,
+            address=observation.near_address,
+            asn=observation.near_asn,
+            fabric=fabric,
+            observation=observation,
+        )
+        if observation.ixp_address is not None:
+            changed |= self._constrain_public_side(
+                states,
+                address=observation.ixp_address,
+                asn=observation.far_asn,
+                fabric=fabric,
+                observation=observation,
+            )
+        return changed
+
+    def _constrain_public_side(
+        self,
+        states: dict[int, InterfaceState],
+        address: int,
+        asn: int,
+        fabric: frozenset[int],
+        observation: ObservedPeering,
+    ) -> bool:
+        state = self.state_for(states, address, asn)
+        presence = self._db.facilities_of(asn)
+        if not presence or not fabric:
+            self._refresh_status(state)
+            return False
+        assert observation.ixp_id is not None
+        cache_key = (asn, observation.ixp_id)
+        common = self._public_cache.get(cache_key)
+        if common is None:
+            common = frozenset(presence & fabric)
+            self._public_cache[cache_key] = common
+        changed = False
+        if common:
+            changed = state.apply_constraint(set(common))
+            state.constrained_by_ixps.add(observation.ixp_id)
+            if state.inferred_type is InferredType.UNKNOWN:
+                state.inferred_type = InferredType.PUBLIC_LOCAL
+        else:
+            verdict = self._remote.classify(
+                observation.min_rtt_step_ms, observation.observations
+            )
+            if verdict:
+                # Remote peer: its router can be at any of its facilities.
+                changed = state.apply_constraint(set(presence))
+                state.remote = True
+                state.inferred_type = InferredType.PUBLIC_REMOTE
+            # verdict False/None with no common facility: missing data,
+            # no constraint to apply.
+        self._refresh_status(state)
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def _apply_private(
+        self, observation: ObservedPeering, states: dict[int, InterfaceState]
+    ) -> bool:
+        changed = self._constrain_private_side(
+            states,
+            address=observation.near_address,
+            asn=observation.near_asn,
+            other_asn=observation.far_asn,
+            observation=observation,
+        )
+        if observation.far_address is not None and self._constrain_private_far:
+            changed |= self._constrain_private_side(
+                states,
+                address=observation.far_address,
+                asn=observation.far_asn,
+                other_asn=observation.near_asn,
+                observation=observation,
+            )
+        return changed
+
+    def _constrain_private_side(
+        self,
+        states: dict[int, InterfaceState],
+        address: int,
+        asn: int,
+        other_asn: int,
+        observation: ObservedPeering,
+    ) -> bool:
+        state = self.state_for(states, address, asn)
+        presence = self._db.facilities_of(asn)
+        other_presence = self._db.facilities_of(other_asn)
+        if not presence or not other_presence:
+            self._refresh_status(state)
+            return False
+        cache_key = (asn, other_asn)
+        reachable = self._private_cache.get(cache_key)
+        if reachable is None:
+            reachable = frozenset(
+                facility_id
+                for facility_id in presence
+                if self._db.campus_of(facility_id) & other_presence
+            )
+            self._private_cache[cache_key] = reachable
+        changed = False
+        if reachable:
+            changed = state.apply_constraint(set(reachable))
+            if state.inferred_type is InferredType.UNKNOWN:
+                state.inferred_type = InferredType.CROSS_CONNECT
+        else:
+            shared_ixps = self._db.ixps_of(asn) & self._db.ixps_of(other_asn)
+            if shared_ixps:
+                # Tethering over a common fabric: the near router sits in
+                # one of its own facilities, unconstrained by the peer's.
+                changed = state.apply_constraint(set(presence))
+                if state.inferred_type is InferredType.UNKNOWN:
+                    state.inferred_type = InferredType.TETHERING
+            elif self._remote.classify(
+                observation.min_rtt_step_ms, observation.observations
+            ):
+                # Remote private peering over leased transport.
+                changed = state.apply_constraint(set(presence))
+                state.remote = True
+                if state.inferred_type is InferredType.UNKNOWN:
+                    state.inferred_type = InferredType.TETHERING
+            # otherwise: missing data.
+        self._refresh_status(state)
+        return changed
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _refresh_status(state: InterfaceState) -> None:
+        if state.candidates is None:
+            state.status = InterfaceStatus.MISSING_DATA
+        elif len(state.candidates) == 1:
+            state.status = InterfaceStatus.RESOLVED
+        elif state.remote:
+            state.status = InterfaceStatus.UNRESOLVED_REMOTE
+        else:
+            state.status = InterfaceStatus.UNRESOLVED_LOCAL
+
+    def refresh_statuses(self, states: dict[int, InterfaceState]) -> None:
+        """Recompute statuses after external constraint propagation."""
+        for state in states.values():
+            self._refresh_status(state)

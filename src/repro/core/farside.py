@@ -1,0 +1,211 @@
+"""Far-end resolution and final link inference (Sections 4.3-4.4).
+
+Traceroute replies come from ingress interfaces, so a forward path never
+shows the egress side of a crossing; the far end of a public peering is
+only directly constrained through its peering-LAN port.  The paper
+narrows far ends three ways, all reproduced here:
+
+1. **Reverse-direction search** (Section 4.3): vantage points on the far
+   side turn the far AS into a *near* AS of other observations; alias
+   sets then carry those constraints onto the port.  This happens
+   upstream in Steps 2-3 — by finalisation time the port state already
+   holds everything reverse paths contributed.
+2. **Single-candidate members**: many far peers connect to one partner
+   facility of the exchange; the intersection alone pins them.
+3. **Switch proximity** (Section 4.4): remaining multi-candidate far
+   ends take the fabric-proximate facility learned from resolved pairs.
+
+Private interconnects get the cross-connect treatment: the far router
+must be cross-connectable from the near facility, so a unique campus
+candidate resolves it.
+"""
+
+from __future__ import annotations
+
+from .facility_db import FacilityDatabase
+from .proximity import SwitchProximityModel
+from .types import (
+    InferredType,
+    InterfaceState,
+    LinkInference,
+    ObservedPeering,
+    PeeringKind,
+)
+
+__all__ = ["LinkFinalizer"]
+
+
+class LinkFinalizer:
+    """Produces :class:`LinkInference` records from converged states."""
+
+    def __init__(
+        self,
+        facility_db: FacilityDatabase,
+        proximity: SwitchProximityModel | None = None,
+    ) -> None:
+        self._db = facility_db
+        self.proximity = proximity or SwitchProximityModel()
+
+    # ------------------------------------------------------------------
+
+    def finalize(
+        self,
+        observations: dict[tuple, ObservedPeering],
+        states: dict[int, InterfaceState],
+        use_proximity: bool = True,
+    ) -> list[LinkInference]:
+        """Infer facility and engineering type for every observed link."""
+        ordered = sorted(
+            observations.values(),
+            key=lambda obs: (
+                obs.kind.value,
+                obs.near_address,
+                obs.far_asn,
+                obs.ixp_id if obs.ixp_id is not None else -1,
+                obs.far_address if obs.far_address is not None else -1,
+            ),
+        )
+        if use_proximity:
+            self._learn_proximity(ordered, states)
+        links: list[LinkInference] = []
+        for observation in ordered:
+            if observation.kind is PeeringKind.PUBLIC:
+                links.append(self._finalize_public(observation, states, use_proximity))
+            else:
+                links.append(self._finalize_private(observation, states))
+        return links
+
+    # ------------------------------------------------------------------
+
+    def _learn_proximity(
+        self,
+        observations: list[ObservedPeering],
+        states: dict[int, InterfaceState],
+    ) -> None:
+        """Train the proximity model on pairs already pinned by Steps 2-3."""
+        for observation in observations:
+            if observation.kind is not PeeringKind.PUBLIC:
+                continue
+            assert observation.ixp_id is not None
+            near = states.get(observation.near_address)
+            if near is None or near.resolved_facility is None or near.remote:
+                continue
+            far_facility = self._port_resolution(observation, states)
+            if far_facility is not None:
+                self.proximity.learn(
+                    observation.ixp_id, near.resolved_facility, far_facility
+                )
+
+    def _port_resolution(
+        self,
+        observation: ObservedPeering,
+        states: dict[int, InterfaceState],
+    ) -> int | None:
+        """Far-port facility if Steps 2-3 already pinned it."""
+        if observation.ixp_address is None:
+            return None
+        port = states.get(observation.ixp_address)
+        if port is None or port.remote:
+            return None
+        return port.resolved_facility
+
+    # ------------------------------------------------------------------
+
+    def _finalize_public(
+        self,
+        observation: ObservedPeering,
+        states: dict[int, InterfaceState],
+        use_proximity: bool,
+    ) -> LinkInference:
+        assert observation.ixp_id is not None
+        near = states.get(observation.near_address)
+        near_facility = near.resolved_facility if near is not None else None
+        near_remote = near.remote if near is not None else False
+
+        far_facility = self._port_resolution(observation, states)
+        port = (
+            states.get(observation.ixp_address)
+            if observation.ixp_address is not None
+            else None
+        )
+        far_remote = port.remote if port is not None else False
+        if (
+            far_facility is None
+            and not far_remote
+            and use_proximity
+            and near_facility is not None
+        ):
+            candidates = self._far_candidates(observation, port)
+            if candidates:
+                far_facility = self.proximity.infer(
+                    observation.ixp_id, near_facility, candidates
+                )
+
+        if near_remote:
+            inferred = InferredType.PUBLIC_REMOTE
+        elif near_facility is not None or (near is not None and near.candidates):
+            inferred = InferredType.PUBLIC_LOCAL
+        else:
+            inferred = InferredType.UNKNOWN
+        return LinkInference(
+            kind=PeeringKind.PUBLIC,
+            inferred_type=inferred,
+            near_address=observation.near_address,
+            near_asn=observation.near_asn,
+            near_facility=near_facility,
+            far_asn=observation.far_asn,
+            far_facility=far_facility,
+            ixp_id=observation.ixp_id,
+            ixp_address=observation.ixp_address,
+        )
+
+    def _far_candidates(
+        self,
+        observation: ObservedPeering,
+        port: InterfaceState | None,
+    ) -> set[int]:
+        if port is not None and port.candidates:
+            return set(port.candidates)
+        assert observation.ixp_id is not None
+        return set(
+            self._db.facilities_of(observation.far_asn)
+            & self._db.facilities_of_ixp(observation.ixp_id)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _finalize_private(
+        self,
+        observation: ObservedPeering,
+        states: dict[int, InterfaceState],
+    ) -> LinkInference:
+        near = states.get(observation.near_address)
+        near_facility = near.resolved_facility if near is not None else None
+        inferred = near.inferred_type if near is not None else InferredType.UNKNOWN
+
+        far_facility = None
+        if observation.far_address is not None:
+            far_state = states.get(observation.far_address)
+            if far_state is not None:
+                far_facility = far_state.resolved_facility
+        if far_facility is None and near_facility is not None and (
+            inferred is InferredType.CROSS_CONNECT
+        ):
+            # The far router must be cross-connectable from the near
+            # facility; a unique campus candidate settles it.
+            reach = self._db.campus_of(near_facility) & self._db.facilities_of(
+                observation.far_asn
+            )
+            if len(reach) == 1:
+                far_facility = next(iter(reach))
+        return LinkInference(
+            kind=PeeringKind.PRIVATE,
+            inferred_type=inferred,
+            near_address=observation.near_address,
+            near_asn=observation.near_asn,
+            near_facility=near_facility,
+            far_asn=observation.far_asn,
+            far_facility=far_facility,
+            ixp_id=None,
+            far_address=observation.far_address,
+        )

@@ -1,0 +1,281 @@
+"""End-to-end pipeline assembly (the paper's Figure 4).
+
+``build_environment`` wires the full measurement stack over one
+generated Internet: vantage-point platforms, hitlists, the public
+datasets, the assembled facility database, the IP-to-ASN service and
+the alias-resolution prober.  ``run_pipeline`` then executes the study
+of Section 5: an initial traceroute campaign toward the target networks
+(five content providers and five transit providers by default), followed
+by the CFS loop with targeted follow-ups.
+
+Experiments that need several CFS runs over one environment (Figure 7's
+platform comparison, Figure 8's dataset degradation, the ablations)
+reuse the environment and call :meth:`Environment.run_cfs` with
+different knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alias.midar import MidarConfig, MidarResolver
+from ..datasets.cymru import CymruService
+from ..datasets.dnsnames import DnsZone
+from ..datasets.geolocation import GeoDatabase
+from ..datasets.ixp_sources import IxpDataSources, IxpSourcesConfig
+from ..datasets.noc import NocConfig, NocWebsites
+from ..datasets.normalize import LocationNormalizer
+from ..datasets.peeringdb import PeeringDBConfig, PeeringDBSnapshot
+from ..measurement.campaign import CampaignConfig, CampaignDriver, Hitlist, TraceCorpus
+from ..measurement.ipid import IpidResponder
+from ..measurement.platforms import PlatformSet, build_platforms
+from ..measurement.rtt import RttModel
+from ..measurement.traceroute import TracerouteEngine
+from ..topology.asn import ASRole
+from ..topology.builder import TopologyConfig, build_topology
+from ..topology.topology import Topology
+from .cfs import CfsConfig, ConstrainedFacilitySearch
+from .facility_db import FacilityDatabase
+from .remote import RemotePeeringDetector
+from .types import CfsResult
+
+__all__ = ["PipelineConfig", "Environment", "PipelineResult", "build_environment", "run_pipeline", "select_targets"]
+
+
+@dataclass(slots=True)
+class PipelineConfig:
+    """Everything needed to reproduce the Section-5 study."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    seed: int = 0
+    #: Content-provider targets (the Google/Akamai/... analogues).
+    n_content_targets: int = 5
+    #: Transit-provider targets (the NTT/Level3/... analogues).
+    n_transit_targets: int = 5
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    cfs: CfsConfig = field(default_factory=CfsConfig)
+    peeringdb: PeeringDBConfig = field(default_factory=PeeringDBConfig)
+    ixp_sources: IxpSourcesConfig = field(default_factory=IxpSourcesConfig)
+    noc: NocConfig = field(default_factory=NocConfig)
+    #: Restrict both campaign and follow-ups to these platform names
+    #: (``None`` = all four platforms).
+    platform_filter: tuple[str, ...] | None = None
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "PipelineConfig":
+        """Test-sized pipeline: small Internet, fewer probes."""
+        return cls(
+            topology=TopologyConfig.small(seed=seed + 1),
+            seed=seed,
+            campaign=CampaignConfig(
+                atlas_sample_per_target=12,
+                lg_sample_per_target=5,
+                archive_targets_per_node=8,
+                followup_traces=3,
+            ),
+            cfs=CfsConfig(max_iterations=60, followup_budget=10),
+        )
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "PipelineConfig":
+        """Benchmark-sized pipeline (the figures are produced at this
+        scale)."""
+        return cls(topology=TopologyConfig(seed=seed + 1), seed=seed)
+
+
+def select_targets(
+    topology: Topology, n_content: int, n_transit: int
+) -> list[int]:
+    """The study targets: largest CDNs plus largest transit backbones,
+    mirroring the paper's choice of networks carrying most traffic."""
+    content = sorted(
+        (a for a in topology.ases.values() if a.role is ASRole.CONTENT),
+        key=lambda a: (-len(a.facility_ids), a.asn),
+    )
+    transit = sorted(
+        (
+            a
+            for a in topology.ases.values()
+            if a.role in (ASRole.TIER1, ASRole.TRANSIT)
+        ),
+        key=lambda a: (a.role is not ASRole.TIER1, -len(a.facility_ids), a.asn),
+    )
+    chosen = content[:n_content] + transit[:n_transit]
+    return [a.asn for a in chosen]
+
+
+@dataclass(slots=True)
+class Environment:
+    """One fully wired measurement stack over one generated Internet."""
+
+    config: PipelineConfig
+    topology: Topology
+    rtt_model: RttModel
+    engine: TracerouteEngine
+    platforms: PlatformSet
+    hitlist: Hitlist
+    peeringdb: PeeringDBSnapshot
+    noc: NocWebsites
+    ixp_sources: IxpDataSources
+    normalizer: LocationNormalizer
+    facility_db: FacilityDatabase
+    cymru: CymruService
+    ipid_responder: IpidResponder
+    dns: DnsZone
+    geodb: GeoDatabase
+    target_asns: list[int]
+
+    # ------------------------------------------------------------------
+
+    def new_driver(self, seed_offset: int = 0) -> CampaignDriver:
+        """A fresh campaign driver (deterministic per offset)."""
+        return CampaignDriver(
+            self.platforms,
+            self.hitlist,
+            config=self.config.campaign,
+            seed=self.config.seed + 1000 + seed_offset,
+        )
+
+    def new_midar(self, seed_offset: int = 0) -> MidarResolver:
+        """A fresh MIDAR front-end over the shared IP-ID responder."""
+        return MidarResolver(
+            self.ipid_responder,
+            config=MidarConfig(),
+            seed=self.config.seed + 2000 + seed_offset,
+        )
+
+    def platform_list(self, names: tuple[str, ...] | None):
+        """Platform objects matching ``names`` (None = all)."""
+        all_platforms = self.platforms.all_platforms()
+        if names is None:
+            return all_platforms
+        return [p for p in all_platforms if p.name in names]
+
+    def remote_detector(self) -> RemotePeeringDetector:
+        """The delay-based remote-peering test tuned to the RTT model."""
+        return RemotePeeringDetector(
+            metro_local_bound_ms=self.rtt_model.metro_local_bound_ms()
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        platform_filter: tuple[str, ...] | None = None,
+        seed_offset: int = 0,
+    ) -> TraceCorpus:
+        """The initial Section-5 campaign, optionally platform-filtered."""
+        driver = self.new_driver(seed_offset)
+        corpus = driver.initial_campaign(self.target_asns)
+        names = platform_filter
+        if names is None:
+            return corpus
+        filtered = TraceCorpus()
+        filtered.extend([t for t in corpus.traces if t.platform in names])
+        return filtered
+
+    def run_cfs(
+        self,
+        corpus: TraceCorpus,
+        cfs_config: CfsConfig | None = None,
+        facility_db: FacilityDatabase | None = None,
+        platform_filter: tuple[str, ...] | None = None,
+        with_followups: bool = True,
+        seed_offset: int = 0,
+        with_alias_resolution: bool = True,
+    ) -> CfsResult:
+        """One CFS run over ``corpus`` with optional knob overrides."""
+        database = facility_db or self.facility_db
+        driver = self.new_driver(seed_offset + 1) if with_followups else None
+        search = ConstrainedFacilitySearch(
+            facility_db=database,
+            ip_to_asn=self.cymru,
+            alias_resolver=self.new_midar(seed_offset) if with_alias_resolution else None,
+            driver=driver,
+            remote_detector=self.remote_detector(),
+            config=cfs_config or self.config.cfs,
+        )
+        platforms = self.platform_list(platform_filter)
+        return search.run(corpus, platforms=platforms)
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Environment, corpus and the CFS outcome of one full run."""
+
+    environment: Environment
+    corpus: TraceCorpus
+    cfs_result: CfsResult
+
+    @property
+    def topology(self) -> Topology:
+        """The ground-truth topology behind this run."""
+        return self.environment.topology
+
+
+def build_environment(config: PipelineConfig | None = None) -> Environment:
+    """Wire the full Figure-4 stack for one generated Internet."""
+    config = config or PipelineConfig()
+    seed = config.seed
+    topology = build_topology(config.topology)
+    rtt_model = RttModel(seed=seed + 11)
+    engine = TracerouteEngine(topology, rtt_model=rtt_model, seed=seed + 12)
+    platforms = build_platforms(topology, engine, seed=seed + 13)
+    hitlist = Hitlist(topology)
+    peeringdb = PeeringDBSnapshot.build(topology, config.peeringdb, seed=seed + 14)
+    noc = NocWebsites.build(topology, config.noc, seed=seed + 15)
+    ixp_sources = IxpDataSources.build(
+        topology,
+        peeringdb.ixp_prefixes(),
+        {ixp_id: peeringdb.members_of_ixp(ixp_id) for ixp_id in topology.ixps},
+        config.ixp_sources,
+        seed=seed + 16,
+    )
+    normalizer = LocationNormalizer(topology.metros)
+    facility_db = FacilityDatabase.assemble(
+        peeringdb,
+        noc,
+        ixp_sources,
+        normalizer,
+        topology.facilities,
+        topology.operators,
+    )
+    cymru = CymruService(topology, seed=seed + 17)
+    responder = IpidResponder(topology, seed=seed + 18)
+    dns = DnsZone(topology, seed=seed + 19)
+    geodb = GeoDatabase(topology, seed=seed + 20)
+    targets = select_targets(
+        topology, config.n_content_targets, config.n_transit_targets
+    )
+    return Environment(
+        config=config,
+        topology=topology,
+        rtt_model=rtt_model,
+        engine=engine,
+        platforms=platforms,
+        hitlist=hitlist,
+        peeringdb=peeringdb,
+        noc=noc,
+        ixp_sources=ixp_sources,
+        normalizer=normalizer,
+        facility_db=facility_db,
+        cymru=cymru,
+        ipid_responder=responder,
+        dns=dns,
+        geodb=geodb,
+        target_asns=targets,
+    )
+
+
+def run_pipeline(config: PipelineConfig | None = None) -> PipelineResult:
+    """Build an environment, run the campaign, run CFS."""
+    environment = build_environment(config)
+    effective = environment.config
+    corpus = environment.run_campaign(effective.platform_filter)
+    result = environment.run_cfs(
+        corpus,
+        platform_filter=effective.platform_filter,
+    )
+    return PipelineResult(
+        environment=environment, corpus=corpus, cfs_result=result
+    )

@@ -1,0 +1,74 @@
+"""The switch proximity heuristic (Section 4.4).
+
+IXP members attached to the same access switch — or to access switches
+behind the same backhaul switch — exchange traffic locally, never
+touching the core.  So when the near end of a public peering is pinned
+to a facility but the far end has several candidate facilities of the
+same exchange, the far router is most likely in the candidate facility
+*proximate* to the near one.
+
+Detailed switch maps are rarely public, so the paper learns proximity
+*probabilistically*: every public crossing whose far end is already
+pinned (reverse traceroutes, single-candidate members) votes for a
+(near facility -> far facility) association per exchange; unresolved
+far ends are then assigned the top-ranked candidate.  Ties (facilities
+equidistant in the fabric, e.g. behind one backhaul) are undecidable
+and yield no inference — the AS-D case of the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["SwitchProximityModel"]
+
+
+@dataclass(slots=True)
+class SwitchProximityModel:
+    """Probabilistic facility-proximity ranking per exchange."""
+
+    #: (ixp_id, near_facility) -> Counter of far facilities observed.
+    _votes: dict[tuple[int, int], Counter] = field(default_factory=dict)
+    observations: int = 0
+
+    def learn(self, ixp_id: int, near_facility: int, far_facility: int) -> None:
+        """Record one resolved near/far facility pair at an exchange."""
+        key = (ixp_id, near_facility)
+        counter = self._votes.get(key)
+        if counter is None:
+            counter = Counter()
+            self._votes[key] = counter
+        counter[far_facility] += 1
+        self.observations += 1
+
+    def rank(self, ixp_id: int, near_facility: int) -> list[tuple[int, int]]:
+        """(far facility, votes) ranked by descending proximity."""
+        counter = self._votes.get((ixp_id, near_facility))
+        if not counter:
+            return []
+        return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+    def infer(
+        self,
+        ixp_id: int,
+        near_facility: int,
+        candidates: frozenset[int] | set[int],
+    ) -> int | None:
+        """Most proximate candidate facility, or ``None`` on ties/no data.
+
+        Only candidates in ``candidates`` are eligible (the far member
+        must actually be present there per the facility map).
+        """
+        if len(candidates) == 1:
+            return next(iter(candidates))
+        ranked = [
+            (facility, votes)
+            for facility, votes in self.rank(ixp_id, near_facility)
+            if facility in candidates
+        ]
+        if not ranked:
+            return None
+        if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+            return None  # equal proximity: undecidable (Figure 6, AS D)
+        return ranked[0][0]

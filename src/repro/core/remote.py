@@ -1,0 +1,45 @@
+"""Delay-based remote-peering detection (Castro et al., CoNEXT 2014).
+
+Section 4.2 Step 2, outcome 3: when a peer shares no facility with the
+exchange whose LAN address its router holds, either it peers *remotely*
+through a reseller or the facility data is simply incomplete.  The paper
+disambiguates with the delay method of [14]: the RTT step across the
+fabric crossing, minimised over measurements taken at different times of
+day, is compatible with metro-local forwarding only below a small bound.
+
+The classifier consumes the ``min_rtt_step_ms`` aggregated by Step 1.
+Negative steps (jitter on short legs) are treated as local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RemotePeeringDetector", "DEFAULT_METRO_LOCAL_BOUND_MS"]
+
+#: Conservative default for "could be in the same metro": 60 km of
+#: inflated fiber both ways plus forwarding and jitter headroom.  The
+#: pipeline overrides this with the RTT model's own bound.
+DEFAULT_METRO_LOCAL_BOUND_MS = 3.0
+
+
+@dataclass(frozen=True, slots=True)
+class RemotePeeringDetector:
+    """Threshold test over minimum observed fabric-crossing RTT steps."""
+
+    metro_local_bound_ms: float = DEFAULT_METRO_LOCAL_BOUND_MS
+    #: Require this many sightings before trusting a *remote* verdict;
+    #: a single sample may be congestion-inflated.
+    min_observations: int = 1
+
+    def classify(
+        self, min_rtt_step_ms: float | None, observations: int = 1
+    ) -> bool | None:
+        """``True`` = remote, ``False`` = local, ``None`` = undecidable."""
+        if min_rtt_step_ms is None:
+            return None
+        if min_rtt_step_ms <= self.metro_local_bound_ms:
+            return False
+        if observations < self.min_observations:
+            return None
+        return True

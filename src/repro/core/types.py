@@ -1,0 +1,201 @@
+"""Shared record types of the Constrained Facility Search pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PeeringKind",
+    "InferredType",
+    "InterfaceStatus",
+    "ObservedPeering",
+    "InterfaceState",
+    "IterationStats",
+    "LinkInference",
+    "CfsResult",
+]
+
+
+class PeeringKind(enum.Enum):
+    """Step-1 classification of an observed interconnection."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+
+
+class InferredType(enum.Enum):
+    """Final engineering-type inference (the Figure 9/10 categories)."""
+
+    PUBLIC_LOCAL = "public-local"
+    PUBLIC_REMOTE = "public-remote"
+    CROSS_CONNECT = "cross-connect"
+    TETHERING = "tethering"
+    UNKNOWN = "unknown"
+
+
+class InterfaceStatus(enum.Enum):
+    """Resolution status of one peering interface (Step-2 vocabulary)."""
+
+    #: Converged to exactly one candidate facility.
+    RESOLVED = "resolved"
+    #: Local interconnection, several candidate facilities remain.
+    UNRESOLVED_LOCAL = "unresolved-local"
+    #: Remote peer: candidates are all facilities of the owning AS.
+    UNRESOLVED_REMOTE = "unresolved-remote"
+    #: Facility data too incomplete to constrain the interface.
+    MISSING_DATA = "missing-data"
+
+
+@dataclass(frozen=True, slots=True)
+class ObservedPeering:
+    """One interconnection crossing extracted from traceroute data.
+
+    The *near* side is the peer whose border router appears before the
+    crossing in the probe direction; its facility is what Steps 2-4
+    constrain.  For public peerings the far side's peering-LAN port
+    (``ixp_address``) is also recorded for far-end resolution.
+    """
+
+    kind: PeeringKind
+    near_address: int
+    near_asn: int
+    far_asn: int
+    far_address: int | None
+    ixp_id: int | None = None
+    ixp_address: int | None = None
+    #: Minimum observed RTT step across the crossing (ms); drives the
+    #: delay-based remote-peering test.
+    min_rtt_step_ms: float | None = None
+    #: How many traceroutes witnessed this crossing.
+    observations: int = 1
+
+    def key(self) -> tuple:
+        """Identity of the crossing (used for deduplication)."""
+        return (
+            self.kind,
+            self.near_address,
+            self.far_asn,
+            self.ixp_id,
+            self.far_address if self.kind is PeeringKind.PRIVATE else None,
+        )
+
+
+@dataclass(slots=True)
+class InterfaceState:
+    """Evolving constraint state of one peering interface.
+
+    ``candidates`` is ``None`` until the first constraint arrives; an
+    empty set never persists (conflicting constraints are dropped and
+    counted instead, since they indicate missing data, Section 5).
+    """
+
+    address: int
+    owner_asn: int | None = None
+    candidates: set[int] | None = None
+    status: InterfaceStatus = InterfaceStatus.MISSING_DATA
+    inferred_type: InferredType = InferredType.UNKNOWN
+    #: Set when the delay test marked the owner a remote peer somewhere.
+    remote: bool = False
+    conflicts: int = 0
+    #: IXPs already used to constrain this interface (Step 4 prefers
+    #: follow-up targets away from them).
+    constrained_by_ixps: set[int] = field(default_factory=set)
+
+    @property
+    def resolved_facility(self) -> int | None:
+        """The facility, when exactly one candidate remains."""
+        if self.candidates is not None and len(self.candidates) == 1:
+            return next(iter(self.candidates))
+        return None
+
+    def apply_constraint(self, facilities: set[int]) -> bool:
+        """Intersect the candidate set with ``facilities``.
+
+        Returns True if the state changed.  An intersection that would
+        empty the set is rejected and counted as a conflict — with
+        incomplete facility data a wrong constraint must not erase a
+        plausible one.
+        """
+        if not facilities:
+            return False
+        if self.candidates is None:
+            self.candidates = set(facilities)
+            return True
+        intersection = self.candidates & facilities
+        if not intersection:
+            self.conflicts += 1
+            return False
+        if intersection == self.candidates:
+            return False
+        self.candidates = intersection
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class IterationStats:
+    """Per-iteration convergence snapshot (the Figure 7 series)."""
+
+    iteration: int
+    total_interfaces: int
+    resolved: int
+    unresolved_local: int
+    unresolved_remote: int
+    missing_data: int
+    followups_issued: int
+
+    @property
+    def resolved_fraction(self) -> float:
+        """Fraction of tracked interfaces pinned to one facility."""
+        if self.total_interfaces == 0:
+            return 0.0
+        return self.resolved / self.total_interfaces
+
+
+@dataclass(frozen=True, slots=True)
+class LinkInference:
+    """Final inference for one observed interconnection."""
+
+    kind: PeeringKind
+    inferred_type: InferredType
+    near_address: int
+    near_asn: int
+    near_facility: int | None
+    far_asn: int
+    far_facility: int | None
+    ixp_id: int | None
+    #: The far side's peering-LAN port (public) — the interface the
+    #: Figure 10 accounting attributes to the far AS.
+    ixp_address: int | None = None
+    #: The far side's point-to-point interface (private).
+    far_address: int | None = None
+
+
+@dataclass(slots=True)
+class CfsResult:
+    """Everything the CFS run produced."""
+
+    interfaces: dict[int, InterfaceState]
+    links: list[LinkInference]
+    history: list[IterationStats]
+    iterations_run: int
+    followup_traces: int
+    peering_interfaces_seen: int
+
+    def resolved_interfaces(self) -> dict[int, int]:
+        """address -> facility for every resolved interface."""
+        return {
+            address: state.resolved_facility
+            for address, state in self.interfaces.items()
+            if state.resolved_facility is not None
+        }
+
+    def resolved_fraction(self) -> float:
+        """Fraction of tracked peering interfaces pinned to one facility."""
+        if not self.interfaces:
+            return 0.0
+        return len(self.resolved_interfaces()) / len(self.interfaces)
+
+    def states_with_status(self, status: InterfaceStatus) -> list[InterfaceState]:
+        """All interface states currently in ``status``."""
+        return [s for s in self.interfaces.values() if s.status is status]

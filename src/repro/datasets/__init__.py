@@ -1,0 +1,61 @@
+"""Noisy public-data views over the generated ground truth.
+
+Every dataset the paper assembles in Section 3.1 is simulated here with
+its real-world failure modes: PeeringDB (incomplete, inconsistently
+spelled), NOC websites (complete but sparse coverage), IXP websites /
+PCH / consortia (the activeness filter inputs plus AMS-IX-grade member
+detail), Team Cymru IP-to-ASN, reverse DNS, and IP geolocation.
+"""
+
+from .cymru import CymruService
+from .dnsnames import DnsConfig, DnsZone, metro_airport_code, metro_clli_code
+from .geolocation import GeoConfig, GeoDatabase, GeoRecord
+from .ixp_sources import (
+    ConsortiumRecord,
+    IxpDataSources,
+    IxpSourcesConfig,
+    IxpWebsite,
+    MemberDetail,
+    PchRecord,
+)
+from .noc import NocConfig, NocPage, NocWebsites
+from .normalize import LocationNormalizer
+from .peeringdb import (
+    MaintenanceQuality,
+    PdbFacilityRow,
+    PdbIxFacRow,
+    PdbIxLanRow,
+    PdbNetFacRow,
+    PdbNetIxLanRow,
+    PeeringDBConfig,
+    PeeringDBSnapshot,
+)
+
+__all__ = [
+    "ConsortiumRecord",
+    "CymruService",
+    "DnsConfig",
+    "DnsZone",
+    "GeoConfig",
+    "GeoDatabase",
+    "GeoRecord",
+    "IxpDataSources",
+    "IxpSourcesConfig",
+    "IxpWebsite",
+    "LocationNormalizer",
+    "MaintenanceQuality",
+    "MemberDetail",
+    "metro_airport_code",
+    "metro_clli_code",
+    "NocConfig",
+    "NocPage",
+    "NocWebsites",
+    "PchRecord",
+    "PdbFacilityRow",
+    "PdbIxFacRow",
+    "PdbIxLanRow",
+    "PdbNetFacRow",
+    "PdbNetIxLanRow",
+    "PeeringDBConfig",
+    "PeeringDBSnapshot",
+]

@@ -1,0 +1,58 @@
+"""Team Cymru style IP-to-ASN mapping service.
+
+Section 4.1 maps every traceroute interface to an ASN with Team Cymru's
+service, which answers with the origin AS of the longest matching BGP
+announcement.  Two systematic error classes matter to the paper:
+
+* point-to-point interconnect subnets are numbered out of *one* of the
+  two ASes' blocks, so the far-side interface longest-prefix-matches to
+  the near-side AS (the paper found 1,138 interfaces in 240 alias sets
+  with conflicting mappings, repaired by alias majority vote);
+* IXP peering LANs may or may not be announced; when announced they
+  map to the exchange's own ASN, otherwise the lookup fails.
+
+The service here is honest longest-prefix matching over what the
+generated Internet announces — the errors emerge, they are not injected.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..topology.addressing import LongestPrefixMatcher
+from ..topology.topology import Topology
+
+__all__ = ["CymruService"]
+
+
+class CymruService:
+    """Longest-prefix IP-to-ASN lookups over announced prefixes."""
+
+    def __init__(self, topology: Topology, announce_ixp_lan_prob: float = 0.6, seed: int = 0) -> None:
+        """Builds the announcement table.
+
+        ``announce_ixp_lan_prob`` controls how many exchanges announce
+        their peering LAN in BGP (many do, some do not); unannounced
+        LANs resolve to ``None`` exactly like in the wild.
+        """
+        rng = Random(seed)
+        self._table: LongestPrefixMatcher[int] = LongestPrefixMatcher()
+        for asn, record in topology.ases.items():
+            for prefix in record.prefixes:
+                self._table.insert(prefix, asn)
+        for ixp in topology.ixps.values():
+            if not ixp.active:
+                continue
+            if rng.random() < announce_ixp_lan_prob:
+                for lan in ixp.peering_lans:
+                    self._table.insert(lan, ixp.asn)
+        self.lookups = 0
+
+    def lookup(self, address: int) -> int | None:
+        """Origin ASN of the longest announcement covering ``address``."""
+        self.lookups += 1
+        return self._table.lookup(address)
+
+    def bulk_lookup(self, addresses: list[int]) -> dict[int, int | None]:
+        """Batched lookups (the whois-bulk interface of the service)."""
+        return {address: self.lookup(address) for address in addresses}

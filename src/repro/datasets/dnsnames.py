@@ -1,0 +1,210 @@
+"""Reverse-DNS hostname synthesis for router interfaces.
+
+Hostnames matter twice in the paper:
+
+* as the **baseline**: DRoP-style DNS geolocation (Section 5) parses
+  airport codes, city names and CLLI codes out of hostnames — and
+  resolves only ~32% of peering interfaces, because 29% have no PTR
+  record at all and 55% of the rest encode no location;
+* as a **validation source** (Section 6): a handful of operators embed
+  the *facility* in hostnames (``x.y.rtr.thn.lon.z`` = Telehouse North,
+  London) and confirmed their conventions to the authors.
+
+Each operator uses one naming scheme (chosen at topology build time):
+
+=============  ====================================================
+``None``       no PTR records published
+``opaque``     structural label only, no location information
+``airport``    IATA code of the metro
+``clli``       CLLI-style six-letter city code
+``city``       full city name token
+``facility``   facility short code *and* metro token (validation-grade)
+=============  ====================================================
+
+A small staleness probability keeps a hostname pointing at a previous
+location, reproducing the misleading-DNS caveat of Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..topology.network import InterfaceKind
+from ..topology.topology import Topology
+
+__all__ = ["DnsZone", "DnsConfig", "metro_airport_code", "metro_clli_code"]
+
+
+#: Curated IATA-style codes for catalogue metros; programmatic fallback
+#: below covers the tail.
+_AIRPORT_CODES = {
+    "London": "lhr",
+    "New York": "jfk",
+    "Paris": "cdg",
+    "Frankfurt": "fra",
+    "Amsterdam": "ams",
+    "San Jose": "sjc",
+    "Moscow": "dme",
+    "Los Angeles": "lax",
+    "Stockholm": "arn",
+    "Manchester": "man",
+    "Miami": "mia",
+    "Berlin": "ber",
+    "Tokyo": "nrt",
+    "Kiev": "kbp",
+    "Sao Paulo": "gru",
+    "Vienna": "vie",
+    "Singapore": "sin",
+    "Auckland": "akl",
+    "Hong Kong": "hkg",
+    "Melbourne": "mel",
+    "Montreal": "yul",
+    "Zurich": "zrh",
+    "Prague": "prg",
+    "Seattle": "sea",
+    "Chicago": "ord",
+    "Dallas": "dfw",
+    "Hamburg": "ham",
+    "Atlanta": "atl",
+    "Bucharest": "otp",
+    "Madrid": "mad",
+    "Milan": "mxp",
+    "Duesseldorf": "dus",
+    "Sofia": "sof",
+    "St. Petersburg": "led",
+    "Ashburn": "iad",
+    "Toronto": "yyz",
+    "Sydney": "syd",
+    "Dublin": "dub",
+    "Warsaw": "waw",
+    "Brussels": "bru",
+    "Copenhagen": "cph",
+    "Oslo": "osl",
+    "Helsinki": "hel",
+    "Lisbon": "lis",
+    "Rome": "fco",
+    "Seoul": "icn",
+    "Osaka": "kix",
+    "Mumbai": "bom",
+    "Jakarta": "cgk",
+    "Dubai": "dxb",
+    "Johannesburg": "jnb",
+    "Nairobi": "nbo",
+    "Cape Town": "cpt",
+    "Buenos Aires": "eze",
+    "Santiago": "scl",
+    "Mexico City": "mex",
+    "Denver": "den",
+    "Phoenix": "phx",
+}
+
+
+def metro_airport_code(metro: str) -> str:
+    """IATA-style code for a metro (derived fallback for the tail)."""
+    code = _AIRPORT_CODES.get(metro)
+    if code is not None:
+        return code
+    compact = "".join(ch for ch in metro.lower() if ch.isalpha())
+    return (compact[:3] or "xxx").ljust(3, "x")
+
+
+def metro_clli_code(metro: str) -> str:
+    """CLLI-style six-letter city code (e.g. ``nycmny`` for New York)."""
+    compact = "".join(ch for ch in metro.lower() if ch.isalpha())
+    return (compact[:6] or "xxxxxx").ljust(6, "x")
+
+
+@dataclass(frozen=True, slots=True)
+class DnsConfig:
+    """Record-quality knobs."""
+
+    #: Per-interface probability of a missing PTR even when the operator
+    #: publishes a zone.
+    missing_record_prob: float = 0.10
+    #: Probability a record is stale and names the wrong location.
+    stale_prob: float = 0.03
+
+
+class DnsZone:
+    """PTR records for every interface, per the owning operator's scheme.
+
+    Addresses on IXP peering LANs resolve according to the scheme of the
+    *member* operating the router (as in practice), and private
+    point-to-point addresses resolve per the router operator — not the
+    address-space owner — which is one of the hints Section 4.1 cannot
+    rely on but validation can.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: DnsConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology
+        self.config = config or DnsConfig()
+        self._rng = Random(seed)
+        self._records: dict[int, str] = {}
+        self._build()
+
+    def _build(self) -> None:
+        metros = sorted(
+            {facility.metro for facility in self._topology.facilities.values()}
+        )
+        for address, interface in sorted(self._topology.interfaces.items()):
+            router = self._topology.routers[interface.router_id]
+            operator = self._topology.ases[router.asn]
+            scheme = operator.dns_scheme
+            if scheme is None:
+                continue
+            if self._rng.random() < self.config.missing_record_prob:
+                continue
+            facility = self._topology.facilities[router.facility_id]
+            metro = facility.metro
+            facility_code = facility.dns_code
+            if self._rng.random() < self.config.stale_prob:
+                # Stale record: names some other metro the operator uses.
+                metro = self._rng.choice(metros)
+                facility_code = "old"
+            label = self._interface_label(interface.kind, router.hostname_label)
+            domain = f"{operator.name.replace('_', '-')}.net"
+            if scheme == "opaque":
+                host = f"{label}.{domain}"
+            elif scheme == "airport":
+                host = f"{label}.{metro_airport_code(metro)}.{domain}"
+            elif scheme == "clli":
+                host = f"{label}.{metro_clli_code(metro)}.{domain}"
+            elif scheme == "city":
+                token = "".join(ch for ch in metro.lower() if ch.isalpha())
+                host = f"{label}.{token}.{domain}"
+            elif scheme == "facility":
+                host = (
+                    f"{label}.{facility_code}."
+                    f"{metro_airport_code(metro)}.{domain}"
+                )
+            else:  # pragma: no cover - schemes are closed above
+                continue
+            self._records[address] = host
+
+    @staticmethod
+    def _interface_label(kind: InterfaceKind, router_label: str) -> str:
+        prefix = {
+            InterfaceKind.BACKBONE: "ae",
+            InterfaceKind.IXP_LAN: "ix",
+            InterfaceKind.PRIVATE_P2P: "pni",
+            InterfaceKind.LOOPBACK: "lo",
+            InterfaceKind.HOST: "host",
+        }[kind]
+        return f"{prefix}-{router_label}"
+
+    # ------------------------------------------------------------------
+
+    def ptr(self, address: int) -> str | None:
+        """The PTR record for ``address``, or ``None``."""
+        return self._records.get(address)
+
+    def coverage(self) -> float:
+        """Fraction of interfaces with a PTR record."""
+        total = len(self._topology.interfaces)
+        return len(self._records) / total if total else 0.0

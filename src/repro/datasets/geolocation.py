@@ -1,0 +1,83 @@
+"""IP geolocation database simulator — the paper's weakest baseline.
+
+Section 7: "IP geolocation is known for its inaccuracy, and studies have
+shown that it can be reliable only at the country or state level...  in
+some cases, e.g. Google, all IP addresses of prefixes used for
+interconnection will map to California."
+
+The generated database reproduces that behaviour: lookups are by
+*prefix* (databases store prefix-level rows), country accuracy is high,
+city accuracy mediocre, and content-provider space collapses onto the
+operator's headquarters metro regardless of where the routers actually
+are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..topology.asn import ASRole
+from ..topology.topology import Topology
+
+__all__ = ["GeoRecord", "GeoDatabase", "GeoConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoRecord:
+    """One database answer."""
+
+    country: str
+    metro: str
+
+
+@dataclass(frozen=True, slots=True)
+class GeoConfig:
+    """Accuracy knobs (defaults follow the literature the paper cites)."""
+
+    #: Probability the database names the correct country.
+    country_accuracy: float = 0.95
+    #: Probability the city is right, given the country is right.
+    city_accuracy_given_country: float = 0.60
+
+
+class GeoDatabase:
+    """Prefix-granularity geolocation lookups."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: GeoConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology
+        self.config = config or GeoConfig()
+        self._rng = Random(seed)
+        self._by_aggregate: dict[int, GeoRecord] = {}
+        self._metros = list(topology.metros.metros)
+        self._build()
+
+    def _build(self) -> None:
+        for asn, record in sorted(self._topology.ases.items()):
+            home = self._topology.metros.resolve(record.home_metro)
+            if record.role is ASRole.CONTENT:
+                # The Google pathology: everything maps to headquarters.
+                self._by_aggregate[asn] = GeoRecord(home.country, home.name)
+                continue
+            answer_metro = home
+            if self._rng.random() >= self.config.country_accuracy:
+                answer_metro = self._rng.choice(self._metros)
+            elif self._rng.random() >= self.config.city_accuracy_given_country:
+                same_country = self._topology.metros.in_country(home.country)
+                answer_metro = self._rng.choice(list(same_country) or [home])
+            self._by_aggregate[asn] = GeoRecord(
+                answer_metro.country, answer_metro.name
+            )
+
+    def lookup(self, address: int) -> GeoRecord | None:
+        """Database answer for ``address`` (prefix-level, so all of an
+        operator's space answers identically)."""
+        origin = self._topology.announced_origin(address)
+        if origin is None:
+            return None
+        return self._by_aggregate.get(origin)

@@ -1,0 +1,264 @@
+"""IXP information sources: websites, PCH, and the IXP consortia.
+
+Section 3.1.2 assembles the IXP map from several partly overlapping
+public sources: IXP websites, PeeringDB, Packet Clearing House (which
+annotates inactive exchanges), and the regional consortia (Euro-IX,
+Af-IX, LAC-IX, APIX).  An IXP is kept only when
+
+* its peering-LAN address blocks are confirmed by **at least three**
+  sources, and
+* at least one active member is confirmed by **at least two** sources.
+
+The paper ended with 368 exchanges this way.  A handful of large
+exchanges (AMS-IX, NL-IX, LINX, France-IX, STH-IX) additionally publish
+the exact member interface addresses and facilities — the richest
+validation source of Section 6, and the ground truth for calibrating
+the switch-proximity heuristic (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..topology.addressing import Prefix
+from ..topology.topology import Topology
+
+__all__ = [
+    "IxpWebsite",
+    "MemberDetail",
+    "PchRecord",
+    "ConsortiumRecord",
+    "IxpSourcesConfig",
+    "IxpDataSources",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MemberDetail:
+    """Per-member detail published by a 'detailed' IXP website."""
+
+    asn: int
+    address: int
+    facility_id: int | None  # None for remote members
+    is_remote: bool
+    reseller_asn: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class IxpWebsite:
+    """What one exchange publishes about itself."""
+
+    ixp_id: int
+    name: str
+    prefixes: tuple[Prefix, ...]
+    facility_ids: tuple[int, ...]
+    member_asns: tuple[int, ...]
+    #: Only detailed websites (AMS-IX class) publish this.
+    member_details: tuple[MemberDetail, ...] = ()
+
+    @property
+    def is_detailed(self) -> bool:
+        """True when the website publishes per-member port detail."""
+        return bool(self.member_details)
+
+
+@dataclass(frozen=True, slots=True)
+class PchRecord:
+    """Packet Clearing House row; PCH marks inactive exchanges."""
+
+    ixp_id: int
+    prefixes: tuple[Prefix, ...]
+    marked_inactive: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ConsortiumRecord:
+    """Regional consortium (Euro-IX style) affiliate row."""
+
+    ixp_id: int
+    prefixes: tuple[Prefix, ...]
+    member_asns: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class IxpSourcesConfig:
+    """Coverage knobs for each source."""
+
+    #: Probability an active IXP publishes its own website data.
+    website_prob: float = 0.97
+    #: Probability an IXP website lists its partner facilities.
+    website_facility_coverage: float = 0.95
+    #: Per-member probability of appearing on the website member list.
+    website_member_coverage: float = 0.95
+    #: Share of the *largest* exchanges that publish per-member detail.
+    detailed_website_count: int = 5
+    #: PCH coverage of exchanges (active or not).
+    pch_prob: float = 0.95
+    #: Consortium affiliation probability for active exchanges.
+    consortium_prob: float = 0.80
+    #: Per-member probability in consortium databases.
+    consortium_member_coverage: float = 0.80
+
+
+class IxpDataSources:
+    """All IXP sources plus the Section 3.1.2 activeness filter."""
+
+    def __init__(
+        self,
+        websites: dict[int, IxpWebsite],
+        pch: dict[int, PchRecord],
+        consortium: dict[int, ConsortiumRecord],
+        pdb_prefixes: dict[int, list[Prefix]],
+        pdb_members: dict[int, set[int]],
+    ) -> None:
+        self.websites = websites
+        self.pch = pch
+        self.consortium = consortium
+        self.pdb_prefixes = pdb_prefixes
+        self.pdb_members = pdb_members
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        pdb_prefixes: dict[int, list[Prefix]],
+        pdb_members: dict[int, set[int]],
+        config: IxpSourcesConfig | None = None,
+        seed: int = 0,
+    ) -> "IxpDataSources":
+        """Generate every IXP source's view from ground truth."""
+        config = config or IxpSourcesConfig()
+        rng = Random(seed)
+        websites: dict[int, IxpWebsite] = {}
+        pch: dict[int, PchRecord] = {}
+        consortium: dict[int, ConsortiumRecord] = {}
+
+        # The biggest active exchanges publish AMS-IX-grade detail.
+        by_size = sorted(
+            (ixp for ixp in topology.ixps.values() if ixp.active),
+            key=lambda ixp: -len(ixp.member_ports),
+        )
+        detailed_ids = {
+            ixp.ixp_id for ixp in by_size[: config.detailed_website_count]
+        }
+
+        for ixp in topology.ixps.values():
+            prefixes = tuple(ixp.peering_lans)
+            if rng.random() < config.pch_prob:
+                pch[ixp.ixp_id] = PchRecord(
+                    ixp_id=ixp.ixp_id,
+                    prefixes=prefixes,
+                    marked_inactive=not ixp.active,
+                )
+            if not ixp.active:
+                continue  # dead exchanges publish nothing themselves
+            if rng.random() < config.website_prob:
+                facility_ids = tuple(
+                    fid
+                    for fid in sorted(ixp.facility_ids)
+                    if rng.random() < config.website_facility_coverage
+                )
+                member_asns = tuple(
+                    asn
+                    for asn in sorted(ixp.member_ports)
+                    if rng.random() < config.website_member_coverage
+                )
+                details: tuple[MemberDetail, ...] = ()
+                if ixp.ixp_id in detailed_ids:
+                    details = tuple(
+                        MemberDetail(
+                            asn=port.asn,
+                            address=port.address,
+                            facility_id=port.facility_id,
+                            is_remote=port.is_remote,
+                            reseller_asn=port.reseller_asn,
+                        )
+                        for _, ports in sorted(ixp.member_ports.items())
+                        for port in ports
+                    )
+                websites[ixp.ixp_id] = IxpWebsite(
+                    ixp_id=ixp.ixp_id,
+                    name=ixp.name,
+                    prefixes=prefixes,
+                    facility_ids=facility_ids,
+                    member_asns=member_asns,
+                    member_details=details,
+                )
+            if rng.random() < config.consortium_prob:
+                consortium[ixp.ixp_id] = ConsortiumRecord(
+                    ixp_id=ixp.ixp_id,
+                    prefixes=prefixes,
+                    member_asns=tuple(
+                        asn
+                        for asn in sorted(ixp.member_ports)
+                        if rng.random() < config.consortium_member_coverage
+                    ),
+                )
+        return cls(websites, pch, consortium, pdb_prefixes, pdb_members)
+
+    # ------------------------------------------------------------------
+    # The Section 3.1.2 filter
+    # ------------------------------------------------------------------
+
+    def prefix_confirmations(self, ixp_id: int) -> int:
+        """Number of sources confirming the exchange's address blocks."""
+        count = 0
+        if self.pdb_prefixes.get(ixp_id):
+            count += 1
+        website = self.websites.get(ixp_id)
+        if website is not None and website.prefixes:
+            count += 1
+        pch = self.pch.get(ixp_id)
+        if pch is not None and pch.prefixes and not pch.marked_inactive:
+            count += 1
+        record = self.consortium.get(ixp_id)
+        if record is not None and record.prefixes:
+            count += 1
+        return count
+
+    def member_confirmations(self, ixp_id: int) -> dict[int, int]:
+        """How many sources list each member ASN."""
+        counts: dict[int, int] = {}
+        for asn in self.pdb_members.get(ixp_id, set()):
+            counts[asn] = counts.get(asn, 0) + 1
+        website = self.websites.get(ixp_id)
+        if website is not None:
+            for asn in website.member_asns:
+                counts[asn] = counts.get(asn, 0) + 1
+        record = self.consortium.get(ixp_id)
+        if record is not None:
+            for asn in record.member_asns:
+                counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    def active_ixp_ids(self) -> set[int]:
+        """Exchanges passing the paper's two-part activeness filter."""
+        known = (
+            set(self.pdb_prefixes)
+            | set(self.websites)
+            | set(self.pch)
+            | set(self.consortium)
+        )
+        active: set[int] = set()
+        for ixp_id in known:
+            if self.prefix_confirmations(ixp_id) < 3:
+                continue
+            members = self.member_confirmations(ixp_id)
+            if any(count >= 2 for count in members.values()):
+                active.add(ixp_id)
+        return active
+
+    def confirmed_members(self, ixp_id: int) -> set[int]:
+        """Members confirmed by at least two sources."""
+        return {
+            asn
+            for asn, count in self.member_confirmations(ixp_id).items()
+            if count >= 2
+        }
+
+    def detailed_websites(self) -> list[IxpWebsite]:
+        """Websites with AMS-IX-grade member detail (validation data)."""
+        return [w for w in self.websites.values() if w.is_detailed]

@@ -1,0 +1,83 @@
+"""Location normalisation for volunteer-maintained databases.
+
+Section 3.1.1: PeeringDB is compiled manually, so "there are cases where
+different naming schemes are used for the same city or country".  The
+paper converts names to standard ISO/UN forms and groups cities whose
+facilities are within 5 miles into one metropolitan area (Jersey City
+and New York City become the NYC metro).
+
+This module reproduces that cleaning step: alias-aware metro resolution
+against the catalogue, with a coordinate fallback using the 5-mile
+grouping rule for spellings the catalogue has never seen.
+"""
+
+from __future__ import annotations
+
+from ..topology.geo import (
+    METRO_GROUPING_MILES,
+    GeoLocation,
+    Metro,
+    MetroCatalogue,
+    haversine_km,
+    miles_to_km,
+)
+
+__all__ = ["LocationNormalizer"]
+
+
+class LocationNormalizer:
+    """Folds raw city strings and coordinates into canonical metros."""
+
+    def __init__(self, catalogue: MetroCatalogue) -> None:
+        self._catalogue = catalogue
+        self._grouping_km = miles_to_km(METRO_GROUPING_MILES)
+
+    def normalize_city(self, raw_city: str) -> str | None:
+        """Canonical metro for a raw city string, or ``None`` if unknown.
+
+        Handles exact canonical names, catalogued aliases, and common
+        decorations (surrounding whitespace, trailing country suffixes
+        after a comma).
+        """
+        candidate = raw_city.strip()
+        if not candidate:
+            return None
+        metro = self._catalogue.get(candidate)
+        if metro is not None:
+            return metro.name
+        # "Frankfurt, DE" / "Frankfurt am Main, Germany" style suffixes.
+        head = candidate.split(",")[0].strip()
+        if head and head != candidate:
+            metro = self._catalogue.get(head)
+            if metro is not None:
+                return metro.name
+        return None
+
+    def normalize_location(
+        self, raw_city: str, location: GeoLocation | None
+    ) -> str | None:
+        """Normalise by name first, by coordinates second.
+
+        The coordinate fallback applies the paper's grouping rule: a
+        record lands in a metro when it is within the 5-mile grouping
+        radius of that metro's core (with slack for the street-level
+        jitter of facility coordinates).
+        """
+        by_name = self.normalize_city(raw_city)
+        if by_name is not None:
+            return by_name
+        if location is None:
+            return None
+        nearest = self._catalogue.nearest(location)
+        distance_km = haversine_km(nearest.location, location)
+        if distance_km <= self._grouping_km * 2.0:
+            return nearest.name
+        return None
+
+    def same_metro(self, a: GeoLocation, b: GeoLocation) -> bool:
+        """The raw 5-mile grouping test between two coordinate pairs."""
+        return haversine_km(a, b) <= self._grouping_km
+
+    def metro_of(self, name: str) -> Metro | None:
+        """Catalogue record for a canonical metro name."""
+        return self._catalogue.get(name)

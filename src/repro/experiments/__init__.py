@@ -1,0 +1,82 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+=====================  =======================================
+module                 reproduces
+=====================  =======================================
+:mod:`table1`          Table 1 (measurement platforms)
+:mod:`fig2`            Figure 2 (NOC sites vs PeeringDB)
+:mod:`fig3`            Figure 3 (facilities per metro)
+:mod:`fig7`            Figure 7 (CFS convergence per platform)
+:mod:`fig8`            Figure 8 (missing-facility robustness)
+:mod:`fig9`            Figure 9 (validation accuracy)
+:mod:`fig10`           Figure 10 (per-target peering mix)
+:mod:`proximity_exp`   Section 4.4 heuristic calibration
+:mod:`multirole`       Section 5 router-role census
+:mod:`cost`            Section 3.2 probing-cost accounting
+:mod:`coverage`        Section 8 incremental map construction
+:mod:`ablation`        DESIGN.md ablations
+=====================  =======================================
+"""
+
+from .ablation import AblationResult, AblationRow, run_ablation
+from .context import clone_corpus, experiment_environment, experiment_run
+from .cost import MeasurementCost, run_measurement_cost
+from .coverage import CoveragePoint, CoverageResult, run_coverage_growth
+from .fig2 import Fig2Result, Fig2Row, run_fig2
+from .fig3 import Fig3Result, run_fig3
+from .fig7 import Fig7Result, Fig7Series, run_fig7
+from .fig8 import Fig8Point, Fig8Result, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, Fig10Row, role_contrast, run_fig10
+from .formatting import format_table
+from .multirole import MultiRoleCensus, run_multirole_census
+from .proximity_exp import ProximityValidation, run_proximity_validation
+from .stats import (
+    AliasCensus,
+    AsConnectivityStats,
+    run_alias_census,
+    run_as_connectivity_stats,
+)
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "AblationResult",
+    "AblationRow",
+    "clone_corpus",
+    "CoveragePoint",
+    "CoverageResult",
+    "experiment_environment",
+    "experiment_run",
+    "MeasurementCost",
+    "run_coverage_growth",
+    "run_measurement_cost",
+    "AliasCensus",
+    "AsConnectivityStats",
+    "run_alias_census",
+    "run_as_connectivity_stats",
+    "Fig10Result",
+    "Fig10Row",
+    "Fig2Result",
+    "Fig2Row",
+    "Fig3Result",
+    "Fig7Result",
+    "Fig7Series",
+    "Fig8Point",
+    "Fig8Result",
+    "Fig9Result",
+    "format_table",
+    "MultiRoleCensus",
+    "ProximityValidation",
+    "role_contrast",
+    "run_ablation",
+    "run_fig10",
+    "run_fig2",
+    "run_fig3",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_multirole_census",
+    "run_proximity_validation",
+    "run_table1",
+    "Table1Result",
+]

@@ -1,0 +1,113 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four switches, each removing one ingredient of the method:
+
+* ``no-alias-step``    — Step 3 constraint propagation off;
+* ``no-asn-repair``    — raw longest-prefix IP-to-ASN (no majority vote);
+* ``no-followups``     — passive CFS over the initial corpus (Step 4 off);
+* ``no-proximity``     — far ends limited to reverse/intersection data.
+
+Expected shape: follow-ups dominate completeness (the Figure 7 curve
+flattens immediately without them); alias propagation adds resolution
+*and* accuracy; ASN repair mostly protects correctness around shared
+point-to-point subnets; proximity only affects far-end yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.cfs import CfsConfig
+from ..core.pipeline import Environment
+from ..measurement.campaign import TraceCorpus
+from ..validation.metrics import score_interfaces
+from .context import clone_corpus
+from .formatting import format_table
+
+__all__ = ["AblationRow", "AblationResult", "run_ablation"]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    """One ablation variant's outcome."""
+
+    variant: str
+    resolved_fraction: float
+    facility_accuracy: float
+    city_accuracy: float
+    far_ends_resolved: int
+
+
+@dataclass(slots=True)
+class AblationResult:
+    """All ablation variants' outcomes."""
+    rows: list[AblationRow]
+
+    def row(self, variant: str) -> AblationRow:
+        """The row for ``variant`` (KeyError if unknown)."""
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(variant)
+
+    def format(self) -> str:
+        """Rendered ablation table."""
+        return format_table(
+            ["variant", "resolved", "facility acc", "city acc", "far ends"],
+            [
+                [
+                    row.variant,
+                    f"{row.resolved_fraction:.3f}",
+                    f"{row.facility_accuracy:.3f}",
+                    f"{row.city_accuracy:.3f}",
+                    row.far_ends_resolved,
+                ]
+                for row in self.rows
+            ],
+            title="Ablations: CFS ingredients",
+        )
+
+
+def run_ablation(
+    env: Environment,
+    base_corpus: TraceCorpus,
+    cfs_config: CfsConfig | None = None,
+) -> AblationResult:
+    """Run every variant over clones of ``base_corpus``."""
+    base = cfs_config or env.config.cfs
+    variants: list[tuple[str, CfsConfig, bool]] = [
+        ("full", base, True),
+        ("no-alias-step", replace(base, use_alias_constraints=False), True),
+        ("no-asn-repair", replace(base, use_asn_repair=False), True),
+        ("no-followups", replace(base, use_followups=False), True),
+        ("random-targets", replace(base, followup_strategy="random"), True),
+        ("no-proximity", replace(base, use_proximity=False), True),
+        (
+            "mirror-far-side",
+            replace(base, constrain_private_far_side=True),
+            True,
+        ),
+    ]
+    rows: list[AblationRow] = []
+    for offset, (name, config, with_followups) in enumerate(variants):
+        corpus = clone_corpus(base_corpus)
+        result = env.run_cfs(
+            corpus,
+            cfs_config=config,
+            with_followups=with_followups and config.use_followups,
+            seed_offset=100 + offset,
+        )
+        report = score_interfaces(env.topology, result)
+        far_ends = sum(
+            1 for link in result.links if link.far_facility is not None
+        )
+        rows.append(
+            AblationRow(
+                variant=name,
+                resolved_fraction=result.resolved_fraction(),
+                facility_accuracy=report.facility_accuracy,
+                city_accuracy=report.city_accuracy,
+                far_ends_resolved=far_ends,
+            )
+        )
+    return AblationResult(rows=rows)

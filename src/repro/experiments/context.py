@@ -1,0 +1,48 @@
+"""Shared, cached experiment contexts.
+
+Several benchmarks reproduce different figures over the *same* study run
+(the paper's Section-5 campaign).  Building the environment and running
+the full pipeline once per process and sharing it keeps the benchmark
+suite honest (identical data behind every figure) and fast.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import Environment, PipelineConfig, build_environment
+from ..core.types import CfsResult
+from ..measurement.campaign import TraceCorpus
+
+__all__ = ["experiment_environment", "experiment_run", "clone_corpus"]
+
+_ENVIRONMENTS: dict[tuple[int, bool], Environment] = {}
+_RUNS: dict[tuple[int, bool], tuple[TraceCorpus, CfsResult]] = {}
+
+
+def experiment_environment(seed: int = 0, small: bool = False) -> Environment:
+    """The cached environment for (seed, scale)."""
+    key = (seed, small)
+    if key not in _ENVIRONMENTS:
+        config = PipelineConfig.small(seed) if small else PipelineConfig.default(seed)
+        _ENVIRONMENTS[key] = build_environment(config)
+    return _ENVIRONMENTS[key]
+
+
+def experiment_run(
+    seed: int = 0, small: bool = False
+) -> tuple[Environment, TraceCorpus, CfsResult]:
+    """The cached full study run (campaign + CFS) for (seed, scale)."""
+    key = (seed, small)
+    env = experiment_environment(seed, small)
+    if key not in _RUNS:
+        corpus = env.run_campaign()
+        result = env.run_cfs(corpus)
+        _RUNS[key] = (corpus, result)
+    corpus, result = _RUNS[key]
+    return env, corpus, result
+
+
+def clone_corpus(corpus: TraceCorpus) -> TraceCorpus:
+    """An independent corpus copy (CFS follow-ups append in place)."""
+    clone = TraceCorpus()
+    clone.extend(list(corpus.traces))
+    return clone

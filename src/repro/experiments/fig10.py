@@ -1,0 +1,169 @@
+"""Figure 10: peering interfaces per target network, by type and region.
+
+For each of the ten study targets (five CDNs, five transit backbones)
+the paper counts the peering interfaces inferred on the target's
+interconnections, split into public-local / public-remote /
+cross-connect / tethering, in total and per region (Europe, North
+America, Asia).  The qualitative contrasts to reproduce:
+
+* CDNs establish most of their interconnections over public peering
+  fabrics, Tier-1 backbones skew heavily private;
+* peering strategy varies markedly even among Tier-1s;
+* Europe yields more inferred interfaces than other regions (vantage
+  point and facility-data density).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pipeline import Environment
+from ..core.types import CfsResult, InferredType, PeeringKind
+from ..topology.asn import ASRole
+from .formatting import format_table
+
+__all__ = ["Fig10Row", "Fig10Result", "run_fig10"]
+
+_REGIONS = ("Europe", "North America", "Asia")
+
+
+@dataclass(slots=True)
+class Fig10Row:
+    """Type mix for one target, overall or within one region."""
+
+    asn: int
+    role: str
+    region: str  # "total" or a continental region
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Total interfaces counted for this row."""
+        return sum(self.counts.values())
+
+    def fraction(self, inferred_type: InferredType) -> float:
+        """Share of this row's interfaces of the given type."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(inferred_type.value, 0) / self.total
+
+    @property
+    def public_fraction(self) -> float:
+        """Share riding an exchange fabric (local or remote)."""
+        return self.fraction(InferredType.PUBLIC_LOCAL) + self.fraction(
+            InferredType.PUBLIC_REMOTE
+        )
+
+
+@dataclass(slots=True)
+class Fig10Result:
+    """All rows: one per (target, region) plus per-target totals."""
+
+    rows: list[Fig10Row]
+
+    def row(self, asn: int, region: str = "total") -> Fig10Row | None:
+        """The row for one target and region, if present."""
+        for row in self.rows:
+            if row.asn == asn and row.region == region:
+                return row
+        return None
+
+    def mean_public_fraction(self, role: str) -> float:
+        """Mean public share across targets of one role."""
+        rows = [
+            row
+            for row in self.rows
+            if row.role == role and row.region == "total" and row.total
+        ]
+        if not rows:
+            return 0.0
+        return sum(row.public_fraction for row in rows) / len(rows)
+
+    def format(self) -> str:
+        """Rendered per-target table (totals only)."""
+        type_names = [t.value for t in InferredType if t is not InferredType.UNKNOWN]
+        rows = []
+        for row in self.rows:
+            if row.region != "total":
+                continue
+            rows.append(
+                [row.asn, row.role]
+                + [row.counts.get(name, 0) for name in type_names]
+                + [row.total]
+            )
+        return format_table(
+            ["target", "role"] + type_names + ["total"],
+            rows,
+            title="Figure 10: peering interfaces per target, by inferred type",
+        )
+
+
+def run_fig10(env: Environment, result: CfsResult) -> Fig10Result:
+    """Attribute inferred peering interfaces to the study targets."""
+    targets = set(env.target_asns)
+    # (target, region, type) -> set of interface addresses (dedup: one
+    # interface can appear on many route-server sessions).
+    buckets: dict[tuple[int, str], dict[str, set[int]]] = {}
+
+    def bucket(asn: int, region: str) -> dict[str, set[int]]:
+        return buckets.setdefault((asn, region), {})
+
+    def region_of(facility: int | None) -> str | None:
+        if facility is None:
+            return None
+        metro_name = env.facility_db.metro_of(facility)
+        if metro_name is None:
+            return None
+        metro = env.topology.metros.get(metro_name)
+        return metro.region if metro is not None else None
+
+    for link in result.links:
+        if link.inferred_type is InferredType.UNKNOWN:
+            continue
+        sides: list[tuple[int, int, int | None]] = []  # (asn, address, facility)
+        if link.near_asn in targets:
+            sides.append((link.near_asn, link.near_address, link.near_facility))
+        if link.far_asn in targets:
+            far_address = (
+                link.ixp_address
+                if link.kind is PeeringKind.PUBLIC
+                else link.far_address
+            )
+            if far_address is not None:
+                sides.append((link.far_asn, far_address, link.far_facility))
+        for asn, address, facility in sides:
+            type_name = _side_type(result, link, address)
+            bucket(asn, "total").setdefault(type_name, set()).add(address)
+            region = region_of(facility)
+            if region in _REGIONS:
+                bucket(asn, region).setdefault(type_name, set()).add(address)
+
+    rows = []
+    for asn in env.target_asns:
+        role = env.topology.ases[asn].role.value
+        for region in ("total",) + _REGIONS:
+            counts = {
+                name: len(addresses)
+                for name, addresses in buckets.get((asn, region), {}).items()
+            }
+            rows.append(Fig10Row(asn=asn, role=role, region=region, counts=counts))
+    return Fig10Result(rows=rows)
+
+
+def _side_type(result: CfsResult, link, address: int) -> str:
+    """Engineering type from the perspective of ``address``'s side."""
+    if link.kind is PeeringKind.PRIVATE:
+        return link.inferred_type.value
+    state = result.interfaces.get(address)
+    if state is not None and state.remote:
+        return InferredType.PUBLIC_REMOTE.value
+    return InferredType.PUBLIC_LOCAL.value
+
+
+def role_contrast(result: Fig10Result) -> tuple[float, float]:
+    """(mean CDN public fraction, mean Tier-1 public fraction) — the
+    paper's headline contrast."""
+    return (
+        result.mean_public_fraction(ASRole.CONTENT.value),
+        result.mean_public_fraction(ASRole.TIER1.value),
+    )

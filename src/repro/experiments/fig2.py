@@ -1,0 +1,105 @@
+"""Figure 2: NOC-website facility counts vs PeeringDB coverage.
+
+The paper checked 152 ASes that publish their colocation footprint on
+NOC pages and compared against PeeringDB: 61 ASes had missing
+AS-to-facility links (1,424 links in total) and 4 listed no facility at
+all — yet the same operators documented everything on their own sites.
+
+The reproduced figure reports, per NOC-publishing AS: the number of
+facilities on its website, and the fraction of those present in the
+PeeringDB snapshot, sorted by facility count (the paper's x-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import Environment
+from .formatting import format_table
+
+__all__ = ["Fig2Row", "Fig2Result", "run_fig2"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig2Row:
+    """One AS on the Figure 2 x-axis."""
+
+    asn: int
+    website_facilities: int
+    in_peeringdb: int
+
+    @property
+    def pdb_fraction(self) -> float:
+        """Share of the website's facilities present in PeeringDB."""
+        if self.website_facilities == 0:
+            return 0.0
+        return self.in_peeringdb / self.website_facilities
+
+
+@dataclass(slots=True)
+class Fig2Result:
+    """The reproduced Figure 2 plus its headline summary numbers."""
+
+    rows: list[Fig2Row]
+
+    @property
+    def ases_checked(self) -> int:
+        """Number of NOC-publishing ASes compared."""
+        return len(self.rows)
+
+    @property
+    def ases_with_missing_links(self) -> int:
+        """ASes whose PeeringDB record misses links."""
+        return sum(1 for row in self.rows if row.in_peeringdb < row.website_facilities)
+
+    @property
+    def total_missing_links(self) -> int:
+        """AS-to-facility links absent from PeeringDB."""
+        return sum(
+            row.website_facilities - row.in_peeringdb for row in self.rows
+        )
+
+    @property
+    def ases_absent_from_pdb(self) -> int:
+        """ASes whose PeeringDB record lists no facility at all."""
+        return sum(1 for row in self.rows if row.in_peeringdb == 0)
+
+    def format(self, limit: int = 25) -> str:
+        """Rendered Figure 2 table plus the summary line."""
+        table = format_table(
+            ["ASN", "website facilities", "in PeeringDB", "fraction"],
+            [
+                [row.asn, row.website_facilities, row.in_peeringdb, f"{row.pdb_fraction:.2f}"]
+                for row in self.rows[:limit]
+            ],
+            title="Figure 2: NOC-website facilities vs PeeringDB coverage",
+        )
+        summary = (
+            f"\nchecked {self.ases_checked} ASes with NOC pages; "
+            f"{self.ases_with_missing_links} have missing PeeringDB links "
+            f"({self.total_missing_links} links); "
+            f"{self.ases_absent_from_pdb} list no facility in PeeringDB"
+        )
+        return table + summary
+
+
+def run_fig2(env: Environment) -> Fig2Result:
+    """Compare every NOC page against the PeeringDB snapshot."""
+    pdb_map = env.peeringdb.as_facility_map()
+    rows = []
+    for asn in sorted(env.noc.asns_with_pages()):
+        page = env.noc.page_for(asn)
+        assert page is not None
+        website = page.facility_ids()
+        if not website:
+            continue
+        in_pdb = len(website & pdb_map.get(asn, set()))
+        rows.append(
+            Fig2Row(
+                asn=asn,
+                website_facilities=len(website),
+                in_peeringdb=in_pdb,
+            )
+        )
+    rows.sort(key=lambda row: (-row.website_facilities, row.asn))
+    return Fig2Result(rows=rows)

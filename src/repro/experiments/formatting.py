@@ -1,0 +1,54 @@
+"""Plain-text table and bar-chart rendering for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_bars"]
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render(row: list[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_bars(
+    series: list[tuple[str, float]],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    The longest bar spans ``width`` characters; zero and negative values
+    render as empty bars.  Used by the figure harnesses to echo the
+    paper's bar charts (Figures 2, 3, 9) in terminal output.
+    """
+    if not series:
+        return title or ""
+    label_width = max(len(label) for label, _ in series)
+    peak = max(max(value for _, value in series), 0.0)
+    lines = [title] if title else []
+    for label, value in series:
+        filled = 0
+        if peak > 0 and value > 0:
+            filled = max(1, round(width * value / peak))
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Section 5 router-role census: multi-role and multi-IXP routers.
+
+Paper headlines:
+
+* 39% of observed routers implement **both** public and private peering
+  — public and private interconnections share equipment and therefore
+  share points of congestion and failure;
+* 11.9% of routers used for public peering establish sessions over two
+  or three exchanges (facilities hosting several IXPs make one router's
+  port reachable from all of them).
+
+The census groups the observed peering interfaces into routers and
+counts the roles each router plays.  Interface-to-router grouping uses
+ground truth (the simulator's registry); the paper used MIDAR alias
+sets, which our alias substrate reproduces with high recall, so either
+grouping yields the same qualitative census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import Environment
+from ..core.types import CfsResult, PeeringKind
+from .formatting import format_table
+
+__all__ = ["MultiRoleCensus", "run_multirole_census"]
+
+
+@dataclass(slots=True)
+class MultiRoleCensus:
+    """Role statistics over observed peering routers."""
+
+    routers_observed: int
+    public_routers: int
+    private_routers: int
+    both_roles: int
+    multi_ixp_routers: int
+
+    @property
+    def both_roles_fraction(self) -> float:
+        """Share of observed routers doing public AND private peering."""
+        if not self.routers_observed:
+            return 0.0
+        return self.both_roles / self.routers_observed
+
+    @property
+    def multi_ixp_fraction(self) -> float:
+        """Among public-peering routers, the share spanning >= 2 IXPs."""
+        if not self.public_routers:
+            return 0.0
+        return self.multi_ixp_routers / self.public_routers
+
+    def format(self) -> str:
+        """Rendered census table."""
+        return format_table(
+            ["metric", "value"],
+            [
+                ["peering routers observed", self.routers_observed],
+                ["public-peering routers", self.public_routers],
+                ["private-peering routers", self.private_routers],
+                [
+                    "both public and private",
+                    f"{self.both_roles} ({self.both_roles_fraction:.1%})",
+                ],
+                [
+                    "public routers on >= 2 IXPs",
+                    f"{self.multi_ixp_routers} ({self.multi_ixp_fraction:.1%})",
+                ],
+            ],
+            title="Multi-role router census (Section 5)",
+        )
+
+
+def run_multirole_census(env: Environment, result: CfsResult) -> MultiRoleCensus:
+    """Count public/private/multi-IXP roles per observed router."""
+    public_roles: dict[int, set[int]] = {}  # router -> ixp ids
+    private_roles: set[int] = set()
+
+    def router_of(address: int) -> int | None:
+        interface = env.topology.interfaces.get(address)
+        return interface.router_id if interface is not None else None
+
+    for link in result.links:
+        if link.kind is PeeringKind.PUBLIC:
+            assert link.ixp_id is not None
+            for address in (link.near_address, link.ixp_address):
+                if address is None:
+                    continue
+                router = router_of(address)
+                if router is None:
+                    continue
+                # The near interface belongs to the near border router,
+                # which holds the near side's port at this exchange.
+                public_roles.setdefault(router, set()).add(link.ixp_id)
+        else:
+            for address in (link.near_address, link.far_address):
+                if address is None:
+                    continue
+                router = router_of(address)
+                if router is not None:
+                    private_roles.add(router)
+
+    observed = set(public_roles) | private_roles
+    both = set(public_roles) & private_roles
+    multi_ixp = sum(1 for ixps in public_roles.values() if len(ixps) >= 2)
+    return MultiRoleCensus(
+        routers_observed=len(observed),
+        public_routers=len(public_roles),
+        private_routers=len(private_roles),
+        both_roles=len(both),
+        multi_ixp_routers=multi_ixp,
+    )

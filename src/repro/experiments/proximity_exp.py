@@ -1,0 +1,108 @@
+"""Section 4.4 calibration: the switch proximity heuristic vs AMS-IX.
+
+The paper validated the heuristic against AMS-IX's published member
+interface/facility data: an extra campaign from 50 members connected at
+a single AMS-IX facility toward 50 members connected at two facilities
+found the exact facility in 77% of cases; failures landed on a facility
+behind the same backhaul switch, and members equidistant in the fabric
+are undecidable by design.
+
+The reproduction uses the largest detailed exchange website as ground
+truth and scores the heuristic over every public peering whose far
+member has several candidate facilities at that exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import Environment
+from ..core.types import CfsResult, PeeringKind
+from .formatting import format_table
+
+__all__ = ["ProximityValidation", "run_proximity_validation"]
+
+
+@dataclass(slots=True)
+class ProximityValidation:
+    """Outcome counts of the heuristic at one detailed exchange."""
+
+    ixp_id: int | None
+    exact: int = 0
+    wrong: int = 0
+    undecided: int = 0
+
+    @property
+    def attempted(self) -> int:
+        """Cases where the heuristic committed to a facility."""
+        return self.exact + self.wrong
+
+    @property
+    def accuracy(self) -> float:
+        """Exact-facility rate over the decided cases."""
+        return self.exact / self.attempted if self.attempted else 0.0
+
+    @property
+    def total_cases(self) -> int:
+        """Decided plus undecidable cases."""
+        return self.exact + self.wrong + self.undecided
+
+    def format(self) -> str:
+        """Rendered outcome table."""
+        return format_table(
+            ["outcome", "count"],
+            [
+                ["exact facility", self.exact],
+                ["wrong facility", self.wrong],
+                ["no inference (tie)", self.undecided],
+            ],
+            title=(
+                "Switch proximity heuristic vs detailed exchange data: "
+                f"accuracy {self.accuracy:.2f} over {self.attempted} decided cases"
+            ),
+        )
+
+
+def run_proximity_validation(
+    env: Environment, result: CfsResult
+) -> ProximityValidation:
+    """Score far-end facility inferences against detailed member data."""
+    detailed = env.ixp_sources.detailed_websites()
+    if not detailed:
+        return ProximityValidation(ixp_id=None)
+    truth: dict[tuple[int, int], int] = {}
+    detailed_ids: set[int] = set()
+    for website in detailed:
+        detailed_ids.add(website.ixp_id)
+        for member in website.member_details:
+            if member.facility_id is not None:
+                truth[(website.ixp_id, member.address)] = member.facility_id
+    validation = ProximityValidation(ixp_id=None)
+    seen: set[tuple[int, int]] = set()
+    for link in result.links:
+        if link.kind is not PeeringKind.PUBLIC or link.ixp_id not in detailed_ids:
+            continue
+        if link.ixp_address is None:
+            continue
+        key = (link.ixp_id, link.ixp_address)
+        if key in seen:
+            continue
+        true_facility = truth.get(key)
+        if true_facility is None:
+            continue
+        # Only the ambiguous cases exercise the heuristic: members whose
+        # known presence intersects the exchange in several facilities —
+        # the analogue of the paper's 50 two-facility AMS-IX members.
+        candidates = env.facility_db.facilities_of(
+            link.far_asn
+        ) & env.facility_db.facilities_of_ixp(link.ixp_id)
+        if len(candidates) < 2:
+            continue
+        seen.add(key)
+        if link.far_facility is None:
+            validation.undecided += 1
+        elif link.far_facility == true_facility:
+            validation.exact += 1
+        else:
+            validation.wrong += 1
+    return validation

@@ -1,0 +1,73 @@
+"""Table 1: characteristics of the four measurement platforms.
+
+Paper row shape (vantage points / ASNs / countries):
+
+=============  ======  =====  =========
+platform       VPs     ASNs   countries
+=============  ======  =====  =========
+RIPE Atlas      6385    2410    160
+LGs             1877     438     79
+iPlane           147     117     35
+Ark              107      71     41
+total unique    8517    2638    170
+=============  ======  =====  =========
+
+The reproduced table preserves the *shape*: Atlas contributes an order
+of magnitude more vantage points and AS coverage than the others, the
+looking glasses cover fewer ASes but many backbone locations, and the
+two archived platforms are small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import Environment
+from ..measurement.platforms import PlatformStats
+from .formatting import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass(slots=True)
+class Table1Result:
+    """The reproduced Table 1."""
+
+    rows: list[PlatformStats]
+
+    def row(self, platform: str) -> PlatformStats:
+        """The stats row for ``platform`` (KeyError if unknown)."""
+        for stats in self.rows:
+            if stats.platform == platform:
+                return stats
+        raise KeyError(platform)
+
+    def shape_holds(self) -> bool:
+        """The paper's ordering: Atlas dominates VPs and AS coverage;
+        the archives are the smallest populations."""
+        atlas = self.row("ripe-atlas")
+        lgs = self.row("looking-glass")
+        iplane = self.row("iplane")
+        ark = self.row("ark")
+        return (
+            atlas.vantage_points > lgs.vantage_points
+            and atlas.asns > lgs.asns
+            and lgs.vantage_points > iplane.vantage_points
+            and lgs.vantage_points > ark.vantage_points
+        )
+
+    def format(self) -> str:
+        """Rendered Table 1."""
+        return format_table(
+            ["platform", "vantage points", "ASNs", "countries"],
+            [
+                [row.platform, row.vantage_points, row.asns, row.countries]
+                for row in self.rows
+            ],
+            title="Table 1: traceroute measurement platforms",
+        )
+
+
+def run_table1(env: Environment) -> Table1Result:
+    """Build the reproduced Table 1 from the environment's platforms."""
+    return Table1Result(rows=env.platforms.table1())

@@ -1,0 +1,206 @@
+"""JSON export of inference results and topology summaries.
+
+The paper published its inferred interconnection map as supplemental
+data.  This module renders a :class:`~repro.core.types.CfsResult` (and
+the supporting metadata) into plain JSON-serialisable dictionaries so a
+downstream consumer — a dashboard, a notebook, another tool — can use
+the map without importing this library.
+
+The schema is stable and documented field-by-field on each function.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.facility_db import FacilityDatabase
+from .core.types import CfsResult, InterfaceState, LinkInference
+from .topology.addressing import int_to_ip
+from .topology.topology import Topology
+
+__all__ = [
+    "interface_record",
+    "link_record",
+    "export_result",
+    "export_topology_summary",
+    "export_facility_graph_dot",
+    "dumps_result",
+]
+
+
+def interface_record(
+    state: InterfaceState, facility_db: FacilityDatabase | None = None
+) -> dict[str, Any]:
+    """One interface's inference as a JSON-ready dict.
+
+    Fields: ``address`` (dotted quad), ``owner_asn``, ``status``,
+    ``type``, ``remote``, ``facility`` (or null), ``candidates`` (sorted
+    list), ``metro`` (when the facility database can name it).
+    """
+    facility = state.resolved_facility
+    metro = None
+    if facility is not None and facility_db is not None:
+        metro = facility_db.metro_of(facility)
+    return {
+        "address": int_to_ip(state.address),
+        "owner_asn": state.owner_asn,
+        "status": state.status.value,
+        "type": state.inferred_type.value,
+        "remote": state.remote,
+        "facility": facility,
+        "metro": metro,
+        "candidates": sorted(state.candidates) if state.candidates else [],
+        "conflicts": state.conflicts,
+    }
+
+
+def link_record(link: LinkInference) -> dict[str, Any]:
+    """One interconnection inference as a JSON-ready dict."""
+    return {
+        "kind": link.kind.value,
+        "type": link.inferred_type.value,
+        "near": {
+            "address": int_to_ip(link.near_address),
+            "asn": link.near_asn,
+            "facility": link.near_facility,
+        },
+        "far": {
+            "asn": link.far_asn,
+            "facility": link.far_facility,
+            "address": (
+                int_to_ip(link.far_address)
+                if link.far_address is not None
+                else None
+            ),
+            "port": (
+                int_to_ip(link.ixp_address)
+                if link.ixp_address is not None
+                else None
+            ),
+        },
+        "ixp": link.ixp_id,
+    }
+
+
+def export_result(
+    result: CfsResult, facility_db: FacilityDatabase | None = None
+) -> dict[str, Any]:
+    """The full inference map: interfaces, links, and run statistics."""
+    return {
+        "schema": "repro/cfs-result/1",
+        "stats": {
+            "iterations": result.iterations_run,
+            "interfaces_seen": result.peering_interfaces_seen,
+            "resolved": len(result.resolved_interfaces()),
+            "resolved_fraction": result.resolved_fraction(),
+            "followup_traces": result.followup_traces,
+        },
+        "interfaces": [
+            interface_record(state, facility_db)
+            for _, state in sorted(result.interfaces.items())
+        ],
+        "links": [link_record(link) for link in result.links],
+        "history": [
+            {
+                "iteration": stats.iteration,
+                "total": stats.total_interfaces,
+                "resolved": stats.resolved,
+                "unresolved_local": stats.unresolved_local,
+                "unresolved_remote": stats.unresolved_remote,
+                "missing_data": stats.missing_data,
+            }
+            for stats in result.history
+        ],
+    }
+
+
+def export_topology_summary(topology: Topology) -> dict[str, Any]:
+    """Ground-truth metadata useful next to an exported map: facilities
+    with operators/metros/coordinates and the exchanges with their
+    partner facilities (building-directory data, not tenant lists)."""
+    return {
+        "schema": "repro/topology-summary/1",
+        "counts": topology.summary(),
+        "facilities": [
+            {
+                "id": facility.facility_id,
+                "name": facility.name,
+                "operator": topology.operators[facility.operator_id].name,
+                "metro": facility.metro,
+                "country": facility.country,
+                "region": facility.region,
+                "latitude": facility.location.latitude,
+                "longitude": facility.location.longitude,
+            }
+            for facility in sorted(
+                topology.facilities.values(), key=lambda f: f.facility_id
+            )
+        ],
+        "ixps": [
+            {
+                "id": ixp.ixp_id,
+                "name": ixp.name,
+                "metro": ixp.metro,
+                "active": ixp.active,
+                "facilities": sorted(ixp.facility_ids),
+                "prefixes": [str(prefix) for prefix in ixp.peering_lans],
+            }
+            for ixp in sorted(topology.ixps.values(), key=lambda i: i.ixp_id)
+        ],
+    }
+
+
+def export_facility_graph_dot(
+    result: CfsResult,
+    facility_db: FacilityDatabase | None = None,
+    min_links: int = 1,
+) -> str:
+    """The inferred facility-level interconnection graph as Graphviz DOT.
+
+    Nodes are facilities (labelled with their metro when the database
+    can name it); an edge joins two facilities when at least
+    ``min_links`` inferred interconnections have one pinned end in each.
+    Cross-connects collapse onto self-loops, which DOT renders as loops
+    on the node; they are omitted for readability.
+    """
+    edge_weights: dict[tuple[int, int], int] = {}
+    nodes: set[int] = set()
+    for link in result.links:
+        if link.near_facility is None or link.far_facility is None:
+            continue
+        nodes.add(link.near_facility)
+        nodes.add(link.far_facility)
+        if link.near_facility == link.far_facility:
+            continue
+        key = (
+            min(link.near_facility, link.far_facility),
+            max(link.near_facility, link.far_facility),
+        )
+        edge_weights[key] = edge_weights.get(key, 0) + 1
+
+    def node_label(facility: int) -> str:
+        metro = (
+            facility_db.metro_of(facility) if facility_db is not None else None
+        )
+        return f"f{facility}\\n{metro}" if metro else f"f{facility}"
+
+    lines = ["graph inferred_facility_map {", "  node [shape=box];"]
+    for facility in sorted(nodes):
+        lines.append(f'  f{facility} [label="{node_label(facility)}"];')
+    for (a, b), weight in sorted(edge_weights.items()):
+        if weight < min_links:
+            continue
+        lines.append(f'  f{a} -- f{b} [label="{weight}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dumps_result(
+    result: CfsResult,
+    facility_db: FacilityDatabase | None = None,
+    **json_kwargs: Any,
+) -> str:
+    """JSON text of :func:`export_result` (``indent=2`` by default)."""
+    json_kwargs.setdefault("indent", 2)
+    return json.dumps(export_result(result, facility_db), **json_kwargs)

@@ -1,0 +1,230 @@
+"""Campaign driving: hitlists, trace corpora, and targeted probing.
+
+The measurement workflow of Sections 3.2 and 4.1:
+
+1. build a hitlist of responsive addresses per target network (the paper
+   uses BGP announcements, ZMap's hitlist, and content-provider white
+   lists);
+2. run an initial campaign toward the study targets from Atlas and the
+   looking glasses, and fold in archived iPlane/Ark sweeps;
+3. during CFS iterations, issue *targeted* follow-up traceroutes chosen
+   to cross specific peerings (Step 4).
+
+A :class:`TraceCorpus` accumulates every measurement; CFS re-reads it on
+each iteration, so archived and fresh traces constrain inferences alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from ..topology.network import InterfaceKind
+from ..topology.topology import Topology
+from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
+from .traceroute import Traceroute
+
+__all__ = ["Hitlist", "TraceCorpus", "CampaignDriver", "CampaignConfig"]
+
+
+class Hitlist:
+    """Responsive target addresses per AS.
+
+    The public-knowledge analogue of the ZMap hitlist plus per-provider
+    white lists: for each AS, a set of addresses known to respond.  We
+    use host/server addresses behind the AS's routers — like the content
+    servers and hitlist hosts the paper targeted, probes toward them
+    keep every router crossing (including the last one) observable.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._targets: dict[int, list[int]] = {}
+        for asn in topology.ases:
+            addresses: list[int] = []
+            for router_id in topology.routers_of(asn):
+                for address in topology.routers[router_id].interfaces:
+                    interface = topology.interfaces[address]
+                    if interface.kind is InterfaceKind.HOST:
+                        addresses.append(address)
+            self._targets[asn] = sorted(addresses)
+
+    def targets_for(self, asn: int) -> list[int]:
+        """Responsive addresses inside ``asn`` (may be empty)."""
+        return self._targets.get(asn, [])
+
+    def all_targets(self) -> list[int]:
+        """Every known-responsive address."""
+        return [addr for addrs in self._targets.values() for addr in addrs]
+
+
+@dataclass(slots=True)
+class TraceCorpus:
+    """Accumulated traceroute measurements."""
+
+    traces: list[Traceroute] = field(default_factory=list)
+
+    def add(self, trace: Traceroute) -> None:
+        """Append one traceroute."""
+        self.traces.append(trace)
+
+    def extend(self, traces: list[Traceroute]) -> None:
+        """Append many traceroutes."""
+        self.traces.extend(traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def by_platform(self, platform: str) -> list[Traceroute]:
+        """Subset collected by one platform."""
+        return [t for t in self.traces if t.platform == platform]
+
+    def observed_addresses(self) -> set[int]:
+        """Every responsive hop address seen so far."""
+        addresses: set[int] = set()
+        for trace in self.traces:
+            addresses.update(trace.responsive_addresses())
+        return addresses
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignConfig:
+    """Probing budgets for the initial and follow-up campaigns."""
+
+    #: Atlas probes sampled per target address in the initial campaign.
+    atlas_sample_per_target: int = 25
+    #: Looking-glass vantage points sampled per target address.
+    lg_sample_per_target: int = 8
+    #: Targets each archive node sweeps per archived dataset.
+    archive_targets_per_node: int = 15
+    #: Traces issued per direction in one follow-up probe.
+    followup_traces: int = 4
+
+
+class CampaignDriver:
+    """Issues campaigns over a :class:`PlatformSet` into a corpus."""
+
+    def __init__(
+        self,
+        platforms: PlatformSet,
+        hitlist: Hitlist,
+        config: CampaignConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.platforms = platforms
+        self.hitlist = hitlist
+        self.config = config or CampaignConfig()
+        self._rng = Random(seed)
+
+    def initial_campaign(
+        self, target_asns: list[int], include_archives: bool = True
+    ) -> TraceCorpus:
+        """The Section-5 style campaign toward the study targets, with
+        archived iPlane/Ark sweeps folded in (Section 4.1).
+
+        ``include_archives=False`` skips the archived sweeps — useful
+        when campaigns toward individual targets are accumulated
+        incrementally and the archives should be counted once.
+        """
+        corpus = TraceCorpus()
+        for asn in target_asns:
+            for dst in self.hitlist.targets_for(asn):
+                corpus.extend(
+                    self.platforms.atlas.trace_from_sample(
+                        dst, self.config.atlas_sample_per_target, self._rng
+                    )
+                )
+                corpus.extend(
+                    self.platforms.looking_glasses.trace_from_sample(
+                        dst, self.config.lg_sample_per_target, self._rng
+                    )
+                )
+        sweep_targets = self.hitlist.all_targets()
+        if sweep_targets and include_archives:
+            corpus.extend(
+                self.platforms.iplane.collect_sweep(
+                    sweep_targets,
+                    self.config.archive_targets_per_node,
+                    seed=self._rng.randrange(2**30),
+                )
+            )
+            corpus.extend(
+                self.platforms.ark.collect_sweep(
+                    sweep_targets,
+                    self.config.archive_targets_per_node,
+                    seed=self._rng.randrange(2**30),
+                )
+            )
+        return corpus
+
+    # ------------------------------------------------------------------
+    # Follow-up probing (CFS Step 4)
+    # ------------------------------------------------------------------
+
+    def _vps_in(self, asn: int, platforms: list[MeasurementPlatform]) -> list[VantagePoint]:
+        vps: list[VantagePoint] = []
+        for platform in platforms:
+            vps.extend(platform.vantage_points_in(asn))
+        return vps
+
+    def probe_peering(
+        self,
+        near_asn: int,
+        target_asn: int,
+        corpus: TraceCorpus,
+        platforms: list[MeasurementPlatform] | None = None,
+    ) -> int:
+        """Try to capture the ``near_asn``-``target_asn`` peering in new
+        traceroutes (both directions when vantage points allow).
+
+        Returns the number of traces issued.  Traces are appended to
+        ``corpus`` so the next CFS iteration sees them.
+        """
+        if platforms is None:
+            platforms = [self.platforms.atlas, self.platforms.looking_glasses]
+        budget = self.config.followup_traces
+        issued = 0
+        near_vps = self._vps_in(near_asn, platforms)
+        target_vps = self._vps_in(target_asn, platforms)
+
+        target_addresses = self.hitlist.targets_for(target_asn)
+        near_addresses = self.hitlist.targets_for(near_asn)
+
+        # Outbound: from inside the near AS toward the follow-up target,
+        # crossing the near AS's egress toward that peer.
+        if near_vps and target_addresses:
+            for vp in self._sample(near_vps, budget):
+                dst = self._rng.choice(target_addresses)
+                corpus.add(self._platform_of(vp, platforms).trace(vp, dst))
+                issued += 1
+        # Inbound: from inside the target AS toward the near AS,
+        # approaching the shared interconnection from the far side.
+        if target_vps and near_addresses:
+            for vp in self._sample(target_vps, budget):
+                dst = self._rng.choice(near_addresses)
+                corpus.add(self._platform_of(vp, platforms).trace(vp, dst))
+                issued += 1
+        # Fallback: random vantage points toward the target AS; some of
+        # these paths transit the near AS and cross the peering.
+        if not issued and target_addresses:
+            for platform in platforms:
+                for trace in platform.trace_from_sample(
+                    self._rng.choice(target_addresses), budget, self._rng
+                ):
+                    corpus.add(trace)
+                    issued += 1
+        return issued
+
+    def _sample(self, vps: list[VantagePoint], k: int) -> list[VantagePoint]:
+        return self._rng.sample(vps, min(k, len(vps)))
+
+    @staticmethod
+    def _platform_of(
+        vp: VantagePoint, platforms: list[MeasurementPlatform]
+    ) -> MeasurementPlatform:
+        for platform in platforms:
+            if platform.name == vp.platform:
+                return platform
+        raise LookupError(f"no platform named {vp.platform}")

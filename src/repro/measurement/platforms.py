@@ -1,0 +1,387 @@
+"""Measurement platforms: RIPE Atlas, looking glasses, iPlane, Ark.
+
+Section 3.2 and Table 1 of the paper describe four vantage-point
+populations with very different shapes, and Figure 7 shows the shape
+matters: Atlas probes (many, eyeball-hosted, Europe-skewed) converge
+about twice as fast per CFS iteration, while looking glasses (fewer,
+backbone-hosted, rate-limited) see 46% of interfaces Atlas never does.
+
+We reproduce those populations over the generated topology:
+
+* **Atlas** — probes behind home routers in access/stub networks,
+  Europe-weighted; cheap to query in bulk.
+* **Looking glasses** — web frontends to real routers of transit and
+  access providers; one LG exposes every router ("location") of its AS;
+  probing is rate-limited (60 s between queries per LG, Section 3.1);
+  a small subset additionally answers BGP queries, which the validation
+  layer uses to read ingress-point communities.
+* **iPlane / Ark** — archived daily sweep corpora collected from small
+  node populations; the pipeline mines them before issuing new probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..topology.asn import ASRole
+from ..topology.topology import Topology
+from .traceroute import Traceroute, TracerouteEngine
+
+__all__ = [
+    "VantagePoint",
+    "PlatformStats",
+    "MeasurementPlatform",
+    "AtlasPlatform",
+    "LookingGlassPlatform",
+    "ArchivePlatform",
+    "PlatformSet",
+    "build_platforms",
+]
+
+#: Enforced pause between queries to the same looking glass (Section 3.1).
+LG_QUERY_INTERVAL_S = 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class VantagePoint:
+    """One measurement vantage point."""
+
+    vp_id: str
+    platform: str
+    asn: int
+    router_id: int
+    metro: str
+    country: str
+    region: str
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformStats:
+    """Table-1 row: vantage points, distinct ASNs, distinct countries."""
+
+    platform: str
+    vantage_points: int
+    asns: int
+    countries: int
+
+
+class MeasurementPlatform:
+    """Base class: a named set of vantage points bound to an engine."""
+
+    name = "platform"
+
+    def __init__(self, engine: TracerouteEngine, vantage_points: list[VantagePoint]) -> None:
+        self._engine = engine
+        self.vantage_points = vantage_points
+        self._by_asn: dict[int, list[VantagePoint]] = {}
+        for vp in vantage_points:
+            self._by_asn.setdefault(vp.asn, []).append(vp)
+
+    @property
+    def engine(self) -> TracerouteEngine:
+        """The traceroute engine behind this platform."""
+        return self._engine
+
+    def vantage_points_in(self, asn: int) -> list[VantagePoint]:
+        """Vantage points hosted inside ``asn``."""
+        return self._by_asn.get(asn, [])
+
+    def trace(self, vp: VantagePoint, dst_address: int) -> Traceroute:
+        """Issue one traceroute from ``vp``."""
+        return self._engine.trace(
+            vp.router_id, dst_address, source_id=vp.vp_id, platform=self.name
+        )
+
+    def trace_from_sample(
+        self, dst_address: int, sample_size: int, rng: Random
+    ) -> list[Traceroute]:
+        """Traceroutes to one target from a random VP sample."""
+        size = min(sample_size, len(self.vantage_points))
+        sample = rng.sample(self.vantage_points, size) if size else []
+        return [self.trace(vp, dst_address) for vp in sample]
+
+    def stats(self) -> PlatformStats:
+        """Table-1 style summary of this platform."""
+        return PlatformStats(
+            platform=self.name,
+            vantage_points=len(self.vantage_points),
+            asns=len({vp.asn for vp in self.vantage_points}),
+            countries=len({vp.country for vp in self.vantage_points}),
+        )
+
+
+class AtlasPlatform(MeasurementPlatform):
+    """RIPE-Atlas-like probe population."""
+
+    name = "ripe-atlas"
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        engine: TracerouteEngine,
+        n_probes: int,
+        seed: int = 0,
+    ) -> "AtlasPlatform":
+        """Host ``n_probes`` probes in edge networks, Europe-weighted.
+
+        Probes attach behind a router of their host AS; several probes
+        can share an AS (Table 1: 6385 probes across 2410 ASNs).
+        """
+        rng = Random(seed)
+        hosts = [
+            record
+            for record in topology.ases.values()
+            if record.role in (ASRole.ACCESS, ASRole.STUB, ASRole.TRANSIT)
+        ]
+        if not hosts:
+            raise ValueError("topology has no edge networks to host probes")
+        weights = []
+        for record in hosts:
+            weight = 3.0 if record.role is ASRole.ACCESS else 1.0
+            region = topology.metros.resolve(record.home_metro).region
+            if region == "Europe":
+                weight *= 3.0  # the Atlas footprint skew
+            weights.append(weight)
+        vantage_points: list[VantagePoint] = []
+        for index in range(n_probes):
+            record = rng.choices(hosts, weights=weights, k=1)[0]
+            router_id = rng.choice(topology.routers_of(record.asn))
+            facility = topology.facilities[
+                topology.routers[router_id].facility_id
+            ]
+            vantage_points.append(
+                VantagePoint(
+                    vp_id=f"atlas-{index}",
+                    platform=cls.name,
+                    asn=record.asn,
+                    router_id=router_id,
+                    metro=facility.metro,
+                    country=facility.country,
+                    region=facility.region,
+                )
+            )
+        return cls(engine, vantage_points)
+
+
+class LookingGlassPlatform(MeasurementPlatform):
+    """Looking glasses: router-attached, rate-limited, partly BGP-capable."""
+
+    name = "looking-glass"
+
+    def __init__(
+        self,
+        engine: TracerouteEngine,
+        vantage_points: list[VantagePoint],
+        bgp_capable_asns: set[int],
+    ) -> None:
+        super().__init__(engine, vantage_points)
+        self.bgp_capable_asns = bgp_capable_asns
+        #: Simulated wall-clock cost of honouring per-LG rate limits.
+        self.simulated_wait_s = 0.0
+        self._queries_per_lg: dict[int, int] = {}
+
+    @classmethod
+    def build(
+        cls, topology: Topology, engine: TracerouteEngine, seed: int = 0
+    ) -> "LookingGlassPlatform":
+        """One LG per AS flagged ``runs_looking_glass``; each exposes all
+        of that AS's routers as selectable locations."""
+        vantage_points: list[VantagePoint] = []
+        bgp_capable: set[int] = set()
+        for record in sorted(topology.ases.values(), key=lambda a: a.asn):
+            if not record.runs_looking_glass:
+                continue
+            if record.lg_supports_bgp:
+                bgp_capable.add(record.asn)
+            for router_id in topology.routers_of(record.asn):
+                facility = topology.facilities[
+                    topology.routers[router_id].facility_id
+                ]
+                vantage_points.append(
+                    VantagePoint(
+                        vp_id=f"lg-{record.asn}-{router_id}",
+                        platform=cls.name,
+                        asn=record.asn,
+                        router_id=router_id,
+                        metro=facility.metro,
+                        country=facility.country,
+                        region=facility.region,
+                    )
+                )
+        return cls(engine, vantage_points, bgp_capable)
+
+    def trace(self, vp: VantagePoint, dst_address: int) -> Traceroute:
+        """Traceroute with per-LG rate-limit accounting."""
+        queries = self._queries_per_lg.get(vp.asn, 0)
+        if queries:
+            self.simulated_wait_s += LG_QUERY_INTERVAL_S
+        self._queries_per_lg[vp.asn] = queries + 1
+        return super().trace(vp, dst_address)
+
+    def bgp_route(
+        self, vp: VantagePoint, dst_address: int
+    ) -> tuple[list[int], list[tuple[int, str]]] | None:
+        """``show ip bgp``-style query: AS path plus communities.
+
+        The route's communities include the operator's ingress-point tag
+        ``(asn, "ingress-fac:<facility_id>")`` identifying the facility
+        of the border router where the route enters the LG's AS — the
+        validation signal of Section 6.  Only BGP-capable LGs answer.
+        """
+        if vp.asn not in self.bgp_capable_asns:
+            return None
+        topology = self._engine.topology
+        forwarder = self._engine.forwarder
+        path = forwarder.router_path(vp.router_id, dst_address)
+        if path is None:
+            return None
+        as_path: list[int] = []
+        egress_facility: int | None = None
+        for hop in path:
+            hop_asn = topology.routers[hop.router_id].asn
+            if not as_path or as_path[-1] != hop_asn:
+                as_path.append(hop_asn)
+            if hop_asn == vp.asn:
+                egress_facility = topology.routers[hop.router_id].facility_id
+        communities: list[tuple[int, str]] = []
+        if egress_facility is not None:
+            communities.append((vp.asn, f"ingress-fac:{egress_facility}"))
+        return as_path, communities
+
+
+class ArchivePlatform(MeasurementPlatform):
+    """iPlane / Ark style archives: small node sets, daily random sweeps."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: TracerouteEngine,
+        vantage_points: list[VantagePoint],
+    ) -> None:
+        self.name = name
+        super().__init__(engine, vantage_points)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        topology: Topology,
+        engine: TracerouteEngine,
+        n_nodes: int,
+        host_roles: tuple[ASRole, ...],
+        seed: int = 0,
+    ) -> "ArchivePlatform":
+        """Instantiate an archive platform with ``n_nodes`` hosts."""
+        rng = Random(seed)
+        hosts = [
+            record
+            for record in topology.ases.values()
+            if record.role in host_roles
+        ]
+        if not hosts:
+            raise ValueError(f"no hosts for archive platform {name}")
+        vantage_points: list[VantagePoint] = []
+        chosen = rng.sample(hosts, min(n_nodes, len(hosts)))
+        while len(chosen) < n_nodes:
+            chosen.append(rng.choice(hosts))
+        for index, record in enumerate(chosen):
+            router_id = rng.choice(topology.routers_of(record.asn))
+            facility = topology.facilities[
+                topology.routers[router_id].facility_id
+            ]
+            vantage_points.append(
+                VantagePoint(
+                    vp_id=f"{name}-{index}",
+                    platform=name,
+                    asn=record.asn,
+                    router_id=router_id,
+                    metro=facility.metro,
+                    country=facility.country,
+                    region=facility.region,
+                )
+            )
+        return cls(name, engine, vantage_points)
+
+    def collect_sweep(
+        self, targets: list[int], per_node: int, seed: int = 0
+    ) -> list[Traceroute]:
+        """An archived sweep: each node traces a random target sample,
+        mimicking the daily iPlane/Ark campaigns mined in Section 4.1."""
+        rng = Random(seed)
+        traces: list[Traceroute] = []
+        for vp in self.vantage_points:
+            sample = rng.sample(targets, min(per_node, len(targets)))
+            for dst in sample:
+                traces.append(self.trace(vp, dst))
+        return traces
+
+
+@dataclass(slots=True)
+class PlatformSet:
+    """The paper's four platforms plus Table-1 reporting."""
+
+    atlas: AtlasPlatform
+    looking_glasses: LookingGlassPlatform
+    iplane: ArchivePlatform
+    ark: ArchivePlatform
+
+    def all_platforms(self) -> list[MeasurementPlatform]:
+        """The four platforms as a list."""
+        return [self.atlas, self.looking_glasses, self.iplane, self.ark]
+
+    def table1(self) -> list[PlatformStats]:
+        """Per-platform rows plus the unique-total row of Table 1."""
+        rows = [platform.stats() for platform in self.all_platforms()]
+        all_vps = [
+            vp for platform in self.all_platforms() for vp in platform.vantage_points
+        ]
+        rows.append(
+            PlatformStats(
+                platform="total-unique",
+                vantage_points=len({vp.vp_id for vp in all_vps}),
+                asns=len({vp.asn for vp in all_vps}),
+                countries=len({vp.country for vp in all_vps}),
+            )
+        )
+        return rows
+
+
+def build_platforms(
+    topology: Topology,
+    engine: TracerouteEngine,
+    seed: int = 0,
+    atlas_probes: int | None = None,
+    iplane_nodes: int | None = None,
+    ark_monitors: int | None = None,
+) -> PlatformSet:
+    """Build all four platforms with footprints scaled to the topology.
+
+    Default sizes keep the Table-1 proportions: Atlas dwarfs the others
+    in vantage points and AS coverage, while iPlane and Ark contribute
+    small archived populations.
+    """
+    n_ases = len(topology.ases)
+    atlas_probes = atlas_probes if atlas_probes is not None else max(30, int(n_ases * 1.8))
+    iplane_nodes = iplane_nodes if iplane_nodes is not None else max(5, n_ases // 18)
+    ark_monitors = ark_monitors if ark_monitors is not None else max(4, n_ases // 25)
+    atlas = AtlasPlatform.build(topology, engine, atlas_probes, seed=seed)
+    lgs = LookingGlassPlatform.build(topology, engine, seed=seed + 1)
+    iplane = ArchivePlatform.build(
+        "iplane",
+        topology,
+        engine,
+        iplane_nodes,
+        host_roles=(ASRole.STUB, ASRole.ACCESS),
+        seed=seed + 2,
+    )
+    ark = ArchivePlatform.build(
+        "ark",
+        topology,
+        engine,
+        ark_monitors,
+        host_roles=(ASRole.ACCESS, ASRole.STUB, ASRole.TRANSIT),
+        seed=seed + 3,
+    )
+    return PlatformSet(atlas=atlas, looking_glasses=lgs, iplane=iplane, ark=ark)

@@ -1,0 +1,81 @@
+"""Ground-truth Internet substrate.
+
+This subpackage generates and represents the physical world the paper
+measures: metros, colocation facilities and operators, IXPs with switch
+fabrics, ASes with footprints and addressing, routers, and the four
+interconnection engineering types — plus valley-free policy routing over
+it all.  The inference code (``repro.core``) never reads this ground
+truth directly; it only sees measurement output and noisy dataset views.
+"""
+
+from .addressing import (
+    LongestPrefixMatcher,
+    PoolExhaustedError,
+    Prefix,
+    PrefixAllocator,
+    int_to_ip,
+    ip_to_int,
+)
+from .asn import ASRole, AutonomousSystem, IPIDMode, PeeringPolicy
+from .builder import TopologyBuilder, TopologyConfig, build_topology
+from .facility import Facility, FacilityOperator
+from .geo import (
+    DEFAULT_METROS,
+    METRO_GROUPING_MILES,
+    GeoLocation,
+    Metro,
+    MetroCatalogue,
+    haversine_km,
+    km_to_miles,
+    miles_to_km,
+    propagation_delay_ms,
+)
+from .ixp import IXP, MemberPort, Switch, SwitchKind
+from .links import BackboneLink, Interconnection, InterconnectionType, Relationship
+from .network import Interface, InterfaceKind, Router
+from .routing import AsRoute, Forwarder, RouteComputer, RouterHop
+from .topology import Adjacency, Topology
+
+__all__ = [
+    "Adjacency",
+    "ASRole",
+    "AsRoute",
+    "AutonomousSystem",
+    "BackboneLink",
+    "build_topology",
+    "DEFAULT_METROS",
+    "Facility",
+    "FacilityOperator",
+    "Forwarder",
+    "GeoLocation",
+    "haversine_km",
+    "Interconnection",
+    "InterconnectionType",
+    "Interface",
+    "InterfaceKind",
+    "int_to_ip",
+    "ip_to_int",
+    "IPIDMode",
+    "IXP",
+    "km_to_miles",
+    "LongestPrefixMatcher",
+    "MemberPort",
+    "Metro",
+    "MetroCatalogue",
+    "METRO_GROUPING_MILES",
+    "miles_to_km",
+    "PeeringPolicy",
+    "PoolExhaustedError",
+    "Prefix",
+    "PrefixAllocator",
+    "propagation_delay_ms",
+    "Relationship",
+    "RouteComputer",
+    "Router",
+    "RouterHop",
+    "Switch",
+    "SwitchKind",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyConfig",
+]

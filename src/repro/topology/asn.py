@@ -1,0 +1,139 @@
+"""Autonomous systems: roles, peering policies, and per-AS state.
+
+The paper's evaluation targets two populations with very different
+peering engineering (Section 5, Figure 10): content/CDN networks
+(Google, Yahoo, Akamai, Limelight, Cloudflare) that peer overwhelmingly
+over public IXP fabrics, and global transit providers (NTT, Cogent,
+Deutsche Telekom, Level3, Telia) with large private interconnect
+footprints.  The topology builder instantiates ASes with a
+:class:`ASRole` that drives footprint size, peering policy, and the
+public/private mix, so the reproduced Figure 10 has the same contrast.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .addressing import Prefix
+
+__all__ = [
+    "ASRole",
+    "PeeringPolicy",
+    "IPIDMode",
+    "AutonomousSystem",
+]
+
+
+class ASRole(enum.Enum):
+    """Business role of an autonomous system."""
+
+    #: Global transit-free backbone (Level3/NTT/Telia class).
+    TIER1 = "tier1"
+    #: Regional or national transit provider.
+    TRANSIT = "transit"
+    #: Content provider / CDN (Google/Akamai class).
+    CONTENT = "content"
+    #: Eyeball / access network.
+    ACCESS = "access"
+    #: Enterprise or small multi-homed stub.
+    STUB = "stub"
+    #: IXP port reseller providing remote-peering transport
+    #: (Ethernet-over-MPLS carriers of Section 2).
+    RESELLER = "reseller"
+
+
+class PeeringPolicy(enum.Enum):
+    """Published willingness to peer (PeeringDB vocabulary)."""
+
+    OPEN = "open"
+    SELECTIVE = "selective"
+    RESTRICTIVE = "restrictive"
+
+
+class IPIDMode(enum.Enum):
+    """How a network's routers populate the IP-ID field.
+
+    MIDAR's monotonic bounds test (Section 4.1) only works for routers
+    that use a shared, increasing IP-ID counter across interfaces.  The
+    paper notes that some routers are unresponsive to alias-resolution
+    probes (e.g. Google) or return constant or random IP-IDs, producing
+    false negatives; these modes reproduce that spectrum.
+    """
+
+    #: One monotonically increasing counter shared by all interfaces;
+    #: MIDAR can resolve aliases.
+    SHARED_COUNTER = "shared"
+    #: Independent counters per interface; aliases are undetectable.
+    PER_INTERFACE = "per-interface"
+    #: Pseudo-random IP-IDs; aliases are undetectable.
+    RANDOM = "random"
+    #: IP-ID always zero (common for ICMP from some stacks).
+    CONSTANT = "constant"
+    #: Router does not answer alias-resolution probes at all.
+    UNRESPONSIVE = "unresponsive"
+
+
+@dataclass(slots=True)
+class AutonomousSystem:
+    """Ground-truth record of one AS in the generated Internet.
+
+    Attributes:
+        asn: the autonomous system number.
+        name: human-readable operator name (also seeds DNS hostnames).
+        role: business role; drives footprint and peering style.
+        policy: published peering policy.
+        home_metro: metro of the operator's headquarters; geolocation
+            databases collapse CDN prefixes onto this metro, reproducing
+            the "all of Google maps to California" pathology (Section 7).
+        facility_ids: facilities where the AS has deployed routers
+            (ground truth, not the PeeringDB view).
+        ixp_ids: IXPs where the AS is a member with a local port.
+        remote_ixp_ids: IXPs reached through a reseller (remote peering);
+            disjoint from ``ixp_ids``.
+        prefixes: address blocks announced in BGP by this AS.
+        ipid_mode: IP-ID behaviour of this operator's routers.
+        dns_scheme: key of the reverse-DNS naming scheme used by the
+            operator, or ``None`` when the operator publishes no PTR
+            records (29% of peering interfaces in the paper).
+        runs_looking_glass: whether the AS operates a public looking
+            glass (used to build the LG vantage-point population).
+        lg_supports_bgp: whether that looking glass answers BGP queries
+            such as ``show ip bgp`` (168 of 1877 in the paper).
+        has_noc_page: whether the operator documents its colocation
+            footprint on its NOC website (the Figure 2 source).
+        transit_provider_asns: provider ASNs (Gao-Rexford relationships).
+    """
+
+    asn: int
+    name: str
+    role: ASRole
+    policy: PeeringPolicy
+    home_metro: str
+    facility_ids: set[int] = field(default_factory=set)
+    ixp_ids: set[int] = field(default_factory=set)
+    remote_ixp_ids: set[int] = field(default_factory=set)
+    prefixes: list[Prefix] = field(default_factory=list)
+    ipid_mode: IPIDMode = IPIDMode.SHARED_COUNTER
+    dns_scheme: str | None = None
+    runs_looking_glass: bool = False
+    lg_supports_bgp: bool = False
+    has_noc_page: bool = False
+    transit_provider_asns: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0 or self.asn >= 2**32:
+            raise ValueError(f"invalid ASN {self.asn}")
+
+    @property
+    def all_ixp_ids(self) -> set[int]:
+        """Local and remote IXP memberships combined."""
+        return self.ixp_ids | self.remote_ixp_ids
+
+    def is_member_of(self, ixp_id: int) -> bool:
+        """True if the AS is a (local or remote) member of the IXP."""
+        return ixp_id in self.ixp_ids or ixp_id in self.remote_ixp_ids
+
+    def is_present_at(self, facility_id: int) -> bool:
+        """True if the AS has ground-truth presence at the facility."""
+        return facility_id in self.facility_ids

@@ -1,0 +1,1144 @@
+"""Seeded generator of ground-truth Internet topologies.
+
+The builder materialises everything Section 2 of the paper describes:
+colocation operators with (possibly campus-connected) facilities spread
+across metros with the heavy-tailed market sizes of Figure 3; IXPs with
+core/backhaul/access switch fabrics spanning partner facilities; ASes of
+six roles with footprints, addressing, routers and intra-AS backbones;
+and interconnections of all four engineering types (public peering,
+remote peering, cross-connects, tethering) plus customer-provider
+transit realised as cross-connects.
+
+Generation is fully deterministic given a :class:`TopologyConfig` seed:
+the same config always yields the same topology, address-for-address,
+which the test-suite and the benchmark harnesses rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+
+from .addressing import Prefix, PrefixAllocator, ip_to_int
+from .asn import ASRole, AutonomousSystem, IPIDMode, PeeringPolicy
+from .facility import Facility, FacilityOperator
+from .geo import DEFAULT_METROS, GeoLocation, Metro, MetroCatalogue, haversine_km
+from .ixp import IXP, MemberPort, Switch, SwitchKind
+from .links import BackboneLink, Interconnection, InterconnectionType, Relationship
+from .network import Interface, InterfaceKind, Router
+from .topology import Topology
+
+__all__ = ["TopologyConfig", "TopologyBuilder", "build_topology"]
+
+
+#: Private-interconnect links use /31 point-to-point subnets (RFC 3021).
+_P2P_PREFIX_LEN = 31
+
+#: Peering-LAN size per IXP.
+_IXP_LAN_LEN = 22
+
+#: Pool carved into per-AS aggregates.
+_AS_POOL = Prefix(ip_to_int("16.0.0.0"), 4)
+
+#: Pool carved into IXP peering LANs.
+_IXP_POOL = Prefix(ip_to_int("185.0.0.0"), 8)
+
+#: Aggregate size per AS role.
+_AGGREGATE_LEN = {
+    ASRole.TIER1: 13,
+    ASRole.TRANSIT: 14,
+    ASRole.CONTENT: 14,
+    ASRole.ACCESS: 15,
+    ASRole.STUB: 17,
+    ASRole.RESELLER: 16,
+}
+
+#: Probability of joining an IXP whose facilities overlap the AS footprint.
+_IXP_JOIN_PROB = {
+    ASRole.TIER1: 0.35,
+    ASRole.TRANSIT: 0.65,
+    ASRole.CONTENT: 0.92,
+    ASRole.ACCESS: 0.55,
+    ASRole.STUB: 0.35,
+    ASRole.RESELLER: 1.0,
+}
+
+#: IP-ID behaviour mix per role (mode, weight) — content providers skew
+#: unresponsive (the paper could not alias-resolve Google's routers).
+_IPID_MIX: dict[ASRole, tuple[tuple[IPIDMode, float], ...]] = {
+    ASRole.CONTENT: (
+        (IPIDMode.SHARED_COUNTER, 0.35),
+        (IPIDMode.UNRESPONSIVE, 0.40),
+        (IPIDMode.RANDOM, 0.15),
+        (IPIDMode.CONSTANT, 0.10),
+    ),
+    ASRole.TIER1: (
+        (IPIDMode.SHARED_COUNTER, 0.75),
+        (IPIDMode.PER_INTERFACE, 0.10),
+        (IPIDMode.RANDOM, 0.10),
+        (IPIDMode.CONSTANT, 0.05),
+    ),
+}
+_IPID_MIX_DEFAULT: tuple[tuple[IPIDMode, float], ...] = (
+    (IPIDMode.SHARED_COUNTER, 0.68),
+    (IPIDMode.PER_INTERFACE, 0.10),
+    (IPIDMode.RANDOM, 0.10),
+    (IPIDMode.CONSTANT, 0.06),
+    (IPIDMode.UNRESPONSIVE, 0.06),
+)
+
+#: Reverse-DNS scheme mix: ~29% of peering interfaces had no PTR record
+#: and 55% of the rest encoded no location (Section 5).
+_DNS_SCHEME_MIX: tuple[tuple[str | None, float], ...] = (
+    (None, 0.29),
+    ("opaque", 0.36),
+    ("airport", 0.12),
+    ("clli", 0.08),
+    ("facility", 0.10),
+    ("city", 0.05),
+)
+
+_OPERATOR_NAMES = (
+    "Equinor DC", "Telhaus", "Interxeon", "CoreSight", "Digital Realm",
+    "CyrusOne-2", "Global Switchyard", "NTT-Annex", "DataBank Row",
+    "Iron Peak", "Zayo Vault", "Colo-Nova", "EdgeConneX-2", "QTS-Prime",
+    "Flexential-2", "Vantage Row", "Stack Infra", "Aligned Core",
+)
+
+
+def _weighted_choice(rng: Random, weighted: tuple[tuple[object, float], ...]):
+    total = sum(weight for _, weight in weighted)
+    roll = rng.random() * total
+    acc = 0.0
+    for value, weight in weighted:
+        acc += weight
+        if roll <= acc:
+            return value
+    return weighted[-1][0]
+
+
+@dataclass(slots=True)
+class TopologyConfig:
+    """Knobs of the topology generator.
+
+    The defaults produce a mid-size Internet suitable for benchmarks;
+    :meth:`small` shrinks everything for unit tests and :meth:`large`
+    approaches the paper's measurement scale.
+    """
+
+    seed: int = 42
+
+    # AS population by role.
+    n_tier1: int = 8
+    n_transit: int = 28
+    n_content: int = 10
+    n_access: int = 80
+    n_stub: int = 100
+    n_reseller: int = 6
+
+    # Physical plant.
+    n_facilities: int = 150
+    n_big_operators: int = 6
+    big_operator_share: float = 0.6
+    campus_prob: float = 0.7
+    n_ixps: int = 22
+    n_inactive_ixps: int = 3
+
+    # Peering behaviour.
+    #: Probability a local member with presence in several partner
+    #: facilities installs a redundant second port (the two-facility
+    #: members behind the Section 4.4 proximity experiment).
+    dual_port_prob: float = 0.35
+    remote_member_prob: float = 0.18
+    route_server_prob: float = 0.75
+    bilateral_public_prob: float = 0.35
+    cross_connect_prob: float = 0.30
+    tethering_prob: float = 0.08
+    #: When a customer shares no building with its (secondary) provider,
+    #: probability it reaches the provider by tethering over a common
+    #: exchange instead of colocating (Section 2: "this type of private
+    #: interconnect enables members of an IXP to privately reach
+    #: networks located in other facilities ... e.g. transit providers
+    #: or customers").
+    transit_tether_prob: float = 0.5
+    max_public_peers_per_member: int = 40
+
+    # Backbone shape.
+    extra_chord_prob: float = 0.3
+
+    metros: tuple[Metro, ...] = field(default=DEFAULT_METROS)
+
+    @classmethod
+    def small(cls, seed: int = 42) -> "TopologyConfig":
+        """A test-sized Internet (builds in well under a second)."""
+        return cls(
+            seed=seed,
+            n_tier1=4,
+            n_transit=10,
+            n_content=5,
+            n_access=24,
+            n_stub=28,
+            n_reseller=3,
+            n_facilities=48,
+            n_big_operators=4,
+            n_ixps=9,
+            n_inactive_ixps=2,
+            max_public_peers_per_member=18,
+        )
+
+    @classmethod
+    def large(cls, seed: int = 42) -> "TopologyConfig":
+        """A benchmark-scale Internet approaching the paper's footprint."""
+        return cls(
+            seed=seed,
+            n_tier1=10,
+            n_transit=45,
+            n_content=14,
+            n_access=160,
+            n_stub=220,
+            n_reseller=8,
+            n_facilities=320,
+            n_big_operators=8,
+            n_ixps=36,
+            n_inactive_ixps=5,
+        )
+
+    def validate(self) -> None:
+        """Reject configurations the builder cannot honour."""
+        if self.n_tier1 < 2:
+            raise ValueError("need at least two Tier-1 ASes")
+        if self.n_facilities < len(self.metros) // 4:
+            raise ValueError("too few facilities for the metro catalogue")
+        if self.n_ixps < 1:
+            raise ValueError("need at least one IXP")
+        if not 0.0 <= self.remote_member_prob <= 1.0:
+            raise ValueError("remote_member_prob must be a probability")
+        if self.n_reseller < 1 and self.remote_member_prob > 0:
+            raise ValueError("remote peering requires at least one reseller")
+
+
+class TopologyBuilder:
+    """Drives a :class:`TopologyConfig` to a finalized :class:`Topology`."""
+
+    def __init__(self, config: TopologyConfig) -> None:
+        config.validate()
+        self.config = config
+        self.rng = Random(config.seed)
+        self.catalogue = MetroCatalogue(config.metros)
+        self.topology = Topology(seed=config.seed, metros=self.catalogue)
+        self._as_pool = PrefixAllocator(_AS_POOL)
+        self._ixp_pool = PrefixAllocator(_IXP_POOL)
+        self._as_allocators: dict[int, PrefixAllocator] = {}
+        self._next_facility_id = 0
+        self._next_router_id = 0
+        self._next_link_id = 0
+        self._next_switch_id = 0
+        self._facilities_by_metro: dict[str, list[int]] = {}
+        # Builder-local router index (the Topology indexes only exist
+        # after finalize()).
+        self._router_index: dict[tuple[int, int], Router] = {}
+        # Customer-provider pairs realised over an exchange VLAN instead
+        # of a shared building (resolved at transit-link time).
+        self._deferred_transit: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def build(self) -> Topology:
+        """Generate and finalize a topology."""
+        self._build_facilities()
+        self._build_ixps()
+        self._build_ases()
+        self._assign_footprints()
+        self._choose_transit_relationships()
+        self._place_routers()
+        self._build_ixp_memberships()
+        self._build_transit_links()
+        self._build_public_peering()
+        self._build_private_peering()
+        self.topology.finalize()
+        return self.topology
+
+    # ------------------------------------------------------------------
+    # Physical plant
+    # ------------------------------------------------------------------
+
+    def _apportion_facilities(self) -> dict[str, int]:
+        """Largest-remainder apportionment of facilities to metros by
+        market weight, preserving the Figure 3 heavy tail."""
+        total_weight = sum(m.market_weight for m in self.catalogue)
+        shares = {
+            m.name: self.config.n_facilities * m.market_weight / total_weight
+            for m in self.catalogue
+        }
+        counts = {name: int(math.floor(share)) for name, share in shares.items()}
+        assigned = sum(counts.values())
+        remainders = sorted(
+            shares, key=lambda name: shares[name] - counts[name], reverse=True
+        )
+        for name in remainders:
+            if assigned >= self.config.n_facilities:
+                break
+            counts[name] += 1
+            assigned += 1
+        return counts
+
+    def _build_facilities(self) -> None:
+        counts = self._apportion_facilities()
+        big_operators = [
+            FacilityOperator(operator_id=i, name=_OPERATOR_NAMES[i % len(_OPERATOR_NAMES)])
+            for i in range(self.config.n_big_operators)
+        ]
+        for operator in big_operators:
+            self.topology.operators[operator.operator_id] = operator
+        next_operator_id = self.config.n_big_operators
+
+        for metro in self.catalogue:
+            n_here = counts.get(metro.name, 0)
+            self._facilities_by_metro[metro.name] = []
+            for index in range(n_here):
+                # The configured share of facilities goes to the big
+                # multi-metro operators; the rest to local one-building
+                # companies.
+                if self.rng.random() < self.config.big_operator_share:
+                    operator = self.rng.choice(big_operators)
+                else:
+                    operator = FacilityOperator(
+                        operator_id=next_operator_id,
+                        name=f"{metro.name} Colo {next_operator_id}",
+                    )
+                    self.topology.operators[operator.operator_id] = operator
+                    next_operator_id += 1
+                facility_id = self._next_facility_id
+                self._next_facility_id += 1
+                jitter = GeoLocation(
+                    max(-90.0, min(90.0, metro.location.latitude + self.rng.uniform(-0.05, 0.05))),
+                    max(-180.0, min(180.0, metro.location.longitude + self.rng.uniform(-0.05, 0.05))),
+                )
+                facility = Facility(
+                    facility_id=facility_id,
+                    name=f"{operator.name} {metro.name} {index + 1}",
+                    operator_id=operator.operator_id,
+                    metro=metro.name,
+                    country=metro.country,
+                    region=metro.region,
+                    location=jitter,
+                )
+                operator.facility_ids.add(facility_id)
+                self.topology.facilities[facility_id] = facility
+                self._facilities_by_metro[metro.name].append(facility_id)
+
+        # Big operators connect their multi-building metros into campuses.
+        for operator in big_operators:
+            per_metro: dict[str, int] = {}
+            for facility_id in operator.facility_ids:
+                metro = self.topology.facilities[facility_id].metro
+                per_metro[metro] = per_metro.get(metro, 0) + 1
+            for metro, n_buildings in per_metro.items():
+                if n_buildings >= 2 and self.rng.random() < self.config.campus_prob:
+                    operator.connected_metros.add(metro)
+
+    def _build_ixps(self) -> None:
+        # IXPs go to the metros with the most facilities, biggest first;
+        # large metros can host several exchanges (DE-CIX and ECIX share
+        # Frankfurt, for example).
+        metros_ranked = sorted(
+            self._facilities_by_metro,
+            key=lambda name: len(self._facilities_by_metro[name]),
+            reverse=True,
+        )
+        metros_ranked = [m for m in metros_ranked if self._facilities_by_metro[m]]
+        total = self.config.n_ixps + self.config.n_inactive_ixps
+        # Exchanges concentrate in the big interconnection hubs: cycling
+        # through only the top markets gives Frankfurt/London-style
+        # metros several competing IXPs, whose partner facilities then
+        # overlap — the precondition for the multi-IXP routers the paper
+        # observes (11.9% of public-peering routers).
+        hub_count = max(3, min(len(metros_ranked), (total + 1) // 2))
+        hubs = metros_ranked[:hub_count]
+        placements: list[str] = []
+        rank = 0
+        while len(placements) < total:
+            placements.append(hubs[rank % len(hubs)])
+            rank += 1
+
+        for ixp_id, metro_name in enumerate(placements):
+            metro = self.catalogue.resolve(metro_name)
+            facilities_here = self._facilities_by_metro[metro_name]
+            active = ixp_id < self.config.n_ixps
+            # Bigger exchanges partner with more of the metro's buildings
+            # (DE-CIX Frankfurt spans 18 facilities).  Every exchange
+            # lands in the metro's flagship carrier hotel first — which
+            # is why co-metro exchanges share buildings and members can
+            # reach several fabrics from one router (Section 5).
+            max_partners = max(1, len(facilities_here))
+            n_partners = self.rng.randint(
+                1, max_partners if active else min(2, max_partners)
+            )
+            flagship = facilities_here[0]
+            rest = [f for f in facilities_here if f != flagship]
+            partners = [flagship] + self.rng.sample(
+                rest, min(n_partners - 1, len(rest))
+            )
+            lan = self._ixp_pool.allocate_prefix(_IXP_LAN_LEN)
+            ixp = IXP(
+                ixp_id=ixp_id,
+                name=f"{metro_name.upper().replace(' ', '-')}-IX{ixp_id}",
+                metro=metro_name,
+                country=metro.country,
+                region=metro.region,
+                peering_lans=[lan],
+                asn=59000 + ixp_id,
+                has_route_server=self.rng.random() < 0.85,
+                active=active,
+            )
+            self._build_fabric(ixp, partners)
+            self.topology.ixps[ixp_id] = ixp
+            for facility_id in partners:
+                self.topology.facilities[facility_id].ixp_ids.add(ixp_id)
+
+    def _build_fabric(self, ixp: IXP, partners: list[int]) -> None:
+        """Install a core/backhaul/access switch tree across ``partners``."""
+        hub = partners[0]
+        core = Switch(
+            switch_id=self._next_switch_id,
+            ixp_id=ixp.ixp_id,
+            kind=SwitchKind.CORE,
+            facility_id=hub,
+        )
+        self._next_switch_id += 1
+        ixp.add_switch(core)
+
+        backhauls: list[Switch] = []
+        if len(partners) > 4:
+            n_backhauls = max(2, len(partners) // 4)
+            for index in range(n_backhauls):
+                backhaul_facility = partners[index % len(partners)]
+                backhaul = Switch(
+                    switch_id=self._next_switch_id,
+                    ixp_id=ixp.ixp_id,
+                    kind=SwitchKind.BACKHAUL,
+                    facility_id=backhaul_facility,
+                )
+                self._next_switch_id += 1
+                ixp.add_switch(backhaul, parent_id=core.switch_id)
+                backhauls.append(backhaul)
+
+        for index, facility_id in enumerate(partners):
+            if backhauls:
+                parent = backhauls[index % len(backhauls)].switch_id
+            else:
+                parent = core.switch_id
+            access = Switch(
+                switch_id=self._next_switch_id,
+                ixp_id=ixp.ixp_id,
+                kind=SwitchKind.ACCESS,
+                facility_id=facility_id,
+            )
+            self._next_switch_id += 1
+            ixp.add_switch(access, parent_id=parent)
+
+    # ------------------------------------------------------------------
+    # AS population
+    # ------------------------------------------------------------------
+
+    def _make_as(self, asn: int, name: str, role: ASRole, policy: PeeringPolicy) -> AutonomousSystem:
+        home = self.rng.choice(self.catalogue.metros).name
+        mix = _IPID_MIX.get(role, _IPID_MIX_DEFAULT)
+        record = AutonomousSystem(
+            asn=asn,
+            name=name,
+            role=role,
+            policy=policy,
+            home_metro=home,
+            ipid_mode=_weighted_choice(self.rng, mix),
+            dns_scheme=_weighted_choice(self.rng, _DNS_SCHEME_MIX),
+        )
+        aggregate = self._as_pool.allocate_prefix(_AGGREGATE_LEN[role])
+        record.prefixes.append(aggregate)
+        self._as_allocators[asn] = PrefixAllocator(aggregate)
+        if role in (ASRole.TIER1, ASRole.TRANSIT):
+            record.runs_looking_glass = self.rng.random() < 0.55
+        elif role is ASRole.ACCESS:
+            record.runs_looking_glass = self.rng.random() < 0.20
+        record.lg_supports_bgp = (
+            record.runs_looking_glass and self.rng.random() < 0.25
+        )
+        # Large operators document their colocation footprints on NOC
+        # pages (Section 3.1.1 scraped them for exactly these networks);
+        # small edge networks rarely bother.
+        noc_prob = {
+            ASRole.TIER1: 0.85,
+            ASRole.TRANSIT: 0.75,
+            ASRole.CONTENT: 0.85,
+            ASRole.RESELLER: 0.6,
+            ASRole.ACCESS: 0.45,
+            ASRole.STUB: 0.25,
+        }[role]
+        record.has_noc_page = self.rng.random() < noc_prob
+        self.topology.ases[asn] = record
+        return record
+
+    def _build_ases(self) -> None:
+        cfg = self.config
+        for i in range(cfg.n_tier1):
+            self._make_as(3000 + i, f"tier1-{i}", ASRole.TIER1, PeeringPolicy.RESTRICTIVE)
+        for i in range(cfg.n_transit):
+            policy = PeeringPolicy.SELECTIVE if self.rng.random() < 0.6 else PeeringPolicy.OPEN
+            self._make_as(6000 + i, f"transit-{i}", ASRole.TRANSIT, policy)
+        for i in range(cfg.n_content):
+            self._make_as(15000 + i, f"cdn-{i}", ASRole.CONTENT, PeeringPolicy.OPEN)
+        for i in range(cfg.n_access):
+            policy = PeeringPolicy.OPEN if self.rng.random() < 0.7 else PeeringPolicy.SELECTIVE
+            self._make_as(30000 + i, f"access-{i}", ASRole.ACCESS, policy)
+        for i in range(cfg.n_stub):
+            self._make_as(50000 + i, f"stub-{i}", ASRole.STUB, PeeringPolicy.OPEN)
+        for i in range(cfg.n_reseller):
+            self._make_as(45000 + i, f"reseller-{i}", ASRole.RESELLER, PeeringPolicy.OPEN)
+
+    def _metro_sample(self, n: int, bias_region: str | None = None) -> list[Metro]:
+        """Weighted sample of ``n`` distinct metros, optionally biased to
+        one region (regional players cluster near home)."""
+        metros = list(self.catalogue.metros)
+        weights = []
+        for metro in metros:
+            weight = metro.market_weight
+            if bias_region is not None and metro.region == bias_region:
+                weight *= 6.0
+            weights.append(weight)
+        chosen: list[Metro] = []
+        pool = list(zip(metros, weights))
+        for _ in range(min(n, len(metros))):
+            total = sum(w for _, w in pool)
+            roll = self.rng.random() * total
+            acc = 0.0
+            for index, (metro, weight) in enumerate(pool):
+                acc += weight
+                if roll <= acc:
+                    chosen.append(metro)
+                    pool.pop(index)
+                    break
+        return chosen
+
+    def _footprint_for(self, record: AutonomousSystem) -> None:
+        """Pick ground-truth facility presence for one AS."""
+        home_region = self.catalogue.resolve(record.home_metro).region
+        role = record.role
+        if role is ASRole.TIER1:
+            metros = self._metro_sample(self.rng.randint(14, 24))
+            per_metro = (1, 3)
+        elif role is ASRole.TRANSIT:
+            metros = self._metro_sample(self.rng.randint(3, 9), bias_region=home_region)
+            per_metro = (1, 2)
+        elif role is ASRole.CONTENT:
+            metros = self._metro_sample(self.rng.randint(8, 18))
+            per_metro = (1, 2)
+        elif role is ASRole.ACCESS:
+            metros = self._metro_sample(self.rng.randint(1, 3), bias_region=home_region)
+            per_metro = (1, 2)
+        elif role is ASRole.RESELLER:
+            metros = self._metro_sample(self.rng.randint(4, 8))
+            per_metro = (1, 1)
+        else:  # STUB
+            metros = self._metro_sample(1, bias_region=home_region)
+            per_metro = (1, 1)
+
+        for metro in metros:
+            available = self._facilities_by_metro.get(metro.name, [])
+            if not available:
+                continue
+            want = self.rng.randint(*per_metro)
+            # Content providers and resellers deliberately pick buildings
+            # that host IXP access switches.
+            if role in (ASRole.CONTENT, ASRole.RESELLER):
+                ranked = sorted(
+                    available,
+                    key=lambda fid: -len(self.topology.facilities[fid].ixp_ids),
+                )
+                picks = ranked[: min(want, len(ranked))]
+            else:
+                picks = self.rng.sample(available, min(want, len(available)))
+            record.facility_ids.update(picks)
+
+        if not record.facility_ids:
+            # Guarantee at least one building anywhere.
+            any_metro = self.rng.choice(
+                [m for m, f in self._facilities_by_metro.items() if f]
+            )
+            record.facility_ids.add(self.rng.choice(self._facilities_by_metro[any_metro]))
+
+    def _assign_footprints(self) -> None:
+        for record in self.topology.ases.values():
+            self._footprint_for(record)
+
+    # ------------------------------------------------------------------
+    # Transit relationships (AS level)
+    # ------------------------------------------------------------------
+
+    def _providers_pool(self, role: ASRole) -> list[AutonomousSystem]:
+        if role in (ASRole.TRANSIT,):
+            roles = (ASRole.TIER1,)
+        else:
+            roles = (ASRole.TIER1, ASRole.TRANSIT)
+        return [a for a in self.topology.ases.values() if a.role in roles]
+
+    def _choose_transit_relationships(self) -> None:
+        """Give every non-Tier-1 AS one or two providers; when customer
+        and provider share no building, the customer colocates into one
+        of the provider's facilities (footprint follows transit).
+
+        Tier-1s are transit-free, so global reachability requires the
+        Tier-1 clique: every Tier-1 pair is guaranteed a common facility
+        here and a private interconnect in :meth:`_build_private_peering`.
+        """
+        tier1s = sorted(
+            (a for a in self.topology.ases.values() if a.role is ASRole.TIER1),
+            key=lambda a: a.asn,
+        )
+        for i, record_a in enumerate(tier1s):
+            for record_b in tier1s[i + 1 :]:
+                if not record_a.facility_ids & record_b.facility_ids:
+                    record_a.facility_ids.add(
+                        self.rng.choice(sorted(record_b.facility_ids))
+                    )
+        for record in self.topology.ases.values():
+            if record.role is ASRole.TIER1:
+                continue
+            pool = self._providers_pool(record.role)
+            pool = [p for p in pool if p.asn != record.asn]
+            if not pool:
+                continue
+            n_providers = self.rng.randint(1, 2)
+            # The primary provider is preferentially colocated; a second
+            # provider is picked for path diversity from the whole pool
+            # (it frequently shares no building — the tethering case).
+            overlapping = [
+                p for p in pool if p.facility_ids & record.facility_ids
+            ]
+            providers: list[AutonomousSystem] = []
+            primary_candidates = overlapping or pool
+            primary = self.rng.choice(primary_candidates)
+            providers.append(primary)
+            if n_providers > 1:
+                rest = [p for p in pool if p.asn != primary.asn]
+                if rest:
+                    providers.append(self.rng.choice(rest))
+            for index, provider in enumerate(providers):
+                record.transit_provider_asns.add(provider.asn)
+                if not provider.facility_ids & record.facility_ids:
+                    # A secondary provider may be reached by tethering
+                    # over a common exchange instead of colocating; the
+                    # primary provider always shares a building so the
+                    # customer stays reachable regardless.
+                    if (
+                        index > 0
+                        and self.rng.random() < self.config.transit_tether_prob
+                    ):
+                        self._deferred_transit.add((record.asn, provider.asn))
+                        continue
+                    record.facility_ids.add(
+                        self.rng.choice(sorted(provider.facility_ids))
+                    )
+
+    # ------------------------------------------------------------------
+    # Routers, loopbacks, intra-AS backbone
+    # ------------------------------------------------------------------
+
+    def _place_routers(self) -> None:
+        for record in self.topology.ases.values():
+            router_ids: list[int] = []
+            for index, facility_id in enumerate(sorted(record.facility_ids)):
+                router = Router(
+                    router_id=self._next_router_id,
+                    asn=record.asn,
+                    facility_id=facility_id,
+                    hostname_label=f"edge{index + 1}",
+                )
+                self._next_router_id += 1
+                self.topology.routers[router.router_id] = router
+                self._router_index[(record.asn, facility_id)] = router
+                allocator = self._as_allocators[record.asn]
+                loopback = allocator.allocate_address()
+                self.topology.add_interface(
+                    Interface(
+                        address=loopback,
+                        router_id=router.router_id,
+                        kind=InterfaceKind.LOOPBACK,
+                        space_owner_asn=record.asn,
+                    )
+                )
+                # A responsive host behind the router: the target class
+                # real campaigns probe (servers, hitlist addresses).
+                host = allocator.allocate_address()
+                self.topology.add_interface(
+                    Interface(
+                        address=host,
+                        router_id=router.router_id,
+                        kind=InterfaceKind.HOST,
+                        space_owner_asn=record.asn,
+                    )
+                )
+                router_ids.append(router.router_id)
+            self._wire_backbone(record.asn, router_ids)
+
+    def _router_distance(self, a: int, b: int) -> float:
+        return haversine_km(
+            self.topology.router_location(a), self.topology.router_location(b)
+        )
+
+    def _add_backbone_link(self, asn: int, router_a: int, router_b: int) -> None:
+        allocator = self._as_allocators[asn]
+        prefix = allocator.allocate_prefix(_P2P_PREFIX_LEN)
+        addresses = list(prefix.hosts())
+        link = BackboneLink(
+            link_id=self._next_link_id,
+            asn=asn,
+            router_a=router_a,
+            router_b=router_b,
+            prefix=prefix,
+        )
+        self._next_link_id += 1
+        self.topology.backbone_links[link.link_id] = link
+        for router_id, address in ((router_a, addresses[0]), (router_b, addresses[1])):
+            self.topology.add_interface(
+                Interface(
+                    address=address,
+                    router_id=router_id,
+                    kind=InterfaceKind.BACKBONE,
+                    space_owner_asn=asn,
+                    link_id=link.link_id,
+                )
+            )
+
+    def _wire_backbone(self, asn: int, router_ids: list[int]) -> None:
+        """Connect an AS's routers: nearest-neighbour spanning tree plus
+        occasional chords for path diversity."""
+        if len(router_ids) < 2:
+            return
+        connected = [router_ids[0]]
+        for router_id in router_ids[1:]:
+            nearest = min(
+                connected, key=lambda other: self._router_distance(router_id, other)
+            )
+            self._add_backbone_link(asn, router_id, nearest)
+            if len(connected) >= 2 and self.rng.random() < self.config.extra_chord_prob:
+                second = min(
+                    (r for r in connected if r != nearest),
+                    key=lambda other: self._router_distance(router_id, other),
+                )
+                self._add_backbone_link(asn, router_id, second)
+            connected.append(router_id)
+
+    # ------------------------------------------------------------------
+    # IXP membership and ports
+    # ------------------------------------------------------------------
+
+    def _router_at(self, asn: int, facility_id: int) -> Router:
+        router = self._router_index.get((asn, facility_id))
+        if router is None:
+            raise LookupError(f"AS{asn} has no router at facility {facility_id}")
+        return router
+
+    def _build_ixp_memberships(self) -> None:
+        active_ixps = [ixp for ixp in self.topology.ixps.values() if ixp.active]
+        # Resellers join first so remote members can ride their circuits.
+        ordered = sorted(
+            self.topology.ases.values(),
+            key=lambda a: 0 if a.role is ASRole.RESELLER else 1,
+        )
+        for record in ordered:
+            for ixp in active_ixps:
+                common = record.facility_ids & ixp.facility_ids
+                if common:
+                    if self.rng.random() < _IXP_JOIN_PROB[record.role]:
+                        self._join_local(record, ixp, common)
+                elif record.role is not ASRole.RESELLER:
+                    if self.rng.random() < self._remote_join_prob(record):
+                        self._join_remote(record, ixp)
+
+    def _remote_join_prob(self, record: AutonomousSystem) -> float:
+        base = {
+            ASRole.CONTENT: 0.10,
+            ASRole.ACCESS: 0.05,
+            ASRole.STUB: 0.03,
+            ASRole.TRANSIT: 0.03,
+            ASRole.TIER1: 0.0,
+            ASRole.RESELLER: 0.0,
+        }[record.role]
+        return base * (self.config.remote_member_prob / 0.18)
+
+    def _allocate_lan_address(self, ixp: IXP) -> int:
+        lan = ixp.peering_lans[0]
+        ixp.allocated_lan_hosts += 1
+        address = lan.network + ixp.allocated_lan_hosts  # skips network addr
+        if address >= lan.last:
+            raise RuntimeError(f"peering LAN of {ixp.name} exhausted")
+        return address
+
+    def _install_port(
+        self,
+        record: AutonomousSystem,
+        ixp: IXP,
+        facility_id: int,
+        reseller_asn: int | None = None,
+        access_switch_id: int | None = None,
+        router_facility: int | None = None,
+    ) -> MemberPort:
+        """Create one member port: LAN address + router interface."""
+        if access_switch_id is None:
+            switch = ixp.access_switch_at(facility_id)
+            assert switch is not None
+            access_switch_id = switch.switch_id
+        router = self._router_at(
+            record.asn,
+            router_facility if router_facility is not None else facility_id,
+        )
+        address = self._allocate_lan_address(ixp)
+        port = MemberPort(
+            asn=record.asn,
+            address=address,
+            access_switch_id=access_switch_id,
+            facility_id=None if reseller_asn is not None else facility_id,
+            reseller_asn=reseller_asn,
+        )
+        ixp.add_member_port(port)
+        self.topology.add_interface(
+            Interface(
+                address=address,
+                router_id=router.router_id,
+                kind=InterfaceKind.IXP_LAN,
+                space_owner_asn=ixp.asn,
+                ixp_id=ixp.ixp_id,
+            )
+        )
+        return port
+
+    def _join_local(self, record: AutonomousSystem, ixp: IXP, common: set[int]) -> None:
+        ordered = sorted(common)
+        # Members favour their best-connected building: landing the port
+        # where other exchanges also have switches is what produces the
+        # multi-IXP routers of Section 5 (11.9% of public routers).
+        if len(ordered) > 1 and self.rng.random() < 0.7:
+            first = max(
+                ordered,
+                key=lambda fid: (len(self.topology.facilities[fid].ixp_ids), -fid),
+            )
+        else:
+            first = self.rng.choice(ordered)
+        self._install_port(record, ixp, first)
+        record.ixp_ids.add(ixp.ixp_id)
+        # Redundant second port in another partner building, when the
+        # member's footprint allows it.
+        others = [f for f in ordered if f != first]
+        if others and self.rng.random() < self.config.dual_port_prob:
+            self._install_port(record, ixp, self.rng.choice(others))
+
+    def _join_remote(self, record: AutonomousSystem, ixp: IXP) -> None:
+        resellers = [
+            self.topology.ases[asn]
+            for asn in ixp.reseller_asns
+        ] or [
+            a
+            for a in self.topology.ases.values()
+            if a.role is ASRole.RESELLER and ixp.ixp_id in a.ixp_ids
+        ]
+        if not resellers:
+            return
+        reseller = self.rng.choice(sorted(resellers, key=lambda a: a.asn))
+        ixp.reseller_asns.add(reseller.asn)
+        landing_port = ixp.primary_port(reseller.asn)
+        # The remote member's router stays in one of its own buildings.
+        home_facility = self.rng.choice(sorted(record.facility_ids))
+        self._install_port(
+            record,
+            ixp,
+            facility_id=home_facility,
+            reseller_asn=reseller.asn,
+            access_switch_id=landing_port.access_switch_id,
+            router_facility=home_facility,
+        )
+        record.remote_ixp_ids.add(ixp.ixp_id)
+
+    # ------------------------------------------------------------------
+    # Interconnections
+    # ------------------------------------------------------------------
+
+    def _add_private_link(
+        self,
+        kind: InterconnectionType,
+        relationship: Relationship,
+        asn_a: int,
+        router_a: Router,
+        asn_b: int,
+        router_b: Router,
+        ixp_id: int | None,
+        owner_asn: int,
+    ) -> Interconnection:
+        allocator = self._as_allocators[owner_asn]
+        prefix = allocator.allocate_prefix(_P2P_PREFIX_LEN)
+        addresses = list(prefix.hosts())
+        link = Interconnection(
+            link_id=self._next_link_id,
+            kind=kind,
+            relationship=relationship,
+            asn_a=asn_a,
+            asn_b=asn_b,
+            router_a=router_a.router_id,
+            router_b=router_b.router_id,
+            facility_a=router_a.facility_id,
+            facility_b=router_b.facility_id,
+            ixp_id=ixp_id,
+            p2p_prefix=prefix,
+            p2p_owner_asn=owner_asn,
+        )
+        self._next_link_id += 1
+        self.topology.interconnections[link.link_id] = link
+        for router, address in ((router_a, addresses[0]), (router_b, addresses[1])):
+            self.topology.add_interface(
+                Interface(
+                    address=address,
+                    router_id=router.router_id,
+                    kind=InterfaceKind.PRIVATE_P2P,
+                    space_owner_asn=owner_asn,
+                    link_id=link.link_id,
+                )
+            )
+        return link
+
+    def _build_transit_links(self) -> None:
+        """Realise every customer-provider relationship: a private
+        cross-connect in a shared building, or — for deferred pairs — a
+        tethering VLAN over a common exchange (Section 2)."""
+        for record in self.topology.ases.values():
+            for provider_asn in sorted(record.transit_provider_asns):
+                provider = self.topology.ases[provider_asn]
+                if (record.asn, provider_asn) in self._deferred_transit:
+                    if self._add_transit_tether(record, provider):
+                        continue
+                    # No shared exchange after membership assignment:
+                    # the relationship cannot be realised; drop it (the
+                    # primary provider keeps the customer connected).
+                    record.transit_provider_asns.discard(provider_asn)
+                    continue
+                common = sorted(record.facility_ids & provider.facility_ids)
+                if not common:  # pragma: no cover - prevented upstream
+                    continue
+                facility_id = self.rng.choice(common)
+                self._add_private_link(
+                    InterconnectionType.PRIVATE_CROSS_CONNECT,
+                    Relationship.CUSTOMER_PROVIDER,
+                    record.asn,
+                    self._router_at(record.asn, facility_id),
+                    provider_asn,
+                    self._router_at(provider_asn, facility_id),
+                    ixp_id=None,
+                    owner_asn=provider_asn,  # the provider numbers the link
+                )
+
+    def _add_transit_tether(
+        self, record: AutonomousSystem, provider: AutonomousSystem
+    ) -> bool:
+        """Reach a provider over a common exchange fabric, if any."""
+        shared_ixps = sorted(
+            (record.ixp_ids | record.remote_ixp_ids)
+            & (provider.ixp_ids | provider.remote_ixp_ids)
+        )
+        if not shared_ixps:
+            return False
+        ixp = self.topology.ixps[shared_ixps[0]]
+        self._add_private_link(
+            InterconnectionType.TETHERING,
+            Relationship.CUSTOMER_PROVIDER,
+            record.asn,
+            self._port_router(ixp, record.asn),
+            provider.asn,
+            self._port_router(ixp, provider.asn),
+            ixp_id=ixp.ixp_id,
+            owner_asn=provider.asn,
+        )
+        return True
+
+    def _want_public_peering(self, a: AutonomousSystem, b: AutonomousSystem) -> bool:
+        if b.asn in a.transit_provider_asns or a.asn in b.transit_provider_asns:
+            return False
+        restrictive = PeeringPolicy.RESTRICTIVE
+        if a.policy is restrictive or b.policy is restrictive:
+            return self.rng.random() < 0.05
+        return True
+
+    def _build_public_peering(self) -> None:
+        """Multilateral peering via route servers plus bilateral sessions.
+
+        Every materialised session between two member ports becomes one
+        :class:`Interconnection` of kind PUBLIC_PEERING (or
+        REMOTE_PEERING when either port rides a reseller circuit).
+        """
+        for ixp in self.topology.ixps.values():
+            if not ixp.active:
+                continue
+            members = sorted(ixp.member_ports)
+            rs_users = {
+                asn
+                for asn in members
+                if ixp.has_route_server and self.rng.random() < self.config.route_server_prob
+            }
+            peer_counts = {asn: 0 for asn in members}
+            base_cap = self.config.max_public_peers_per_member
+
+            def cap_of(asn: int) -> int:
+                # Content networks peer openly with most of the member
+                # base (the Figure 10 public skew); others keep a
+                # bounded session count.
+                if self.topology.ases[asn].role is ASRole.CONTENT:
+                    return base_cap * 4
+                return base_cap
+
+            for i, asn_a in enumerate(members):
+                for asn_b in members[i + 1 :]:
+                    if peer_counts[asn_a] >= cap_of(asn_a) or peer_counts[asn_b] >= cap_of(asn_b):
+                        continue
+                    record_a = self.topology.ases[asn_a]
+                    record_b = self.topology.ases[asn_b]
+                    if not self._want_public_peering(record_a, record_b):
+                        continue
+                    via_rs = asn_a in rs_users and asn_b in rs_users
+                    if not via_rs and self.rng.random() >= self.config.bilateral_public_prob:
+                        continue
+                    self._add_public_link(ixp, asn_a, asn_b, via_rs)
+                    peer_counts[asn_a] += 1
+                    peer_counts[asn_b] += 1
+
+    def _router_of_port(self, port: MemberPort) -> Router:
+        interface = self.topology.interfaces[port.address]
+        return self.topology.routers[interface.router_id]
+
+    def _port_router(self, ixp: IXP, asn: int) -> Router:
+        return self._router_of_port(ixp.primary_port(asn))
+
+    def _select_port_pair(
+        self, ixp: IXP, asn_a: int, asn_b: int
+    ) -> tuple[MemberPort, MemberPort]:
+        """Fabric-proximate port pair for a session between two members.
+
+        Operators confirmed (Section 4.4) that traffic between members
+        stays on the nearest shared switch, so a multi-port member is
+        reached through the port closest to its peer in the fabric tree.
+        """
+        best: tuple[int, int, int] | None = None
+        best_pair: tuple[MemberPort, MemberPort] | None = None
+        for port_a in ixp.ports_of(asn_a):
+            for port_b in ixp.ports_of(asn_b):
+                hops = ixp.switch_hops(
+                    port_a.access_switch_id, port_b.access_switch_id
+                )
+                key = (hops, port_a.address, port_b.address)
+                if best is None or key < best:
+                    best = key
+                    best_pair = (port_a, port_b)
+        assert best_pair is not None
+        return best_pair
+
+    def _add_public_link(self, ixp: IXP, asn_a: int, asn_b: int, via_rs: bool) -> None:
+        port_a, port_b = self._select_port_pair(ixp, asn_a, asn_b)
+        router_a = self._router_of_port(port_a)
+        router_b = self._router_of_port(port_b)
+        kind = (
+            InterconnectionType.REMOTE_PEERING
+            if port_a.is_remote or port_b.is_remote
+            else InterconnectionType.PUBLIC_PEERING
+        )
+        link = Interconnection(
+            link_id=self._next_link_id,
+            kind=kind,
+            relationship=Relationship.PEER_PEER,
+            asn_a=asn_a,
+            asn_b=asn_b,
+            router_a=router_a.router_id,
+            router_b=router_b.router_id,
+            facility_a=router_a.facility_id,
+            facility_b=router_b.facility_id,
+            ixp_id=ixp.ixp_id,
+            via_route_server=via_rs,
+        )
+        self._next_link_id += 1
+        self.topology.interconnections[link.link_id] = link
+
+    def _build_private_peering(self) -> None:
+        """Cross-connects between co-located peers, and tethering between
+        IXP members that lack a common building."""
+        ases = sorted(self.topology.ases.values(), key=lambda a: a.asn)
+        for i, record_a in enumerate(ases):
+            for record_b in ases[i + 1 :]:
+                if record_b.asn in record_a.transit_provider_asns:
+                    continue
+                if record_a.asn in record_b.transit_provider_asns:
+                    continue
+                if record_a.role is ASRole.STUB and record_b.role is ASRole.STUB:
+                    continue
+                common = self._cross_connectable(record_a, record_b)
+                if common:
+                    if self.rng.random() < self._xconn_prob(record_a, record_b):
+                        facility_a, facility_b = self.rng.choice(sorted(common))
+                        owner = max(record_a, record_b, key=lambda r: r.role is ASRole.TIER1).asn
+                        self._add_private_link(
+                            InterconnectionType.PRIVATE_CROSS_CONNECT,
+                            Relationship.PEER_PEER,
+                            record_a.asn,
+                            self._router_at(record_a.asn, facility_a),
+                            record_b.asn,
+                            self._router_at(record_b.asn, facility_b),
+                            ixp_id=None,
+                            owner_asn=owner,
+                        )
+                else:
+                    shared_ixps = sorted(
+                        (record_a.ixp_ids & record_b.ixp_ids)
+                        | (record_a.ixp_ids & record_b.remote_ixp_ids)
+                        | (record_a.remote_ixp_ids & record_b.ixp_ids)
+                    )
+                    if shared_ixps and self.rng.random() < self.config.tethering_prob:
+                        ixp = self.topology.ixps[shared_ixps[0]]
+                        router_a = self._port_router(ixp, record_a.asn)
+                        router_b = self._port_router(ixp, record_b.asn)
+                        self._add_private_link(
+                            InterconnectionType.TETHERING,
+                            Relationship.PEER_PEER,
+                            record_a.asn,
+                            router_a,
+                            record_b.asn,
+                            router_b,
+                            ixp_id=ixp.ixp_id,
+                            owner_asn=record_a.asn,
+                        )
+
+    def _cross_connectable(
+        self, a: AutonomousSystem, b: AutonomousSystem
+    ) -> set[tuple[int, int]]:
+        """Facility pairs where the two ASes could order a cross-connect:
+        same building, or two buildings of one operator's campus."""
+        pairs: set[tuple[int, int]] = set()
+        for facility_a in a.facility_ids:
+            campus = self.topology.campus_facilities(facility_a)
+            for facility_b in b.facility_ids & campus:
+                pairs.add((facility_a, facility_b))
+        return pairs
+
+    def _xconn_prob(self, a: AutonomousSystem, b: AutonomousSystem) -> float:
+        roles = {a.role, b.role}
+        base = self.config.cross_connect_prob
+        if roles == {ASRole.TIER1}:
+            return 1.0  # the Tier-1 clique always interconnects privately
+        if ASRole.CONTENT in roles:
+            # CDNs overwhelmingly prefer the public fabric (Figure 10);
+            # they keep PNIs for the highest-volume eyeball relationships.
+            return base * 0.5
+        if ASRole.STUB in roles:
+            return base * 0.3
+        return base
+
+
+def build_topology(config: TopologyConfig | None = None) -> Topology:
+    """Convenience wrapper: build a topology from ``config`` (or defaults)."""
+    return TopologyBuilder(config or TopologyConfig()).build()

@@ -1,0 +1,83 @@
+"""Interconnection facilities and their operators.
+
+An interconnection facility (Section 2) is a building that leases secure
+space for network equipment and provides the cross-connect plant between
+tenants.  Operators such as Equinix, Telehouse and Interxion run many
+facilities; a metro-scale operator may interconnect its facilities so
+that tenants of one building can cross-connect to tenants of another
+("connected campuses"), which matters for Step 2 of Constrained Facility
+Search: a private cross-connect constrains the two routers to the *same
+facility or connected facilities of the same operator*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geo import GeoLocation
+
+__all__ = ["FacilityOperator", "Facility"]
+
+
+@dataclass(slots=True)
+class FacilityOperator:
+    """A colocation company operating one or more facilities.
+
+    Attributes:
+        operator_id: dense integer id.
+        name: company name (e.g. the generated analogue of "Equinix").
+        facility_ids: facilities run by this operator.
+        connected_metros: metros where this operator interconnects its
+            own facilities into a campus, enabling cross-connects between
+            buildings.
+    """
+
+    operator_id: int
+    name: str
+    facility_ids: set[int] = field(default_factory=set)
+    connected_metros: set[str] = field(default_factory=set)
+
+    def connects_campus_in(self, metro: str) -> bool:
+        """True if the operator's facilities in ``metro`` form a campus."""
+        return metro in self.connected_metros
+
+
+@dataclass(slots=True)
+class Facility:
+    """One interconnection facility (a building).
+
+    Attributes:
+        facility_id: dense integer id.
+        name: marketing name, e.g. ``"Equinor FR3"``; also the token that
+            operator DNS schemes embed into hostnames.
+        operator_id: owning :class:`FacilityOperator`.
+        metro: canonical metro name (resolved via the metro catalogue).
+        country: ISO alpha-2 country code (denormalised for datasets).
+        region: continental region (denormalised for Figure 10 cuts).
+        location: street-level coordinates (jittered within the metro).
+        ixp_ids: IXPs with an access switch deployed in this building.
+        dns_code: short code operators embed in hostnames for this
+            building (e.g. ``"thn"`` for Telehouse North, Section 6).
+    """
+
+    facility_id: int
+    name: str
+    operator_id: int
+    metro: str
+    country: str
+    region: str
+    location: GeoLocation
+    ixp_ids: set[int] = field(default_factory=set)
+    dns_code: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.dns_code:
+            # Derive a stable, readable, *unique* code from the name:
+            # operator fragment plus the facility id (real codes like
+            # "thn" are per-building, never shared across a campus).
+            compact = "".join(ch for ch in self.name.lower() if ch.isalnum())
+            self.dns_code = f"{compact[:4] or 'fac'}{self.facility_id}"
+
+    def hosts_ixp(self, ixp_id: int) -> bool:
+        """True if the IXP has an access switch in this building."""
+        return ixp_id in self.ixp_ids

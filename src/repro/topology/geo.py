@@ -1,0 +1,346 @@
+"""Geography substrate: metropolitan areas, distances, and propagation delay.
+
+The paper anchors every inference to physical buildings inside
+metropolitan areas (Section 3.1: facilities are grouped into a metro when
+they are within 5 miles of each other, e.g. Jersey City and New York City
+become the NYC metro).  This module provides:
+
+* a catalogue of real metropolitan areas with coordinates, ISO country
+  codes and regions, matching the cities that dominate the paper's
+  Figure 3 (metros with at least 10 interconnection facilities);
+* great-circle distance (haversine) helpers;
+* a speed-of-light-in-fiber propagation-delay model used by the
+  measurement substrate to synthesise traceroute RTTs, which in turn
+  drive the remote-peering detection of Section 4.2 (Castro et al.).
+
+Everything here is deterministic and has no external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GeoLocation",
+    "Metro",
+    "MetroCatalogue",
+    "DEFAULT_METROS",
+    "haversine_km",
+    "km_to_miles",
+    "miles_to_km",
+    "propagation_delay_ms",
+    "METRO_GROUPING_MILES",
+]
+
+#: Facilities closer than this are grouped into one metropolitan area
+#: (Section 3.1.1 of the paper uses 5 miles).
+METRO_GROUPING_MILES = 5.0
+
+_EARTH_RADIUS_KM = 6371.0088
+
+#: Effective signal speed in optical fiber, km per millisecond.  Light in
+#: fiber travels at roughly 2/3 c ~= 200 km/ms.
+_FIBER_KM_PER_MS = 200.0
+
+#: Fiber paths are not great circles; measured paths are typically
+#: inflated relative to geodesic distance.
+_PATH_INFLATION = 1.6
+
+
+@dataclass(frozen=True, slots=True)
+class GeoLocation:
+    """A point on the Earth's surface in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "GeoLocation") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoLocation, b: GeoLocation) -> float:
+    """Great-circle distance between two locations in kilometres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    # Clamp against floating-point drift before asin.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def km_to_miles(km: float) -> float:
+    """Convert kilometres to statute miles."""
+    return km * 0.621371
+
+
+def miles_to_km(miles: float) -> float:
+    """Convert statute miles to kilometres."""
+    return miles / 0.621371
+
+
+def propagation_delay_ms(distance_km: float, inflation: float = _PATH_INFLATION) -> float:
+    """One-way propagation delay over ``distance_km`` of inflated fiber path.
+
+    ``inflation`` models the detour factor of real fiber routes relative
+    to the great circle.  The return value is a one-way delay; RTT models
+    double it.
+    """
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    if inflation < 1.0:
+        raise ValueError("path inflation factor must be >= 1")
+    return distance_km * inflation / _FIBER_KM_PER_MS
+
+
+@dataclass(frozen=True, slots=True)
+class Metro:
+    """A metropolitan interconnection market.
+
+    Attributes:
+        name: canonical metro name (e.g. ``"New York"``).
+        country: ISO 3166-1 alpha-2 country code.
+        region: continental region label used in the paper's Figure 10
+            (``"Europe"``, ``"North America"``, ``"Asia"``, ``"Oceania"``,
+            ``"South America"``, ``"Africa"``).
+        location: representative coordinates of the metro core.
+        aliases: alternate spellings and satellite cities that public
+            databases use inconsistently and that the normalisation layer
+            (Section 3.1.1) must fold into this metro, e.g. Jersey City
+            for New York, Slough for London.
+        market_weight: relative size of the interconnection market; the
+            topology builder uses it to produce the heavy-tailed facility
+            counts of Figure 3.
+    """
+
+    name: str
+    country: str
+    region: str
+    location: GeoLocation
+    aliases: tuple[str, ...] = ()
+    market_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ValueError(f"country must be ISO alpha-2: {self.country!r}")
+        if self.market_weight <= 0:
+            raise ValueError("market_weight must be positive")
+
+
+_REGION_NAMES = frozenset(
+    {
+        "North America",
+        "South America",
+        "Europe",
+        "Asia",
+        "Oceania",
+        "Africa",
+    }
+)
+
+
+def _metro(
+    name: str,
+    country: str,
+    region: str,
+    lat: float,
+    lon: float,
+    weight: float,
+    aliases: tuple[str, ...] = (),
+) -> Metro:
+    if region not in _REGION_NAMES:
+        raise ValueError(f"unknown region {region!r}")
+    return Metro(
+        name=name,
+        country=country,
+        region=region,
+        location=GeoLocation(lat, lon),
+        aliases=aliases,
+        market_weight=weight,
+    )
+
+
+#: Catalogue of metropolitan interconnection markets.  The leading
+#: entries mirror the metros of the paper's Figure 3 (cities with at
+#: least 10 interconnection facilities in April 2015), with weights
+#: decaying in roughly the same heavy-tailed order; the tail adds
+#: further markets so that generated topologies exercise all regions.
+DEFAULT_METROS: tuple[Metro, ...] = (
+    _metro("London", "GB", "Europe", 51.5074, -0.1278, 45.0,
+           ("London Docklands", "Slough", "Enfield")),
+    _metro("New York", "US", "North America", 40.7128, -74.0060, 42.0,
+           ("NYC", "Jersey City", "Secaucus", "Newark", "Weehawken")),
+    _metro("Paris", "FR", "Europe", 48.8566, 2.3522, 36.0,
+           ("Aubervilliers", "Saint-Denis", "Courbevoie")),
+    _metro("Frankfurt", "DE", "Europe", 50.1109, 8.6821, 34.0,
+           ("Frankfurt am Main", "Offenbach", "Eschborn")),
+    _metro("Amsterdam", "NL", "Europe", 52.3676, 4.9041, 32.0,
+           ("Haarlem", "Schiphol-Rijk", "Aalsmeer")),
+    _metro("San Jose", "US", "North America", 37.3382, -121.8863, 28.0,
+           ("Santa Clara", "Palo Alto", "Milpitas", "Silicon Valley")),
+    _metro("Moscow", "RU", "Europe", 55.7558, 37.6173, 26.0, ("Moskva",)),
+    _metro("Los Angeles", "US", "North America", 34.0522, -118.2437, 25.0,
+           ("El Segundo", "One Wilshire")),
+    _metro("Stockholm", "SE", "Europe", 59.3293, 18.0686, 22.0,
+           ("Kista", "Bromma")),
+    _metro("Manchester", "GB", "Europe", 53.4808, -2.2426, 20.0,
+           ("Salford", "Trafford")),
+    _metro("Miami", "US", "North America", 25.7617, -80.1918, 19.0,
+           ("Boca Raton", "NAP of the Americas")),
+    _metro("Berlin", "DE", "Europe", 52.5200, 13.4050, 18.0, ("Spandau",)),
+    _metro("Tokyo", "JP", "Asia", 35.6762, 139.6503, 18.0,
+           ("Otemachi", "Shinagawa", "Inzai")),
+    _metro("Kiev", "UA", "Europe", 50.4501, 30.5234, 17.0, ("Kyiv",)),
+    _metro("Sao Paulo", "BR", "South America", -23.5505, -46.6333, 16.0,
+           ("São Paulo", "Barueri", "Tamboré")),
+    _metro("Vienna", "AT", "Europe", 48.2082, 16.3738, 15.0, ("Wien",)),
+    _metro("Singapore", "SG", "Asia", 1.3521, 103.8198, 15.0, ("Jurong",)),
+    _metro("Auckland", "NZ", "Oceania", -36.8509, 174.7645, 14.0, ()),
+    _metro("Hong Kong", "HK", "Asia", 22.3193, 114.1694, 14.0,
+           ("Chai Wan", "Tseung Kwan O")),
+    _metro("Melbourne", "AU", "Oceania", -37.8136, 144.9631, 13.0, ()),
+    _metro("Montreal", "CA", "North America", 45.5017, -73.5673, 13.0,
+           ("Montréal", "Laval")),
+    _metro("Zurich", "CH", "Europe", 47.3769, 8.5417, 13.0,
+           ("Zürich", "Glattbrugg")),
+    _metro("Prague", "CZ", "Europe", 50.0755, 14.4378, 12.0, ("Praha",)),
+    _metro("Seattle", "US", "North America", 47.6062, -122.3321, 12.0,
+           ("Tukwila", "Westin Building")),
+    _metro("Chicago", "US", "North America", 41.8781, -87.6298, 12.0,
+           ("Elk Grove Village", "Cermak")),
+    _metro("Dallas", "US", "North America", 32.7767, -96.7970, 11.0,
+           ("Richardson", "Plano", "Fort Worth")),
+    _metro("Hamburg", "DE", "Europe", 53.5511, 9.9937, 11.0, ()),
+    _metro("Atlanta", "US", "North America", 33.7490, -84.3880, 11.0,
+           ("Marietta", "56 Marietta")),
+    _metro("Bucharest", "RO", "Europe", 44.4268, 26.1025, 11.0,
+           ("Bucuresti", "București")),
+    _metro("Madrid", "ES", "Europe", 40.4168, -3.7038, 10.0,
+           ("Alcobendas",)),
+    _metro("Milan", "IT", "Europe", 45.4642, 9.1900, 10.0,
+           ("Milano", "Caldera")),
+    _metro("Duesseldorf", "DE", "Europe", 51.2277, 6.7735, 10.0,
+           ("Düsseldorf", "Dusseldorf", "Neuss")),
+    _metro("Sofia", "BG", "Europe", 42.6977, 23.3219, 10.0, ()),
+    _metro("St. Petersburg", "RU", "Europe", 59.9311, 30.3609, 10.0,
+           ("Saint Petersburg", "Sankt-Peterburg")),
+    # Tail markets: below the Figure 3 cut-off but present in the
+    # facility dataset (1,694 facilities across 684 cities).
+    _metro("Ashburn", "US", "North America", 39.0438, -77.4874, 9.0,
+           ("Washington DC", "Reston", "Vienna VA")),
+    _metro("Toronto", "CA", "North America", 43.6532, -79.3832, 8.0,
+           ("151 Front Street",)),
+    _metro("Sydney", "AU", "Oceania", -33.8688, 151.2093, 8.0,
+           ("Mascot",)),
+    _metro("Dublin", "IE", "Europe", 53.3498, -6.2603, 7.0,
+           ("Clonshaugh",)),
+    _metro("Warsaw", "PL", "Europe", 52.2297, 21.0122, 7.0,
+           ("Warszawa",)),
+    _metro("Brussels", "BE", "Europe", 50.8503, 4.3517, 6.0,
+           ("Bruxelles", "Zaventem")),
+    _metro("Copenhagen", "DK", "Europe", 55.6761, 12.5683, 6.0,
+           ("Ballerup", "København")),
+    _metro("Oslo", "NO", "Europe", 59.9139, 10.7522, 5.0, ()),
+    _metro("Helsinki", "FI", "Europe", 60.1699, 24.9384, 5.0,
+           ("Espoo",)),
+    _metro("Lisbon", "PT", "Europe", 38.7223, -9.1393, 5.0,
+           ("Lisboa",)),
+    _metro("Rome", "IT", "Europe", 41.9028, 12.4964, 5.0, ("Roma",)),
+    _metro("Seoul", "KR", "Asia", 37.5665, 126.9780, 8.0, ("Gasan",)),
+    _metro("Osaka", "JP", "Asia", 34.6937, 135.5023, 6.0, ("Dojima",)),
+    _metro("Mumbai", "IN", "Asia", 19.0760, 72.8777, 7.0, ("Bombay",)),
+    _metro("Jakarta", "ID", "Asia", -6.2088, 106.8456, 5.0, ()),
+    _metro("Dubai", "AE", "Asia", 25.2048, 55.2708, 5.0, ("Jebel Ali",)),
+    _metro("Johannesburg", "ZA", "Africa", -26.2041, 28.0473, 6.0,
+           ("Isando", "Sandton")),
+    _metro("Nairobi", "KE", "Africa", -1.2921, 36.8219, 4.0, ()),
+    _metro("Cape Town", "ZA", "Africa", -33.9249, 18.4241, 4.0, ()),
+    _metro("Buenos Aires", "AR", "South America", -34.6037, -58.3816, 6.0,
+           ()),
+    _metro("Santiago", "CL", "South America", -33.4489, -70.6693, 4.0,
+           ()),
+    _metro("Mexico City", "MX", "North America", 19.4326, -99.1332, 5.0,
+           ("Ciudad de Mexico", "Querétaro")),
+    _metro("Denver", "US", "North America", 39.7392, -104.9903, 5.0, ()),
+    _metro("Phoenix", "US", "North America", 33.4484, -112.0740, 4.0,
+           ("Chandler",)),
+)
+
+
+class MetroCatalogue:
+    """Indexed access to a set of metros with alias-aware lookup.
+
+    The catalogue is the single source of truth for geography in a
+    generated topology.  Lookup accepts canonical names, aliases, and is
+    case- and diacritic-insensitive in the limited sense needed by the
+    dataset-normalisation layer (exact casefolded match).
+    """
+
+    def __init__(self, metros: tuple[Metro, ...] = DEFAULT_METROS) -> None:
+        if not metros:
+            raise ValueError("catalogue requires at least one metro")
+        self._metros: tuple[Metro, ...] = tuple(metros)
+        self._by_name: dict[str, Metro] = {}
+        for metro in self._metros:
+            for key in (metro.name, *metro.aliases):
+                folded = key.casefold()
+                existing = self._by_name.get(folded)
+                if existing is not None:
+                    raise ValueError(
+                        f"name {key!r} maps to both {existing.name!r} "
+                        f"and {metro.name!r}"
+                    )
+                self._by_name[folded] = metro
+
+    def __len__(self) -> int:
+        return len(self._metros)
+
+    def __iter__(self):
+        return iter(self._metros)
+
+    @property
+    def metros(self) -> tuple[Metro, ...]:
+        """All catalogued metros, in definition order."""
+        return self._metros
+
+    def get(self, name: str) -> Metro | None:
+        """Find a metro by canonical name or alias; ``None`` if unknown."""
+        return self._by_name.get(name.casefold())
+
+    def resolve(self, name: str) -> Metro:
+        """Find a metro by canonical name or alias; raise if unknown."""
+        metro = self.get(name)
+        if metro is None:
+            raise KeyError(f"unknown metro {name!r}")
+        return metro
+
+    def in_region(self, region: str) -> tuple[Metro, ...]:
+        """All metros in a continental region."""
+        return tuple(m for m in self._metros if m.region == region)
+
+    def in_country(self, country: str) -> tuple[Metro, ...]:
+        """All metros in an ISO alpha-2 country."""
+        return tuple(m for m in self._metros if m.country == country)
+
+    def nearest(self, location: GeoLocation) -> Metro:
+        """The metro whose core is closest to ``location``."""
+        return min(
+            self._metros,
+            key=lambda m: haversine_km(m.location, location),
+        )
+
+    def distance_km(self, a: str, b: str) -> float:
+        """Great-circle distance between two metros by name."""
+        return haversine_km(self.resolve(a).location, self.resolve(b).location)

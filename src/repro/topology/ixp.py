@@ -1,0 +1,263 @@
+"""Internet exchange points: peering LANs and switch hierarchies.
+
+Section 2 of the paper describes the physical layout this module
+reproduces: an IXP operates one or more high-end *core* switches, and
+deploys *access* switches inside partner colocation facilities; at scale,
+several access switches aggregate into a *backhaul* switch which uplinks
+to the core.  Members attached to the same access switch (or to access
+switches behind the same backhaul) exchange traffic locally — the fact
+exploited by the switch proximity heuristic of Section 4.4.
+
+Members connect either locally (their router is in a partner facility) or
+*remotely* through a reseller that hauls an Ethernet-over-MPLS circuit to
+the exchange; roughly 20% of AMS-IX members peered remotely in 2013.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .addressing import Prefix
+
+__all__ = ["SwitchKind", "Switch", "MemberPort", "IXP"]
+
+
+class SwitchKind(enum.Enum):
+    """Role of a switch in the IXP fabric hierarchy."""
+
+    CORE = "core"
+    BACKHAUL = "backhaul"
+    ACCESS = "access"
+
+
+@dataclass(frozen=True, slots=True)
+class Switch:
+    """One switch in an IXP fabric.
+
+    Every switch is physically installed in a facility: access switches
+    in partner facilities, backhaul and core switches in the exchange's
+    hub facilities.
+    """
+
+    switch_id: int
+    ixp_id: int
+    kind: SwitchKind
+    facility_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class MemberPort:
+    """Ground truth for one member's port at an IXP.
+
+    Attributes:
+        asn: the member AS.
+        address: the peering-LAN IPv4 address assigned by the IXP to the
+            member's IXP-facing router interface.
+        access_switch_id: the access switch the port terminates on.  For
+            a remote member this is the switch where the reseller's
+            circuit lands.
+        facility_id: facility of the member's *router* — the facility of
+            the access switch for local members, ``None`` for remote
+            members (their router is wherever the reseller hauls from).
+        reseller_asn: the reseller carrying the circuit, or ``None`` for
+            a local port.
+    """
+
+    asn: int
+    address: int
+    access_switch_id: int
+    facility_id: int | None
+    reseller_asn: int | None = None
+
+    @property
+    def is_remote(self) -> bool:
+        """True when the port rides a reseller circuit."""
+        return self.reseller_asn is not None
+
+
+@dataclass(slots=True)
+class IXP:
+    """One Internet exchange point.
+
+    Attributes:
+        ixp_id: dense integer id.
+        name: exchange name (e.g. the generated analogue of "DE-CIX").
+        metro: primary metro of operation.
+        country: ISO alpha-2 country code.
+        region: continental region.
+        peering_lans: address blocks of the shared peering fabric; a
+            traceroute hop inside any of these blocks marks a public
+            peering (CFS Step 1).
+        asn: AS number assigned to the exchange itself (route servers).
+        switches: fabric switches by id.
+        uplinks: ``switch_id -> parent switch_id`` edges of the fabric
+            tree (access to backhaul/core, backhaul to core).
+        core_switch_id: the root of the fabric tree.
+        member_ports: ground-truth member ports by member ASN.  A local
+            member may hold several ports in different partner
+            facilities (redundant connections, the two-facility AMS-IX
+            members of Section 4.4); traffic from a peer enters at the
+            fabric-proximate port.
+        allocated_lan_hosts: LAN host addresses handed out so far.
+        reseller_asns: resellers offering remote-peering transport here.
+        has_route_server: whether multilateral peering is offered.
+        active: inactive exchanges linger in public databases; the
+            dataset layer must filter them out (Section 3.1.2).
+    """
+
+    ixp_id: int
+    name: str
+    metro: str
+    country: str
+    region: str
+    peering_lans: list[Prefix]
+    asn: int
+    switches: dict[int, Switch] = field(default_factory=dict)
+    uplinks: dict[int, int] = field(default_factory=dict)
+    core_switch_id: int | None = None
+    member_ports: dict[int, tuple[MemberPort, ...]] = field(default_factory=dict)
+    allocated_lan_hosts: int = 0
+    reseller_asns: set[int] = field(default_factory=set)
+    has_route_server: bool = True
+    active: bool = True
+
+    # -- fabric construction -------------------------------------------------
+
+    def add_switch(self, switch: Switch, parent_id: int | None = None) -> None:
+        """Install a switch, optionally uplinked to ``parent_id``."""
+        if switch.ixp_id != self.ixp_id:
+            raise ValueError("switch belongs to a different IXP")
+        if switch.switch_id in self.switches:
+            raise ValueError(f"duplicate switch id {switch.switch_id}")
+        if parent_id is not None and parent_id not in self.switches:
+            raise ValueError(f"unknown parent switch {parent_id}")
+        self.switches[switch.switch_id] = switch
+        if switch.kind is SwitchKind.CORE:
+            if self.core_switch_id is not None:
+                raise ValueError("IXP already has a core switch")
+            self.core_switch_id = switch.switch_id
+        if parent_id is not None:
+            self.uplinks[switch.switch_id] = parent_id
+
+    # -- facility queries ----------------------------------------------------
+
+    @property
+    def facility_ids(self) -> set[int]:
+        """All partner facilities (any switch deployed there)."""
+        return {switch.facility_id for switch in self.switches.values()}
+
+    def access_switch_at(self, facility_id: int) -> Switch | None:
+        """The access switch in ``facility_id``, if any.
+
+        The core switch also terminates member ports at its own facility,
+        so it doubles as the access switch there when no dedicated access
+        switch exists.
+        """
+        fallback: Switch | None = None
+        for switch in self.switches.values():
+            if switch.facility_id != facility_id:
+                continue
+            if switch.kind is SwitchKind.ACCESS:
+                return switch
+            if fallback is None or switch.kind is SwitchKind.CORE:
+                fallback = switch
+        return fallback
+
+    def owns_address(self, address: int) -> bool:
+        """True if ``address`` falls inside any peering LAN."""
+        return any(address in lan for lan in self.peering_lans)
+
+    # -- fabric topology queries (proximity heuristic, Section 4.4) ----------
+
+    def _path_to_core(self, switch_id: int) -> list[int]:
+        path = [switch_id]
+        seen = {switch_id}
+        current = switch_id
+        while current in self.uplinks:
+            current = self.uplinks[current]
+            if current in seen:
+                raise ValueError("cycle in IXP fabric uplinks")
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def switch_hops(self, switch_a: int, switch_b: int) -> int:
+        """Fabric hops between two switches through the uplink tree."""
+        if switch_a not in self.switches or switch_b not in self.switches:
+            raise KeyError("unknown switch id")
+        if switch_a == switch_b:
+            return 0
+        path_a = self._path_to_core(switch_a)
+        path_b = self._path_to_core(switch_b)
+        ancestors_a = {sw: depth for depth, sw in enumerate(path_a)}
+        for depth_b, sw in enumerate(path_b):
+            if sw in ancestors_a:
+                return ancestors_a[sw] + depth_b
+        raise ValueError("fabric is not a single tree")
+
+    def traffic_is_local(self, facility_a: int, facility_b: int) -> bool:
+        """True if members at the two facilities exchange traffic without
+        crossing the core switch.
+
+        Confirmed operator practice (Section 4.4): ports on the same
+        access switch, or on access switches behind the same backhaul
+        switch, peer locally.
+        """
+        sw_a = self.access_switch_at(facility_a)
+        sw_b = self.access_switch_at(facility_b)
+        if sw_a is None or sw_b is None:
+            raise KeyError("facility is not a partner of this IXP")
+        if sw_a.switch_id == sw_b.switch_id:
+            return True
+        parent_a = self.uplinks.get(sw_a.switch_id)
+        parent_b = self.uplinks.get(sw_b.switch_id)
+        if parent_a is None or parent_b is None:
+            return False
+        if parent_a != parent_b:
+            return False
+        return self.switches[parent_a].kind is SwitchKind.BACKHAUL
+
+    # -- membership ----------------------------------------------------------
+
+    def add_member_port(self, port: MemberPort) -> None:
+        """Register one member port (members may hold several)."""
+        existing = self.member_ports.get(port.asn, ())
+        self.member_ports[port.asn] = existing + (port,)
+
+    def ports_of(self, asn: int) -> tuple[MemberPort, ...]:
+        """All ports of one member (empty when not a member)."""
+        return self.member_ports.get(asn, ())
+
+    def primary_port(self, asn: int) -> MemberPort:
+        """The member's first-installed port."""
+        ports = self.member_ports.get(asn)
+        if not ports:
+            raise KeyError(f"AS{asn} is not a member of {self.name}")
+        return ports[0]
+
+    @property
+    def member_asns(self) -> set[int]:
+        """ASNs holding at least one port here."""
+        return set(self.member_ports)
+
+    def local_member_asns(self) -> set[int]:
+        """Members with a router in a partner facility."""
+        return {
+            asn
+            for asn, ports in self.member_ports.items()
+            if any(not port.is_remote for port in ports)
+        }
+
+    def remote_member_asns(self) -> set[int]:
+        """Members connected only through a reseller."""
+        return {
+            asn
+            for asn, ports in self.member_ports.items()
+            if ports and all(port.is_remote for port in ports)
+        }
+
+    def is_remote_member(self, asn: int) -> bool:
+        """True when every port of the member rides a reseller circuit."""
+        ports = self.member_ports.get(asn, ())
+        return bool(ports) and all(port.is_remote for port in ports)

@@ -1,0 +1,150 @@
+"""Interconnections: the four peering engineering options plus transit.
+
+Section 2 of the paper enumerates the technical approaches to
+interconnection whose identification is half of the CFS output:
+
+* **public peering** over the IXP fabric (bilateral, or multilateral via
+  the route server), with the member's router in a partner facility;
+* **remote peering**, the same fabric reached through a reseller, with
+  the member's router in a facility unrelated to the exchange;
+* **private peering via cross-connect**, a dedicated circuit inside one
+  facility (or between campus facilities of one operator);
+* **tethering**, a private VLAN over the IXP fabric between members
+  whose routers may sit in different partner facilities.
+
+Transit interconnections are physically one of the above (most commonly
+a cross-connect); they carry a customer-provider business relationship
+that routing policy needs, so the relationship is annotated separately
+from the engineering type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .addressing import Prefix
+
+__all__ = [
+    "InterconnectionType",
+    "Relationship",
+    "Interconnection",
+    "BackboneLink",
+]
+
+
+class InterconnectionType(enum.Enum):
+    """Engineering approach of an interconnection."""
+
+    PUBLIC_PEERING = "public-peering"
+    REMOTE_PEERING = "remote-peering"
+    PRIVATE_CROSS_CONNECT = "cross-connect"
+    TETHERING = "tethering"
+
+    @property
+    def is_private(self) -> bool:
+        """True for interconnections that traceroute sees as a direct
+        AS-to-AS hop sequence (no IXP-LAN address in between)."""
+        return self in (
+            InterconnectionType.PRIVATE_CROSS_CONNECT,
+            InterconnectionType.TETHERING,
+        )
+
+    @property
+    def uses_ixp_fabric(self) -> bool:
+        """True if traffic traverses the exchange's switching fabric."""
+        return self is not InterconnectionType.PRIVATE_CROSS_CONNECT
+
+
+class Relationship(enum.Enum):
+    """Gao-Rexford business relationship of an interconnection."""
+
+    #: ``asn_a`` buys transit from ``asn_b``.
+    CUSTOMER_PROVIDER = "c2p"
+    #: Settlement-free peering.
+    PEER_PEER = "p2p"
+
+
+@dataclass(frozen=True, slots=True)
+class Interconnection:
+    """Ground truth for one AS-AS interconnection.
+
+    Attributes:
+        link_id: dense integer id.
+        kind: engineering approach.
+        relationship: business relationship (``asn_a`` side first).
+        asn_a / asn_b: the two networks.
+        router_a / router_b: ground-truth border routers.
+        facility_a / facility_b: ground-truth facilities of those
+            routers.  Equal for cross-connects within one building; they
+            may differ for campus cross-connects, tethering, and always
+            tell the real story for remote peering.
+        ixp_id: the exchange whose fabric carries the traffic, for every
+            kind except plain cross-connects.
+        p2p_prefix: the /31 used on a private interconnect, drawn from
+            ``p2p_owner_asn``'s space.
+        via_route_server: multilateral public peering (route server).
+    """
+
+    link_id: int
+    kind: InterconnectionType
+    relationship: Relationship
+    asn_a: int
+    asn_b: int
+    router_a: int
+    router_b: int
+    facility_a: int
+    facility_b: int
+    ixp_id: int | None = None
+    p2p_prefix: Prefix | None = None
+    p2p_owner_asn: int | None = None
+    via_route_server: bool = False
+
+    def __post_init__(self) -> None:
+        if self.asn_a == self.asn_b:
+            raise ValueError("interconnection must join two distinct ASes")
+        if self.kind.uses_ixp_fabric and self.ixp_id is None:
+            raise ValueError(f"{self.kind.value} requires an ixp_id")
+        if self.kind is InterconnectionType.PRIVATE_CROSS_CONNECT and self.ixp_id is not None:
+            raise ValueError("a cross-connect does not traverse an IXP")
+        if self.kind.is_private and self.p2p_prefix is None:
+            raise ValueError(f"{self.kind.value} requires a p2p prefix")
+
+    def involves(self, asn: int) -> bool:
+        """True if ``asn`` is one of the two endpoints."""
+        return asn in (self.asn_a, self.asn_b)
+
+    def peer_of(self, asn: int) -> int:
+        """The other endpoint's ASN."""
+        if asn == self.asn_a:
+            return self.asn_b
+        if asn == self.asn_b:
+            return self.asn_a
+        raise ValueError(f"AS{asn} is not an endpoint of link {self.link_id}")
+
+    def side_of(self, asn: int) -> tuple[int, int]:
+        """``(router_id, facility_id)`` of ``asn``'s side of the link."""
+        if asn == self.asn_a:
+            return self.router_a, self.facility_a
+        if asn == self.asn_b:
+            return self.router_b, self.facility_b
+        raise ValueError(f"AS{asn} is not an endpoint of link {self.link_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class BackboneLink:
+    """Intra-AS backbone adjacency between two routers of one AS."""
+
+    link_id: int
+    asn: int
+    router_a: int
+    router_b: int
+    prefix: Prefix
+
+    def other_end(self, router_id: int) -> int:
+        """The router at the far end of the adjacency."""
+        if router_id == self.router_a:
+            return self.router_b
+        if router_id == self.router_b:
+            return self.router_a
+        raise ValueError(f"router {router_id} not on backbone link {self.link_id}")

@@ -1,0 +1,96 @@
+"""Routers and interfaces: the device layer of the generated Internet.
+
+Traceroute observes *interfaces*, not routers; the whole point of alias
+resolution (Section 4.1) is to regroup interfaces into routers so that
+facility constraints discovered for one interface transfer to its
+aliases (CFS Step 3).  We therefore keep the ground-truth
+interface-to-router binding explicit and let the measurement layer look
+at it only through probing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .addressing import int_to_ip
+
+__all__ = ["InterfaceKind", "Interface", "Router"]
+
+
+class InterfaceKind(enum.Enum):
+    """What a router interface attaches to."""
+
+    #: Intra-AS backbone link between two routers of the same AS.
+    BACKBONE = "backbone"
+    #: Port on an IXP peering LAN (address owned by the IXP).
+    IXP_LAN = "ixp-lan"
+    #: Private point-to-point interconnect (cross-connect, tethering, or
+    #: remote private peering); the /31 is drawn from one of the two
+    #: peers' address space, which is what makes longest-prefix IP-to-AS
+    #: mapping unreliable on these links (Section 4.1).
+    PRIVATE_P2P = "private-p2p"
+    #: Loopback / management address used as a stable router identifier.
+    LOOPBACK = "loopback"
+    #: Server/host address on a LAN behind the router (the kind of
+    #: address the paper's campaigns actually target: content servers,
+    #: hitlist-responsive hosts).  Probes toward it traverse the router
+    #: — whose ingress interface stays visible — before the host echoes.
+    HOST = "host"
+
+
+@dataclass(frozen=True, slots=True)
+class Interface:
+    """One addressed interface.
+
+    Attributes:
+        address: IPv4 address as an integer.
+        router_id: ground-truth owning router.
+        kind: attachment type.
+        space_owner_asn: the AS whose address block the address was drawn
+            from.  For :data:`InterfaceKind.PRIVATE_P2P` this may differ
+            from the AS operating the router; for
+            :data:`InterfaceKind.IXP_LAN` it is the IXP's ASN.
+        ixp_id: the exchange, for IXP-LAN interfaces.
+        link_id: the interconnection or backbone link the interface
+            terminates, when applicable.
+    """
+
+    address: int
+    router_id: int
+    kind: InterfaceKind
+    space_owner_asn: int
+    ixp_id: int | None = None
+    link_id: int | None = None
+
+    @property
+    def ip(self) -> str:
+        """Dotted-quad rendering of the address."""
+        return int_to_ip(self.address)
+
+
+@dataclass(slots=True)
+class Router:
+    """One ground-truth router.
+
+    Attributes:
+        router_id: dense integer id.
+        asn: operating AS.
+        facility_id: the building the router is installed in — the value
+            Constrained Facility Search tries to infer.
+        interfaces: addresses of all interfaces on this router.
+        hostname_label: short label operators embed in DNS names (e.g.
+            ``"edge1"``); combined with facility/metro codes by the DNS
+            naming schemes of the dataset layer.
+    """
+
+    router_id: int
+    asn: int
+    facility_id: int
+    interfaces: list[int] = field(default_factory=list)
+    hostname_label: str = ""
+
+    def add_interface(self, address: int) -> None:
+        """Attach an address to this router (idempotent)."""
+        if address not in self.interfaces:
+            self.interfaces.append(address)

@@ -1,0 +1,37 @@
+"""Validation oracles (Section 6) and accuracy scoring."""
+
+from .metrics import (
+    AccuracyReport,
+    ValidationCell,
+    match_ground_truth_link,
+    missing_owner_facility_fraction,
+    score_interfaces,
+    score_links,
+    unresolved_city_constrained,
+    validate_against_sources,
+)
+from .sources import (
+    BgpCommunitySource,
+    DirectFeedbackSource,
+    DnsRecordSource,
+    IxpWebsiteSource,
+    ValidationSample,
+    build_all_sources,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "BgpCommunitySource",
+    "build_all_sources",
+    "DirectFeedbackSource",
+    "DnsRecordSource",
+    "IxpWebsiteSource",
+    "match_ground_truth_link",
+    "missing_owner_facility_fraction",
+    "score_interfaces",
+    "score_links",
+    "unresolved_city_constrained",
+    "validate_against_sources",
+    "ValidationCell",
+    "ValidationSample",
+]

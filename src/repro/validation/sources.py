@@ -1,0 +1,270 @@
+"""The four validation sources of Section 6.
+
+Ground truth about interconnection facilities is scarce; the paper
+combines four independent, partially overlapping oracles:
+
+* **direct feedback** — two content operators confirmed the facilities
+  of their own interfaces (474/540 correct at facility level);
+* **BGP communities** — four large transit providers tag routes with
+  ingress-point communities; a 109-entry dictionary decodes them to
+  facilities, queried through BGP-capable looking glasses;
+* **DNS records** — seven operators embed facility codes in hostnames
+  and confirmed their conventions (``thn.lon`` = Telehouse North);
+* **IXP websites** — five large exchanges publish exact member
+  interface addresses and facilities, including remote/local flags.
+
+Each source here exposes ``samples_for(addresses)``: the subset of the
+given addresses it can attest, with the attested facility (and
+remoteness where the source knows it).  Coverage limits mirror the
+paper: a source only speaks for its own operators/exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..datasets.dnsnames import DnsZone
+from ..datasets.ixp_sources import IxpDataSources
+from ..topology.asn import ASRole
+from ..topology.topology import Topology
+
+__all__ = [
+    "ValidationSample",
+    "DirectFeedbackSource",
+    "BgpCommunitySource",
+    "DnsRecordSource",
+    "IxpWebsiteSource",
+    "build_all_sources",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationSample:
+    """One attested fact about an interface."""
+
+    source: str
+    address: int
+    true_facility: int | None
+    is_remote: bool | None = None
+
+
+class DirectFeedbackSource:
+    """Operator feedback for the targets' own interfaces.
+
+    The paper received validation from two CDN operators, covering only
+    those operators' interfaces ("not the facilities of their peers").
+    """
+
+    name = "direct-feedback"
+
+    def __init__(
+        self,
+        topology: Topology,
+        confirming_asns: set[int],
+        response_rate: float = 0.95,
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology
+        self._asns = confirming_asns
+        self._response_rate = response_rate
+        self._seed = seed
+
+    @classmethod
+    def from_targets(
+        cls, topology: Topology, target_asns: list[int], n_confirming: int = 2, seed: int = 0
+    ) -> "DirectFeedbackSource":
+        """Pick the confirming operators among the content targets."""
+        content = [
+            asn
+            for asn in target_asns
+            if topology.ases[asn].role is ASRole.CONTENT
+        ]
+        return cls(topology, set(content[:n_confirming]), seed=seed)
+
+    def samples_for(self, addresses: list[int]) -> list[ValidationSample]:
+        """Attestations this source can make about ``addresses``."""
+        samples = []
+        for address in addresses:
+            interface = self._topology.interfaces.get(address)
+            if interface is None:
+                continue
+            router = self._topology.routers[interface.router_id]
+            if router.asn not in self._asns:
+                continue
+            # Whether the operator answered for this interface is a fixed
+            # fact of the validation dataset, not a per-query coin flip.
+            if Random(f"{self._seed}:{address}").random() >= self._response_rate:
+                continue
+            samples.append(
+                ValidationSample(
+                    source=self.name,
+                    address=address,
+                    true_facility=router.facility_id,
+                )
+            )
+        return samples
+
+
+class BgpCommunitySource:
+    """Ingress-point communities decoded through a compiled dictionary.
+
+    Only transit operators that run BGP-capable looking glasses and
+    document their community values are usable; the communities attest
+    the facility where a route enters the operator's network — i.e. the
+    facility of the operator's border router on the peering.
+    """
+
+    name = "bgp-communities"
+
+    def __init__(self, topology: Topology, max_operators: int = 4) -> None:
+        self._topology = topology
+        candidates = sorted(
+            (
+                record
+                for record in topology.ases.values()
+                if record.role in (ASRole.TIER1, ASRole.TRANSIT)
+                and record.lg_supports_bgp
+            ),
+            key=lambda record: (-len(record.facility_ids), record.asn),
+        )
+        self._asns = {record.asn for record in candidates[:max_operators]}
+        #: The compiled dictionary: (asn, community value) -> facility.
+        self.dictionary: dict[tuple[int, str], int] = {}
+        for asn in self._asns:
+            for router_id in topology.routers_of(asn):
+                facility = topology.routers[router_id].facility_id
+                self.dictionary[(asn, f"ingress-fac:{facility}")] = facility
+
+    @property
+    def operator_asns(self) -> set[int]:
+        """Operators this source can speak for."""
+        return set(self._asns)
+
+    def samples_for(self, addresses: list[int]) -> list[ValidationSample]:
+        """Attestations this source can make about ``addresses``."""
+        samples = []
+        for address in addresses:
+            interface = self._topology.interfaces.get(address)
+            if interface is None:
+                continue
+            router = self._topology.routers[interface.router_id]
+            if router.asn not in self._asns:
+                continue
+            community = f"ingress-fac:{router.facility_id}"
+            facility = self.dictionary.get((router.asn, community))
+            if facility is None:
+                continue  # value missing from the compiled dictionary
+            samples.append(
+                ValidationSample(
+                    source=self.name, address=address, true_facility=facility
+                )
+            )
+        return samples
+
+
+class DnsRecordSource:
+    """Operators whose hostname conventions encode the facility.
+
+    Conventions are only usable once confirmed with the operator (the
+    paper confirmed seven, in the UK and Germany); stale records are a
+    known hazard and are *not* filtered — they surface as the small
+    disagreement rate real validation data shows.
+    """
+
+    name = "dns-records"
+
+    def __init__(
+        self,
+        topology: Topology,
+        dns: DnsZone,
+        max_operators: int = 7,
+    ) -> None:
+        self._topology = topology
+        self._dns = dns
+        confirmed = sorted(
+            (
+                record
+                for record in topology.ases.values()
+                if record.dns_scheme == "facility"
+            ),
+            key=lambda record: (-len(record.facility_ids), record.asn),
+        )
+        self._asns = {record.asn for record in confirmed[:max_operators]}
+        # Facility short-code table (public building directory data).
+        self._code_to_facility = {
+            facility.dns_code: facility.facility_id
+            for facility in topology.facilities.values()
+        }
+
+    @property
+    def operator_asns(self) -> set[int]:
+        """Operators this source can speak for."""
+        return set(self._asns)
+
+    def samples_for(self, addresses: list[int]) -> list[ValidationSample]:
+        """Attestations this source can make about ``addresses``."""
+        samples = []
+        for address in addresses:
+            interface = self._topology.interfaces.get(address)
+            if interface is None:
+                continue
+            router = self._topology.routers[interface.router_id]
+            if router.asn not in self._asns:
+                continue
+            hostname = self._dns.ptr(address)
+            if hostname is None:
+                continue
+            labels = hostname.split(".")
+            if len(labels) < 2:
+                continue
+            facility = self._code_to_facility.get(labels[1])
+            if facility is None:
+                continue
+            samples.append(
+                ValidationSample(
+                    source=self.name, address=address, true_facility=facility
+                )
+            )
+        return samples
+
+
+class IxpWebsiteSource:
+    """Member/interface/facility lists from detailed exchange websites."""
+
+    name = "ixp-websites"
+
+    def __init__(self, ixp_sources: IxpDataSources) -> None:
+        self._details: dict[int, ValidationSample] = {}
+        for website in ixp_sources.detailed_websites():
+            for member in website.member_details:
+                self._details[member.address] = ValidationSample(
+                    source=self.name,
+                    address=member.address,
+                    true_facility=member.facility_id,
+                    is_remote=member.is_remote,
+                )
+
+    def samples_for(self, addresses: list[int]) -> list[ValidationSample]:
+        """Attestations this source can make about ``addresses``."""
+        return [
+            self._details[address]
+            for address in addresses
+            if address in self._details
+        ]
+
+
+def build_all_sources(
+    topology: Topology,
+    dns: DnsZone,
+    ixp_sources: IxpDataSources,
+    target_asns: list[int],
+    seed: int = 0,
+) -> list:
+    """All four Section-6 sources over one environment."""
+    return [
+        DirectFeedbackSource.from_targets(topology, target_asns, seed=seed),
+        BgpCommunitySource(topology),
+        DnsRecordSource(topology, dns),
+        IxpWebsiteSource(ixp_sources),
+    ]

@@ -1,0 +1,199 @@
+"""Analysis subpackage tests: resilience, profiles, map diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CriticalityIndex,
+    build_profile,
+    build_profiles,
+    diff_results,
+)
+from repro.core.types import (
+    CfsResult,
+    InferredType,
+    InterfaceState,
+    LinkInference,
+    PeeringKind,
+)
+from repro.experiments.context import clone_corpus
+from repro.topology import ASRole
+
+
+def make_result(interfaces=None, links=None):
+    return CfsResult(
+        interfaces=interfaces or {},
+        links=links or [],
+        history=[],
+        iterations_run=1,
+        followup_traces=0,
+        peering_interfaces_seen=len(interfaces or {}),
+    )
+
+
+def link(near_asn, far_asn, near_fac, far_fac, kind=PeeringKind.PRIVATE,
+         inferred=InferredType.CROSS_CONNECT, ixp=None, address=100):
+    return LinkInference(
+        kind=kind,
+        inferred_type=inferred,
+        near_address=address,
+        near_asn=near_asn,
+        near_facility=near_fac,
+        far_asn=far_asn,
+        far_facility=far_fac,
+        ixp_id=ixp,
+    )
+
+
+class TestCriticalityIndex:
+    def test_counts_both_endpoints(self):
+        result = make_result(links=[
+            link(1, 2, near_fac=10, far_fac=11),
+            link(1, 3, near_fac=10, far_fac=None),
+        ])
+        index = CriticalityIndex(result)
+        assert index.facilities() == [10, 11]
+        crit = index.criticality(10)
+        assert crit.link_endpoints == 2
+        assert crit.distinct_asns == 3
+
+    def test_ranked_order(self):
+        result = make_result(links=[
+            link(1, 2, 10, None),
+            link(1, 3, 10, None, address=101),
+            link(4, 5, 11, None, address=102),
+        ])
+        ranked = CriticalityIndex(result).ranked()
+        assert [row.facility_id for row in ranked] == [10, 11]
+
+    def test_blast_radius(self):
+        result = make_result(links=[
+            link(1, 2, 10, 11),
+            link(3, 4, 12, None, kind=PeeringKind.PUBLIC,
+                 inferred=InferredType.PUBLIC_LOCAL, ixp=7, address=101),
+        ])
+        index = CriticalityIndex(result)
+        radius = index.blast_radius({10, 12})
+        assert radius.links_affected == 2
+        assert radius.asns_affected == frozenset({1, 2, 3, 4})
+        assert radius.types_affected == {
+            "cross-connect": 1,
+            "public-local": 1,
+        }
+        assert radius.exchanges_affected == frozenset({7})
+
+    def test_blast_radius_deduplicates_shared_links(self):
+        shared = link(1, 2, 10, 11)
+        index = CriticalityIndex(make_result(links=[shared]))
+        radius = index.blast_radius({10, 11})
+        assert radius.links_affected == 1
+
+    def test_metro_queries_require_database(self):
+        index = CriticalityIndex(make_result(links=[link(1, 2, 10, None)]))
+        with pytest.raises(ValueError):
+            index.metro_blast_radius("London")
+
+    def test_metro_blast_radius(self, small_run):
+        env, _, result = small_run
+        index = CriticalityIndex(result, env.facility_db)
+        metro = env.facility_db.metro_of(index.facilities()[0])
+        radius = index.metro_blast_radius(metro)
+        assert radius.links_affected > 0
+        assert radius.asns_affected
+
+
+class TestProfiles:
+    def test_profile_counts(self):
+        result = make_result(links=[
+            link(1, 2, 10, 11),
+            link(3, 1, 12, 13, kind=PeeringKind.PUBLIC,
+                 inferred=InferredType.PUBLIC_LOCAL, ixp=7, address=101),
+        ])
+        profile = build_profile(result, 1)
+        assert profile.links == 2
+        assert profile.peers == 2
+        assert profile.facilities == frozenset({10, 13})
+        assert profile.exchanges == frozenset({7})
+        assert profile.public_fraction == pytest.approx(0.5)
+        assert profile.private_fraction == pytest.approx(0.5)
+
+    def test_profile_empty(self):
+        profile = build_profile(make_result(), 42)
+        assert profile.links == 0
+        assert profile.public_fraction == 0.0
+
+    def test_unknown_types_excluded_from_fractions(self):
+        result = make_result(links=[
+            link(1, 2, 10, None, inferred=InferredType.UNKNOWN),
+            link(1, 3, 10, None, kind=PeeringKind.PUBLIC,
+                 inferred=InferredType.PUBLIC_LOCAL, ixp=7, address=101),
+        ])
+        profile = build_profile(result, 1)
+        assert profile.public_fraction == pytest.approx(1.0)
+
+    def test_cdn_vs_tier1_profiles_from_real_run(self, small_run):
+        env, _, result = small_run
+        profiles = build_profiles(result, env.target_asns, env.facility_db)
+        cdn_fracs = [
+            p.public_fraction
+            for asn, p in profiles.items()
+            if env.topology.ases[asn].role is ASRole.CONTENT and p.links
+        ]
+        tier1_fracs = [
+            p.public_fraction
+            for asn, p in profiles.items()
+            if env.topology.ases[asn].role is ASRole.TIER1 and p.links
+        ]
+        assert cdn_fracs and tier1_fracs
+        assert sum(cdn_fracs) / len(cdn_fracs) > sum(tier1_fracs) / len(tier1_fracs)
+
+    def test_profiles_report_metros(self, small_run):
+        env, _, result = small_run
+        profile = build_profile(result, env.target_asns[0], env.facility_db)
+        if profile.facilities:
+            assert profile.metros
+
+
+class TestMapDiff:
+    def _result_with(self, pins):
+        interfaces = {}
+        for address, facility in pins.items():
+            state = InterfaceState(address=address)
+            state.candidates = {facility}
+            interfaces[address] = state
+        return make_result(interfaces=interfaces)
+
+    def test_identical_runs(self):
+        a = self._result_with({1: 10, 2: 11})
+        diff = diff_results(a, self._result_with({1: 10, 2: 11}))
+        assert diff.agreement_rate == 1.0
+        assert diff.churn == 0
+
+    def test_changed_and_lost_and_gained(self):
+        a = self._result_with({1: 10, 2: 11, 3: 12})
+        b = self._result_with({1: 10, 2: 99, 4: 13})
+        diff = diff_results(a, b)
+        assert diff.agreeing == frozenset({1})
+        assert diff.changed == {2: (11, 99)}
+        assert diff.lost == frozenset({3})
+        assert diff.gained == frozenset({4})
+        assert diff.agreement_rate == pytest.approx(0.5)
+        assert diff.churn == 3
+        assert diff.summary()["changed"] == 1
+
+    def test_empty_runs(self):
+        diff = diff_results(make_result(), make_result())
+        assert diff.agreement_rate == 1.0
+
+    def test_rerun_agreement_high(self, small_run):
+        """Two passive replays over the same corpus agree strongly."""
+        env, corpus, _ = small_run
+        first = env.run_cfs(
+            clone_corpus(corpus), with_followups=False, seed_offset=600
+        )
+        second = env.run_cfs(
+            clone_corpus(corpus), with_followups=False, seed_offset=601
+        )
+        diff = diff_results(first, second)
+        assert diff.agreement_rate > 0.95

@@ -1,0 +1,151 @@
+"""Baseline tests: DRoP hostname parsing and IP-geolocation guessing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.drop import DropGeolocator
+from repro.baselines.ipgeo import IpGeoBaseline
+from repro.datasets.dnsnames import DnsConfig, DnsZone
+from repro.topology import ASRole
+
+
+@pytest.fixture(scope="module")
+def clean_zone(small_topology):
+    return DnsZone(
+        small_topology,
+        DnsConfig(missing_record_prob=0.0, stale_prob=0.0),
+        seed=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def drop(small_topology, clean_zone):
+    return DropGeolocator(small_topology.metros, clean_zone)
+
+
+def scheme_of(topology, address):
+    iface = topology.interfaces[address]
+    return topology.ases[topology.routers[iface.router_id].asn].dns_scheme
+
+
+class TestDropParsing:
+    def test_airport_scheme_located_correctly(self, drop, small_topology):
+        checked = 0
+        for address in small_topology.interfaces:
+            if scheme_of(small_topology, address) != "airport":
+                continue
+            result = drop.locate(address)
+            truth = small_topology.facilities[
+                small_topology.true_facility_of_address(address)
+            ].metro
+            assert result.located
+            assert result.metro == truth
+            checked += 1
+        if not checked:
+            pytest.skip("no airport-scheme operators in this seed")
+
+    def test_city_scheme_located(self, drop, small_topology):
+        for address in small_topology.interfaces:
+            if scheme_of(small_topology, address) != "city":
+                continue
+            result = drop.locate(address)
+            assert result.located
+
+    def test_opaque_scheme_not_located(self, drop, small_topology):
+        for address in list(small_topology.interfaces)[:2000]:
+            if scheme_of(small_topology, address) != "opaque":
+                continue
+            result = drop.locate(address)
+            assert result.hostname is not None
+            assert not result.located
+
+    def test_missing_record(self, drop, small_topology):
+        for address in small_topology.interfaces:
+            if scheme_of(small_topology, address) is None:
+                result = drop.locate(address)
+                assert result.hostname is None
+                assert not result.located
+                break
+
+    def test_coverage_report_sums(self, small_topology, clean_zone):
+        drop = DropGeolocator(small_topology.metros, clean_zone)
+        addresses = list(small_topology.interfaces)[:500]
+        report = drop.coverage_report(addresses)
+        assert report["total"] == 500
+        assert (
+            report["no_record"]
+            + report["record_without_location"]
+            + report["located"]
+            == report["total"]
+        )
+
+    def test_paper_band_with_realistic_zone(self, small_topology):
+        """With realistic record quality the located fraction sits well
+        below CFS resolution — the paper's ~32% figure."""
+        zone = DnsZone(small_topology, seed=61)
+        drop = DropGeolocator(small_topology.metros, zone)
+        report = drop.coverage_report(list(small_topology.interfaces))
+        fraction = report["located"] / report["total"]
+        assert 0.1 < fraction < 0.5
+
+
+class TestIpGeoBaseline:
+    def test_content_addresses_collapse_to_home(self, small_env):
+        baseline = IpGeoBaseline(small_env.geodb, small_env.facility_db)
+        content = [
+            record
+            for record in small_env.topology.ases.values()
+            if record.role is ASRole.CONTENT
+        ][0]
+        for router_id in small_env.topology.routers_of(content.asn)[:5]:
+            router = small_env.topology.routers[router_id]
+            result = baseline.locate(router.interfaces[0], content.asn)
+            assert result.metro == content.home_metro
+
+    def test_unknown_address(self, small_env):
+        baseline = IpGeoBaseline(small_env.geodb, small_env.facility_db)
+        result = baseline.locate(1)
+        assert result.metro is None and result.facility is None
+
+    def test_facility_only_when_unambiguous(self, small_env):
+        baseline = IpGeoBaseline(small_env.geodb, small_env.facility_db)
+        answers = baseline.locate_all(
+            {
+                address: small_env.topology.true_asn_of_address(address)
+                for address in list(small_env.topology.interfaces)[:200]
+            }
+        )
+        for address, result in answers.items():
+            if result.facility is None:
+                continue
+            owner = small_env.topology.true_asn_of_address(address)
+            in_metro = [
+                fid
+                for fid in small_env.facility_db.facilities_of(owner)
+                if small_env.facility_db.metro_of(fid) == result.metro
+            ]
+            assert len(in_metro) == 1 and in_metro[0] == result.facility
+
+    def test_facility_accuracy_below_cfs(self, small_run):
+        """The geolocation strawman must clearly underperform CFS."""
+        env, _, result = small_run
+        baseline = IpGeoBaseline(env.geodb, env.facility_db)
+        cfs_resolved = result.resolved_interfaces()
+        correct_baseline = 0
+        checked = 0
+        for address in cfs_resolved:
+            if address not in env.topology.interfaces:
+                continue
+            owner = env.topology.true_asn_of_address(address)
+            answer = baseline.locate(address, owner)
+            checked += 1
+            if answer.facility == env.topology.true_facility_of_address(address):
+                correct_baseline += 1
+        cfs_correct = sum(
+            1
+            for address, facility in cfs_resolved.items()
+            if address in env.topology.interfaces
+            and facility == env.topology.true_facility_of_address(address)
+        )
+        assert correct_baseline / checked < cfs_correct / checked

@@ -1,0 +1,37 @@
+"""Shared fixtures: session-scoped small environments and runs.
+
+Building a topology and running the full pipeline are the expensive
+operations; tests share read-only session instances and build private
+ones only when they need to mutate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, build_environment
+from repro.topology import TopologyConfig, build_topology
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A small deterministic ground-truth Internet."""
+    return build_topology(TopologyConfig.small(seed=1))
+
+
+@pytest.fixture(scope="session")
+def small_env():
+    """A fully wired small environment (Figure 4 stack)."""
+    return build_environment(PipelineConfig.small(seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_run(small_env):
+    """One complete small study run: (environment, corpus, CFS result).
+
+    The corpus includes the follow-up traces CFS issued.  Treat all
+    three objects as read-only.
+    """
+    corpus = small_env.run_campaign()
+    result = small_env.run_cfs(corpus)
+    return small_env, corpus, result

@@ -1,0 +1,68 @@
+"""Hand-built fixtures for unit-testing the CFS steps in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.facility_db import FacilityDatabase
+from repro.topology.addressing import Prefix, ip_to_int
+
+
+IXP_LAN = Prefix.parse("185.99.0.0/24")
+
+#: Addresses used by the toy scenarios (plain integers are fine; the
+#: core package never dereferences them against a topology).
+A_SIDE = ip_to_int("16.0.0.1")
+A_SIDE_2 = ip_to_int("16.0.0.2")
+B_PORT = ip_to_int("185.99.0.20")
+B_BACKBONE = ip_to_int("17.0.0.1")
+B_P2P = ip_to_int("16.0.1.1")
+
+
+@pytest.fixture()
+def toy_db() -> FacilityDatabase:
+    """A small hand-wired facility database.
+
+    Facilities 1-3 are in Frankfurt (1 and 2 on one campus), 4-5 in
+    London.  IXP 100 partners with facilities 1, 2 and 4.  ASes:
+
+    =====  ==================  =========================
+    ASN    facilities          note
+    =====  ==================  =========================
+    10     1, 2, 5             member of IXP 100
+    20     2, 4                member of IXP 100
+    30     3                   member of IXP 100 (single option)
+    40     5                   member of IXP 100 *without* common
+                               facility: a remote-peer candidate
+    50     1                   not an IXP member
+    60     (none)              missing data
+    =====  ==================  =========================
+    """
+    database = FacilityDatabase(
+        as_facilities={
+            10: frozenset({1, 2, 5}),
+            20: frozenset({2, 4}),
+            30: frozenset({3}),
+            40: frozenset({5}),
+            50: frozenset({1}),
+        },
+        ixp_facilities={100: frozenset({1, 2, 4})},
+        ixp_members={100: frozenset({10, 20, 30, 40})},
+        active_ixps=frozenset({100}),
+        facility_metro={
+            1: "Frankfurt",
+            2: "Frankfurt",
+            3: "Frankfurt",
+            4: "London",
+            5: "London",
+        },
+        campus={
+            1: frozenset({1, 2}),
+            2: frozenset({1, 2}),
+            3: frozenset({3}),
+            4: frozenset({4}),
+            5: frozenset({5}),
+        },
+    )
+    database._ixp_lan_index.insert(IXP_LAN, 100)
+    return database

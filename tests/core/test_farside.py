@@ -1,0 +1,173 @@
+"""Far-end resolution and link finalisation tests (toy scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.farside import LinkFinalizer
+from repro.core.proximity import SwitchProximityModel
+from repro.core.types import (
+    InferredType,
+    InterfaceState,
+    InterfaceStatus,
+    ObservedPeering,
+    PeeringKind,
+)
+
+from .conftest import A_SIDE, B_P2P, B_PORT
+
+
+def public_obs(near_asn=10, far_asn=20, ixp_id=100):
+    return ObservedPeering(
+        kind=PeeringKind.PUBLIC,
+        near_address=A_SIDE,
+        near_asn=near_asn,
+        far_asn=far_asn,
+        far_address=None,
+        ixp_id=ixp_id,
+        ixp_address=B_PORT,
+    )
+
+
+def private_obs(near_asn=10, far_asn=50):
+    return ObservedPeering(
+        kind=PeeringKind.PRIVATE,
+        near_address=A_SIDE,
+        near_asn=near_asn,
+        far_asn=far_asn,
+        far_address=B_P2P,
+    )
+
+
+def state(address, candidates, owner, inferred=InferredType.UNKNOWN, remote=False):
+    s = InterfaceState(address=address, owner_asn=owner)
+    s.candidates = set(candidates)
+    s.status = (
+        InterfaceStatus.RESOLVED
+        if len(candidates) == 1
+        else InterfaceStatus.UNRESOLVED_LOCAL
+    )
+    s.inferred_type = inferred
+    s.remote = remote
+    return s
+
+
+class TestPublicFinalization:
+    def test_resolved_port_wins(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = public_obs()
+        states = {
+            A_SIDE: state(A_SIDE, {1}, 10, InferredType.PUBLIC_LOCAL),
+            B_PORT: state(B_PORT, {4}, 20),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].far_facility == 4
+        assert links[0].inferred_type is InferredType.PUBLIC_LOCAL
+
+    def test_proximity_used_for_ambiguous_port(self, toy_db):
+        proximity = SwitchProximityModel()
+        proximity.learn(100, 1, 2)
+        proximity.learn(100, 1, 2)
+        proximity.learn(100, 1, 4)
+        finalizer = LinkFinalizer(toy_db, proximity)
+        observation = public_obs()
+        states = {
+            A_SIDE: state(A_SIDE, {1}, 10, InferredType.PUBLIC_LOCAL),
+            B_PORT: state(B_PORT, {2, 4}, 20),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].far_facility == 2
+
+    def test_proximity_disabled(self, toy_db):
+        proximity = SwitchProximityModel()
+        proximity.learn(100, 1, 2)
+        proximity.learn(100, 1, 2)
+        finalizer = LinkFinalizer(toy_db, proximity)
+        observation = public_obs()
+        states = {
+            A_SIDE: state(A_SIDE, {1}, 10, InferredType.PUBLIC_LOCAL),
+            B_PORT: state(B_PORT, {2, 4}, 20),
+        }
+        links = finalizer.finalize(
+            {observation.key(): observation}, states, use_proximity=False
+        )
+        assert links[0].far_facility is None
+
+    def test_remote_near_side_typed_remote(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = public_obs(near_asn=40)
+        states = {
+            A_SIDE: state(
+                A_SIDE, {5}, 40, InferredType.PUBLIC_REMOTE, remote=True
+            ),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].inferred_type is InferredType.PUBLIC_REMOTE
+        assert links[0].near_facility == 5
+
+    def test_remote_port_not_assigned_fabric_facility(self, toy_db):
+        """A remote member's port must not be pinned to an exchange
+        facility by the proximity fallback."""
+        proximity = SwitchProximityModel()
+        proximity.learn(100, 1, 2)
+        proximity.learn(100, 1, 2)
+        finalizer = LinkFinalizer(toy_db, proximity)
+        observation = public_obs(far_asn=40)
+        states = {
+            A_SIDE: state(A_SIDE, {1}, 10, InferredType.PUBLIC_LOCAL),
+            B_PORT: state(B_PORT, {5}, 40, remote=True),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].far_facility is None
+
+    def test_learning_only_from_pinned_pairs(self, toy_db):
+        proximity = SwitchProximityModel()
+        finalizer = LinkFinalizer(toy_db, proximity)
+        observation = public_obs()
+        states = {
+            A_SIDE: state(A_SIDE, {1, 2}, 10, InferredType.PUBLIC_LOCAL),
+            B_PORT: state(B_PORT, {4}, 20),
+        }
+        finalizer.finalize({observation.key(): observation}, states)
+        assert proximity.observations == 0  # near end not pinned
+
+
+class TestPrivateFinalization:
+    def test_far_state_resolution_used(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = private_obs()
+        states = {
+            A_SIDE: state(A_SIDE, {2}, 10, InferredType.CROSS_CONNECT),
+            B_P2P: state(B_P2P, {1}, 50, InferredType.CROSS_CONNECT),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].far_facility == 1
+        assert links[0].kind is PeeringKind.PRIVATE
+
+    def test_campus_deduction_when_far_unresolved(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = private_obs(near_asn=10, far_asn=50)
+        # Near pinned to facility 2; AS 50 only sits in facility 1,
+        # reachable over the 1-2 campus: unique deduction.
+        states = {
+            A_SIDE: state(A_SIDE, {2}, 10, InferredType.CROSS_CONNECT),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].far_facility == 1
+
+    def test_no_deduction_for_tethering(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = private_obs(near_asn=30, far_asn=40)
+        states = {
+            A_SIDE: state(A_SIDE, {3}, 30, InferredType.TETHERING),
+        }
+        links = finalizer.finalize({observation.key(): observation}, states)
+        assert links[0].inferred_type is InferredType.TETHERING
+        assert links[0].far_facility is None
+
+    def test_unknown_when_no_states(self, toy_db):
+        finalizer = LinkFinalizer(toy_db)
+        observation = private_obs()
+        links = finalizer.finalize({observation.key(): observation}, {})
+        assert links[0].inferred_type is InferredType.UNKNOWN
+        assert links[0].near_facility is None

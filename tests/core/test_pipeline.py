@@ -1,0 +1,76 @@
+"""Pipeline assembly tests: environment wiring and target selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, run_pipeline, select_targets
+from repro.topology import ASRole
+
+
+class TestEnvironmentWiring:
+    def test_components_share_one_topology(self, small_env):
+        assert small_env.engine.topology is small_env.topology
+        for platform in small_env.platforms.all_platforms():
+            assert platform.engine is small_env.engine
+
+    def test_target_selection(self, small_env):
+        config = small_env.config
+        targets = small_env.target_asns
+        roles = [small_env.topology.ases[asn].role for asn in targets]
+        n_content = sum(1 for role in roles if role is ASRole.CONTENT)
+        assert n_content == min(
+            config.n_content_targets,
+            sum(
+                1
+                for a in small_env.topology.ases.values()
+                if a.role is ASRole.CONTENT
+            ),
+        )
+        assert all(
+            role in (ASRole.CONTENT, ASRole.TIER1, ASRole.TRANSIT)
+            for role in roles
+        )
+
+    def test_select_targets_prefers_tier1(self, small_topology):
+        targets = select_targets(small_topology, 0, 4)
+        roles = [small_topology.ases[asn].role for asn in targets]
+        assert roles[0] is ASRole.TIER1
+
+    def test_facility_db_assembled(self, small_env):
+        assert small_env.facility_db.as_facilities
+        assert small_env.facility_db.active_ixps
+
+    def test_platform_list_filtering(self, small_env):
+        all_platforms = small_env.platform_list(None)
+        assert len(all_platforms) == 4
+        only_atlas = small_env.platform_list(("ripe-atlas",))
+        assert [p.name for p in only_atlas] == ["ripe-atlas"]
+
+    def test_remote_detector_bound_from_rtt_model(self, small_env):
+        detector = small_env.remote_detector()
+        assert detector.metro_local_bound_ms == pytest.approx(
+            small_env.rtt_model.metro_local_bound_ms()
+        )
+
+
+class TestCampaign:
+    def test_platform_filter_restricts_corpus(self, small_env):
+        corpus = small_env.run_campaign(("ripe-atlas",), seed_offset=90)
+        platforms = {trace.platform for trace in corpus.traces}
+        assert platforms == {"ripe-atlas"}
+
+    def test_campaign_covers_targets(self, small_env):
+        corpus = small_env.run_campaign(seed_offset=91)
+        probed_dsts = {trace.dst_address for trace in corpus.traces}
+        for asn in small_env.target_asns:
+            targets = set(small_env.hitlist.targets_for(asn))
+            assert targets & probed_dsts
+
+
+class TestRunPipeline:
+    def test_end_to_end(self):
+        result = run_pipeline(PipelineConfig.small(seed=99))
+        assert result.cfs_result.peering_interfaces_seen > 100
+        assert 0.3 < result.cfs_result.resolved_fraction() <= 1.0
+        assert result.topology is result.environment.topology

@@ -1,0 +1,82 @@
+"""Remote-peering detector and switch-proximity model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.proximity import SwitchProximityModel
+from repro.core.remote import RemotePeeringDetector
+
+
+class TestRemoteDetector:
+    def test_below_bound_is_local(self):
+        detector = RemotePeeringDetector(metro_local_bound_ms=3.0)
+        assert detector.classify(1.5) is False
+
+    def test_above_bound_is_remote(self):
+        detector = RemotePeeringDetector(metro_local_bound_ms=3.0)
+        assert detector.classify(25.0) is True
+
+    def test_negative_step_is_local(self):
+        detector = RemotePeeringDetector(metro_local_bound_ms=3.0)
+        assert detector.classify(-0.4) is False
+
+    def test_no_data_undecidable(self):
+        detector = RemotePeeringDetector()
+        assert detector.classify(None) is None
+
+    def test_min_observations_guard(self):
+        detector = RemotePeeringDetector(
+            metro_local_bound_ms=3.0, min_observations=3
+        )
+        assert detector.classify(25.0, observations=1) is None
+        assert detector.classify(25.0, observations=3) is True
+
+    def test_boundary_value_is_local(self):
+        detector = RemotePeeringDetector(metro_local_bound_ms=3.0)
+        assert detector.classify(3.0) is False
+
+
+class TestProximityModel:
+    def test_learning_and_ranking(self):
+        model = SwitchProximityModel()
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 30)
+        assert model.rank(1, 10) == [(20, 2), (30, 1)]
+        assert model.observations == 3
+
+    def test_infer_prefers_top_vote(self):
+        model = SwitchProximityModel()
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 30)
+        assert model.infer(1, 10, {20, 30}) == 20
+
+    def test_infer_restricted_to_candidates(self):
+        model = SwitchProximityModel()
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 30)
+        assert model.infer(1, 10, {30, 40}) == 30
+
+    def test_tie_is_undecidable(self):
+        """The Figure 6 AS-D case: equal proximity, no inference."""
+        model = SwitchProximityModel()
+        model.learn(1, 10, 20)
+        model.learn(1, 10, 30)
+        assert model.infer(1, 10, {20, 30}) is None
+
+    def test_no_data_no_inference(self):
+        model = SwitchProximityModel()
+        assert model.infer(1, 10, {20, 30}) is None
+        assert model.rank(1, 10) == []
+
+    def test_single_candidate_needs_no_votes(self):
+        model = SwitchProximityModel()
+        assert model.infer(1, 10, {42}) == 42
+
+    def test_exchanges_do_not_share_votes(self):
+        model = SwitchProximityModel()
+        model.learn(1, 10, 20)
+        assert model.infer(2, 10, {20, 30}) is None

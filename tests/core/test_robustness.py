@@ -1,0 +1,165 @@
+"""Failure injection and degraded-input behaviour of the CFS pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cfs import CfsConfig, ConstrainedFacilitySearch
+from repro.core.facility_db import FacilityDatabase
+from repro.core.followup import FollowupPlanner
+from repro.core.types import InterfaceStatus
+from repro.measurement.campaign import TraceCorpus
+from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.validation.metrics import unresolved_city_constrained
+
+
+def empty_facility_db() -> FacilityDatabase:
+    return FacilityDatabase(
+        as_facilities={},
+        ixp_facilities={},
+        ixp_members={},
+        active_ixps=frozenset(),
+        facility_metro={},
+        campus={},
+    )
+
+
+class TestDegradedInputs:
+    def test_empty_corpus(self, small_env):
+        result = small_env.run_cfs(TraceCorpus(), with_followups=False)
+        assert result.peering_interfaces_seen == 0
+        assert result.resolved_fraction() == 0.0
+        assert result.links == []
+
+    def test_empty_facility_database(self, small_env):
+        corpus = small_env.run_campaign(seed_offset=400)
+        result = small_env.run_cfs(
+            corpus,
+            facility_db=empty_facility_db(),
+            with_followups=False,
+            seed_offset=400,
+        )
+        # Without the IXP prefix table no public peering is detectable
+        # and no constraint is derivable: private crossings are seen but
+        # every interface stays missing-data.
+        assert result.resolved_fraction() == 0.0
+        for state in result.interfaces.values():
+            assert state.status is InterfaceStatus.MISSING_DATA
+
+    def test_lossy_traceroutes_still_converge(self, small_env):
+        lossy_engine = TracerouteEngine(
+            small_env.topology,
+            forwarder=small_env.engine.forwarder,
+            config=TracerouteConfig(hop_loss_prob=0.25),
+            seed=401,
+        )
+        vp = small_env.platforms.atlas.vantage_points[0]
+        corpus = TraceCorpus()
+        for asn in small_env.target_asns[:3]:
+            for dst in small_env.hitlist.targets_for(asn)[:10]:
+                corpus.add(lossy_engine.trace(vp.router_id, dst))
+        # Plus a broader slice from other probes for diversity.
+        for other in small_env.platforms.atlas.vantage_points[1:30]:
+            dst = small_env.hitlist.targets_for(small_env.target_asns[0])[0]
+            corpus.add(lossy_engine.trace(other.router_id, dst))
+        result = small_env.run_cfs(corpus, with_followups=False, seed_offset=402)
+        # Loss reduces yield but must not break the pipeline.
+        assert result.peering_interfaces_seen > 0
+
+    def test_unroutable_targets_ignored(self, small_env):
+        corpus = TraceCorpus()
+        engine = small_env.engine
+        router = next(iter(small_env.topology.routers))
+        corpus.add(engine.trace(router, 1))  # unknown destination
+        result = small_env.run_cfs(corpus, with_followups=False, seed_offset=403)
+        assert result.peering_interfaces_seen == 0
+
+    def test_no_driver_means_passive(self, small_env):
+        corpus = small_env.run_campaign(seed_offset=404)
+        search = ConstrainedFacilitySearch(
+            facility_db=small_env.facility_db,
+            ip_to_asn=small_env.cymru,
+            alias_resolver=None,
+            driver=None,
+            config=CfsConfig(max_iterations=50),
+        )
+        result = search.run(corpus)
+        assert result.followup_traces == 0
+        assert result.iterations_run < 50  # quiesces early
+
+
+class TestCityConstrainedStat:
+    def test_fraction_in_unit_interval(self, small_run):
+        env, _, result = small_run
+        fraction = unresolved_city_constrained(result, env.facility_db)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_some_unresolved_are_city_constrained(self, small_run):
+        """Section 5 reports ~9%; the phenomenon must be present."""
+        env, _, result = small_run
+        fraction = unresolved_city_constrained(result, env.facility_db)
+        assert fraction > 0.0
+
+    def test_empty_result(self, small_env):
+        result = small_env.run_cfs(TraceCorpus(), with_followups=False)
+        assert unresolved_city_constrained(result, small_env.facility_db) == 0.0
+
+
+class TestFollowupStrategies:
+    def test_unknown_strategy_rejected(self, small_env):
+        with pytest.raises(ValueError):
+            FollowupPlanner(small_env.facility_db, strategy="psychic")
+
+    def test_random_strategy_same_candidates_different_order(self, toy_db):
+        from repro.core.types import InterfaceState
+
+        state = InterfaceState(address=1, owner_asn=10)
+        state.candidates = {1, 2, 5}
+        smart = FollowupPlanner(toy_db, strategy="smallest-overlap")
+        blind = FollowupPlanner(toy_db, strategy="random")
+        smart_targets = {p.target_asn for p in smart.candidates_for(state)}
+        blind_targets = {p.target_asn for p in blind.candidates_for(state)}
+        assert smart_targets == blind_targets
+
+    def test_random_strategy_runs_end_to_end(self, small_env):
+        from dataclasses import replace
+
+        corpus = small_env.run_campaign(seed_offset=405)
+        config = replace(
+            small_env.config.cfs, max_iterations=8, followup_strategy="random"
+        )
+        result = small_env.run_cfs(corpus, cfs_config=config, seed_offset=405)
+        assert result.followup_traces > 0
+        assert result.resolved_fraction() > 0.3
+
+
+class TestMissingOwnerStat:
+    def test_fraction_in_unit_interval(self, small_run):
+        from repro.validation import missing_owner_facility_fraction
+
+        env, _, result = small_run
+        fraction = missing_owner_facility_fraction(result, env.facility_db)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_matches_manual_count(self, small_run):
+        from repro.validation import missing_owner_facility_fraction
+
+        env, _, result = small_run
+        unresolved = [
+            s for s in result.interfaces.values() if s.resolved_facility is None
+        ]
+        expected = sum(
+            1
+            for s in unresolved
+            if s.owner_asn is None
+            or not env.facility_db.facilities_of(s.owner_asn)
+        ) / max(1, len(unresolved))
+        assert missing_owner_facility_fraction(
+            result, env.facility_db
+        ) == pytest.approx(expected)
+
+    def test_empty_result(self, small_env):
+        from repro.validation import missing_owner_facility_fraction
+
+        result = small_env.run_cfs(TraceCorpus(), with_followups=False)
+        assert missing_owner_facility_fraction(result, small_env.facility_db) == 0.0

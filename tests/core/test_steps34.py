@@ -1,0 +1,140 @@
+"""CFS Steps 3-4 tests: alias propagation and follow-up planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alias.midar import AliasSets
+from repro.core.alias_constraints import propagate_alias_constraints
+from repro.core.followup import FollowupPlanner
+from repro.core.types import InterfaceState, InterfaceStatus
+
+
+def state(address, candidates=None, owner=10, status=InterfaceStatus.UNRESOLVED_LOCAL, remote=False):
+    s = InterfaceState(address=address, owner_asn=owner)
+    if candidates is not None:
+        s.candidates = set(candidates)
+    s.status = status
+    s.remote = remote
+    return s
+
+
+class TestAliasPropagation:
+    def test_figure5_worked_example(self):
+        """The paper's Figure 5: A.1 -> {f1, f2}, A.3 -> {f1, f2, f3}
+        with a second constraint {f1, f2}; intersecting across aliases
+        pins both to the common facility."""
+        states = {
+            1: state(1, {2, 5}),   # A.1 via trace 1: facilities 2 or 5
+            3: state(3, {1, 2}),   # A.3 via trace 2: facilities 1 or 2
+        }
+        aliases = AliasSets.from_groups([{1, 3}])
+        narrowed = propagate_alias_constraints(states, aliases)
+        assert narrowed == 2
+        assert states[1].candidates == {2}
+        assert states[3].candidates == {2}
+
+    def test_unconstrained_alias_inherits(self):
+        states = {1: state(1, {7}), 2: state(2, None)}
+        aliases = AliasSets.from_groups([{1, 2}])
+        propagate_alias_constraints(states, aliases)
+        assert states[2].candidates == {7}
+
+    def test_conflict_leaves_states_and_counts(self):
+        states = {1: state(1, {1}), 2: state(2, {9})}
+        aliases = AliasSets.from_groups([{1, 2}])
+        narrowed = propagate_alias_constraints(states, aliases)
+        assert narrowed == 0
+        assert states[1].candidates == {1}
+        assert states[2].candidates == {9}
+        assert states[1].conflicts == 1 and states[2].conflicts == 1
+
+    def test_alias_absent_from_states_ignored(self):
+        states = {1: state(1, {1, 2})}
+        aliases = AliasSets.from_groups([{1, 99}])
+        assert propagate_alias_constraints(states, aliases) == 0
+
+    def test_remote_flag_spreads(self):
+        states = {1: state(1, {4, 5}, remote=True), 2: state(2, {4, 5})}
+        aliases = AliasSets.from_groups([{1, 2}])
+        propagate_alias_constraints(states, aliases)
+        assert states[2].remote
+
+    def test_no_alias_sets_noop(self):
+        states = {1: state(1, {1, 2})}
+        assert propagate_alias_constraints(states, AliasSets()) == 0
+
+
+class TestFollowupPlanner:
+    def test_candidates_prefer_strict_subsets(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        # AS 10 unresolved over {1, 2, 5}: ASes 40 ({5}) and 50 ({1})
+        # are strict subsets; AS 20 ({2, 4}) merely overlaps.
+        unresolved = state(1, {1, 2, 5}, owner=10)
+        plans = planner.candidates_for(unresolved)
+        assert plans
+        assert plans[0].target_asn in (40, 50)
+        assert plans[0].strict_subset
+        subset_targets = {p.target_asn for p in plans if p.strict_subset}
+        assert subset_targets == {40, 50}
+        # Strict subsets outrank the mere-overlap target.
+        rank_20 = next(i for i, p in enumerate(plans) if p.target_asn == 20)
+        assert rank_20 >= 2
+
+    def test_smaller_overlap_ranks_earlier(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        unresolved = state(1, {2, 4}, owner=20)
+        plans = planner.candidates_for(unresolved)
+        ranks = {plan.target_asn: index for index, plan in enumerate(plans)}
+        # AS 30 has zero overlap with {2,4} -> not a candidate at all.
+        assert 30 not in ranks
+
+    def test_owner_not_its_own_target(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        plans = planner.candidates_for(state(1, {1, 2, 5}, owner=10))
+        assert all(plan.target_asn != 10 for plan in plans)
+
+    def test_exclude_set_respected(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        unresolved = state(1, {1, 2, 5}, owner=10)
+        plans = planner.candidates_for(unresolved, exclude={50})
+        assert all(plan.target_asn != 50 for plan in plans)
+
+    def test_unconstrained_state_has_no_plans(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        assert planner.candidates_for(state(1, None)) == []
+
+    def test_plan_budget(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        states = {
+            1: state(1, {1, 2, 5}, owner=10),
+            2: state(2, {2, 4}, owner=20),
+            3: state(3, {1, 2}, owner=10),
+        }
+        plans = planner.plan(states, set(), budget=2)
+        assert len(plans) <= 2
+
+    def test_plan_skips_probed_pairs(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        states = {1: state(1, {1, 2, 5}, owner=10)}
+        first = planner.plan(states, set(), budget=5)
+        assert first
+        probed = {(p.near_asn, p.target_asn) for p in first}
+        second = planner.plan(states, probed, budget=5)
+        assert not {(p.near_asn, p.target_asn) for p in second} & probed
+
+    def test_plan_prioritises_nearly_converged(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        states = {
+            1: state(1, {1, 2, 5}, owner=10),
+            2: state(2, {1, 2}, owner=10),
+        }
+        plans = planner.plan(states, set(), budget=1)
+        assert plans[0].near_address == 2
+
+    def test_resolved_states_not_planned(self, toy_db):
+        planner = FollowupPlanner(toy_db)
+        states = {
+            1: state(1, {1}, status=InterfaceStatus.RESOLVED),
+        }
+        assert planner.plan(states, set(), budget=5) == []

@@ -1,0 +1,176 @@
+"""Core record-type tests: constraint semantics and result helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    CfsResult,
+    InferredType,
+    InterfaceState,
+    InterfaceStatus,
+    IterationStats,
+    ObservedPeering,
+    PeeringKind,
+)
+
+facility_sets = st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8)
+
+
+class TestInterfaceState:
+    def test_first_constraint_initialises(self):
+        state = InterfaceState(address=1)
+        assert state.apply_constraint({1, 2, 3})
+        assert state.candidates == {1, 2, 3}
+
+    def test_intersection_narrows(self):
+        state = InterfaceState(address=1)
+        state.apply_constraint({1, 2, 3})
+        assert state.apply_constraint({2, 3, 4})
+        assert state.candidates == {2, 3}
+
+    def test_empty_constraint_ignored(self):
+        state = InterfaceState(address=1)
+        state.apply_constraint({1, 2})
+        assert not state.apply_constraint(set())
+        assert state.candidates == {1, 2}
+
+    def test_conflict_rejected_and_counted(self):
+        state = InterfaceState(address=1)
+        state.apply_constraint({1, 2})
+        assert not state.apply_constraint({3, 4})
+        assert state.candidates == {1, 2}
+        assert state.conflicts == 1
+
+    def test_identical_constraint_not_a_change(self):
+        state = InterfaceState(address=1)
+        state.apply_constraint({1, 2})
+        assert not state.apply_constraint({1, 2})
+
+    def test_resolved_facility(self):
+        state = InterfaceState(address=1)
+        assert state.resolved_facility is None
+        state.apply_constraint({5, 6})
+        assert state.resolved_facility is None
+        state.apply_constraint({5})
+        assert state.resolved_facility == 5
+
+    @given(st.lists(facility_sets, min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_candidates_only_shrink_and_never_empty(self, constraints):
+        state = InterfaceState(address=1)
+        previous: set[int] | None = None
+        for constraint in constraints:
+            state.apply_constraint(constraint)
+            assert state.candidates is not None
+            assert len(state.candidates) >= 1
+            if previous is not None:
+                assert state.candidates <= previous
+            previous = set(state.candidates)
+
+    @given(st.lists(facility_sets, min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_common_element_survives(self, constraints):
+        """If every constraint contains facility 0, it is never lost —
+        the soundness core of CFS with complete data."""
+        state = InterfaceState(address=1)
+        for constraint in constraints:
+            state.apply_constraint(constraint | {0})
+        assert state.candidates is not None
+        assert 0 in state.candidates
+
+
+class TestObservedPeering:
+    def _observation(self, **overrides):
+        fields = dict(
+            kind=PeeringKind.PUBLIC,
+            near_address=10,
+            near_asn=1,
+            far_asn=2,
+            far_address=20,
+            ixp_id=3,
+            ixp_address=15,
+        )
+        fields.update(overrides)
+        return ObservedPeering(**fields)
+
+    def test_key_identity(self):
+        a = self._observation()
+        b = self._observation(min_rtt_step_ms=5.0, observations=4)
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_ixp(self):
+        assert self._observation().key() != self._observation(ixp_id=4).key()
+
+    def test_private_key_includes_far_address(self):
+        a = self._observation(kind=PeeringKind.PRIVATE, ixp_id=None, ixp_address=None)
+        b = self._observation(
+            kind=PeeringKind.PRIVATE, ixp_id=None, ixp_address=None, far_address=21
+        )
+        assert a.key() != b.key()
+
+    def test_public_key_ignores_far_address(self):
+        a = self._observation(far_address=20)
+        b = self._observation(far_address=21)
+        assert a.key() == b.key()
+
+
+class TestIterationStats:
+    def test_resolved_fraction(self):
+        stats = IterationStats(
+            iteration=1,
+            total_interfaces=10,
+            resolved=4,
+            unresolved_local=3,
+            unresolved_remote=1,
+            missing_data=2,
+            followups_issued=0,
+        )
+        assert stats.resolved_fraction == pytest.approx(0.4)
+
+    def test_zero_interfaces(self):
+        stats = IterationStats(1, 0, 0, 0, 0, 0, 0)
+        assert stats.resolved_fraction == 0.0
+
+
+class TestCfsResult:
+    def _result(self):
+        states = {
+            1: InterfaceState(address=1, candidates={5}, status=InterfaceStatus.RESOLVED),
+            2: InterfaceState(
+                address=2, candidates={5, 6}, status=InterfaceStatus.UNRESOLVED_LOCAL
+            ),
+        }
+        return CfsResult(
+            interfaces=states,
+            links=[],
+            history=[],
+            iterations_run=3,
+            followup_traces=0,
+            peering_interfaces_seen=2,
+        )
+
+    def test_resolved_interfaces(self):
+        result = self._result()
+        assert result.resolved_interfaces() == {1: 5}
+
+    def test_resolved_fraction(self):
+        assert self._result().resolved_fraction() == pytest.approx(0.5)
+
+    def test_states_with_status(self):
+        result = self._result()
+        assert len(result.states_with_status(InterfaceStatus.RESOLVED)) == 1
+        assert len(result.states_with_status(InterfaceStatus.MISSING_DATA)) == 0
+
+    def test_empty_result(self):
+        empty = CfsResult(
+            interfaces={},
+            links=[],
+            history=[],
+            iterations_run=0,
+            followup_traces=0,
+            peering_interfaces_seen=0,
+        )
+        assert empty.resolved_fraction() == 0.0

@@ -1,0 +1,121 @@
+"""Reverse-DNS synthesis tests: schemes, coverage, facility codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dnsnames import (
+    DnsConfig,
+    DnsZone,
+    metro_airport_code,
+    metro_clli_code,
+)
+from repro.topology import InterfaceKind
+
+
+@pytest.fixture(scope="module")
+def zone(small_topology):
+    return DnsZone(small_topology, seed=18)
+
+
+def interfaces_of_scheme(topology, scheme):
+    for address, iface in topology.interfaces.items():
+        operator = topology.ases[topology.routers[iface.router_id].asn]
+        if operator.dns_scheme == scheme:
+            yield address, iface
+
+
+class TestCodes:
+    def test_curated_airport_codes(self):
+        assert metro_airport_code("London") == "lhr"
+        assert metro_airport_code("Frankfurt") == "fra"
+        assert metro_airport_code("New York") == "jfk"
+
+    def test_derived_airport_code(self):
+        code = metro_airport_code("Gotham City")
+        assert len(code) == 3 and code.isalpha()
+
+    def test_clli_codes(self):
+        assert metro_clli_code("New York") == "newyor"
+        assert len(metro_clli_code("Oslo")) == 6
+
+
+class TestZone:
+    def test_no_scheme_no_record(self, zone, small_topology):
+        for address, _ in interfaces_of_scheme(small_topology, None):
+            assert zone.ptr(address) is None
+
+    def test_coverage_below_one(self, zone):
+        # 29% of interfaces had no PTR in the paper; our mix lands in a
+        # similar band (scheme None + per-record gaps).
+        assert 0.35 < zone.coverage() < 0.85
+
+    def test_airport_scheme_embeds_code(self, small_topology):
+        zone = DnsZone(small_topology, DnsConfig(missing_record_prob=0.0, stale_prob=0.0), seed=19)
+        checked = 0
+        for address, iface in interfaces_of_scheme(small_topology, "airport"):
+            hostname = zone.ptr(address)
+            assert hostname is not None
+            metro = small_topology.facilities[
+                small_topology.routers[iface.router_id].facility_id
+            ].metro
+            assert f".{metro_airport_code(metro)}." in hostname
+            checked += 1
+        if checked == 0:
+            pytest.skip("no airport-scheme operators in this seed")
+
+    def test_facility_scheme_decodable(self, small_topology):
+        zone = DnsZone(small_topology, DnsConfig(missing_record_prob=0.0, stale_prob=0.0), seed=20)
+        code_to_facility = {
+            f.dns_code: f.facility_id for f in small_topology.facilities.values()
+        }
+        checked = 0
+        for address, iface in interfaces_of_scheme(small_topology, "facility"):
+            hostname = zone.ptr(address)
+            assert hostname is not None
+            code = hostname.split(".")[1]
+            true_facility = small_topology.routers[iface.router_id].facility_id
+            assert code_to_facility[code] == true_facility
+            checked += 1
+        assert checked > 0
+
+    def test_opaque_scheme_has_no_location(self, small_topology):
+        zone = DnsZone(small_topology, DnsConfig(missing_record_prob=0.0, stale_prob=0.0), seed=21)
+        metros = {f.metro for f in small_topology.facilities.values()}
+        codes = {metro_airport_code(m) for m in metros} | {
+            metro_clli_code(m) for m in metros
+        }
+        for address, _ in list(interfaces_of_scheme(small_topology, "opaque"))[:50]:
+            hostname = zone.ptr(address)
+            assert hostname is not None
+            labels = set(hostname.replace("-", ".").split("."))
+            assert not labels & codes
+
+    def test_interface_kind_in_label(self, small_topology):
+        zone = DnsZone(small_topology, DnsConfig(missing_record_prob=0.0, stale_prob=0.0), seed=22)
+        prefix_by_kind = {
+            InterfaceKind.BACKBONE: "ae-",
+            InterfaceKind.IXP_LAN: "ix-",
+            InterfaceKind.PRIVATE_P2P: "pni-",
+            InterfaceKind.LOOPBACK: "lo-",
+            InterfaceKind.HOST: "host-",
+        }
+        for address, iface in list(small_topology.interfaces.items())[:200]:
+            hostname = zone.ptr(address)
+            if hostname is None:
+                continue
+            assert hostname.startswith(prefix_by_kind[iface.kind])
+
+    def test_stale_records_exist_when_configured(self, small_topology):
+        zone = DnsZone(
+            small_topology,
+            DnsConfig(missing_record_prob=0.0, stale_prob=1.0),
+            seed=23,
+        )
+        # With stale_prob=1 every record carries the 'old' facility code.
+        stale = 0
+        for address in small_topology.interfaces:
+            hostname = zone.ptr(address)
+            if hostname is not None and ".old." in f".{hostname}":
+                stale += 1
+        assert stale > 0

@@ -1,0 +1,74 @@
+"""City/metro normalisation tests (the Section 3.1.1 cleaning step)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.normalize import LocationNormalizer
+from repro.topology.geo import GeoLocation, MetroCatalogue
+
+
+@pytest.fixture(scope="module")
+def normalizer():
+    return LocationNormalizer(MetroCatalogue())
+
+
+class TestNameNormalization:
+    def test_canonical_name(self, normalizer):
+        assert normalizer.normalize_city("London") == "London"
+
+    def test_alias(self, normalizer):
+        assert normalizer.normalize_city("Jersey City") == "New York"
+        assert normalizer.normalize_city("Frankfurt am Main") == "Frankfurt"
+
+    def test_case_folding(self, normalizer):
+        assert normalizer.normalize_city("AMSTERDAM") == "Amsterdam"
+
+    def test_whitespace(self, normalizer):
+        assert normalizer.normalize_city("  Paris  ") == "Paris"
+
+    def test_country_suffix(self, normalizer):
+        assert normalizer.normalize_city("Frankfurt, DE") == "Frankfurt"
+        assert normalizer.normalize_city("Zurich, Switzerland") == "Zurich"
+
+    def test_unknown(self, normalizer):
+        assert normalizer.normalize_city("Gotham") is None
+
+    def test_empty(self, normalizer):
+        assert normalizer.normalize_city("") is None
+        assert normalizer.normalize_city("   ") is None
+
+
+class TestCoordinateFallback:
+    def test_unknown_name_near_metro(self, normalizer):
+        # Croydon is not catalogued but sits inside the London metro.
+        croydon = GeoLocation(51.3762, -0.0982)
+        assert normalizer.normalize_location("Croydon", croydon) == "London"
+
+    def test_unknown_name_far_from_any_metro(self, normalizer):
+        mid_atlantic = GeoLocation(30.0, -45.0)
+        assert normalizer.normalize_location("Atlantis", mid_atlantic) is None
+
+    def test_name_wins_over_coordinates(self, normalizer):
+        # A known alias resolves by name even with far-away coordinates.
+        anywhere = GeoLocation(0.0, 0.0)
+        assert normalizer.normalize_location("Kyiv", anywhere) == "Kiev"
+
+    def test_no_location_no_name(self, normalizer):
+        assert normalizer.normalize_location("Gotham", None) is None
+
+
+class TestGroupingRule:
+    def test_same_metro_within_five_miles(self, normalizer):
+        a = GeoLocation(40.7128, -74.0060)  # Manhattan
+        b = GeoLocation(40.7282, -74.0776)  # Jersey City, ~6.5 km away
+        assert normalizer.same_metro(a, b)
+
+    def test_not_same_metro_far_apart(self, normalizer):
+        nyc = GeoLocation(40.7128, -74.0060)
+        philly = GeoLocation(39.9526, -75.1652)
+        assert not normalizer.same_metro(nyc, philly)
+
+    def test_metro_of(self, normalizer):
+        assert normalizer.metro_of("London").country == "GB"
+        assert normalizer.metro_of("Gotham") is None

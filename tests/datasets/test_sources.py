@@ -1,0 +1,179 @@
+"""Tests for NOC pages, IXP sources (activeness filter), Cymru, geo DB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cymru import CymruService
+from repro.datasets.geolocation import GeoDatabase
+from repro.datasets.ixp_sources import IxpDataSources, IxpSourcesConfig
+from repro.datasets.noc import NocConfig, NocWebsites
+from repro.datasets.peeringdb import PeeringDBSnapshot
+from repro.topology import ASRole, InterfaceKind
+
+
+@pytest.fixture(scope="module")
+def peeringdb(small_topology):
+    return PeeringDBSnapshot.build(small_topology, seed=11)
+
+
+@pytest.fixture(scope="module")
+def ixp_sources(small_topology, peeringdb):
+    return IxpDataSources.build(
+        small_topology,
+        peeringdb.ixp_prefixes(),
+        {i: peeringdb.members_of_ixp(i) for i in small_topology.ixps},
+        seed=12,
+    )
+
+
+class TestNocWebsites:
+    def test_pages_only_for_flagged_ases(self, small_topology):
+        noc = NocWebsites.build(small_topology, seed=13)
+        for asn in noc.asns_with_pages():
+            assert small_topology.ases[asn].has_noc_page
+
+    def test_listings_subset_of_truth(self, small_topology):
+        noc = NocWebsites.build(small_topology, seed=13)
+        for asn in noc.asns_with_pages():
+            page = noc.page_for(asn)
+            assert page.facility_ids() <= small_topology.ases[asn].facility_ids
+
+    def test_full_coverage_config(self, small_topology):
+        noc = NocWebsites.build(small_topology, NocConfig(listing_coverage=1.0), seed=14)
+        for asn in noc.asns_with_pages():
+            page = noc.page_for(asn)
+            assert page.facility_ids() == small_topology.ases[asn].facility_ids
+
+    def test_page_for_unknown(self, small_topology):
+        noc = NocWebsites.build(small_topology, seed=13)
+        assert noc.page_for(424242) is None
+
+
+class TestActivenessFilter:
+    def test_inactive_ixps_filtered(self, small_topology, ixp_sources):
+        active = ixp_sources.active_ixp_ids()
+        for ixp in small_topology.ixps.values():
+            if not ixp.active:
+                assert ixp.ixp_id not in active
+
+    def test_active_ixps_pass(self, small_topology, ixp_sources):
+        active = ixp_sources.active_ixp_ids()
+        truly_active = {i.ixp_id for i in small_topology.ixps.values() if i.active}
+        # Coverage noise may drop a rare exchange, never add one.
+        assert active <= truly_active
+        assert len(active) >= len(truly_active) - 1
+
+    def test_prefix_confirmations_counts_sources(self, ixp_sources, small_topology):
+        active = ixp_sources.active_ixp_ids()
+        for ixp_id in active:
+            assert ixp_sources.prefix_confirmations(ixp_id) >= 3
+
+    def test_confirmed_members_need_two_sources(self, ixp_sources):
+        for ixp_id in ixp_sources.active_ixp_ids():
+            confirmations = ixp_sources.member_confirmations(ixp_id)
+            for asn in ixp_sources.confirmed_members(ixp_id):
+                assert confirmations[asn] >= 2
+
+    def test_detailed_websites_publish_ports(self, ixp_sources, small_topology):
+        detailed = ixp_sources.detailed_websites()
+        assert detailed
+        for website in detailed:
+            assert website.is_detailed
+            ixp = small_topology.ixps[website.ixp_id]
+            published = {m.address for m in website.member_details}
+            truth = {
+                port.address
+                for ports in ixp.member_ports.values()
+                for port in ports
+            }
+            assert published == truth
+
+    def test_detailed_facilities_match_truth(self, ixp_sources, small_topology):
+        for website in ixp_sources.detailed_websites():
+            ixp = small_topology.ixps[website.ixp_id]
+            for member in website.member_details:
+                matching = [
+                    port
+                    for ports in ixp.member_ports.values()
+                    for port in ports
+                    if port.address == member.address
+                ]
+                assert matching[0].facility_id == member.facility_id
+                assert matching[0].is_remote == member.is_remote
+
+    def test_pch_marks_inactive(self, ixp_sources, small_topology):
+        for ixp_id, record in ixp_sources.pch.items():
+            assert record.marked_inactive == (not small_topology.ixps[ixp_id].active)
+
+
+class TestCymru:
+    @pytest.fixture(scope="class")
+    def cymru(self, small_topology):
+        return CymruService(small_topology, seed=15)
+
+    def test_backbone_addresses_map_to_operator(self, cymru, small_topology):
+        for address, iface in list(small_topology.interfaces.items())[:300]:
+            if iface.kind in (InterfaceKind.BACKBONE, InterfaceKind.LOOPBACK):
+                assert cymru.lookup(address) == small_topology.routers[iface.router_id].asn
+
+    def test_p2p_misattribution_occurs(self, cymru, small_topology):
+        """The far side of a shared /31 maps to the numbering AS, not the
+        operating AS — the Section 4.1 error class."""
+        wrong = 0
+        for address, iface in small_topology.interfaces.items():
+            if iface.kind is not InterfaceKind.PRIVATE_P2P:
+                continue
+            mapped = cymru.lookup(address)
+            true_asn = small_topology.routers[iface.router_id].asn
+            if mapped is not None and mapped != true_asn:
+                wrong += 1
+        assert wrong > 0
+
+    def test_unknown_address(self, cymru):
+        assert cymru.lookup(1) is None
+
+    def test_bulk_lookup(self, cymru, small_topology):
+        addresses = list(small_topology.interfaces)[:10]
+        answers = cymru.bulk_lookup(addresses)
+        assert set(answers) == set(addresses)
+
+    def test_ixp_lan_announcement_probability(self, small_topology):
+        always = CymruService(small_topology, announce_ixp_lan_prob=1.0, seed=1)
+        never = CymruService(small_topology, announce_ixp_lan_prob=0.0, seed=1)
+        active = [i for i in small_topology.ixps.values() if i.active]
+        port = next(
+            port
+            for ixp in active
+            for ports in ixp.member_ports.values()
+            for port in ports
+        )
+        ixp = next(i for i in active if i.owns_address(port.address))
+        assert always.lookup(port.address) == ixp.asn
+        assert never.lookup(port.address) is None
+
+
+class TestGeoDatabase:
+    def test_content_maps_to_headquarters(self, small_topology):
+        geodb = GeoDatabase(small_topology, seed=16)
+        content = [a for a in small_topology.ases.values() if a.role is ASRole.CONTENT]
+        record = content[0]
+        for prefix in record.prefixes:
+            answer = geodb.lookup(prefix.first + 1)
+            assert answer is not None
+            assert answer.metro == record.home_metro
+
+    def test_unknown_address(self, small_topology):
+        geodb = GeoDatabase(small_topology, seed=16)
+        assert geodb.lookup(1) is None
+
+    def test_country_mostly_right(self, small_topology):
+        geodb = GeoDatabase(small_topology, seed=17)
+        right = total = 0
+        for record in small_topology.ases.values():
+            home = small_topology.metros.resolve(record.home_metro)
+            answer = geodb.lookup(record.prefixes[0].first + 1)
+            total += 1
+            if answer is not None and answer.country == home.country:
+                right += 1
+        assert right / total > 0.75

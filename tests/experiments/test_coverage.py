@@ -1,0 +1,26 @@
+"""Incremental coverage experiment tests."""
+
+from __future__ import annotations
+
+from repro.experiments import run_coverage_growth
+
+
+class TestCoverageGrowth:
+    def test_monotone_and_concave_tendency(self, small_env):
+        result = run_coverage_growth(small_env, max_targets=4, seed_offset=750)
+        assert len(result.points) == 4
+        assert result.is_monotone()
+        assert result.points[0].links_pinned > 0
+        # traces strictly accumulate
+        traces = [p.traces for p in result.points]
+        assert all(b > a for a, b in zip(traces, traces[1:]))
+
+    def test_interfaces_grow_with_targets(self, small_env):
+        result = run_coverage_growth(small_env, max_targets=3, seed_offset=760)
+        seen = [p.interfaces_seen for p in result.points]
+        assert seen[-1] >= seen[0]
+
+    def test_format(self, small_env):
+        result = run_coverage_growth(small_env, max_targets=2, seed_offset=770)
+        text = result.format()
+        assert "links pinned" in text

@@ -1,0 +1,166 @@
+"""Experiment harness tests: every figure/table runs and keeps its shape.
+
+These integration tests execute each experiment at the small scale over
+a shared study run and assert the *qualitative* paper results — who
+wins, directions of effects, monotonicity — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    clone_corpus,
+    run_fig2,
+    run_fig3,
+    run_fig9,
+    run_fig10,
+    run_multirole_census,
+    run_proximity_validation,
+    run_table1,
+)
+from repro.experiments.fig10 import role_contrast
+from repro.topology import ASRole
+
+
+class TestTable1:
+    def test_shape(self, small_run):
+        env, _, _ = small_run
+        result = run_table1(env)
+        assert result.shape_holds()
+        assert "ripe-atlas" in result.format()
+
+    def test_total_row(self, small_run):
+        env, _, _ = small_run
+        result = run_table1(env)
+        total = result.row("total-unique")
+        atlas = result.row("ripe-atlas")
+        assert total.vantage_points >= atlas.vantage_points
+        assert total.countries >= atlas.countries
+
+
+class TestFig2:
+    def test_missing_links_found(self, small_run):
+        env, _, _ = small_run
+        result = run_fig2(env)
+        assert result.ases_checked > 5
+        assert result.ases_with_missing_links > 0
+        assert result.total_missing_links > 0
+
+    def test_rows_sorted_and_fractions_valid(self, small_run):
+        env, _, _ = small_run
+        result = run_fig2(env)
+        counts = [row.website_facilities for row in result.rows]
+        assert counts == sorted(counts, reverse=True)
+        for row in result.rows:
+            assert 0.0 <= row.pdb_fraction <= 1.0
+            assert row.in_peeringdb <= row.website_facilities
+
+    def test_format(self, small_run):
+        env, _, _ = small_run
+        text = run_fig2(env).format(limit=5)
+        assert "PeeringDB" in text and "missing" in text
+
+
+class TestFig3:
+    def test_heavy_tail(self, small_run):
+        env, _, _ = small_run
+        result = run_fig3(env.topology)
+        assert result.is_heavy_tailed()
+        counts = [count for _, count, _ in result.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_totals_match_topology(self, small_run):
+        env, _, _ = small_run
+        result = run_fig3(env.topology)
+        assert sum(count for _, count, _ in result.rows) == len(
+            env.topology.facilities
+        )
+
+    def test_big_metros_lead(self, small_run):
+        env, _, _ = small_run
+        result = run_fig3(env.topology)
+        top = {metro for metro, _, _ in result.rows[:6]}
+        assert top & {"London", "New York", "Paris", "Frankfurt", "Amsterdam",
+                      "San Jose", "Moscow", "Los Angeles"}
+
+    def test_more_facilities_than_ixps(self, small_run):
+        env, _, _ = small_run
+        result = run_fig3(env.topology)
+        assert result.facility_to_ixp_ratio > 1.0
+
+
+class TestFig9:
+    def test_validation_above_threshold(self, small_run):
+        env, _, result = small_run
+        fig9 = run_fig9(env, result)
+        assert fig9.cells
+        assert fig9.overall_accuracy() > 0.85
+
+    def test_cell_lookup(self, small_run):
+        env, _, result = small_run
+        fig9 = run_fig9(env, result)
+        cell = fig9.cells[0]
+        assert fig9.cell(cell.source, cell.link_type) is cell
+        assert fig9.cell("nope", "nope") is None
+
+
+class TestFig10:
+    def test_cdn_public_vs_tier1_private(self, small_run):
+        env, _, result = small_run
+        fig10 = run_fig10(env, result)
+        cdn_public, tier1_public = role_contrast(fig10)
+        assert cdn_public > tier1_public
+
+    def test_rows_cover_targets_and_regions(self, small_run):
+        env, _, result = small_run
+        fig10 = run_fig10(env, result)
+        for asn in env.target_asns:
+            total_row = fig10.row(asn, "total")
+            assert total_row is not None
+            region_sum = sum(
+                fig10.row(asn, region).total
+                for region in ("Europe", "North America", "Asia")
+            )
+            assert region_sum <= total_row.total
+
+    def test_every_target_has_interfaces(self, small_run):
+        env, _, result = small_run
+        fig10 = run_fig10(env, result)
+        with_interfaces = [
+            asn for asn in env.target_asns if fig10.row(asn, "total").total > 0
+        ]
+        assert len(with_interfaces) >= len(env.target_asns) - 1
+
+
+class TestMultiRole:
+    def test_census_shape(self, small_run):
+        env, _, result = small_run
+        census = run_multirole_census(env, result)
+        assert census.routers_observed > 0
+        assert 0 < census.both_roles_fraction < 1
+        assert census.multi_ixp_routers >= 0
+        assert census.both_roles <= min(
+            census.public_routers, census.private_routers
+        )
+
+    def test_multi_ixp_routers_exist(self, small_run):
+        env, _, result = small_run
+        census = run_multirole_census(env, result)
+        assert census.multi_ixp_fraction > 0
+
+
+class TestProximity:
+    def test_validation_runs(self, small_run):
+        env, _, result = small_run
+        validation = run_proximity_validation(env, result)
+        assert validation.total_cases >= 0
+        if validation.attempted:
+            assert 0.0 <= validation.accuracy <= 1.0
+
+    def test_beats_chance_when_enough_cases(self, small_run):
+        env, _, result = small_run
+        validation = run_proximity_validation(env, result)
+        if validation.attempted < 15:
+            pytest.skip("too few ambiguous far-end cases at small scale")
+        assert validation.accuracy > 0.5

@@ -1,0 +1,86 @@
+"""Edge-case coverage for the experiment harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.fig7 import Fig7Series
+from repro.experiments.fig8 import Fig8Point, Fig8Result
+from repro.experiments.fig10 import Fig10Row
+from repro.core.types import InferredType
+
+
+class TestTable1Edges:
+    def test_unknown_platform_row(self, small_env):
+        result = run_table1(small_env)
+        with pytest.raises(KeyError):
+            result.row("carrier-pigeon")
+
+
+class TestFig7Series:
+    def test_fractions_and_final(self):
+        series = Fig7Series(
+            name="x", points=[(1, 5, 10), (2, 8, 10), (3, 8, 16)]
+        )
+        assert series.fractions() == [(1, 0.5), (2, 0.8), (3, 0.5)]
+        assert series.final_fraction() == 0.5
+        assert series.fraction_at(2) == 0.8
+
+    def test_empty_series(self):
+        series = Fig7Series(name="x", points=[])
+        assert series.final_fraction() == 0.0
+        assert series.fraction_at(10) == 0.0
+
+    def test_zero_total_points(self):
+        series = Fig7Series(name="x", points=[(1, 0, 0)])
+        assert series.fractions() == [(1, 0.0)]
+
+
+class TestFig8Monotonicity:
+    def _result(self, unresolved_values):
+        points = [
+            Fig8Point(
+                removed=i,
+                removed_fraction=i / 10,
+                unresolved_fraction=value,
+                changed_fraction=0.0,
+            )
+            for i, value in enumerate(unresolved_values)
+        ]
+        return Fig8Result(baseline_resolved=100, points=points)
+
+    def test_monotone_accepts_noise_within_slack(self):
+        result = self._result([0.1, 0.09, 0.2, 0.3])
+        assert result.unresolved_is_monotonic(slack=0.05)
+
+    def test_monotone_rejects_big_drops(self):
+        result = self._result([0.1, 0.3, 0.1])
+        assert not result.unresolved_is_monotonic(slack=0.05)
+
+    def test_format_contains_all_levels(self):
+        result = self._result([0.1, 0.2])
+        text = result.format()
+        assert "0.10" in text and "0.20" in text
+
+
+class TestFig10Row:
+    def test_fractions(self):
+        row = Fig10Row(
+            asn=1,
+            role="content",
+            region="total",
+            counts={
+                InferredType.PUBLIC_LOCAL.value: 6,
+                InferredType.PUBLIC_REMOTE.value: 2,
+                InferredType.CROSS_CONNECT.value: 2,
+            },
+        )
+        assert row.total == 10
+        assert row.public_fraction == pytest.approx(0.8)
+        assert row.fraction(InferredType.CROSS_CONNECT) == pytest.approx(0.2)
+
+    def test_empty_row(self):
+        row = Fig10Row(asn=1, role="stub", region="total")
+        assert row.total == 0
+        assert row.public_fraction == 0.0

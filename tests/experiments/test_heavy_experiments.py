@@ -1,0 +1,113 @@
+"""Small-scale smoke tests of the heavier experiment harnesses.
+
+Figure 7, Figure 8 and the ablation suite run multiple CFS passes; the
+benchmarks exercise them at full scale, these tests verify the same
+shapes quickly at the small scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_ablation, run_fig7, run_fig8
+
+
+@pytest.fixture(scope="module")
+def fig7_result(small_env):
+    return run_fig7(small_env)
+
+
+class TestFig7Small:
+    def test_three_series_present(self, fig7_result):
+        assert set(fig7_result.series) == {
+            "all",
+            "ripe-atlas",
+            "looking-glass",
+        }
+
+    def test_resolved_counts_monotone(self, fig7_result):
+        for curve in fig7_result.series.values():
+            resolved = [point[1] for point in curve.points]
+            assert all(b >= a for a, b in zip(resolved, resolved[1:]))
+
+    def test_all_platforms_substantial(self, fig7_result):
+        assert fig7_result.series["all"].final_fraction() > 0.45
+
+    def test_dns_baseline_below_cfs(self, fig7_result):
+        assert (
+            fig7_result.dns_located_fraction
+            < fig7_result.series["all"].final_fraction()
+        )
+
+    def test_lg_sees_unique_interfaces(self, fig7_result):
+        assert fig7_result.lg_unique_fraction > 0.0
+
+    def test_fraction_at_is_monotone_in_iteration(self, fig7_result):
+        curve = fig7_result.series["all"]
+        assert curve.fraction_at(5) <= curve.fraction_at(
+            curve.points[-1][0]
+        ) + 0.01
+
+    def test_format_contains_all_series(self, fig7_result):
+        text = fig7_result.format(step=10)
+        assert "ripe-atlas" in text and "looking-glass" in text
+
+
+class TestFig8Small:
+    def test_degradation_curves(self, small_run):
+        env, corpus, _ = small_run
+        result = run_fig8(
+            env,
+            corpus,
+            removal_fractions=(0.2, 0.5, 0.8),
+            repeats=2,
+            seed=3,
+        )
+        assert result.baseline_resolved > 50
+        points = {p.removed_fraction: p for p in result.points}
+        assert points[0.8].unresolved_fraction > points[0.2].unresolved_fraction
+        assert points[0.8].unresolved_fraction > 0.3
+        for point in result.points:
+            assert 0.0 <= point.changed_fraction <= 1.0
+
+    def test_zero_removal_nearly_noop(self, small_run):
+        """Removing nothing leaves the map intact, up to the per-run
+        alias-resolution jitter of the shared IP-ID prober (velocity
+        estimates shift between probes of the same counters)."""
+        env, corpus, _ = small_run
+        result = run_fig8(
+            env, corpus, removal_fractions=(0.0,), repeats=1, seed=4
+        )
+        point = result.points[0]
+        assert point.unresolved_fraction < 0.03
+        assert point.changed_fraction < 0.03
+
+
+class TestAblationSmall:
+    def test_directions(self, small_env):
+        corpus = small_env.run_campaign(seed_offset=55)
+        result = run_ablation(small_env, corpus)
+        full = result.row("full")
+        assert full.resolved_fraction > result.row("no-followups").resolved_fraction
+        assert full.resolved_fraction >= result.row("no-alias-step").resolved_fraction - 0.03
+        assert (
+            full.facility_accuracy
+            >= result.row("no-asn-repair").facility_accuracy - 0.03
+        )
+        assert full.far_ends_resolved >= result.row("no-proximity").far_ends_resolved
+
+    def test_all_variants_present(self, small_env):
+        corpus = small_env.run_campaign(seed_offset=56)
+        result = run_ablation(small_env, corpus)
+        names = {row.variant for row in result.rows}
+        assert names == {
+            "full",
+            "no-alias-step",
+            "no-asn-repair",
+            "no-followups",
+            "random-targets",
+            "no-proximity",
+            "mirror-far-side",
+        }
+        with pytest.raises(KeyError):
+            result.row("nonexistent")

@@ -1,0 +1,111 @@
+"""Campaign driver tests: hitlists, corpora, follow-up probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measurement import (
+    CampaignConfig,
+    CampaignDriver,
+    Hitlist,
+    TraceCorpus,
+    TracerouteEngine,
+    build_platforms,
+)
+from repro.topology import InterfaceKind
+
+
+@pytest.fixture(scope="module")
+def driver(small_topology):
+    engine = TracerouteEngine(small_topology, seed=40)
+    platforms = build_platforms(small_topology, engine, seed=41)
+    hitlist = Hitlist(small_topology)
+    config = CampaignConfig(
+        atlas_sample_per_target=4,
+        lg_sample_per_target=2,
+        archive_targets_per_node=3,
+        followup_traces=2,
+    )
+    return CampaignDriver(platforms, hitlist, config, seed=42)
+
+
+class TestHitlist:
+    def test_targets_are_hosts_in_as_space(self, small_topology):
+        hitlist = Hitlist(small_topology)
+        for asn in list(small_topology.ases)[:20]:
+            for address in hitlist.targets_for(asn):
+                iface = small_topology.interfaces[address]
+                assert iface.kind is InterfaceKind.HOST
+                assert small_topology.true_asn_of_address(address) == asn
+
+    def test_unknown_asn_empty(self, small_topology):
+        assert Hitlist(small_topology).targets_for(42) == []
+
+    def test_all_targets_cover_all_ases(self, small_topology):
+        hitlist = Hitlist(small_topology)
+        owners = {
+            small_topology.true_asn_of_address(a) for a in hitlist.all_targets()
+        }
+        assert owners == set(small_topology.ases)
+
+
+class TestTraceCorpus:
+    def test_accumulation_and_iteration(self):
+        corpus = TraceCorpus()
+        assert len(corpus) == 0
+        assert list(corpus) == []
+
+    def test_by_platform_and_addresses(self, driver, small_topology):
+        target_asn = next(iter(small_topology.ases))
+        corpus = driver.initial_campaign([target_asn])
+        atlas = corpus.by_platform("ripe-atlas")
+        assert atlas
+        assert all(t.platform == "ripe-atlas" for t in atlas)
+        addresses = corpus.observed_addresses()
+        assert addresses
+        for trace in corpus.traces[:10]:
+            for address in trace.responsive_addresses():
+                assert address in addresses
+
+
+class TestInitialCampaign:
+    def test_uses_all_platforms(self, driver, small_topology):
+        target_asn = next(iter(small_topology.ases))
+        corpus = driver.initial_campaign([target_asn])
+        platforms_seen = {trace.platform for trace in corpus.traces}
+        assert {"ripe-atlas", "looking-glass", "iplane", "ark"} <= platforms_seen
+
+    def test_targets_probed(self, driver, small_topology):
+        target_asn = next(iter(small_topology.ases))
+        corpus = driver.initial_campaign([target_asn])
+        hitlist = Hitlist(small_topology)
+        probed = {
+            trace.dst_address
+            for trace in corpus.by_platform("ripe-atlas")
+        }
+        assert set(hitlist.targets_for(target_asn)) <= probed
+
+
+class TestFollowupProbing:
+    def test_probe_peering_appends_traces(self, driver, small_topology):
+        asns = sorted(small_topology.ases)
+        corpus = TraceCorpus()
+        issued = driver.probe_peering(asns[0], asns[1], corpus)
+        assert issued == len(corpus)
+        assert issued > 0
+
+    def test_probe_peering_targets_both_directions(self, driver, small_topology):
+        # Pick two ASes that both host vantage points.
+        platforms = driver.platforms
+        hosted = {
+            vp.asn
+            for platform in (platforms.atlas, platforms.looking_glasses)
+            for vp in platform.vantage_points
+        }
+        pair = sorted(hosted)[:2]
+        if len(pair) < 2:
+            pytest.skip("not enough VP-hosting ASes")
+        corpus = TraceCorpus()
+        driver.probe_peering(pair[0], pair[1], corpus)
+        sources = {trace.src_asn for trace in corpus.traces}
+        assert pair[0] in sources and pair[1] in sources

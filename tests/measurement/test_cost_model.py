@@ -1,0 +1,46 @@
+"""Campaign-flag and archive behaviour tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measurement import CampaignConfig, CampaignDriver, Hitlist, build_platforms
+from repro.measurement.traceroute import TracerouteEngine
+
+
+@pytest.fixture(scope="module")
+def fresh_driver(small_topology):
+    engine = TracerouteEngine(small_topology, seed=80)
+    platforms = build_platforms(small_topology, engine, seed=81)
+    return CampaignDriver(
+        platforms,
+        Hitlist(small_topology),
+        CampaignConfig(
+            atlas_sample_per_target=3,
+            lg_sample_per_target=2,
+            archive_targets_per_node=4,
+            followup_traces=2,
+        ),
+        seed=82,
+    )
+
+
+class TestArchiveInclusion:
+    def test_archives_included_by_default(self, fresh_driver, small_topology):
+        target = next(iter(small_topology.ases))
+        corpus = fresh_driver.initial_campaign([target])
+        platforms = {trace.platform for trace in corpus.traces}
+        assert "iplane" in platforms and "ark" in platforms
+
+    def test_archives_excluded_on_request(self, fresh_driver, small_topology):
+        target = next(iter(small_topology.ases))
+        corpus = fresh_driver.initial_campaign([target], include_archives=False)
+        platforms = {trace.platform for trace in corpus.traces}
+        assert "iplane" not in platforms and "ark" not in platforms
+        assert "ripe-atlas" in platforms
+
+    def test_incremental_campaigns_smaller(self, fresh_driver, small_topology):
+        target = next(iter(small_topology.ases))
+        with_archives = fresh_driver.initial_campaign([target])
+        without = fresh_driver.initial_campaign([target], include_archives=False)
+        assert len(without) < len(with_archives)

@@ -1,0 +1,158 @@
+"""Platform tests: populations, rate limits, BGP queries, Table 1."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.measurement import (
+    Hitlist,
+    LookingGlassPlatform,
+    TracerouteEngine,
+    build_platforms,
+)
+from repro.measurement.platforms import LG_QUERY_INTERVAL_S
+from repro.topology import ASRole
+
+
+@pytest.fixture(scope="module")
+def platforms(small_topology):
+    engine = TracerouteEngine(small_topology, seed=20)
+    return build_platforms(small_topology, engine, seed=21)
+
+
+class TestPopulations:
+    def test_atlas_hosts_edge_networks(self, platforms, small_topology):
+        for vp in platforms.atlas.vantage_points:
+            role = small_topology.ases[vp.asn].role
+            assert role in (ASRole.ACCESS, ASRole.STUB, ASRole.TRANSIT)
+
+    def test_atlas_europe_skew(self, platforms):
+        regions = [vp.region for vp in platforms.atlas.vantage_points]
+        europe = sum(1 for region in regions if region == "Europe")
+        assert europe > len(regions) * 0.35
+
+    def test_lg_vps_cover_all_routers_of_lg_ases(self, platforms, small_topology):
+        by_asn: dict[int, set[int]] = {}
+        for vp in platforms.looking_glasses.vantage_points:
+            by_asn.setdefault(vp.asn, set()).add(vp.router_id)
+        for asn, router_ids in by_asn.items():
+            assert small_topology.ases[asn].runs_looking_glass
+            assert router_ids == set(small_topology.routers_of(asn))
+
+    def test_vantage_points_in(self, platforms):
+        vp = platforms.atlas.vantage_points[0]
+        assert vp in platforms.atlas.vantage_points_in(vp.asn)
+        assert platforms.atlas.vantage_points_in(999999) == []
+
+    def test_archive_sizes(self, platforms):
+        assert 1 <= len(platforms.iplane.vantage_points) <= 30
+        assert 1 <= len(platforms.ark.vantage_points) <= 30
+
+
+class TestTable1:
+    def test_rows_present(self, platforms):
+        rows = {stats.platform for stats in platforms.table1()}
+        assert rows == {
+            "ripe-atlas",
+            "looking-glass",
+            "iplane",
+            "ark",
+            "total-unique",
+        }
+
+    def test_paper_ordering(self, platforms):
+        stats = {s.platform: s for s in platforms.table1()}
+        assert (
+            stats["ripe-atlas"].vantage_points
+            > stats["looking-glass"].vantage_points
+            > stats["iplane"].vantage_points
+        )
+        assert stats["ripe-atlas"].asns > stats["looking-glass"].asns
+
+    def test_total_unique_consistency(self, platforms):
+        stats = {s.platform: s for s in platforms.table1()}
+        total = stats["total-unique"]
+        per_platform = [
+            stats[name]
+            for name in ("ripe-atlas", "looking-glass", "iplane", "ark")
+        ]
+        assert total.vantage_points == sum(s.vantage_points for s in per_platform)
+        assert total.asns <= sum(s.asns for s in per_platform)
+        assert total.asns >= max(s.asns for s in per_platform)
+
+
+class TestTracing:
+    def test_trace_tags_platform_and_source(self, platforms, small_topology):
+        hitlist = Hitlist(small_topology)
+        target = hitlist.all_targets()[0]
+        vp = platforms.atlas.vantage_points[0]
+        trace = platforms.atlas.trace(vp, target)
+        assert trace.platform == "ripe-atlas"
+        assert trace.source_id == vp.vp_id
+        assert trace.src_asn == vp.asn
+
+    def test_trace_from_sample_size(self, platforms, small_topology):
+        hitlist = Hitlist(small_topology)
+        target = hitlist.all_targets()[0]
+        traces = platforms.atlas.trace_from_sample(target, 5, random.Random(1))
+        assert len(traces) == 5
+
+    def test_lg_rate_limit_accounting(self, small_topology):
+        engine = TracerouteEngine(small_topology, seed=30)
+        lgs = LookingGlassPlatform.build(small_topology, engine, seed=31)
+        hitlist = Hitlist(small_topology)
+        target = hitlist.all_targets()[0]
+        vp = lgs.vantage_points[0]
+        lgs.trace(vp, target)
+        assert lgs.simulated_wait_s == 0.0
+        lgs.trace(vp, target)
+        assert lgs.simulated_wait_s == LG_QUERY_INTERVAL_S
+
+
+class TestBgpQueries:
+    def test_non_bgp_lg_returns_none(self, platforms, small_topology):
+        lgs = platforms.looking_glasses
+        non_bgp = [
+            vp for vp in lgs.vantage_points if vp.asn not in lgs.bgp_capable_asns
+        ]
+        if not non_bgp:
+            pytest.skip("all LGs are BGP capable in this seed")
+        hitlist = Hitlist(small_topology)
+        assert lgs.bgp_route(non_bgp[0], hitlist.all_targets()[0]) is None
+
+    def test_bgp_route_communities_point_at_true_egress(
+        self, platforms, small_topology
+    ):
+        lgs = platforms.looking_glasses
+        capable = [
+            vp for vp in lgs.vantage_points if vp.asn in lgs.bgp_capable_asns
+        ]
+        if not capable:
+            pytest.skip("no BGP-capable LGs in this seed")
+        hitlist = Hitlist(small_topology)
+        vp = capable[0]
+        checked = 0
+        for target in hitlist.all_targets()[:40]:
+            answer = lgs.bgp_route(vp, target)
+            if answer is None:
+                continue
+            as_path, communities = answer
+            assert as_path[0] == vp.asn
+            for asn, value in communities:
+                assert asn == vp.asn
+                assert value.startswith("ingress-fac:")
+                facility = int(value.split(":")[1])
+                assert facility in small_topology.facilities
+            checked += 1
+        assert checked > 0
+
+
+class TestArchiveSweeps:
+    def test_collect_sweep_counts(self, platforms, small_topology):
+        hitlist = Hitlist(small_topology)
+        targets = hitlist.all_targets()[:30]
+        traces = platforms.iplane.collect_sweep(targets, per_node=4, seed=7)
+        assert len(traces) == 4 * len(platforms.iplane.vantage_points)
+        assert all(trace.platform == "iplane" for trace in traces)

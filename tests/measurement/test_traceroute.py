@@ -1,0 +1,166 @@
+"""Traceroute engine tests: hop semantics, loss, RTTs, helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.measurement.traceroute import (
+    TraceHop,
+    Traceroute,
+    TracerouteConfig,
+    TracerouteEngine,
+)
+from repro.topology import InterfaceKind
+
+
+@pytest.fixture(scope="module")
+def lossless_engine(small_topology):
+    return TracerouteEngine(
+        small_topology,
+        config=TracerouteConfig(hop_loss_prob=0.0),
+        seed=1,
+    )
+
+
+def sample_targets(topology, n, seed=0):
+    rng = random.Random(seed)
+    routers = sorted(topology.routers)
+    addresses = sorted(topology.interfaces)
+    return [(rng.choice(routers), rng.choice(addresses)) for _ in range(n)]
+
+
+class TestTraceSemantics:
+    def test_reaches_destination(self, lossless_engine, small_topology):
+        for src, dst in sample_targets(small_topology, 20, seed=1):
+            trace = lossless_engine.trace(src, dst)
+            assert trace.reached
+            assert trace.hops[-1].address == dst
+
+    def test_no_stars_when_lossless(self, lossless_engine, small_topology):
+        for src, dst in sample_targets(small_topology, 10, seed=2):
+            trace = lossless_engine.trace(src, dst)
+            assert all(hop.address is not None for hop in trace.hops)
+
+    def test_ttls_sequential(self, lossless_engine, small_topology):
+        src, dst = sample_targets(small_topology, 1, seed=3)[0]
+        trace = lossless_engine.trace(src, dst)
+        assert [hop.ttl for hop in trace.hops] == list(
+            range(1, len(trace.hops) + 1)
+        )
+
+    def test_hops_reply_from_ingress(self, lossless_engine, small_topology):
+        """Every non-final hop address is an interface of the router that
+        answered — the ingress-reply convention of Section 4.3."""
+        for src, dst in sample_targets(small_topology, 15, seed=4):
+            trace = lossless_engine.trace(src, dst)
+            for hop in trace.hops[:-1]:
+                iface = small_topology.interfaces[hop.address]
+                assert iface.router_id == hop.router_id
+
+    def test_ixp_crossing_shows_lan_address(self, lossless_engine, small_topology):
+        """Paths crossing a public peering must show a peering-LAN hop."""
+        found = False
+        for src, dst in sample_targets(small_topology, 200, seed=5):
+            trace = lossless_engine.trace(src, dst)
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                iface = small_topology.interfaces.get(hop.address)
+                if iface is not None and iface.kind is InterfaceKind.IXP_LAN:
+                    found = True
+                    assert small_topology.ixp_of_address(hop.address) is not None
+        assert found
+
+    def test_rtts_present_and_positive(self, lossless_engine, small_topology):
+        src, dst = sample_targets(small_topology, 1, seed=6)[0]
+        trace = lossless_engine.trace(src, dst)
+        for hop in trace.hops:
+            assert hop.rtt_ms is not None and hop.rtt_ms > 0
+
+    def test_rtt_roughly_accumulates(self, lossless_engine, small_topology):
+        """Later hops should not show wildly smaller RTTs than the total
+        path base (jitter aside, propagation accumulates)."""
+        src, dst = sample_targets(small_topology, 1, seed=7)[0]
+        trace = lossless_engine.trace(src, dst)
+        if len(trace.hops) >= 3:
+            assert trace.hops[-1].rtt_ms >= trace.hops[0].rtt_ms - 1.0
+
+    def test_unroutable_destination(self, small_topology):
+        engine = TracerouteEngine(small_topology, seed=8)
+        trace = engine.trace(next(iter(small_topology.routers)), 1)
+        assert not trace.reached
+        assert trace.hops == ()
+
+    def test_destination_on_source_router(self, lossless_engine, small_topology):
+        router = next(iter(small_topology.routers.values()))
+        trace = lossless_engine.trace(router.router_id, router.interfaces[0])
+        assert trace.reached
+        assert len(trace.hops) == 1
+
+    def test_loss_produces_stars(self, small_topology):
+        engine = TracerouteEngine(
+            small_topology,
+            config=TracerouteConfig(hop_loss_prob=0.5),
+            seed=9,
+        )
+        stars = 0
+        for src, dst in sample_targets(small_topology, 30, seed=10):
+            trace = engine.trace(src, dst)
+            stars += sum(1 for hop in trace.hops if hop.address is None)
+        assert stars > 0
+
+    def test_max_ttl_truncates(self, small_topology):
+        engine = TracerouteEngine(
+            small_topology,
+            config=TracerouteConfig(hop_loss_prob=0.0, max_ttl=2),
+            seed=11,
+        )
+        for src, dst in sample_targets(small_topology, 20, seed=12):
+            trace = engine.trace(src, dst)
+            assert len(trace.hops) <= 2
+
+    def test_counts_traces(self, small_topology):
+        engine = TracerouteEngine(small_topology, seed=13)
+        src, dst = sample_targets(small_topology, 1, seed=13)[0]
+        engine.trace(src, dst)
+        engine.trace(src, dst)
+        assert engine.traces_issued == 2
+
+
+class TestTracerouteHelpers:
+    def _trace(self, hops):
+        return Traceroute(
+            source_id="t",
+            platform="test",
+            src_asn=1,
+            dst_address=99,
+            hops=tuple(hops),
+            reached=True,
+        )
+
+    def test_responsive_addresses(self):
+        trace = self._trace(
+            [
+                TraceHop(1, 10, 1.0),
+                TraceHop(2, None, None),
+                TraceHop(3, 30, 3.0),
+            ]
+        )
+        assert trace.responsive_addresses() == [10, 30]
+
+    def test_hop_triples_skip_stars(self):
+        trace = self._trace(
+            [
+                TraceHop(1, 10, 1.0),
+                TraceHop(2, 20, 2.0),
+                TraceHop(3, 30, 3.0),
+                TraceHop(4, None, None),
+                TraceHop(5, 50, 5.0),
+            ]
+        )
+        triples = trace.hop_triples()
+        assert [(a.address, b.address, c.address) for a, b, c in triples] == [
+            (10, 20, 30),
+        ]

@@ -1,0 +1,165 @@
+"""Export and CLI tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.export import (
+    dumps_result,
+    export_result,
+    export_topology_summary,
+    interface_record,
+    link_record,
+)
+
+
+class TestExport:
+    def test_export_result_schema(self, small_run):
+        env, _, result = small_run
+        document = export_result(result, env.facility_db)
+        assert document["schema"] == "repro/cfs-result/1"
+        assert document["stats"]["interfaces_seen"] == result.peering_interfaces_seen
+        assert len(document["interfaces"]) == len(result.interfaces)
+        assert len(document["links"]) == len(result.links)
+        assert len(document["history"]) == result.iterations_run
+
+    def test_interface_records_well_formed(self, small_run):
+        env, _, result = small_run
+        for state in list(result.interfaces.values())[:50]:
+            record = interface_record(state, env.facility_db)
+            assert record["address"].count(".") == 3
+            assert record["status"] in (
+                "resolved",
+                "unresolved-local",
+                "unresolved-remote",
+                "missing-data",
+            )
+            if record["facility"] is not None:
+                assert record["facility"] in record["candidates"]
+
+    def test_link_records_well_formed(self, small_run):
+        _, _, result = small_run
+        for link in result.links[:50]:
+            record = link_record(link)
+            assert record["kind"] in ("public", "private")
+            assert record["near"]["asn"] != record["far"]["asn"]
+
+    def test_dumps_is_valid_json(self, small_run):
+        env, _, result = small_run
+        document = json.loads(dumps_result(result, env.facility_db))
+        assert document["schema"] == "repro/cfs-result/1"
+
+    def test_topology_summary(self, small_env):
+        document = export_topology_summary(small_env.topology)
+        assert document["counts"]["facilities"] == len(
+            small_env.topology.facilities
+        )
+        assert len(document["facilities"]) == document["counts"]["facilities"]
+        for row in document["ixps"]:
+            assert row["prefixes"]
+        json.dumps(document)  # must be serialisable
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_summary_command(self, capsys):
+        code = main(["--seed", "5", "--scale", "small", "summary"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generated Internet" in out
+        assert "ripe-atlas" in out
+
+    def test_experiment_table1(self, capsys):
+        code = main(["--seed", "5", "experiment", "table1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_fig3(self, capsys):
+        code = main(["--seed", "5", "experiment", "fig3"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_run_with_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "map.json"
+        code = main(["--seed", "5", "run", "--json", str(out_file)])
+        assert code == 0
+        assert "resolved" in capsys.readouterr().out
+        document = json.loads(out_file.read_text())
+        assert document["schema"] == "repro/cfs-result/1"
+        assert document["stats"]["resolved"] > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic", "summary"])
+
+
+class TestCharts:
+    def test_format_bars_scaling(self):
+        from repro.experiments.formatting import format_bars
+
+        text = format_bars([("a", 10.0), ("b", 5.0), ("c", 0.0)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 0
+
+    def test_format_bars_empty(self):
+        from repro.experiments.formatting import format_bars
+
+        assert format_bars([], title="t") == "t"
+
+    def test_fig3_chart(self, small_env):
+        from repro.experiments import run_fig3
+
+        chart = run_fig3(small_env.topology).format_chart(limit=5)
+        assert "#" in chart and "Figure 3" in chart
+
+    def test_fig9_chart(self, small_run):
+        from repro.experiments import run_fig9
+
+        env, _, result = small_run
+        chart = run_fig9(env, result).format_chart()
+        assert "#" in chart
+
+
+class TestDotExport:
+    def test_facility_graph_syntax(self, small_run):
+        from repro.export import export_facility_graph_dot
+
+        env, _, result = small_run
+        dot = export_facility_graph_dot(result, env.facility_db)
+        assert dot.startswith("graph inferred_facility_map {")
+        assert dot.endswith("}")
+        assert " -- " in dot  # at least one inter-facility edge
+        assert "label=" in dot
+
+    def test_min_links_filters_edges(self, small_run):
+        from repro.export import export_facility_graph_dot
+
+        env, _, result = small_run
+        loose = export_facility_graph_dot(result, env.facility_db, min_links=1)
+        strict = export_facility_graph_dot(result, env.facility_db, min_links=50)
+        assert loose.count(" -- ") >= strict.count(" -- ")
+
+    def test_empty_result_graph(self):
+        from repro.core.types import CfsResult
+        from repro.export import export_facility_graph_dot
+
+        empty = CfsResult(
+            interfaces={},
+            links=[],
+            history=[],
+            iterations_run=0,
+            followup_traces=0,
+            peering_interfaces_seen=0,
+        )
+        dot = export_facility_graph_dot(empty)
+        assert "graph inferred_facility_map" in dot
+        assert " -- " not in dot

@@ -1,0 +1,298 @@
+"""Topology builder invariants over generated Internets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    ASRole,
+    InterconnectionType,
+    InterfaceKind,
+    Relationship,
+    TopologyConfig,
+    build_topology,
+)
+from repro.topology.builder import TopologyBuilder
+
+
+@pytest.fixture(scope="module")
+def topology(small_topology):
+    return small_topology
+
+
+class TestConfigValidation:
+    def test_needs_two_tier1(self):
+        config = TopologyConfig.small()
+        config.n_tier1 = 1
+        with pytest.raises(ValueError):
+            TopologyBuilder(config)
+
+    def test_needs_facilities(self):
+        config = TopologyConfig.small()
+        config.n_facilities = 2
+        with pytest.raises(ValueError):
+            TopologyBuilder(config)
+
+    def test_remote_peering_needs_reseller(self):
+        config = TopologyConfig.small()
+        config.n_reseller = 0
+        with pytest.raises(ValueError):
+            TopologyBuilder(config)
+
+    def test_bad_probability(self):
+        config = TopologyConfig.small()
+        config.remote_member_prob = 1.5
+        with pytest.raises(ValueError):
+            TopologyBuilder(config)
+
+
+class TestPopulation:
+    def test_population_counts(self, topology):
+        config = TopologyConfig.small(seed=1)
+        expected = (
+            config.n_tier1
+            + config.n_transit
+            + config.n_content
+            + config.n_access
+            + config.n_stub
+            + config.n_reseller
+        )
+        assert len(topology.ases) == expected
+
+    def test_facility_count(self, topology):
+        assert len(topology.facilities) == TopologyConfig.small().n_facilities
+
+    def test_ixp_count_including_inactive(self, topology):
+        config = TopologyConfig.small()
+        assert len(topology.ixps) == config.n_ixps + config.n_inactive_ixps
+        active = [ixp for ixp in topology.ixps.values() if ixp.active]
+        assert len(active) == config.n_ixps
+
+    def test_every_as_has_presence_and_routers(self, topology):
+        for asn, record in topology.ases.items():
+            assert record.facility_ids, asn
+            routers = topology.routers_of(asn)
+            assert routers, asn
+            router_facilities = {
+                topology.routers[r].facility_id for r in routers
+            }
+            assert router_facilities == record.facility_ids
+
+    def test_every_facility_belongs_to_operator(self, topology):
+        for facility in topology.facilities.values():
+            operator = topology.operators[facility.operator_id]
+            assert facility.facility_id in operator.facility_ids
+
+
+class TestAddressing:
+    def test_loopbacks_in_own_space(self, topology):
+        for router in topology.routers.values():
+            record = topology.ases[router.asn]
+            loopbacks = [
+                a
+                for a in router.interfaces
+                if topology.interfaces[a].kind is InterfaceKind.LOOPBACK
+            ]
+            assert len(loopbacks) == 1
+            assert any(loopbacks[0] in p for p in record.prefixes)
+
+    def test_p2p_addresses_in_owner_space(self, topology):
+        for link in topology.interconnections.values():
+            if link.p2p_prefix is None:
+                continue
+            owner = topology.ases[link.p2p_owner_asn]
+            assert any(
+                owner_prefix.contains_prefix(link.p2p_prefix)
+                for owner_prefix in owner.prefixes
+            )
+
+    def test_ixp_lan_addresses_inside_lans(self, topology):
+        for ixp in topology.ixps.values():
+            for ports in ixp.member_ports.values():
+                for port in ports:
+                    assert ixp.owns_address(port.address)
+
+    def test_no_duplicate_interface_addresses(self, topology):
+        # add_interface enforces it; double-check via router walk.
+        seen = set()
+        for router in topology.routers.values():
+            for address in router.interfaces:
+                assert address not in seen
+                seen.add(address)
+
+    def test_as_aggregates_disjoint(self, topology):
+        prefixes = [
+            prefix
+            for record in topology.ases.values()
+            for prefix in record.prefixes
+        ]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1 :]:
+                assert not a.overlaps(b)
+
+
+class TestInterconnections:
+    def test_transit_links_are_cross_connects_or_tethers(self, topology):
+        for link in topology.interconnections.values():
+            if link.relationship is not Relationship.CUSTOMER_PROVIDER:
+                continue
+            if link.kind is InterconnectionType.PRIVATE_CROSS_CONNECT:
+                assert link.facility_a == link.facility_b
+            else:
+                # Section 2: tethering reaches transit providers over a
+                # shared fabric when no building is shared.
+                assert link.kind is InterconnectionType.TETHERING
+                assert link.ixp_id is not None
+                ixp = topology.ixps[link.ixp_id]
+                assert link.asn_a in ixp.member_asns
+                assert link.asn_b in ixp.member_asns
+
+    def test_some_transit_tethering_exists(self):
+        """Transit-over-tethering requires a customer and a non-colocated
+        provider to share an exchange — seed luck at the small scale, so
+        probe a few worlds."""
+        found = 0
+        for seed in (1, 2, 3, 4, 5):
+            world = build_topology(TopologyConfig.small(seed=seed))
+            found += sum(
+                1
+                for link in world.interconnections.values()
+                if link.relationship is Relationship.CUSTOMER_PROVIDER
+                and link.kind is InterconnectionType.TETHERING
+            )
+        assert found > 0, "transit-over-tethering should occur somewhere"
+
+    def test_every_nontier1_has_provider_link(self, topology):
+        for asn, record in topology.ases.items():
+            if record.role is ASRole.TIER1:
+                continue
+            assert record.transit_provider_asns, asn
+            for provider in record.transit_provider_asns:
+                assert topology.links_between(asn, provider), (asn, provider)
+
+    def test_tier1_clique(self, topology):
+        tier1s = [
+            asn
+            for asn, record in topology.ases.items()
+            if record.role is ASRole.TIER1
+        ]
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1 :]:
+                assert topology.links_between(a, b), (a, b)
+
+    def test_public_links_use_member_routers(self, topology):
+        for link in topology.interconnections.values():
+            if link.kind is not InterconnectionType.PUBLIC_PEERING:
+                continue
+            ixp = topology.ixps[link.ixp_id]
+            for asn, router_id in (
+                (link.asn_a, link.router_a),
+                (link.asn_b, link.router_b),
+            ):
+                port_routers = {
+                    topology.interfaces[port.address].router_id
+                    for port in ixp.ports_of(asn)
+                }
+                assert router_id in port_routers
+
+    def test_cross_connect_within_campus(self, topology):
+        for link in topology.interconnections.values():
+            if link.kind is not InterconnectionType.PRIVATE_CROSS_CONNECT:
+                continue
+            assert link.facility_b in topology.campus_facilities(link.facility_a)
+
+    def test_remote_links_have_remote_member(self, topology):
+        for link in topology.interconnections.values():
+            if link.kind is not InterconnectionType.REMOTE_PEERING:
+                continue
+            ixp = topology.ixps[link.ixp_id]
+            assert ixp.is_remote_member(link.asn_a) or ixp.is_remote_member(
+                link.asn_b
+            )
+
+    def test_remote_members_exist(self, topology):
+        remote = {
+            asn
+            for ixp in topology.ixps.values()
+            for asn in ixp.remote_member_asns()
+        }
+        assert remote, "the small topology should include remote peers"
+
+    def test_facilities_match_router_placement(self, topology):
+        for link in topology.interconnections.values():
+            assert topology.routers[link.router_a].facility_id == link.facility_a
+            assert topology.routers[link.router_b].facility_id == link.facility_b
+
+
+class TestBackbone:
+    def test_backbone_connected_per_as(self, topology):
+        for asn in topology.ases:
+            routers = topology.routers_of(asn)
+            if len(routers) < 2:
+                continue
+            seen = {routers[0]}
+            frontier = [routers[0]]
+            while frontier:
+                current = frontier.pop()
+                for adj in topology.adjacencies(current):
+                    if adj.is_interconnection:
+                        continue
+                    if adj.neighbor_router not in seen:
+                        seen.add(adj.neighbor_router)
+                        frontier.append(adj.neighbor_router)
+            assert seen == set(routers), asn
+
+    def test_backbone_links_intra_as(self, topology):
+        for link in topology.backbone_links.values():
+            assert (
+                topology.routers[link.router_a].asn
+                == topology.routers[link.router_b].asn
+                == link.asn
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        a = build_topology(TopologyConfig.small(seed=77))
+        b = build_topology(TopologyConfig.small(seed=77))
+        assert a.summary() == b.summary()
+        assert sorted(a.interfaces) == sorted(b.interfaces)
+        assert {
+            (link.asn_a, link.asn_b, link.kind.value)
+            for link in a.interconnections.values()
+        } == {
+            (link.asn_a, link.asn_b, link.kind.value)
+            for link in b.interconnections.values()
+        }
+
+    def test_different_seed_differs(self):
+        a = build_topology(TopologyConfig.small(seed=77))
+        b = build_topology(TopologyConfig.small(seed=78))
+        assert sorted(a.interfaces) != sorted(b.interfaces)
+
+
+class TestShape:
+    def test_dual_port_members_exist(self, topology):
+        dual = [
+            (ixp.ixp_id, asn)
+            for ixp in topology.ixps.values()
+            for asn, ports in ixp.member_ports.items()
+            if len(ports) > 1
+        ]
+        assert dual, "multi-port members drive the proximity experiment"
+
+    def test_multi_ixp_facilities_exist(self, topology):
+        shared = [
+            facility
+            for facility in topology.facilities.values()
+            if len(facility.ixp_ids) >= 2
+        ]
+        assert shared, "IXPs must co-locate for multi-IXP routers to exist"
+
+    def test_content_ases_join_many_ixps(self, topology):
+        content = [
+            record
+            for record in topology.ases.values()
+            if record.role is ASRole.CONTENT
+        ]
+        assert sum(len(record.all_ixp_ids) for record in content) >= len(content)

@@ -1,0 +1,202 @@
+"""Entity-layer tests: ASes, facilities, routers, interconnection types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.addressing import Prefix
+from repro.topology.asn import ASRole, AutonomousSystem, IPIDMode, PeeringPolicy
+from repro.topology.facility import Facility, FacilityOperator
+from repro.topology.geo import GeoLocation
+from repro.topology.links import (
+    BackboneLink,
+    Interconnection,
+    InterconnectionType,
+    Relationship,
+)
+from repro.topology.network import Interface, InterfaceKind, Router
+
+
+def _make_as(asn=64512, role=ASRole.TRANSIT):
+    return AutonomousSystem(
+        asn=asn,
+        name=f"as-{asn}",
+        role=role,
+        policy=PeeringPolicy.OPEN,
+        home_metro="London",
+    )
+
+
+class TestAutonomousSystem:
+    def test_invalid_asn(self):
+        with pytest.raises(ValueError):
+            _make_as(asn=0)
+        with pytest.raises(ValueError):
+            _make_as(asn=2**32)
+
+    def test_membership_helpers(self):
+        record = _make_as()
+        record.ixp_ids.add(1)
+        record.remote_ixp_ids.add(2)
+        assert record.is_member_of(1)
+        assert record.is_member_of(2)
+        assert not record.is_member_of(3)
+        assert record.all_ixp_ids == {1, 2}
+
+    def test_presence_helper(self):
+        record = _make_as()
+        record.facility_ids.add(9)
+        assert record.is_present_at(9)
+        assert not record.is_present_at(10)
+
+    def test_default_ipid_mode(self):
+        assert _make_as().ipid_mode is IPIDMode.SHARED_COUNTER
+
+
+class TestFacility:
+    def _facility(self, facility_id=5, name="Equinor DC London 1"):
+        return Facility(
+            facility_id=facility_id,
+            name=name,
+            operator_id=1,
+            metro="London",
+            country="GB",
+            region="Europe",
+            location=GeoLocation(51.5, -0.1),
+        )
+
+    def test_dns_code_derived_and_unique_per_building(self):
+        a = self._facility(facility_id=5)
+        b = self._facility(facility_id=6)
+        assert a.dns_code != b.dns_code
+        assert str(5) in a.dns_code
+
+    def test_explicit_dns_code_kept(self):
+        facility = Facility(
+            facility_id=1,
+            name="Telehouse North",
+            operator_id=1,
+            metro="London",
+            country="GB",
+            region="Europe",
+            location=GeoLocation(51.5, -0.1),
+            dns_code="thn",
+        )
+        assert facility.dns_code == "thn"
+
+    def test_hosts_ixp(self):
+        facility = self._facility()
+        facility.ixp_ids.add(3)
+        assert facility.hosts_ixp(3)
+        assert not facility.hosts_ixp(4)
+
+
+class TestFacilityOperator:
+    def test_campus_flag(self):
+        operator = FacilityOperator(operator_id=1, name="Equinor")
+        assert not operator.connects_campus_in("London")
+        operator.connected_metros.add("London")
+        assert operator.connects_campus_in("London")
+
+
+class TestRouterAndInterface:
+    def test_add_interface_idempotent(self):
+        router = Router(router_id=1, asn=64512, facility_id=2)
+        router.add_interface(100)
+        router.add_interface(100)
+        assert router.interfaces == [100]
+
+    def test_interface_ip_rendering(self):
+        iface = Interface(
+            address=(10 << 24) + 1,
+            router_id=1,
+            kind=InterfaceKind.BACKBONE,
+            space_owner_asn=64512,
+        )
+        assert iface.ip == "10.0.0.1"
+
+
+class TestInterconnection:
+    def _link(self, kind=InterconnectionType.PRIVATE_CROSS_CONNECT, **overrides):
+        fields = dict(
+            link_id=1,
+            kind=kind,
+            relationship=Relationship.PEER_PEER,
+            asn_a=1,
+            asn_b=2,
+            router_a=10,
+            router_b=20,
+            facility_a=5,
+            facility_b=5,
+            p2p_prefix=Prefix.parse("10.0.0.0/31"),
+            p2p_owner_asn=1,
+        )
+        fields.update(overrides)
+        return Interconnection(**fields)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            self._link(asn_b=1)
+
+    def test_public_requires_ixp(self):
+        with pytest.raises(ValueError):
+            self._link(
+                kind=InterconnectionType.PUBLIC_PEERING,
+                ixp_id=None,
+                p2p_prefix=None,
+                p2p_owner_asn=None,
+            )
+
+    def test_cross_connect_rejects_ixp(self):
+        with pytest.raises(ValueError):
+            self._link(ixp_id=7)
+
+    def test_private_requires_p2p_prefix(self):
+        with pytest.raises(ValueError):
+            self._link(p2p_prefix=None)
+
+    def test_tethering_is_private_but_uses_fabric(self):
+        tether = self._link(kind=InterconnectionType.TETHERING, ixp_id=3)
+        assert tether.kind.is_private
+        assert tether.kind.uses_ixp_fabric
+
+    def test_public_is_not_private(self):
+        public = self._link(
+            kind=InterconnectionType.PUBLIC_PEERING,
+            ixp_id=3,
+            p2p_prefix=None,
+            p2p_owner_asn=None,
+        )
+        assert not public.kind.is_private
+        assert public.kind.uses_ixp_fabric
+
+    def test_involves_and_peer_of(self):
+        link = self._link()
+        assert link.involves(1) and link.involves(2)
+        assert not link.involves(3)
+        assert link.peer_of(1) == 2
+        assert link.peer_of(2) == 1
+        with pytest.raises(ValueError):
+            link.peer_of(3)
+
+    def test_side_of(self):
+        link = self._link(facility_a=5, facility_b=6)
+        assert link.side_of(1) == (10, 5)
+        assert link.side_of(2) == (20, 6)
+        with pytest.raises(ValueError):
+            link.side_of(3)
+
+
+class TestBackboneLink:
+    def test_other_end(self):
+        link = BackboneLink(
+            link_id=1,
+            asn=64512,
+            router_a=1,
+            router_b=2,
+            prefix=Prefix.parse("10.0.0.0/31"),
+        )
+        assert link.other_end(1) == 2
+        assert link.other_end(2) == 1
+        with pytest.raises(ValueError):
+            link.other_end(3)

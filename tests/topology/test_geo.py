@@ -1,0 +1,213 @@
+"""Geography substrate tests: distances, delays, the metro catalogue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.geo import (
+    DEFAULT_METROS,
+    GeoLocation,
+    Metro,
+    MetroCatalogue,
+    haversine_km,
+    km_to_miles,
+    miles_to_km,
+    propagation_delay_ms,
+)
+
+locations = st.builds(
+    GeoLocation,
+    latitude=st.floats(min_value=-90, max_value=90, allow_nan=False),
+    longitude=st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+class TestGeoLocation:
+    def test_valid_coordinates(self):
+        loc = GeoLocation(51.5, -0.12)
+        assert loc.latitude == 51.5
+        assert loc.longitude == -0.12
+
+    @pytest.mark.parametrize("lat", [-91, 91, 200])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(ValueError):
+            GeoLocation(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-181, 181, 400])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(ValueError):
+            GeoLocation(0.0, lon)
+
+    def test_distance_method_matches_function(self):
+        a = GeoLocation(48.85, 2.35)
+        b = GeoLocation(52.52, 13.40)
+        assert a.distance_km(b) == haversine_km(a, b)
+
+
+class TestHaversine:
+    def test_london_new_york(self):
+        london = GeoLocation(51.5074, -0.1278)
+        new_york = GeoLocation(40.7128, -74.0060)
+        distance = haversine_km(london, new_york)
+        assert 5500 < distance < 5620  # great-circle ~5570 km
+
+    def test_frankfurt_amsterdam(self):
+        frankfurt = GeoLocation(50.1109, 8.6821)
+        amsterdam = GeoLocation(52.3676, 4.9041)
+        assert 350 < haversine_km(frankfurt, amsterdam) < 400
+
+    def test_zero_distance(self):
+        loc = GeoLocation(10.0, 20.0)
+        assert haversine_km(loc, loc) == 0.0
+
+    def test_antipodal_bounded_by_half_circumference(self):
+        a = GeoLocation(0.0, 0.0)
+        b = GeoLocation(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(20015, rel=0.01)
+
+    @given(locations, locations)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(locations, locations)
+    @settings(max_examples=100)
+    def test_non_negative_and_bounded(self, a, b):
+        distance = haversine_km(a, b)
+        assert 0.0 <= distance <= 20040  # half the Earth's circumference
+
+    @given(locations, locations, locations)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        direct = haversine_km(a, c)
+        via = haversine_km(a, b) + haversine_km(b, c)
+        assert direct <= via + 1e-6
+
+
+class TestUnitConversions:
+    def test_roundtrip(self):
+        assert miles_to_km(km_to_miles(123.4)) == pytest.approx(123.4)
+
+    def test_five_miles(self):
+        assert miles_to_km(5.0) == pytest.approx(8.0467, rel=1e-3)
+
+
+class TestPropagationDelay:
+    def test_zero_distance(self):
+        assert propagation_delay_ms(0.0) == 0.0
+
+    def test_scales_linearly(self):
+        assert propagation_delay_ms(200.0) == pytest.approx(
+            2 * propagation_delay_ms(100.0)
+        )
+
+    def test_transatlantic_magnitude(self):
+        # ~5600 km should be tens of ms one way in fiber.
+        delay = propagation_delay_ms(5600.0)
+        assert 20.0 < delay < 80.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay_ms(-1.0)
+
+    def test_deflation_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay_ms(100.0, inflation=0.5)
+
+
+class TestMetro:
+    def test_bad_country_code(self):
+        with pytest.raises(ValueError):
+            Metro("X", "gbr", "Europe", GeoLocation(0, 0))
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            Metro("X", "GB", "Europe", GeoLocation(0, 0), market_weight=0)
+
+
+class TestMetroCatalogue:
+    @pytest.fixture(scope="class")
+    def catalogue(self):
+        return MetroCatalogue()
+
+    def test_default_size(self, catalogue):
+        assert len(catalogue) == len(DEFAULT_METROS)
+
+    def test_resolve_canonical(self, catalogue):
+        assert catalogue.resolve("London").country == "GB"
+
+    def test_resolve_alias(self, catalogue):
+        # Jersey City folds into the New York metro (Section 3.1.1).
+        assert catalogue.resolve("Jersey City").name == "New York"
+
+    def test_resolve_case_insensitive(self, catalogue):
+        assert catalogue.resolve("frankfurt am main").name == "Frankfurt"
+
+    def test_resolve_unknown_raises(self, catalogue):
+        with pytest.raises(KeyError):
+            catalogue.resolve("Atlantis")
+
+    def test_get_unknown_returns_none(self, catalogue):
+        assert catalogue.get("Atlantis") is None
+
+    def test_in_region(self, catalogue):
+        europe = catalogue.in_region("Europe")
+        names = {metro.name for metro in europe}
+        assert {"London", "Frankfurt", "Amsterdam"} <= names
+        assert all(metro.region == "Europe" for metro in europe)
+
+    def test_in_country(self, catalogue):
+        germany = {metro.name for metro in catalogue.in_country("DE")}
+        assert {"Frankfurt", "Berlin", "Hamburg", "Duesseldorf"} <= germany
+
+    def test_nearest(self, catalogue):
+        near_slough = GeoLocation(51.51, -0.59)
+        assert catalogue.nearest(near_slough).name == "London"
+
+    def test_distance_between_metros(self, catalogue):
+        distance = catalogue.distance_km("London", "Paris")
+        assert 300 < distance < 400
+
+    def test_figure3_metros_present(self, catalogue):
+        # Every metro from the paper's Figure 3 skyline must exist.
+        for name in (
+            "London", "New York", "Paris", "Frankfurt", "Amsterdam",
+            "San Jose", "Moscow", "Los Angeles", "Stockholm", "Manchester",
+            "Miami", "Berlin", "Tokyo", "Kiev", "Sao Paulo", "Vienna",
+            "Singapore", "Auckland", "Hong Kong", "Melbourne", "Montreal",
+            "Zurich", "Prague", "Seattle", "Chicago", "Dallas", "Hamburg",
+            "Atlanta", "Bucharest", "Madrid", "Milan", "Duesseldorf",
+            "Sofia", "St. Petersburg",
+        ):
+            assert catalogue.get(name) is not None, name
+
+    def test_weights_descend_with_figure3_rank(self, catalogue):
+        assert (
+            catalogue.resolve("London").market_weight
+            > catalogue.resolve("Tokyo").market_weight
+            > catalogue.resolve("Phoenix").market_weight
+        )
+
+    def test_duplicate_names_rejected(self):
+        metro = DEFAULT_METROS[0]
+        with pytest.raises(ValueError):
+            MetroCatalogue((metro, metro))
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(ValueError):
+            MetroCatalogue(())
+
+    def test_all_regions_covered(self, catalogue):
+        regions = {metro.region for metro in catalogue}
+        assert regions == {
+            "Europe",
+            "North America",
+            "South America",
+            "Asia",
+            "Oceania",
+            "Africa",
+        }

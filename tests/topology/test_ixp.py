@@ -1,0 +1,164 @@
+"""IXP fabric tests: switch trees, proximity semantics, member ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.addressing import Prefix, ip_to_int
+from repro.topology.ixp import IXP, MemberPort, Switch, SwitchKind
+
+
+def make_ixp(ixp_id=1):
+    return IXP(
+        ixp_id=ixp_id,
+        name="TEST-IX",
+        metro="Frankfurt",
+        country="DE",
+        region="Europe",
+        peering_lans=[Prefix.parse("185.0.0.0/22")],
+        asn=59001,
+    )
+
+
+def build_paper_fabric(ixp):
+    """The Figure 6 layout: core at facility 1, two backhauls, access
+    switches at facilities 2..6 split across the backhauls."""
+    core = Switch(switch_id=0, ixp_id=ixp.ixp_id, kind=SwitchKind.CORE, facility_id=1)
+    ixp.add_switch(core)
+    bh1 = Switch(switch_id=1, ixp_id=ixp.ixp_id, kind=SwitchKind.BACKHAUL, facility_id=1)
+    bh2 = Switch(switch_id=2, ixp_id=ixp.ixp_id, kind=SwitchKind.BACKHAUL, facility_id=1)
+    ixp.add_switch(bh1, parent_id=0)
+    ixp.add_switch(bh2, parent_id=0)
+    # facilities 2, 3 behind backhaul 1; facilities 4, 5 behind backhaul 2;
+    # facility 6 directly on the core.
+    for switch_id, facility, parent in (
+        (3, 2, 1),
+        (4, 3, 1),
+        (5, 4, 2),
+        (6, 5, 2),
+        (7, 6, 0),
+    ):
+        ixp.add_switch(
+            Switch(
+                switch_id=switch_id,
+                ixp_id=ixp.ixp_id,
+                kind=SwitchKind.ACCESS,
+                facility_id=facility,
+            ),
+            parent_id=parent,
+        )
+    return ixp
+
+
+class TestFabricConstruction:
+    def test_single_core(self):
+        ixp = make_ixp()
+        ixp.add_switch(Switch(0, ixp.ixp_id, SwitchKind.CORE, 1))
+        with pytest.raises(ValueError):
+            ixp.add_switch(Switch(1, ixp.ixp_id, SwitchKind.CORE, 2))
+
+    def test_duplicate_switch_id(self):
+        ixp = make_ixp()
+        ixp.add_switch(Switch(0, ixp.ixp_id, SwitchKind.CORE, 1))
+        with pytest.raises(ValueError):
+            ixp.add_switch(Switch(0, ixp.ixp_id, SwitchKind.ACCESS, 2))
+
+    def test_unknown_parent(self):
+        ixp = make_ixp()
+        with pytest.raises(ValueError):
+            ixp.add_switch(
+                Switch(0, ixp.ixp_id, SwitchKind.ACCESS, 1), parent_id=99
+            )
+
+    def test_foreign_switch_rejected(self):
+        ixp = make_ixp()
+        with pytest.raises(ValueError):
+            ixp.add_switch(Switch(0, ixp_id=999, kind=SwitchKind.CORE, facility_id=1))
+
+    def test_facility_ids(self):
+        ixp = build_paper_fabric(make_ixp())
+        assert ixp.facility_ids == {1, 2, 3, 4, 5, 6}
+
+
+class TestFabricQueries:
+    @pytest.fixture()
+    def ixp(self):
+        return build_paper_fabric(make_ixp())
+
+    def test_access_switch_at(self, ixp):
+        assert ixp.access_switch_at(2).switch_id == 3
+        # The hub facility falls back to the core switch itself.
+        assert ixp.access_switch_at(1).kind is SwitchKind.CORE
+
+    def test_access_switch_unknown_facility(self, ixp):
+        assert ixp.access_switch_at(99) is None
+
+    def test_switch_hops_same(self, ixp):
+        assert ixp.switch_hops(3, 3) == 0
+
+    def test_switch_hops_same_backhaul(self, ixp):
+        assert ixp.switch_hops(3, 4) == 2  # access -> backhaul -> access
+
+    def test_switch_hops_across_core(self, ixp):
+        assert ixp.switch_hops(3, 5) == 4
+
+    def test_switch_hops_unknown(self, ixp):
+        with pytest.raises(KeyError):
+            ixp.switch_hops(3, 99)
+
+    def test_traffic_is_local_same_backhaul(self, ixp):
+        # Figure 6: facilities 2 and 3 share backhaul BH1.
+        assert ixp.traffic_is_local(2, 3)
+
+    def test_traffic_not_local_across_core(self, ixp):
+        assert not ixp.traffic_is_local(2, 4)
+        assert not ixp.traffic_is_local(2, 6)
+
+    def test_traffic_is_local_same_facility(self, ixp):
+        assert ixp.traffic_is_local(2, 2)
+
+    def test_traffic_unknown_facility(self, ixp):
+        with pytest.raises(KeyError):
+            ixp.traffic_is_local(2, 42)
+
+    def test_owns_address(self, ixp):
+        assert ixp.owns_address(ip_to_int("185.0.1.1"))
+        assert not ixp.owns_address(ip_to_int("186.0.0.1"))
+
+
+class TestMemberPorts:
+    def test_multi_port_registration(self):
+        ixp = build_paper_fabric(make_ixp())
+        ixp.add_member_port(MemberPort(asn=65000, address=1, access_switch_id=3, facility_id=2))
+        ixp.add_member_port(MemberPort(asn=65000, address=2, access_switch_id=5, facility_id=4))
+        assert len(ixp.ports_of(65000)) == 2
+        assert ixp.primary_port(65000).address == 1
+        assert ixp.member_asns == {65000}
+
+    def test_primary_port_unknown_member(self):
+        ixp = make_ixp()
+        with pytest.raises(KeyError):
+            ixp.primary_port(65000)
+
+    def test_local_vs_remote_members(self):
+        ixp = build_paper_fabric(make_ixp())
+        ixp.add_member_port(MemberPort(asn=65000, address=1, access_switch_id=3, facility_id=2))
+        ixp.add_member_port(
+            MemberPort(
+                asn=65001, address=2, access_switch_id=3, facility_id=None,
+                reseller_asn=64999,
+            )
+        )
+        assert ixp.local_member_asns() == {65000}
+        assert ixp.remote_member_asns() == {65001}
+        assert ixp.is_remote_member(65001)
+        assert not ixp.is_remote_member(65000)
+        assert not ixp.is_remote_member(64000)  # non-member
+
+    def test_member_port_is_remote_property(self):
+        local = MemberPort(asn=1, address=1, access_switch_id=1, facility_id=2)
+        remote = MemberPort(
+            asn=1, address=2, access_switch_id=1, facility_id=None, reseller_asn=9
+        )
+        assert not local.is_remote
+        assert remote.is_remote

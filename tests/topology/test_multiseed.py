@@ -1,0 +1,95 @@
+"""Cross-seed invariants: properties every generated Internet must hold.
+
+The single-seed builder tests pin behaviour for one topology; these
+parametrized checks guard the invariants the inference pipeline relies
+on across different random worlds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology import (
+    ASRole,
+    InterfaceKind,
+    RouteComputer,
+    TopologyConfig,
+    build_topology,
+)
+
+SEEDS = (5, 21, 99)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_topology(request):
+    return build_topology(TopologyConfig.small(seed=request.param))
+
+
+class TestStructuralInvariants:
+    def test_every_interface_on_exactly_one_router(self, seeded_topology):
+        owners: dict[int, int] = {}
+        for router in seeded_topology.routers.values():
+            for address in router.interfaces:
+                assert address not in owners
+                owners[address] = router.router_id
+        assert set(owners) == set(seeded_topology.interfaces)
+
+    def test_every_router_in_a_known_facility(self, seeded_topology):
+        for router in seeded_topology.routers.values():
+            assert router.facility_id in seeded_topology.facilities
+
+    def test_interconnection_endpoints_consistent(self, seeded_topology):
+        for link in seeded_topology.interconnections.values():
+            assert seeded_topology.routers[link.router_a].asn == link.asn_a
+            assert seeded_topology.routers[link.router_b].asn == link.asn_b
+
+    def test_ixp_ports_have_interfaces(self, seeded_topology):
+        for ixp in seeded_topology.ixps.values():
+            for ports in ixp.member_ports.values():
+                for port in ports:
+                    iface = seeded_topology.interfaces[port.address]
+                    assert iface.kind is InterfaceKind.IXP_LAN
+                    assert iface.ixp_id == ixp.ixp_id
+
+    def test_remote_ports_not_in_partner_facilities(self, seeded_topology):
+        for ixp in seeded_topology.ixps.values():
+            for ports in ixp.member_ports.values():
+                for port in ports:
+                    router = seeded_topology.router_of_address(port.address)
+                    if port.is_remote:
+                        assert router.facility_id not in ixp.facility_ids
+                    else:
+                        assert router.facility_id == port.facility_id
+
+    def test_host_and_loopback_per_router(self, seeded_topology):
+        for router in seeded_topology.routers.values():
+            kinds = [
+                seeded_topology.interfaces[a].kind for a in router.interfaces
+            ]
+            assert kinds.count(InterfaceKind.LOOPBACK) == 1
+            assert kinds.count(InterfaceKind.HOST) == 1
+
+    def test_every_role_present(self, seeded_topology):
+        roles = {record.role for record in seeded_topology.ases.values()}
+        assert roles == set(ASRole)
+
+
+class TestRoutingInvariants:
+    def test_universal_reachability(self, seeded_topology):
+        routes = RouteComputer(seeded_topology)
+        asns = sorted(seeded_topology.ases)
+        rng = random.Random(1)
+        for dest in rng.sample(asns, 6):
+            assert set(routes.routes_to(dest)) == set(asns)
+
+    def test_paths_terminate(self, seeded_topology):
+        routes = RouteComputer(seeded_topology)
+        asns = sorted(seeded_topology.ases)
+        rng = random.Random(2)
+        for _ in range(40):
+            src, dest = rng.sample(asns, 2)
+            path = routes.as_path(src, dest)
+            assert path is not None
+            assert len(path) <= 12  # no pathological wandering

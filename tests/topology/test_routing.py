@@ -1,0 +1,187 @@
+"""Routing tests: valley-free policy, path expansion, hot potato."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology import Forwarder, InterfaceKind, RouteComputer
+from repro.topology.routing import CUSTOMER_ROUTE, PEER_ROUTE, PROVIDER_ROUTE
+
+
+@pytest.fixture(scope="module")
+def routes(small_topology):
+    return RouteComputer(small_topology)
+
+
+@pytest.fixture(scope="module")
+def forwarder(small_topology, routes):
+    return Forwarder(small_topology, routes)
+
+
+def classify_edge(topology, a, b):
+    """Edge class from a's perspective: 'up' (to provider), 'down', 'peer'."""
+    if b in topology.providers_of(a):
+        return "up"
+    if a in topology.providers_of(b):
+        return "down"
+    return "peer"
+
+
+def is_valley_free(topology, path):
+    """Gao-Rexford pattern: up* (peer)? down*."""
+    phases = [classify_edge(topology, a, b) for a, b in zip(path, path[1:])]
+    state = "up"
+    peers_seen = 0
+    for phase in phases:
+        if phase == "up":
+            if state != "up":
+                return False
+        elif phase == "peer":
+            peers_seen += 1
+            if peers_seen > 1 or state == "down":
+                return False
+            state = "peer"
+        else:
+            state = "down"
+    return True
+
+
+class TestAsRouting:
+    def test_origin_route(self, routes, small_topology):
+        asn = next(iter(small_topology.ases))
+        table = routes.routes_to(asn)
+        assert table[asn].as_path_length == 0
+        assert table[asn].next_hop is None
+
+    def test_unknown_destination(self, routes):
+        with pytest.raises(KeyError):
+            routes.routes_to(999999999)
+
+    def test_full_reachability(self, routes, small_topology):
+        """Every AS reaches every destination (Tier-1 clique + transit)."""
+        asns = sorted(small_topology.ases)
+        rng = random.Random(5)
+        for dest in rng.sample(asns, 12):
+            table = routes.routes_to(dest)
+            assert set(table) == set(asns)
+
+    def test_paths_are_valley_free(self, routes, small_topology):
+        asns = sorted(small_topology.ases)
+        rng = random.Random(7)
+        for _ in range(200):
+            src, dest = rng.sample(asns, 2)
+            path = routes.as_path(src, dest)
+            assert path is not None
+            assert path[0] == src and path[-1] == dest
+            assert len(set(path)) == len(path), "loop in AS path"
+            assert is_valley_free(small_topology, path), path
+
+    def test_path_uses_existing_links(self, routes, small_topology):
+        asns = sorted(small_topology.ases)
+        rng = random.Random(11)
+        for _ in range(50):
+            src, dest = rng.sample(asns, 2)
+            path = routes.as_path(src, dest)
+            for a, b in zip(path, path[1:]):
+                assert small_topology.links_between(a, b), (a, b)
+
+    def test_self_path(self, routes, small_topology):
+        asn = next(iter(small_topology.ases))
+        assert routes.as_path(asn, asn) == [asn]
+
+    def test_route_class_preference(self, routes, small_topology):
+        """An AS with a customer route to the destination never selects a
+        peer or provider route."""
+        asns = sorted(small_topology.ases)
+        rng = random.Random(13)
+        for dest in rng.sample(asns, 8):
+            table = routes.routes_to(dest)
+            for asn, route in table.items():
+                assert route.route_class in (
+                    CUSTOMER_ROUTE,
+                    PEER_ROUTE,
+                    PROVIDER_ROUTE,
+                )
+                if route.next_hop is not None:
+                    assert route.next_hop in small_topology.as_neighbors(asn)
+
+    def test_deterministic(self, small_topology):
+        a = RouteComputer(small_topology)
+        b = RouteComputer(small_topology)
+        dest = sorted(small_topology.ases)[3]
+        assert a.routes_to(dest) == b.routes_to(dest)
+
+
+class TestRouterPaths:
+    def _sample_pairs(self, topology, n, seed=3):
+        rng = random.Random(seed)
+        routers = sorted(topology.routers)
+        addresses = sorted(topology.interfaces)
+        pairs = []
+        while len(pairs) < n:
+            src = rng.choice(routers)
+            dst = rng.choice(addresses)
+            pairs.append((src, dst))
+        return pairs
+
+    def test_path_terminates_at_destination_router(self, forwarder, small_topology):
+        for src, dst in self._sample_pairs(small_topology, 40):
+            path = forwarder.router_path(src, dst)
+            assert path is not None
+            assert path[0].router_id == src
+            assert path[-1].router_id == small_topology.interfaces[dst].router_id
+
+    def test_consecutive_hops_adjacent(self, forwarder, small_topology):
+        for src, dst in self._sample_pairs(small_topology, 25, seed=9):
+            path = forwarder.router_path(src, dst)
+            for here, there in zip(path, path[1:]):
+                neighbors = {
+                    adj.neighbor_router
+                    for adj in small_topology.adjacencies(here.router_id)
+                }
+                assert there.router_id in neighbors
+
+    def test_ingress_is_interface_of_hop_router(self, forwarder, small_topology):
+        for src, dst in self._sample_pairs(small_topology, 25, seed=17):
+            path = forwarder.router_path(src, dst)
+            for hop in path[1:]:
+                assert hop.ingress_address is not None
+                iface = small_topology.interfaces[hop.ingress_address]
+                assert iface.router_id == hop.router_id
+
+    def test_crossing_hops_use_link_interfaces(self, forwarder, small_topology):
+        """At AS boundaries the recorded interface is the far router's
+        link-facing interface (IXP LAN or point-to-point)."""
+        found_crossing = False
+        for src, dst in self._sample_pairs(small_topology, 30, seed=23):
+            path = forwarder.router_path(src, dst)
+            for here, there in zip(path, path[1:]):
+                asn_here = small_topology.routers[here.router_id].asn
+                asn_there = small_topology.routers[there.router_id].asn
+                if asn_here != asn_there:
+                    found_crossing = True
+                    assert there.ingress_kind in (
+                        InterfaceKind.IXP_LAN,
+                        InterfaceKind.PRIVATE_P2P,
+                    )
+        assert found_crossing
+
+    def test_unknown_destination(self, forwarder):
+        src = 0
+        assert forwarder.router_path(src, 1) is None
+
+    def test_same_router_destination(self, forwarder, small_topology):
+        router = next(iter(small_topology.routers.values()))
+        loopback = router.interfaces[0]
+        path = forwarder.router_path(router.router_id, loopback)
+        assert len(path) == 1
+
+    def test_deterministic_paths(self, small_topology):
+        a = Forwarder(small_topology)
+        b = Forwarder(small_topology)
+        routers = sorted(small_topology.routers)
+        addresses = sorted(small_topology.interfaces)
+        for src, dst in [(routers[0], addresses[-1]), (routers[5], addresses[7])]:
+            assert a.router_path(src, dst) == b.router_path(src, dst)

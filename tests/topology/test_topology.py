@@ -1,0 +1,168 @@
+"""Topology container tests: indexes, adjacency, ground-truth queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    InterconnectionType,
+    InterfaceKind,
+    MetroCatalogue,
+    Topology,
+)
+
+
+class TestFinalize:
+    def test_double_finalize_rejected(self):
+        topology = Topology(seed=0, metros=MetroCatalogue())
+        topology.finalize()
+        with pytest.raises(RuntimeError):
+            topology.finalize()
+
+
+class TestAdjacency:
+    def test_adjacency_symmetric(self, small_topology):
+        topology = small_topology
+        for router_id in topology.routers:
+            for adj in topology.adjacencies(router_id):
+                back = [
+                    a
+                    for a in topology.adjacencies(adj.neighbor_router)
+                    if a.neighbor_router == router_id and a.link_id == adj.link_id
+                ]
+                assert back, (router_id, adj)
+                assert back[0].ingress_address == adj.egress_address
+                assert back[0].egress_address == adj.ingress_address
+
+    def test_ingress_address_belongs_to_neighbor(self, small_topology):
+        topology = small_topology
+        for router_id in topology.routers:
+            for adj in topology.adjacencies(router_id):
+                iface = topology.interfaces[adj.ingress_address]
+                assert iface.router_id == adj.neighbor_router
+
+    def test_public_adjacency_uses_lan_addresses(self, small_topology):
+        topology = small_topology
+        for link in topology.interconnections.values():
+            if link.kind.is_private:
+                continue
+            adjs = [
+                a
+                for a in topology.adjacencies(link.router_a)
+                if a.link_id == link.link_id
+            ]
+            assert adjs
+            assert adjs[0].kind is InterfaceKind.IXP_LAN
+            assert topology.ixp_of_address(adjs[0].ingress_address) == link.ixp_id
+
+
+class TestGroundTruthQueries:
+    def test_true_asn_vs_space_owner(self, small_topology):
+        topology = small_topology
+        mismatches = 0
+        for address, iface in topology.interfaces.items():
+            true_asn = topology.true_asn_of_address(address)
+            assert true_asn == topology.routers[iface.router_id].asn
+            if iface.kind is InterfaceKind.PRIVATE_P2P and iface.space_owner_asn != true_asn:
+                mismatches += 1
+        # Shared point-to-point subnets guarantee such mismatches exist -
+        # the error source Section 4.1 repairs.
+        assert mismatches > 0
+
+    def test_announced_origin_follows_space_owner(self, small_topology):
+        topology = small_topology
+        for address, iface in topology.interfaces.items():
+            if iface.kind is InterfaceKind.IXP_LAN:
+                continue
+            assert topology.announced_origin(address) == iface.space_owner_asn
+
+    def test_ixp_of_address(self, small_topology):
+        topology = small_topology
+        for ixp in topology.ixps.values():
+            for ports in ixp.member_ports.values():
+                for port in ports:
+                    assert topology.ixp_of_address(port.address) == ixp.ixp_id
+
+    def test_true_facility_of_address(self, small_topology):
+        topology = small_topology
+        some = list(topology.interfaces)[:50]
+        for address in some:
+            router = topology.router_of_address(address)
+            assert topology.true_facility_of_address(address) == router.facility_id
+
+    def test_links_between_symmetric(self, small_topology):
+        topology = small_topology
+        link = next(iter(topology.interconnections.values()))
+        forward = topology.links_between(link.asn_a, link.asn_b)
+        backward = topology.links_between(link.asn_b, link.asn_a)
+        assert forward == backward
+        assert link in forward
+
+    def test_providers_customers_peers_partition(self, small_topology):
+        topology = small_topology
+        for asn in list(topology.ases)[:40]:
+            providers = topology.providers_of(asn)
+            customers = topology.customers_of(asn)
+            peers = topology.peers_of(asn)
+            assert not providers & peers
+            assert not customers & peers
+
+    def test_side_type_values(self, small_topology):
+        topology = small_topology
+        seen = set()
+        for link in topology.interconnections.values():
+            for asn in (link.asn_a, link.asn_b):
+                side = topology.side_type(link, asn)
+                seen.add(side)
+                assert side in {
+                    "public-local",
+                    "public-remote",
+                    "cross-connect",
+                    "tethering",
+                }
+        assert "cross-connect" in seen
+        assert "public-local" in seen
+
+    def test_side_type_wrong_asn(self, small_topology):
+        topology = small_topology
+        link = next(iter(topology.interconnections.values()))
+        with pytest.raises(ValueError):
+            topology.side_type(link, 999999999)
+
+    def test_remote_side_classification(self, small_topology):
+        topology = small_topology
+        remote_sides = [
+            (link, asn)
+            for link in topology.interconnections.values()
+            if link.kind is InterconnectionType.REMOTE_PEERING
+            for asn in (link.asn_a, link.asn_b)
+            if topology.ixps[link.ixp_id].is_remote_member(asn)
+        ]
+        assert remote_sides
+        for link, asn in remote_sides:
+            assert topology.side_type(link, asn) == "public-remote"
+
+    def test_campus_facilities_contains_self(self, small_topology):
+        topology = small_topology
+        for facility_id in topology.facilities:
+            campus = topology.campus_facilities(facility_id)
+            assert facility_id in campus
+            metro = topology.facilities[facility_id].metro
+            assert all(
+                topology.facilities[f].metro == metro for f in campus
+            )
+
+    def test_facilities_in_metro(self, small_topology):
+        topology = small_topology
+        metro = next(iter(topology.facilities.values())).metro
+        facilities = topology.facilities_in_metro(metro)
+        assert facilities
+        assert all(f.metro == metro for f in facilities)
+
+    def test_summary_keys(self, small_topology):
+        summary = small_topology.summary()
+        assert summary["facilities"] == len(small_topology.facilities)
+        assert summary["routers"] == len(small_topology.routers)
+        assert summary["interconnections"] == len(
+            small_topology.interconnections
+        )

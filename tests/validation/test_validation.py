@@ -1,0 +1,194 @@
+"""Validation layer tests: the four sources and the scoring metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import InferredType, LinkInference, PeeringKind
+from repro.validation.metrics import (
+    AccuracyReport,
+    match_ground_truth_link,
+    score_interfaces,
+    score_links,
+    validate_against_sources,
+)
+from repro.validation.sources import (
+    BgpCommunitySource,
+    DirectFeedbackSource,
+    DnsRecordSource,
+    IxpWebsiteSource,
+    build_all_sources,
+)
+
+
+@pytest.fixture(scope="module")
+def sources(small_run):
+    env, _, _ = small_run
+    return build_all_sources(
+        env.topology, env.dns, env.ixp_sources, env.target_asns, seed=4
+    )
+
+
+class TestSources:
+    def test_direct_feedback_only_own_interfaces(self, small_run):
+        env, _, _ = small_run
+        source = DirectFeedbackSource.from_targets(
+            env.topology, env.target_asns, seed=1
+        )
+        addresses = list(env.topology.interfaces)
+        for sample in source.samples_for(addresses):
+            owner = env.topology.true_asn_of_address(sample.address)
+            assert owner in env.target_asns
+
+    def test_direct_feedback_truthful(self, small_run):
+        env, _, _ = small_run
+        source = DirectFeedbackSource.from_targets(
+            env.topology, env.target_asns, seed=1
+        )
+        for sample in source.samples_for(list(env.topology.interfaces)[:3000]):
+            assert sample.true_facility == env.topology.true_facility_of_address(
+                sample.address
+            )
+
+    def test_bgp_source_limited_to_operators(self, small_run):
+        env, _, _ = small_run
+        source = BgpCommunitySource(env.topology)
+        assert len(source.operator_asns) <= 4
+        for sample in source.samples_for(list(env.topology.interfaces)):
+            owner = env.topology.true_asn_of_address(sample.address)
+            assert owner in source.operator_asns
+
+    def test_bgp_dictionary_size_reasonable(self, small_run):
+        env, _, _ = small_run
+        source = BgpCommunitySource(env.topology)
+        # One value per operator router facility — the paper compiled 109.
+        assert 0 < len(source.dictionary) < 400
+
+    def test_dns_source_decodes_only_confirmed_operators(self, small_run):
+        env, _, _ = small_run
+        source = DnsRecordSource(env.topology, env.dns)
+        assert len(source.operator_asns) <= 7
+        for asn in source.operator_asns:
+            assert env.topology.ases[asn].dns_scheme == "facility"
+
+    def test_dns_source_mostly_truthful(self, small_run):
+        env, _, _ = small_run
+        source = DnsRecordSource(env.topology, env.dns)
+        samples = source.samples_for(list(env.topology.interfaces))
+        if len(samples) < 10:
+            pytest.skip("too few facility-scheme records in this seed")
+        truthful = sum(
+            1
+            for sample in samples
+            if sample.true_facility
+            == env.topology.true_facility_of_address(sample.address)
+        )
+        # Stale records introduce a small disagreement rate.
+        assert truthful / len(samples) > 0.9
+
+    def test_ixp_website_source_covers_detailed_ports(self, small_run):
+        env, _, _ = small_run
+        source = IxpWebsiteSource(env.ixp_sources)
+        detailed_ports = [
+            member.address
+            for website in env.ixp_sources.detailed_websites()
+            for member in website.member_details
+        ]
+        samples = source.samples_for(detailed_ports)
+        assert len(samples) == len(detailed_ports)
+        for sample in samples:
+            assert sample.is_remote is not None
+
+
+class TestAccuracyReport:
+    def test_classification(self, small_topology):
+        report = AccuracyReport()
+        facilities = list(small_topology.facilities.values())
+        same_metro = [
+            (a, b)
+            for a in facilities
+            for b in facilities
+            if a.metro == b.metro and a.facility_id != b.facility_id
+        ]
+        a, b = same_metro[0]
+        report.add(a.facility_id, a.facility_id, small_topology)  # exact
+        report.add(a.facility_id, b.facility_id, small_topology)  # same city
+        other = next(f for f in facilities if f.metro != a.metro)
+        report.add(other.facility_id, a.facility_id, small_topology)  # wrong
+        assert report.exact == 1
+        assert report.same_city == 1
+        assert report.wrong_city == 1
+        assert report.facility_accuracy == pytest.approx(1 / 3)
+        assert report.city_accuracy == pytest.approx(2 / 3)
+
+    def test_empty_report(self):
+        report = AccuracyReport()
+        assert report.facility_accuracy == 0.0
+        assert report.city_accuracy == 0.0
+
+
+class TestScoring:
+    def test_score_interfaces_counts_resolved_only(self, small_run):
+        env, _, result = small_run
+        report = score_interfaces(env.topology, result)
+        assert report.total <= len(result.resolved_interfaces())
+        assert report.total > 0
+
+    def test_match_ground_truth_link(self, small_run):
+        env, _, result = small_run
+        matched = 0
+        for inference in result.links[:200]:
+            link = match_ground_truth_link(env.topology, inference)
+            if link is None:
+                continue
+            matched += 1
+            assert link.involves(inference.far_asn)
+        assert matched > 50
+
+    def test_match_unknown_interface(self, small_run):
+        env, _, _ = small_run
+        bogus = LinkInference(
+            kind=PeeringKind.PRIVATE,
+            inferred_type=InferredType.CROSS_CONNECT,
+            near_address=1,
+            near_asn=1,
+            near_facility=None,
+            far_asn=2,
+            far_facility=None,
+            ixp_id=None,
+        )
+        assert match_ground_truth_link(env.topology, bogus) is None
+
+    def test_score_links_confusion_dominated_by_diagonal(self, small_run):
+        env, _, result = small_run
+        confusion = score_links(env.topology, result)
+        assert confusion
+        diagonal = 0
+        off_diagonal = 0
+        for true_type, row in confusion.items():
+            for inferred, count in row.items():
+                if inferred == true_type:
+                    diagonal += count
+                elif inferred != "unknown":
+                    off_diagonal += count
+        assert diagonal > off_diagonal
+
+    def test_validate_against_sources_cells(self, small_run, sources):
+        _, _, result = small_run
+        cells = validate_against_sources(result, sources)
+        assert cells
+        total = sum(cell.total for cell in cells)
+        matched = sum(cell.matched for cell in cells)
+        assert 0 < matched <= total
+        assert matched / total > 0.8
+        for cell in cells:
+            assert 0 <= cell.accuracy <= 1.0
+            assert "/" in cell.label()
+
+    def test_validation_cells_deduplicate(self, small_run, sources):
+        _, _, result = small_run
+        once = validate_against_sources(result, sources)
+        twice = validate_against_sources(result, sources)
+        assert [(c.source, c.link_type, c.matched, c.total) for c in once] == [
+            (c.source, c.link_type, c.matched, c.total) for c in twice
+        ]
