@@ -1,27 +1,49 @@
 """End-to-end pipeline benchmarks: environment build, campaign, CFS.
 
 Timed at the small scale so the stages are individually measurable with
-multiple rounds; the figure benchmarks exercise the default scale.
+multiple rounds; the figure benchmarks exercise the default scale.  The
+CFS benchmarks time both evaluation engines — the incremental dirty-set
+engine (default) and the paper-literal full-rescan loop — so the
+speedup stays visible in every benchmark run.
+
+Standalone smoke mode (no pytest-benchmark needed)::
+
+    python benchmarks/bench_pipeline.py --quick
+
+runs the engine comparison on a few small seeds, checks the inferences
+stay byte-identical, and writes ``BENCH_pipeline.json`` next to the
+repository root.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Standalone smoke mode runs without an installed package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 import pytest
 
-from repro.core.pipeline import PipelineConfig, build_environment
+from repro.api import PipelineConfig, build_environment
 
 from _report import record_report
 
 
 @pytest.fixture(scope="module")
 def small_pipeline_env():
-    return build_environment(PipelineConfig.small(seed=5))
+    return build_environment(scale="small", seed=5)
 
 
 def test_environment_build(benchmark):
     env = benchmark.pedantic(
         build_environment,
-        args=(PipelineConfig.small(seed=6),),
+        kwargs={"scale": "small", "seed": 6},
         rounds=3,
         iterations=1,
     )
@@ -36,6 +58,18 @@ def test_initial_campaign(benchmark, small_pipeline_env):
         iterations=1,
     )
     assert len(corpus) > 500
+
+
+def _timed_cfs(env, corpus, incremental: bool, seed_offset: int):
+    from repro.experiments.context import clone_corpus
+
+    started = time.perf_counter()
+    result = env.run_cfs(
+        clone_corpus(corpus),
+        cfs_config=env.config.cfs.replace(incremental=incremental),
+        seed_offset=seed_offset,
+    )
+    return time.perf_counter() - started, result
 
 
 def test_cfs_full_run(benchmark, small_pipeline_env):
@@ -58,3 +92,145 @@ def test_cfs_full_run(benchmark, small_pipeline_env):
         f"iterations={result.iterations_run} "
         f"followup_traces={result.followup_traces}",
     )
+
+
+def test_cfs_engine_comparison(benchmark, small_pipeline_env):
+    """Incremental dirty-set engine vs the full-rescan oracle."""
+    env = small_pipeline_env
+    corpus = env.run_campaign(seed_offset=302)
+
+    counter = iter(range(1000))
+
+    def run_incremental():
+        return _timed_cfs(env, corpus, True, 600 + next(counter))[1]
+
+    result = benchmark.pedantic(run_incremental, rounds=2, iterations=1)
+    full_seconds, full_result = _timed_cfs(env, corpus, False, 600 + next(counter))
+    metrics = result.metrics
+    record_report(
+        "CFS engine comparison (small scale)",
+        f"full_rescan={full_seconds:.2f}s "
+        f"incremental_applied={metrics.counter('cfs.observations_applied')} "
+        f"incremental_skipped={metrics.counter('cfs.observations_skipped')} "
+        f"full_applied="
+        f"{full_result.metrics.counter('cfs.observations_applied')} "
+        f"traces_reparsed={metrics.counter('cfs.traces_reparsed')} "
+        f"trace_cache_hits={metrics.counter('cfs.trace_cache_hits')}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone smoke mode
+# ----------------------------------------------------------------------
+
+QUICK_SEEDS = (0, 1, 2)
+
+
+def _comparable_export(env, result) -> dict:
+    from repro.export import export_result
+
+    exported = export_result(result, env.facility_db)
+    exported.pop("metrics")
+    for record in exported["history"]:
+        record.pop("applied")
+        record.pop("traces_parsed")
+    return exported
+
+
+def _smoke_seed(seed: int, scale: str) -> dict:
+    """Both engines over identical fresh environments at one seed.
+
+    Fresh environments per engine: the IP-ID responder is stateful, so
+    a shared one would let the first run perturb the second's probes.
+    """
+    rows: dict[str, dict] = {}
+    exports = {}
+    for name, incremental in (("incremental", True), ("full_rescan", False)):
+        env = build_environment(PipelineConfig.for_scale(scale, seed=seed))
+        corpus = env.run_campaign()
+        started = time.perf_counter()
+        result = env.run_cfs(
+            corpus,
+            cfs_config=env.config.cfs.replace(incremental=incremental),
+        )
+        elapsed = time.perf_counter() - started
+        metrics = result.metrics
+        rows[name] = {
+            "cfs_seconds": round(elapsed, 3),
+            "iterations": result.iterations_run,
+            "observations_applied": metrics.counter("cfs.observations_applied"),
+            "traces_parsed": metrics.counter("classify.traces_parsed"),
+            "extract_seconds": round(
+                metrics.stage_seconds.get("extract", 0.0), 3
+            ),
+            "constrain_seconds": round(
+                metrics.stage_seconds.get("constrain", 0.0), 3
+            ),
+        }
+        exports[name] = _comparable_export(env, result)
+    identical = exports["incremental"] == exports["full_rescan"]
+    speedup = rows["full_rescan"]["cfs_seconds"] / max(
+        rows["incremental"]["cfs_seconds"], 1e-9
+    )
+    return {
+        "seed": seed,
+        "identical": identical,
+        "speedup": round(speedup, 3),
+        **rows,
+    }
+
+
+def quick_smoke(output: str, scale: str = "small") -> int:
+    """Run the engine comparison smoke and write ``BENCH_pipeline.json``.
+
+    Returns a process exit code (non-zero when an engine pair diverges).
+    """
+    report = {
+        "schema": "repro/bench-pipeline/1",
+        "scale": scale,
+        "seeds": [],
+    }
+    failed = False
+    for seed in QUICK_SEEDS:
+        row = _smoke_seed(seed, scale)
+        report["seeds"].append(row)
+        status = "ok" if row["identical"] else "DIVERGED"
+        print(
+            f"seed {seed}: {status} "
+            f"incremental={row['incremental']['cfs_seconds']}s "
+            f"full={row['full_rescan']['cfs_seconds']}s "
+            f"speedup={row['speedup']}x"
+        )
+        failed = failed or not row["identical"]
+    path = Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {path}")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the engine-comparison smoke and write BENCH_pipeline.json",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=PipelineConfig.SCALES,
+        default="small",
+        help="pipeline scale for the smoke run",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_pipeline.json",
+        help="where to write the smoke report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("standalone mode requires --quick (or run under pytest)")
+    return quick_smoke(args.output, scale=args.scale)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

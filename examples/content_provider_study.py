@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 from collections import Counter
 
-from repro.core import PipelineConfig, build_environment
+from repro.api import build_environment
 from repro.core.types import PeeringKind
 from repro.experiments import run_fig10, run_multirole_census
 from repro.topology import ASRole
@@ -28,7 +28,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=11, help="master seed")
     args = parser.parse_args()
 
-    env = build_environment(PipelineConfig.small(seed=args.seed))
+    env = build_environment(seed=args.seed, scale="small")
     topology = env.topology
     cdn_asn = next(
         asn

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis import CriticalityIndex
-from repro.core import PipelineConfig, build_environment
+from repro.api import build_environment
 
 
 def main() -> None:
@@ -31,7 +31,7 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    env = build_environment(PipelineConfig.small(seed=args.seed))
+    env = build_environment(seed=args.seed, scale="small")
     topology = env.topology
     print("running campaign + CFS ...")
     corpus = env.run_campaign()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import PipelineConfig, run_pipeline
+from repro.api import run_pipeline
 from repro.core.types import InterfaceStatus
 from repro.topology.addressing import int_to_ip
 from repro.validation import score_interfaces
@@ -27,7 +27,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print("Building the environment and running the study campaign...")
-    result = run_pipeline(PipelineConfig.small(seed=args.seed))
+    result = run_pipeline(seed=args.seed, scale="small")
     cfs = result.cfs_result
     env = result.environment
     topology = env.topology

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import PipelineConfig, build_environment
+from repro.api import build_environment
 from repro.topology.addressing import int_to_ip
 
 
@@ -25,7 +25,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=31, help="master seed")
     args = parser.parse_args()
 
-    env = build_environment(PipelineConfig.small(seed=args.seed))
+    env = build_environment(seed=args.seed, scale="small")
     topology = env.topology
     print("running campaign + CFS ...")
     corpus = env.run_campaign()

@@ -11,31 +11,29 @@ alias resolution (``repro.alias``), baselines (``repro.baselines``),
 validation oracles (``repro.validation``) and the experiment harnesses
 reproducing every table and figure (``repro.experiments``).
 
-Quickstart::
+Quickstart (the stable facade, see :mod:`repro.api`)::
 
-    from repro.core.pipeline import run_pipeline, PipelineConfig
-    result = run_pipeline(PipelineConfig.small(seed=7))
+    from repro import run_pipeline
+    result = run_pipeline(seed=7, scale="small")
     print(result.cfs_result.resolved_fraction())
 """
 
+from . import api
+from .api import build_environment, build_topology, run_pipeline
 from .core.cfs import CfsConfig, ConstrainedFacilitySearch
 from .core.facility_db import FacilityDatabase
-from .core.pipeline import (
-    Environment,
-    PipelineConfig,
-    PipelineResult,
-    build_environment,
-    run_pipeline,
-)
+from .core.pipeline import Environment, PipelineConfig, PipelineResult
 from .core.types import CfsResult, InferredType, InterfaceStatus, LinkInference
 from .export import dumps_result, export_result, export_topology_summary
-from .topology.builder import TopologyConfig, build_topology
+from .obs import Instrumentation, LoggingSink, MemorySink, MetricsSnapshot
+from .topology.builder import TopologyConfig
 from .validation.metrics import score_interfaces, validate_against_sources
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
     "build_environment",
     "build_topology",
     "CfsConfig",
@@ -47,8 +45,12 @@ __all__ = [
     "export_topology_summary",
     "FacilityDatabase",
     "InferredType",
+    "Instrumentation",
     "InterfaceStatus",
     "LinkInference",
+    "LoggingSink",
+    "MemorySink",
+    "MetricsSnapshot",
     "PipelineConfig",
     "PipelineResult",
     "run_pipeline",

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from random import Random
 
 from ..measurement.ipid import IPID_MODULUS, IpidResponder
+from ..obs import Instrumentation
 
 __all__ = [
     "monotonic_mod_sequence",
@@ -179,10 +180,12 @@ class MidarResolver:
         responder: IpidResponder,
         config: MidarConfig | None = None,
         seed: int = 0,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self._responder = responder
         self.config = config or MidarConfig()
         self._rng = Random(seed)
+        self._obs = instrumentation or Instrumentation()
         self.probes_sent = 0
         # Pair verdicts persist across resolve() calls: re-running the
         # pipeline's periodic alias refresh only probes pairs involving
@@ -280,6 +283,7 @@ class MidarResolver:
 
     def resolve(self, addresses: list[int]) -> AliasSets:
         """Group ``addresses`` into alias sets."""
+        probes_before = self.probes_sent
         velocities = self._estimate(sorted(set(addresses)))
         union_find = UnionFind()
         for address in velocities:
@@ -290,17 +294,30 @@ class MidarResolver:
         for a, b in self._sieve(velocities):
             pair = (a, b) if a < b else (b, a)
             if pair in self._rejected_pairs or pair in self._accepted_pairs:
+                # Verdict cached from an earlier refresh: no re-probing.
+                self._obs.count("midar.pair_cache_hits")
                 continue
             # Corroboration shortcut: if already merged transitively,
             # skip the probes (MIDAR does the same to bound probing).
             if union_find.find(a) == union_find.find(b):
                 continue
+            self._obs.count("midar.pairs_probed")
             if self._eliminate(a, b, velocities[a], velocities[b]):
                 union_find.union(a, b)
                 self._accepted_pairs.add(pair)
+                self._obs.count("midar.pairs_accepted")
             else:
                 self._rejected_pairs.add(pair)
-        return AliasSets.from_groups(union_find.groups())
+        self._obs.count("midar.probes_sent", self.probes_sent - probes_before)
+        result = AliasSets.from_groups(union_find.groups())
+        self._obs.emit(
+            "midar.resolve",
+            addresses=len(addresses),
+            usable=len(velocities),
+            alias_sets=len(result),
+            probes=self.probes_sent - probes_before,
+        )
+        return result
 
 
 def repair_ip_to_asn(

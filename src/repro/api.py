@@ -1,0 +1,104 @@
+"""Stable high-level entry points — the supported public API.
+
+Downstream code (examples, benchmarks, notebooks) should come through
+this module instead of deep-importing pipeline internals: these
+signatures are kept stable across refactors of ``repro.core``.
+
+Every entry point accepts either an explicit config object
+(positionally, matching the historical signatures) or the ``seed=`` /
+``scale=`` keywords, where ``scale`` is one of ``"small"``,
+``"default"`` or ``"large"``::
+
+    from repro.api import run_pipeline
+
+    result = run_pipeline(seed=7, scale="small")
+    print(result.cfs_result.resolved_fraction())
+
+Passing both a config and seed/scale keywords is rejected — the config
+already fixes the seed and scale.
+"""
+
+from __future__ import annotations
+
+from .core.pipeline import (
+    Environment,
+    PipelineConfig,
+    PipelineResult,
+    build_environment as _build_environment,
+    run_pipeline as _run_pipeline,
+)
+from .obs import Instrumentation
+from .topology.builder import TopologyConfig, build_topology as _build_topology
+from .topology.topology import Topology
+
+__all__ = [
+    "Environment",
+    "PipelineConfig",
+    "PipelineResult",
+    "build_environment",
+    "build_topology",
+    "run_pipeline",
+]
+
+
+def _resolve_config(
+    config: PipelineConfig | None, seed: int | None, scale: str | None
+) -> PipelineConfig:
+    if config is not None:
+        if seed is not None or scale is not None:
+            raise ValueError(
+                "pass either config= or seed=/scale=, not both: the config "
+                "already fixes the seed and scale"
+            )
+        return config
+    return PipelineConfig.for_scale(scale or "small", seed=seed or 0)
+
+
+def run_pipeline(
+    config: PipelineConfig | None = None,
+    *,
+    seed: int | None = None,
+    scale: str | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> PipelineResult:
+    """Build an environment, run the campaign, run CFS.
+
+    ``instrumentation`` (optional) collects counters, stage timings and
+    events across the campaign and the CFS loop; the frozen snapshot
+    lands on ``result.cfs_result.metrics`` either way.
+    """
+    return _run_pipeline(
+        _resolve_config(config, seed, scale), instrumentation=instrumentation
+    )
+
+
+def build_environment(
+    config: PipelineConfig | None = None,
+    *,
+    seed: int | None = None,
+    scale: str | None = None,
+) -> Environment:
+    """Wire the full measurement stack without running anything."""
+    return _build_environment(_resolve_config(config, seed, scale))
+
+
+def build_topology(
+    config: TopologyConfig | None = None,
+    *,
+    seed: int | None = None,
+    scale: str | None = None,
+) -> Topology:
+    """Generate one ground-truth Internet.
+
+    With ``seed=``/``scale=``, the topology is the same one
+    :func:`run_pipeline` would study at that seed and scale (the
+    pipeline derives its topology seed from the master seed).
+    """
+    if config is None:
+        config = _resolve_config(None, seed, scale).topology
+    elif seed is not None or scale is not None:
+        raise ValueError(
+            "pass either config= or seed=/scale=, not both: the config "
+            "already fixes the seed and scale"
+        )
+    return _build_topology(config)

@@ -21,22 +21,14 @@ import time
 
 from .core.pipeline import Environment, PipelineConfig, build_environment
 from .export import dumps_result
-from .topology.builder import TopologyConfig
+from .obs import Instrumentation
 from .validation.metrics import score_interfaces, unresolved_city_constrained
 
 __all__ = ["main", "build_parser"]
 
 
 def _config_for(scale: str, seed: int) -> PipelineConfig:
-    if scale == "small":
-        return PipelineConfig.small(seed)
-    if scale == "default":
-        return PipelineConfig.default(seed)
-    if scale == "large":
-        config = PipelineConfig.default(seed)
-        config.topology = TopologyConfig.large(seed=seed + 1)
-        return config
-    raise ValueError(f"unknown scale {scale!r}")
+    return PipelineConfig.for_scale(scale, seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the inferred map as JSON to PATH ('-' for stdout)",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's counters and per-stage timings",
     )
 
     experiment = commands.add_parser(
@@ -107,13 +104,29 @@ def _cmd_summary(env: Environment) -> int:
     return 0
 
 
-def _cmd_run(env: Environment, json_path: str | None) -> int:
+def _print_metrics(result) -> None:
+    metrics = result.metrics
+    if metrics is None:
+        print("no metrics recorded")
+        return
+    print("stage timings:")
+    for name in sorted(metrics.stage_seconds):
+        seconds = metrics.stage_seconds[name]
+        calls = metrics.stage_calls.get(name, 0)
+        print(f"  {name:>12}: {seconds:8.3f}s over {calls} calls")
+    print("counters:")
+    for name in sorted(metrics.counters):
+        print(f"  {name}: {metrics.counters[name]}")
+
+
+def _cmd_run(env: Environment, json_path: str | None, metrics: bool) -> int:
     started = time.perf_counter()
+    instrumentation = Instrumentation()
     print("running initial campaign ...")
-    corpus = env.run_campaign()
+    corpus = env.run_campaign(instrumentation=instrumentation)
     print(f"  {len(corpus)} traceroutes collected")
     print("running Constrained Facility Search ...")
-    result = env.run_cfs(corpus)
+    result = env.run_cfs(corpus, instrumentation=instrumentation)
     elapsed = time.perf_counter() - started
     print(
         f"  {result.iterations_run} iterations, "
@@ -131,6 +144,8 @@ def _cmd_run(env: Environment, json_path: str | None) -> int:
         f"omniscient accuracy: facility {report.facility_accuracy:.1%}, "
         f"city {report.city_accuracy:.1%}"
     )
+    if metrics:
+        _print_metrics(result)
     if json_path is not None:
         text = dumps_result(result, env.facility_db)
         if json_path == "-":
@@ -187,7 +202,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "summary":
         return _cmd_summary(env)
     if args.command == "run":
-        return _cmd_run(env, args.json)
+        return _cmd_run(env, args.json, args.metrics)
     if args.command == "experiment":
         return _cmd_experiment(env, args.name)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

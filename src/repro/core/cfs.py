@@ -18,15 +18,35 @@ no follow-up is available), or at the iteration timeout (the paper used
 far ends of public peerings are settled with reverse-path constraints
 and the switch proximity heuristic, and every observed link receives a
 facility and engineering-type inference.
+
+Two evaluation engines share this loop:
+
+* the **incremental** engine (default): Step 2 only revisits
+  *dirty* observations — crossings created or updated by newly parsed
+  traces, plus crossings whose constraints currently conflict (the
+  full-rescan loop re-counts those conflicts every round, so the
+  incremental engine re-applies them to stay byte-identical).  Alias
+  refreshes re-parse only the traces whose address-to-ASN mapping
+  actually moved, reusing cached per-trace extractions for the rest;
+* the **full-rescan** engine (``CfsConfig(incremental=False)``): the
+  paper-literal loop that re-applies every accumulated observation each
+  iteration and, on every alias refresh, drops the parsed corpus and
+  starts over.  Kept as the equivalence oracle for the incremental
+  path.
+
+Both engines produce identical inferences; see
+``tests/core/test_incremental.py`` for the property test.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dataclass_replace
 
 from ..alias.midar import AliasSets, MidarResolver, repair_ip_to_asn
 from ..measurement.campaign import CampaignDriver, TraceCorpus
 from ..measurement.platforms import MeasurementPlatform
+from ..measurement.traceroute import Traceroute
+from ..obs import Instrumentation
 from .alias_constraints import propagate_alias_constraints
 from .classify import PeeringClassifier
 from .constrain import InitialFacilitySearch
@@ -41,14 +61,23 @@ from .types import (
     InterfaceStatus,
     IterationStats,
     ObservedPeering,
+    PeeringKind,
 )
 
-__all__ = ["CfsConfig", "ConstrainedFacilitySearch"]
+__all__ = ["CfsConfig", "ConstrainedFacilitySearch", "FOLLOWUP_STRATEGIES"]
+
+#: Valid values of :attr:`CfsConfig.followup_strategy`.
+FOLLOWUP_STRATEGIES = ("smallest-overlap", "random")
 
 
 @dataclass(frozen=True, slots=True)
 class CfsConfig:
-    """Knobs of the search loop (ablation switches included)."""
+    """Knobs of the search loop (ablation switches included).
+
+    Invalid knob values raise :class:`ValueError` at construction, so a
+    bad ``followup_strategy`` cannot survive until deep inside the
+    follow-up planner.
+    """
 
     #: Iteration timeout (the paper's 100 rounds).
     max_iterations: int = 100
@@ -75,6 +104,32 @@ class CfsConfig:
     constrain_private_far_side: bool = False
     #: Re-run alias resolution when the address pool grew by this factor.
     alias_refresh_fraction: float = 0.10
+    #: Dirty-set incremental evaluation (the default).  ``False`` runs
+    #: the original full-rescan loop: every observation re-applied each
+    #: iteration, the whole corpus re-parsed on every alias refresh.
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.followup_strategy not in FOLLOWUP_STRATEGIES:
+            raise ValueError(
+                f"unknown follow-up strategy {self.followup_strategy!r}; "
+                f"expected one of {FOLLOWUP_STRATEGIES}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.followup_budget < 0:
+            raise ValueError("followup_budget must not be negative")
+        if self.alias_refresh_fraction < 0:
+            raise ValueError("alias_refresh_fraction must not be negative")
+
+    def replace(self, **overrides) -> "CfsConfig":
+        """A copy with ``overrides`` applied (and re-validated).
+
+        The ablation harnesses and benchmarks flip single switches off a
+        base configuration; this keeps them from rebuilding the config
+        field by field.
+        """
+        return _dataclass_replace(self, **overrides)
 
 
 class ConstrainedFacilitySearch:
@@ -88,6 +143,7 @@ class ConstrainedFacilitySearch:
         driver: CampaignDriver | None = None,
         remote_detector: RemotePeeringDetector | None = None,
         config: CfsConfig | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         """Args:
             facility_db: the assembled Section-3.1 knowledge base.
@@ -100,13 +156,19 @@ class ConstrainedFacilitySearch:
                 makes the run passive (archived corpus only).
             remote_detector: the delay-based remote-peering test.
             config: loop knobs.
+            instrumentation: counters/timers/event sink for the run; a
+                fresh silent instance when omitted.
         """
         self._db = facility_db
         self._ip_to_asn = ip_to_asn
         self._midar = alias_resolver
         self._driver = driver
         self.config = config or CfsConfig()
-        self._classifier = PeeringClassifier(facility_db)
+        self.instrumentation = instrumentation or Instrumentation()
+        self._obs = self.instrumentation
+        self._classifier = PeeringClassifier(
+            facility_db, instrumentation=self._obs
+        )
         self._search = InitialFacilitySearch(
             facility_db,
             remote_detector or RemotePeeringDetector(),
@@ -125,13 +187,28 @@ class ConstrainedFacilitySearch:
         platforms: list[MeasurementPlatform] | None = None,
     ) -> CfsResult:
         """Run the loop to convergence/timeout and finalize inferences."""
+        obs = self._obs
+        incremental = self.config.incremental
         known_addresses: set[int] = set()
         raw_mapping: dict[int, int | None] = {}
         mapping: dict[int, int | None] = {}
+        previous_mapping: dict[int, int | None] = {}
         alias_sets = AliasSets()
         addresses_at_last_resolve = 0
+        #: Address-discovery frontier (never rewinds).
+        scanned_traces = 0
+        #: Extraction frontier (the full-rescan engine rewinds it to 0
+        #: on every alias refresh).
         parsed_traces = 0
         observations: dict[tuple, ObservedPeering] = {}
+        #: Incremental engine: per-trace extraction cache (``None`` for
+        #: traces yielding no crossing, which is most of them — keeps
+        #: the cache light for the garbage collector).
+        trace_records: list[dict[tuple, ObservedPeering] | None] = []
+        #: Observation keys whose constraints currently conflict; the
+        #: full-rescan loop re-counts such conflicts every iteration, so
+        #: the incremental engine keeps re-applying them.
+        sticky_conflicts: set[tuple] = set()
         states: dict[int, InterfaceState] = {}
         probed_pairs: set[tuple[int, int]] = set()
         history: list[IterationStats] = []
@@ -140,52 +217,130 @@ class ConstrainedFacilitySearch:
 
         for iteration in range(1, self.config.max_iterations + 1):
             iterations_run = iteration
+            obs.count("cfs.iterations")
+
             # --- mapping upkeep for newly observed addresses ----------
-            fresh = [
-                address
-                for trace in corpus.traces[parsed_traces:]
-                for address in trace.responsive_addresses()
-                if address not in known_addresses
-            ]
-            for address in fresh:
-                known_addresses.add(address)
-                asn = self._ip_to_asn.lookup(address)
-                raw_mapping[address] = asn
-                mapping[address] = asn
+            with obs.stage("map"):
+                scan_from = scanned_traces if incremental else parsed_traces
+                fresh = [
+                    address
+                    for trace in corpus.traces[scan_from:]
+                    for address in trace.responsive_addresses()
+                    if address not in known_addresses
+                ]
+                for address in fresh:
+                    known_addresses.add(address)
+                    asn = self._ip_to_asn.lookup(address)
+                    raw_mapping[address] = asn
+                    mapping[address] = asn
+                scanned_traces = len(corpus.traces)
+                obs.count("cfs.addresses_mapped", len(fresh))
 
             # --- alias refresh + IP-to-ASN repair ----------------------
+            refreshed = False
             grew_enough = len(known_addresses) - addresses_at_last_resolve > (
                 self.config.alias_refresh_fraction * max(1, addresses_at_last_resolve)
             )
             if self._midar is not None and (iteration == 1 or grew_enough):
-                alias_sets = self._midar.resolve(sorted(known_addresses))
-                addresses_at_last_resolve = len(known_addresses)
-                if self.config.use_asn_repair:
-                    mapping = repair_ip_to_asn(alias_sets, raw_mapping)
-                else:
-                    mapping = dict(raw_mapping)
-                # Boundaries may move under the repaired mapping.
-                observations = {}
-                parsed_traces = 0
+                with obs.stage("alias"):
+                    alias_sets = self._midar.resolve(sorted(known_addresses))
+                    addresses_at_last_resolve = len(known_addresses)
+                    previous_mapping = mapping
+                    if self.config.use_asn_repair:
+                        mapping = repair_ip_to_asn(alias_sets, raw_mapping)
+                    else:
+                        mapping = dict(raw_mapping)
+                refreshed = True
+                obs.count("cfs.alias_refreshes")
+                obs.emit(
+                    "cfs.alias_refresh",
+                    iteration=iteration,
+                    addresses=len(known_addresses),
+                    alias_sets=len(alias_sets),
+                )
+                if not incremental:
+                    # Boundaries may move under the repaired mapping:
+                    # the full-rescan engine drops the parsed corpus.
+                    observations = {}
+                    parsed_traces = 0
 
             # --- Step 1: (re)extract crossings -------------------------
-            self._classifier.extract(
-                corpus.traces[parsed_traces:], mapping, into=observations
-            )
-            parsed_traces = len(corpus.traces)
+            with obs.stage("extract"):
+                traces_parsed_now = 0
+                dirty: set[tuple] | None
+                if incremental:
+                    if refreshed:
+                        reparsed = self._reparse_moved(
+                            corpus, mapping, previous_mapping, trace_records
+                        )
+                        traces_parsed_now += reparsed
+                        if reparsed:
+                            observations = self._rebuild_observations(
+                                trace_records
+                            )
+                        # Post-refresh, revisit every crossing once —
+                        # the full-rescan engine does the same pass.
+                        dirty = None
+                    else:
+                        dirty = set(sticky_conflicts)
+                    extract = self._extract_trace
+                    merge = PeeringClassifier.merge
+                    new_keys: set[tuple] = set()
+                    for trace in corpus.traces[parsed_traces:]:
+                        records = extract(trace, mapping)
+                        trace_records.append(records)
+                        traces_parsed_now += 1
+                        if records is None:
+                            continue
+                        for record in records.values():
+                            merge(observations, record)
+                        new_keys.update(records)
+                    if dirty is not None:
+                        dirty |= new_keys
+                else:
+                    traces_parsed_now = len(corpus.traces) - parsed_traces
+                    self._classifier.extract(
+                        corpus.traces[parsed_traces:], mapping, into=observations
+                    )
+                    dirty = None
+                parsed_traces = len(corpus.traces)
 
             # --- Step 2: initial facility search -----------------------
-            changed = False
-            for observation in observations.values():
-                if self._search.apply(observation, states):
-                    changed = True
+            with obs.stage("constrain"):
+                changed = False
+                applied = 0
+                if dirty is None:
+                    for observation in observations.values():
+                        applied += 1
+                        if self._apply_observation(
+                            observation, states, sticky_conflicts, incremental
+                        ):
+                            changed = True
+                elif dirty:
+                    # Dict order is first-appearance order; walking the
+                    # dict (not the dirty set) keeps application order
+                    # identical to the full-rescan engine.
+                    for key, observation in observations.items():
+                        if key not in dirty:
+                            continue
+                        applied += 1
+                        if self._apply_observation(
+                            observation, states, sticky_conflicts, incremental
+                        ):
+                            changed = True
+                obs.count("cfs.observations_applied", applied)
+                obs.count(
+                    "cfs.observations_skipped", len(observations) - applied
+                )
 
             # --- Step 3: alias constraint propagation ------------------
             if self.config.use_alias_constraints and len(alias_sets):
-                narrowed = propagate_alias_constraints(states, alias_sets)
-                if narrowed:
-                    changed = True
-                self._search.refresh_statuses(states)
+                with obs.stage("propagate"):
+                    narrowed = propagate_alias_constraints(states, alias_sets)
+                    if narrowed:
+                        changed = True
+                    obs.count("cfs.constraints_narrowed", narrowed)
+                    self._search.refresh_statuses(states)
 
             # --- Step 4: targeted follow-ups ----------------------------
             plans = []
@@ -194,25 +349,45 @@ class ConstrainedFacilitySearch:
                 and self._driver is not None
                 and self._has_unresolved(states)
             ):
-                plans = self._planner.plan(
-                    states, probed_pairs, self.config.followup_budget
-                )
-                for plan in plans:
-                    probed_pairs.add((plan.near_asn, plan.target_asn))
-                    followup_traces += self._driver.probe_peering(
-                        plan.near_asn, plan.target_asn, corpus, platforms
+                with obs.stage("followup"):
+                    plans = self._planner.plan(
+                        states, probed_pairs, self.config.followup_budget
                     )
+                    for plan in plans:
+                        probed_pairs.add((plan.near_asn, plan.target_asn))
+                        followup_traces += self._driver.probe_peering(
+                            plan.near_asn, plan.target_asn, corpus, platforms
+                        )
+                obs.count("cfs.followups_issued", len(plans))
 
-            history.append(self._snapshot(iteration, states, len(plans)))
+            history.append(
+                self._snapshot(
+                    iteration,
+                    states,
+                    len(plans),
+                    observations_total=len(observations),
+                    observations_applied=applied,
+                    traces_parsed=traces_parsed_now,
+                )
+            )
+            obs.emit(
+                "cfs.iteration",
+                iteration=iteration,
+                interfaces=len(states),
+                observations=len(observations),
+                applied=applied,
+                followups=len(plans),
+            )
             if not self._has_unresolved(states) and not self._has_missing(states):
                 break
             if not changed and not plans:
                 break
 
-        finalizer = LinkFinalizer(self._db, self.proximity)
-        links = finalizer.finalize(
-            observations, states, use_proximity=self.config.use_proximity
-        )
+        with obs.stage("finalize"):
+            finalizer = LinkFinalizer(self._db, self.proximity)
+            links = finalizer.finalize(
+                observations, states, use_proximity=self.config.use_proximity
+            )
         return CfsResult(
             interfaces=states,
             links=links,
@@ -220,7 +395,120 @@ class ConstrainedFacilitySearch:
             iterations_run=iterations_run,
             followup_traces=followup_traces,
             peering_interfaces_seen=len(states),
+            metrics=obs.snapshot(),
         )
+
+    # ------------------------------------------------------------------
+    # Incremental-engine helpers
+    # ------------------------------------------------------------------
+
+    def _extract_trace(
+        self, trace: Traceroute, mapping: dict[int, int | None]
+    ) -> dict[tuple, ObservedPeering] | None:
+        """One trace's crossings as an isolated (cacheable) record batch.
+
+        ``None`` stands for "no crossings" so the cache holds no empty
+        dicts (most traces cross no peering).
+        """
+        records = self._classifier.extract([trace], mapping, into={})
+        return records or None
+
+    def _reparse_moved(
+        self,
+        corpus: TraceCorpus,
+        mapping: dict[int, int | None],
+        previous_mapping: dict[int, int | None],
+        trace_records: list[dict[tuple, ObservedPeering] | None],
+    ) -> int:
+        """Re-extract cached traces whose address-to-ASN mapping moved.
+
+        Extraction depends on the mapping only through a trace's own
+        responsive addresses, so traces disjoint from the moved set keep
+        their cached records verbatim.  Returns the re-parse count.
+        """
+        moved = {
+            address
+            for address, asn in mapping.items()
+            if previous_mapping.get(address) != asn
+        }
+        if not moved:
+            return 0
+        reparsed = 0
+        disjoint = moved.isdisjoint
+        traces = corpus.traces
+        for index in range(len(trace_records)):
+            trace = traces[index]
+            if disjoint(trace.responsive_addresses()):
+                continue
+            trace_records[index] = self._extract_trace(trace, mapping)
+            reparsed += 1
+        self._obs.count("cfs.traces_reparsed", reparsed)
+        self._obs.count(
+            "cfs.trace_cache_hits", len(trace_records) - reparsed
+        )
+        return reparsed
+
+    @staticmethod
+    def _rebuild_observations(
+        trace_records: list[dict[tuple, ObservedPeering] | None],
+    ) -> dict[tuple, ObservedPeering]:
+        """Merge per-trace record batches back into one crossing dict.
+
+        Merging batches in trace order reproduces the dict a full
+        re-parse would build — same records, same insertion order — so
+        downstream link finalisation stays byte-identical.
+        """
+        rebuilt: dict[tuple, ObservedPeering] = {}
+        merge = PeeringClassifier.merge
+        for records in trace_records:
+            if records is None:
+                continue
+            for record in records.values():
+                merge(rebuilt, record)
+        return rebuilt
+
+    def _apply_observation(
+        self,
+        observation: ObservedPeering,
+        states: dict[int, InterfaceState],
+        sticky_conflicts: set[tuple],
+        track_conflicts: bool,
+    ) -> bool:
+        """Step-2 application, optionally tracking conflicting keys.
+
+        The incremental engine must know which observations conflicted:
+        the full-rescan loop re-applies them every iteration and counts
+        a fresh conflict each time, so they stay in the dirty set until
+        a mapping move lifts the contradiction.
+        """
+        if not track_conflicts:
+            return self._search.apply(observation, states)
+        involved = [observation.near_address]
+        if observation.kind is PeeringKind.PUBLIC:
+            if observation.ixp_address is not None:
+                involved.append(observation.ixp_address)
+        elif (
+            observation.far_address is not None
+            and self.config.constrain_private_far_side
+        ):
+            involved.append(observation.far_address)
+        before = sum(
+            states[address].conflicts
+            for address in involved
+            if address in states
+        )
+        changed = self._search.apply(observation, states)
+        after = sum(
+            states[address].conflicts
+            for address in involved
+            if address in states
+        )
+        key = observation.key()
+        if after > before:
+            sticky_conflicts.add(key)
+        else:
+            sticky_conflicts.discard(key)
+        return changed
 
     # ------------------------------------------------------------------
 
@@ -241,7 +529,12 @@ class ConstrainedFacilitySearch:
 
     @staticmethod
     def _snapshot(
-        iteration: int, states: dict[int, InterfaceState], followups: int
+        iteration: int,
+        states: dict[int, InterfaceState],
+        followups: int,
+        observations_total: int = 0,
+        observations_applied: int = 0,
+        traces_parsed: int = 0,
     ) -> IterationStats:
         counts = {status: 0 for status in InterfaceStatus}
         for state in states.values():
@@ -254,4 +547,7 @@ class ConstrainedFacilitySearch:
             unresolved_remote=counts[InterfaceStatus.UNRESOLVED_REMOTE],
             missing_data=counts[InterfaceStatus.MISSING_DATA],
             followups_issued=followups,
+            observations_total=observations_total,
+            observations_applied=observations_applied,
+            traces_parsed=traces_parsed,
         )

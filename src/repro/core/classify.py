@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from ..measurement.traceroute import TraceHop, Traceroute
+from ..obs import Instrumentation
 from .facility_db import FacilityDatabase
 from .types import ObservedPeering, PeeringKind
 
@@ -29,8 +30,13 @@ __all__ = ["PeeringClassifier"]
 class PeeringClassifier:
     """Extracts :class:`ObservedPeering` records from traceroutes."""
 
-    def __init__(self, facility_db: FacilityDatabase) -> None:
+    def __init__(
+        self,
+        facility_db: FacilityDatabase,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self._db = facility_db
+        self._obs = instrumentation or Instrumentation()
 
     # ------------------------------------------------------------------
 
@@ -48,11 +54,14 @@ class PeeringClassifier:
         congestion before the delay-based remote-peering test).
         """
         observations = into if into is not None else {}
+        parsed = 0
         for trace in traces:
+            parsed += 1
             for run in self._responsive_runs(trace):
                 self._scan_run(
                     run, ip_to_asn, observations, dst_address=trace.dst_address
                 )
+        self._obs.count("classify.traces_parsed", parsed)
         return observations
 
     @staticmethod
@@ -132,6 +141,7 @@ class PeeringClassifier:
             far_asn = ip_to_asn.get(far.address)
         if near_asn is None or far_asn is None or near_asn == far_asn:
             return
+        self._obs.count("classify.crossings_public")
         rtt_step = self._rtt_step(near, middle)
         observation = ObservedPeering(
             kind=PeeringKind.PUBLIC,
@@ -143,7 +153,7 @@ class PeeringClassifier:
             ixp_address=middle.address,
             min_rtt_step_ms=rtt_step,
         )
-        self._merge(observations, observation)
+        self.merge(observations, observation)
 
     def _record_private(
         self,
@@ -156,6 +166,7 @@ class PeeringClassifier:
         far_asn = ip_to_asn.get(far.address)
         if near_asn is None or far_asn is None or near_asn == far_asn:
             return
+        self._obs.count("classify.crossings_private")
         rtt_step = self._rtt_step(near, far)
         observation = ObservedPeering(
             kind=PeeringKind.PRIVATE,
@@ -165,7 +176,7 @@ class PeeringClassifier:
             far_address=far.address,
             min_rtt_step_ms=rtt_step,
         )
-        self._merge(observations, observation)
+        self.merge(observations, observation)
 
     @staticmethod
     def _rtt_step(near: TraceHop, far: TraceHop) -> float | None:
@@ -174,9 +185,15 @@ class PeeringClassifier:
         return far.rtt_ms - near.rtt_ms
 
     @staticmethod
-    def _merge(
+    def merge(
         observations: dict[tuple, ObservedPeering], observation: ObservedPeering
     ) -> None:
+        """Fold one crossing record into ``observations``.
+
+        Counts accumulate and the RTT step keeps its minimum; the first
+        record's non-key fields win, so merging per-trace record batches
+        in trace order is equivalent to one streaming pass.
+        """
         key = observation.key()
         existing = observations.get(key)
         if existing is None:

@@ -31,6 +31,7 @@ from ..measurement.ipid import IpidResponder
 from ..measurement.platforms import PlatformSet, build_platforms
 from ..measurement.rtt import RttModel
 from ..measurement.traceroute import TracerouteEngine
+from ..obs import Instrumentation
 from ..topology.asn import ASRole
 from ..topology.builder import TopologyConfig, build_topology
 from ..topology.topology import Topology
@@ -82,6 +83,31 @@ class PipelineConfig:
         scale)."""
         return cls(topology=TopologyConfig(seed=seed + 1), seed=seed)
 
+    @classmethod
+    def large(cls, seed: int = 0) -> "PipelineConfig":
+        """Stress-sized pipeline over the large generated Internet."""
+        return cls(topology=TopologyConfig.large(seed=seed + 1), seed=seed)
+
+    #: Named scales accepted by :meth:`for_scale` (and the CLI).
+    SCALES = ("small", "default", "large")
+
+    @classmethod
+    def for_scale(cls, scale: str, seed: int = 0) -> "PipelineConfig":
+        """The configuration for one named scale.
+
+        Every scale routes through its constructor classmethod, so the
+        topology/campaign/CFS knobs are consistent by construction —
+        nothing mutates a config after the fact.
+        """
+        factories = {"small": cls.small, "default": cls.default, "large": cls.large}
+        try:
+            factory = factories[scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {cls.SCALES}"
+            ) from None
+        return factory(seed=seed)
+
 
 def select_targets(
     topology: Topology, n_content: int, n_transit: int
@@ -127,21 +153,31 @@ class Environment:
 
     # ------------------------------------------------------------------
 
-    def new_driver(self, seed_offset: int = 0) -> CampaignDriver:
+    def new_driver(
+        self,
+        seed_offset: int = 0,
+        instrumentation: Instrumentation | None = None,
+    ) -> CampaignDriver:
         """A fresh campaign driver (deterministic per offset)."""
         return CampaignDriver(
             self.platforms,
             self.hitlist,
             config=self.config.campaign,
             seed=self.config.seed + 1000 + seed_offset,
+            instrumentation=instrumentation,
         )
 
-    def new_midar(self, seed_offset: int = 0) -> MidarResolver:
+    def new_midar(
+        self,
+        seed_offset: int = 0,
+        instrumentation: Instrumentation | None = None,
+    ) -> MidarResolver:
         """A fresh MIDAR front-end over the shared IP-ID responder."""
         return MidarResolver(
             self.ipid_responder,
             config=MidarConfig(),
             seed=self.config.seed + 2000 + seed_offset,
+            instrumentation=instrumentation,
         )
 
     def platform_list(self, names: tuple[str, ...] | None):
@@ -163,9 +199,10 @@ class Environment:
         self,
         platform_filter: tuple[str, ...] | None = None,
         seed_offset: int = 0,
+        instrumentation: Instrumentation | None = None,
     ) -> TraceCorpus:
         """The initial Section-5 campaign, optionally platform-filtered."""
-        driver = self.new_driver(seed_offset)
+        driver = self.new_driver(seed_offset, instrumentation=instrumentation)
         corpus = driver.initial_campaign(self.target_asns)
         names = platform_filter
         if names is None:
@@ -183,17 +220,33 @@ class Environment:
         with_followups: bool = True,
         seed_offset: int = 0,
         with_alias_resolution: bool = True,
+        instrumentation: Instrumentation | None = None,
     ) -> CfsResult:
-        """One CFS run over ``corpus`` with optional knob overrides."""
+        """One CFS run over ``corpus`` with optional knob overrides.
+
+        ``instrumentation`` is shared by the loop, the classifier, the
+        MIDAR front-end and the follow-up driver, so one
+        ``CfsResult.metrics`` snapshot covers the whole run.
+        """
         database = facility_db or self.facility_db
-        driver = self.new_driver(seed_offset + 1) if with_followups else None
+        obs = instrumentation or Instrumentation()
+        driver = (
+            self.new_driver(seed_offset + 1, instrumentation=obs)
+            if with_followups
+            else None
+        )
         search = ConstrainedFacilitySearch(
             facility_db=database,
             ip_to_asn=self.cymru,
-            alias_resolver=self.new_midar(seed_offset) if with_alias_resolution else None,
+            alias_resolver=(
+                self.new_midar(seed_offset, instrumentation=obs)
+                if with_alias_resolution
+                else None
+            ),
             driver=driver,
             remote_detector=self.remote_detector(),
             config=cfs_config or self.config.cfs,
+            instrumentation=obs,
         )
         platforms = self.platform_list(platform_filter)
         return search.run(corpus, platforms=platforms)
@@ -267,14 +320,20 @@ def build_environment(config: PipelineConfig | None = None) -> Environment:
     )
 
 
-def run_pipeline(config: PipelineConfig | None = None) -> PipelineResult:
+def run_pipeline(
+    config: PipelineConfig | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> PipelineResult:
     """Build an environment, run the campaign, run CFS."""
     environment = build_environment(config)
     effective = environment.config
-    corpus = environment.run_campaign(effective.platform_filter)
+    corpus = environment.run_campaign(
+        effective.platform_filter, instrumentation=instrumentation
+    )
     result = environment.run_cfs(
         corpus,
         platform_filter=effective.platform_filter,
+        instrumentation=instrumentation,
     )
     return PipelineResult(
         environment=environment, corpus=corpus, cfs_result=result

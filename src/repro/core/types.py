@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..obs import MetricsSnapshot
+
 __all__ = [
     "PeeringKind",
     "InferredType",
@@ -143,6 +145,13 @@ class IterationStats:
     unresolved_remote: int
     missing_data: int
     followups_issued: int
+    #: Accumulated crossings at the end of the iteration.
+    observations_total: int = 0
+    #: Step-2 applications this iteration (the incremental engine skips
+    #: observations whose interfaces did not change).
+    observations_applied: int = 0
+    #: Traceroutes parsed (or re-parsed) this iteration.
+    traces_parsed: int = 0
 
     @property
     def resolved_fraction(self) -> float:
@@ -181,6 +190,9 @@ class CfsResult:
     iterations_run: int
     followup_traces: int
     peering_interfaces_seen: int
+    #: Counters and per-stage timings of the run; ``None`` for results
+    #: built outside the instrumented loop.
+    metrics: MetricsSnapshot | None = None
 
     def resolved_interfaces(self) -> dict[int, int]:
         """address -> facility for every resolved interface."""

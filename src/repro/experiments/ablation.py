@@ -15,7 +15,7 @@ point-to-point subnets; proximity only affects far-end yield.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..core.cfs import CfsConfig
 from ..core.pipeline import Environment
@@ -77,14 +77,14 @@ def run_ablation(
     base = cfs_config or env.config.cfs
     variants: list[tuple[str, CfsConfig, bool]] = [
         ("full", base, True),
-        ("no-alias-step", replace(base, use_alias_constraints=False), True),
-        ("no-asn-repair", replace(base, use_asn_repair=False), True),
-        ("no-followups", replace(base, use_followups=False), True),
-        ("random-targets", replace(base, followup_strategy="random"), True),
-        ("no-proximity", replace(base, use_proximity=False), True),
+        ("no-alias-step", base.replace(use_alias_constraints=False), True),
+        ("no-asn-repair", base.replace(use_asn_repair=False), True),
+        ("no-followups", base.replace(use_followups=False), True),
+        ("random-targets", base.replace(followup_strategy="random"), True),
+        ("no-proximity", base.replace(use_proximity=False), True),
         (
             "mirror-far-side",
-            replace(base, constrain_private_far_side=True),
+            base.replace(constrain_private_far_side=True),
             True,
         ),
     ]

@@ -86,7 +86,15 @@ def link_record(link: LinkInference) -> dict[str, Any]:
 def export_result(
     result: CfsResult, facility_db: FacilityDatabase | None = None
 ) -> dict[str, Any]:
-    """The full inference map: interfaces, links, and run statistics."""
+    """The full inference map: interfaces, links, and run statistics.
+
+    ``metrics`` carries the run's counters and per-stage wall-clock
+    timings (see :class:`repro.obs.MetricsSnapshot.as_dict`); it is
+    ``None`` for results produced outside the instrumented loop.  The
+    per-iteration ``applied``/``traces_parsed`` history fields describe
+    *work done*, not inferences — the incremental and full-rescan
+    engines agree on everything else byte for byte.
+    """
     return {
         "schema": "repro/cfs-result/1",
         "stats": {
@@ -109,9 +117,15 @@ def export_result(
                 "unresolved_local": stats.unresolved_local,
                 "unresolved_remote": stats.unresolved_remote,
                 "missing_data": stats.missing_data,
+                "observations": stats.observations_total,
+                "applied": stats.observations_applied,
+                "traces_parsed": stats.traces_parsed,
             }
             for stats in result.history
         ],
+        "metrics": (
+            result.metrics.as_dict() if result.metrics is not None else None
+        ),
     }
 
 

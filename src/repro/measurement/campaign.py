@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from ..obs import Instrumentation
 from ..topology.network import InterfaceKind
 from ..topology.topology import Topology
 from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
@@ -112,11 +113,13 @@ class CampaignDriver:
         hitlist: Hitlist,
         config: CampaignConfig | None = None,
         seed: int = 0,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.platforms = platforms
         self.hitlist = hitlist
         self.config = config or CampaignConfig()
         self._rng = Random(seed)
+        self._obs = instrumentation or Instrumentation()
 
     def initial_campaign(
         self, target_asns: list[int], include_archives: bool = True
@@ -157,6 +160,13 @@ class CampaignDriver:
                     seed=self._rng.randrange(2**30),
                 )
             )
+        self._obs.count("campaign.initial_traces", len(corpus))
+        self._obs.emit(
+            "campaign.initial",
+            targets=len(target_asns),
+            traces=len(corpus),
+            archives=include_archives,
+        )
         return corpus
 
     # ------------------------------------------------------------------
@@ -215,6 +225,8 @@ class CampaignDriver:
                 ):
                     corpus.add(trace)
                     issued += 1
+        self._obs.count("campaign.followup_probes")
+        self._obs.count("campaign.followup_traces", issued)
         return issued
 
     def _sample(self, vps: list[VantagePoint], k: int) -> list[VantagePoint]:

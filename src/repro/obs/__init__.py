@@ -1,0 +1,25 @@
+"""Observability: structured events, counters, and per-stage timers.
+
+The pipeline's instrumented components (the CFS loop, the Step-1
+classifier, the MIDAR front-end, the campaign driver) accept an optional
+:class:`Instrumentation`.  It aggregates named counters and monotonic
+stage timings, and forwards structured :class:`ObsEvent` records to a
+pluggable sink — :class:`NullSink` (default), :class:`LoggingSink`, or
+:class:`MemorySink` for tests.  ``Instrumentation.snapshot()`` produces
+the :class:`MetricsSnapshot` carried on ``CfsResult.metrics`` and
+rendered by ``python -m repro run --metrics``.
+"""
+
+from .events import ObsEvent
+from .instrument import Instrumentation, MetricsSnapshot
+from .sinks import LoggingSink, MemorySink, NullSink, ObsSink
+
+__all__ = [
+    "Instrumentation",
+    "LoggingSink",
+    "MemorySink",
+    "MetricsSnapshot",
+    "NullSink",
+    "ObsEvent",
+    "ObsSink",
+]

@@ -1,0 +1,35 @@
+"""Structured observability events.
+
+Every instrumented component emits :class:`ObsEvent` records through a
+sink (:mod:`repro.obs.sinks`).  Events are cheap, flat records — a name,
+an optional stage, and a payload of JSON-serialisable scalars — so any
+sink (logging, in-memory capture, a future exporter) can consume them
+without knowing which subsystem produced them.
+
+Naming convention: ``<subsystem>.<what>`` in past tense for facts
+(``cfs.iteration``, ``alias.refresh``) and ``stage`` for timer closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ObsEvent"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """One structured observation emitted by an instrumented component."""
+
+    #: Dotted event name, e.g. ``"cfs.iteration"`` or ``"stage"``.
+    name: str
+    #: Flat payload of scalars; sinks must not mutate it.
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    #: The pipeline stage active when the event fired (``None`` outside
+    #: any timed stage).
+    stage: str | None = None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload lookup shorthand."""
+        return self.payload.get(key, default)

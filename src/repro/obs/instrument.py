@@ -1,0 +1,119 @@
+"""Counters and monotonic per-stage timers over a pluggable sink.
+
+One :class:`Instrumentation` instance accompanies one pipeline run.  It
+offers three primitives to instrumented code:
+
+* ``count(name, n)`` — bump a named counter;
+* ``stage(name)`` — a context manager accumulating wall-clock time
+  (``time.perf_counter``, monotonic) under a stage name, re-entrant
+  across iterations so repeated stages aggregate;
+* ``emit(name, **payload)`` — forward a structured event to the sink.
+
+``snapshot()`` freezes the counters and timings into a
+:class:`MetricsSnapshot`, which the CFS loop attaches to its result
+(``CfsResult.metrics``) and the exporter/CLI render.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .events import ObsEvent
+from .sinks import NullSink, ObsSink
+
+__all__ = ["Instrumentation", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Frozen view of one run's counters and stage timings."""
+
+    #: Monotonic counters, e.g. ``{"cfs.traces_parsed": 1024}``.
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Accumulated wall-clock seconds per stage.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Times each stage was entered.
+    stage_calls: dict[str, int] = field(default_factory=dict)
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """One counter's value (``default`` if never bumped)."""
+        return self.counters.get(name, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (sorted keys, plain scalars)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "stages": {
+                name: {
+                    "seconds": self.stage_seconds[name],
+                    "calls": self.stage_calls.get(name, 0),
+                }
+                for name in sorted(self.stage_seconds)
+            },
+        }
+
+
+class Instrumentation:
+    """Per-run counters, stage timers, and event emission."""
+
+    def __init__(self, sink: ObsSink | None = None) -> None:
+        # `sink or NullSink()` would misfire: an *empty* MemorySink is
+        # falsy through its __len__.
+        self.sink: ObsSink = sink if sink is not None else NullSink()
+        self._silent = isinstance(self.sink, NullSink)
+        self._counters: dict[str, int] = {}
+        self._stage_seconds: dict[str, float] = {}
+        self._stage_calls: dict[str, int] = {}
+        self._stage_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def emit(self, name: str, /, **payload: Any) -> None:
+        """Send one structured event to the sink."""
+        if self._silent:
+            return
+        self.sink.emit(
+            ObsEvent(name=name, payload=payload, stage=self.current_stage)
+        )
+
+    @property
+    def current_stage(self) -> str | None:
+        """Innermost active stage name, if any."""
+        return self._stage_stack[-1] if self._stage_stack else None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate monotonic wall-clock time under ``name``."""
+        self._stage_stack.append(name)
+        self._stage_calls[name] = self._stage_calls.get(name, 0) + 1
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._stage_seconds[name] = (
+                self._stage_seconds.get(name, 0.0) + elapsed
+            )
+            self._stage_stack.pop()
+            self.emit("stage", stage=name, seconds=elapsed)
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Current value of counter ``name``."""
+        return self._counters.get(name, default)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze counters and timings into a :class:`MetricsSnapshot`."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            stage_seconds=dict(self._stage_seconds),
+            stage_calls=dict(self._stage_calls),
+        )

@@ -1,0 +1,83 @@
+"""Pluggable event sinks for the observability layer.
+
+A sink is anything with an ``emit(event)`` method.  Three are provided:
+
+* :class:`NullSink` — discards everything; the default, so production
+  code pays only a counter increment per event;
+* :class:`LoggingSink` — renders events onto a standard :mod:`logging`
+  logger (one line per event, payload as ``key=value`` pairs);
+* :class:`MemorySink` — captures events in order for tests and
+  interactive inspection.
+
+Sinks must never raise out of ``emit``; an observability failure must
+not take the inference engine down with it.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Protocol, runtime_checkable
+
+from .events import ObsEvent
+
+__all__ = ["ObsSink", "NullSink", "LoggingSink", "MemorySink"]
+
+
+@runtime_checkable
+class ObsSink(Protocol):
+    """Structural interface every sink implements."""
+
+    def emit(self, event: ObsEvent) -> None:
+        """Consume one event (must not raise)."""
+
+
+class NullSink:
+    """Discards every event (the zero-overhead default)."""
+
+    def emit(self, event: ObsEvent) -> None:
+        """Drop the event."""
+
+
+class LoggingSink:
+    """Renders events onto a :mod:`logging` logger.
+
+    Args:
+        logger: target logger (default ``logging.getLogger("repro.obs")``).
+        level: log level for every rendered event.
+    """
+
+    def __init__(
+        self, logger: logging.Logger | None = None, level: int = logging.INFO
+    ) -> None:
+        self._logger = logger or logging.getLogger("repro.obs")
+        self._level = level
+
+    def emit(self, event: ObsEvent) -> None:
+        """Render ``event`` as one log line."""
+        if not self._logger.isEnabledFor(self._level):
+            return
+        pairs = " ".join(f"{key}={value}" for key, value in event.payload.items())
+        stage = f" [{event.stage}]" if event.stage else ""
+        self._logger.log(self._level, "%s%s %s", event.name, stage, pairs)
+
+
+class MemorySink:
+    """Captures events in arrival order (for tests and notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: list[ObsEvent] = []
+
+    def emit(self, event: ObsEvent) -> None:
+        """Store the event."""
+        self.events.append(event)
+
+    def by_name(self, name: str) -> list[ObsEvent]:
+        """All captured events called ``name``."""
+        return [event for event in self.events if event.name == name]
+
+    def clear(self) -> None:
+        """Forget every captured event."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -13,6 +13,14 @@ from repro.core import PipelineConfig, build_environment
 from repro.topology import TopologyConfig, build_topology
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under tests/ belongs to the tier-1 correctness suite
+    (benchmarks live outside the default testpaths), so ``-m tier1``
+    selects exactly what the driver gates on."""
+    for item in items:
+        item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture(scope="session")
 def small_topology():
     """A small deterministic ground-truth Internet."""

@@ -1,0 +1,137 @@
+"""Unit tests of the observability subsystem (events, sinks, timers)."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    LoggingSink,
+    MemorySink,
+    MetricsSnapshot,
+    NullSink,
+    ObsEvent,
+    ObsSink,
+)
+
+
+class TestSinks:
+    def test_null_sink_drops_events(self):
+        sink = NullSink()
+        sink.emit(ObsEvent(name="x"))  # no error, no state
+
+    def test_memory_sink_records_in_order(self):
+        sink = MemorySink()
+        sink.emit(ObsEvent(name="a", payload={"n": 1}))
+        sink.emit(ObsEvent(name="b"))
+        sink.emit(ObsEvent(name="a", payload={"n": 2}))
+        assert len(sink) == 3
+        assert [e.name for e in sink.events] == ["a", "b", "a"]
+        assert [e.get("n") for e in sink.by_name("a")] == [1, 2]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_logging_sink_renders_payload(self, caplog):
+        logger = logging.getLogger("repro.test.obs")
+        sink = LoggingSink(logger=logger, level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="repro.test.obs"):
+            sink.emit(
+                ObsEvent(name="cfs.iteration", payload={"n": 3}, stage="map")
+            )
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert "cfs.iteration" in message
+        assert "n=3" in message
+        assert "map" in message
+
+    def test_sinks_satisfy_protocol(self):
+        for sink in (NullSink(), MemorySink(), LoggingSink()):
+            assert isinstance(sink, ObsSink)
+
+
+class TestInstrumentation:
+    def test_counters_accumulate(self):
+        obs = Instrumentation()
+        obs.count("a")
+        obs.count("a", 4)
+        obs.count("b", 0)
+        assert obs.counter("a") == 5
+        assert obs.counter("b") == 0
+        assert obs.counter("missing", default=-1) == -1
+
+    def test_stage_timer_accumulates_across_entries(self):
+        obs = Instrumentation()
+        with obs.stage("work"):
+            pass
+        with obs.stage("work"):
+            pass
+        snap = obs.snapshot()
+        assert snap.stage_calls["work"] == 2
+        assert snap.stage_seconds["work"] >= 0.0
+
+    def test_stage_nesting_tracks_current_stage(self):
+        obs = Instrumentation(sink=MemorySink())
+        assert obs.current_stage is None
+        with obs.stage("outer"):
+            assert obs.current_stage == "outer"
+            with obs.stage("inner"):
+                assert obs.current_stage == "inner"
+                obs.emit("probe", x=1)
+            assert obs.current_stage == "outer"
+        assert obs.current_stage is None
+        (event,) = obs.sink.by_name("probe")
+        assert event.stage == "inner"
+
+    def test_stage_timer_survives_exceptions(self):
+        obs = Instrumentation()
+        with pytest.raises(RuntimeError):
+            with obs.stage("boom"):
+                raise RuntimeError("x")
+        assert obs.current_stage is None
+        assert obs.snapshot().stage_calls["boom"] == 1
+
+    def test_emit_to_memory_sink(self):
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink)
+        obs.emit("hello", value=7)
+        (event,) = sink.events
+        assert event.name == "hello"
+        assert event.get("value") == 7
+
+    def test_emit_allows_name_collision_in_payload(self):
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink)
+        obs.emit("evt", name="payload-name")
+        (event,) = sink.events
+        assert event.name == "evt"
+        assert event.get("name") == "payload-name"
+
+    def test_null_sink_emit_is_silent(self):
+        obs = Instrumentation()
+        obs.emit("dropped", x=1)  # must not raise
+        assert isinstance(obs.sink, NullSink)
+
+    def test_snapshot_is_frozen_copy(self):
+        obs = Instrumentation()
+        obs.count("a")
+        snap = obs.snapshot()
+        obs.count("a")
+        assert snap.counter("a") == 1
+        assert obs.counter("a") == 2
+
+    def test_snapshot_as_dict_schema(self):
+        obs = Instrumentation()
+        obs.count("z", 3)
+        with obs.stage("s"):
+            pass
+        rendered = obs.snapshot().as_dict()
+        assert rendered["counters"] == {"z": 3}
+        assert set(rendered["stages"]) == {"s"}
+        assert set(rendered["stages"]["s"]) == {"seconds", "calls"}
+        assert rendered["stages"]["s"]["calls"] == 1
+
+    def test_empty_snapshot(self):
+        snap = MetricsSnapshot()
+        assert snap.as_dict() == {"counters": {}, "stages": {}}
