@@ -1,0 +1,109 @@
+"""Chaos benchmarks: fault-intensity sweeps plus the zero-fault check.
+
+Two things are measured:
+
+* the **zero-fault identity** — a pipeline with ``FaultPlan.zero()``
+  installed must produce byte-identical inferences to one with no
+  injector at all (the property the whole injector design hangs on);
+* the **degradation sweep** — the moderate fault profile scaled across
+  intensities, reporting resolution/accuracy per point so regressions
+  in graceful degradation are visible.
+
+Standalone smoke mode (no pytest-benchmark needed)::
+
+    python benchmarks/bench_chaos.py --quick
+
+writes ``BENCH_chaos.json`` next to the repository root.  The quick
+entry is also folded into ``bench_pipeline.py --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Standalone smoke mode runs without an installed package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.api import FaultPlan, PipelineConfig, run_pipeline
+from repro.faults.chaos import comparable_export, run_chaos
+
+QUICK_SEEDS = (0, 1, 2)
+QUICK_INTENSITIES = (0.0, 0.5, 1.0)
+
+
+def _zero_fault_identity(seed: int, scale: str) -> bool:
+    """True when a zero plan run matches a no-injector run byte for byte."""
+    plain = run_pipeline(PipelineConfig.for_scale(scale, seed=seed))
+    injected = run_pipeline(
+        PipelineConfig.for_scale(scale, seed=seed), faults=FaultPlan.zero()
+    )
+    return comparable_export(
+        plain.environment, plain.cfs_result
+    ) == comparable_export(injected.environment, injected.cfs_result)
+
+
+def quick_chaos(
+    output: str,
+    scale: str = "small",
+    seed: int = 0,
+    intensities: tuple[float, ...] = QUICK_INTENSITIES,
+) -> int:
+    """Identity check + one sweep; writes ``BENCH_chaos.json``.
+
+    Returns a process exit code (non-zero when the zero-fault identity
+    breaks or a sweep point fails to complete).
+    """
+    started = time.perf_counter()
+    identical = _zero_fault_identity(seed, scale)
+    print(f"zero-fault identity (seed {seed}): {'ok' if identical else 'BROKEN'}")
+    report = run_chaos(seed=seed, scale=scale, intensities=intensities)
+    print(report.format())
+    elapsed = time.perf_counter() - started
+    payload = {
+        "schema": "repro/bench-chaos/1",
+        "scale": scale,
+        "seed": seed,
+        "zero_fault_identical": identical,
+        "elapsed_seconds": round(elapsed, 3),
+        **report.as_dict(),
+    }
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {path}")
+    completed = all(point.completed for point in report.points)
+    return 0 if identical and completed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the chaos smoke and write BENCH_chaos.json",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=PipelineConfig.SCALES,
+        default="small",
+        help="pipeline scale for the smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--output",
+        default="BENCH_chaos.json",
+        help="where to write the smoke report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("standalone mode requires --quick")
+    return quick_chaos(args.output, scale=args.scale, seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

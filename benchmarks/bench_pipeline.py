@@ -205,7 +205,16 @@ def quick_smoke(output: str, scale: str = "small") -> int:
     path = Path(output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"report written to {path}")
-    return 1 if failed else 0
+    # Fold in the chaos quick entry so one smoke run covers both reports.
+    try:
+        from bench_chaos import quick_chaos
+    except ImportError:  # imported as a module, benchmarks/ not on path
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from bench_chaos import quick_chaos
+
+    chaos_output = str(path.parent / "BENCH_chaos.json")
+    chaos_failed = quick_chaos(chaos_output, scale=scale)
+    return 1 if failed or chaos_failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -29,8 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from typing import TYPE_CHECKING
+
 from ..measurement.ipid import IPID_MODULUS, IpidResponder
 from ..obs import Instrumentation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..faults.injector import FaultInjector
 
 __all__ = [
     "monotonic_mod_sequence",
@@ -181,11 +186,13 @@ class MidarResolver:
         config: MidarConfig | None = None,
         seed: int = 0,
         instrumentation: Instrumentation | None = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self._responder = responder
         self.config = config or MidarConfig()
         self._rng = Random(seed)
         self._obs = instrumentation or Instrumentation()
+        self._faults = fault_injector
         self.probes_sent = 0
         # Pair verdicts persist across resolve() calls: re-running the
         # pipeline's periodic alias refresh only probes pairs involving
@@ -303,6 +310,12 @@ class MidarResolver:
                 continue
             self._obs.count("midar.pairs_probed")
             if self._eliminate(a, b, velocities[a], velocities[b]):
+                # Chaos layer: congestion can break an elimination train
+                # and turn a true alias pair into a (cached!) rejection.
+                if self._faults is not None and self._faults.alias_false_negative():
+                    self._rejected_pairs.add(pair)
+                    self._obs.count("midar.fault_false_negatives")
+                    continue
                 union_find.union(a, b)
                 self._accepted_pairs.add(pair)
                 self._obs.count("midar.pairs_accepted")

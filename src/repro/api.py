@@ -20,6 +20,8 @@ already fixes the seed and scale.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dataclass_replace
+
 from .core.pipeline import (
     Environment,
     PipelineConfig,
@@ -27,12 +29,14 @@ from .core.pipeline import (
     build_environment as _build_environment,
     run_pipeline as _run_pipeline,
 )
+from .faults.plan import FaultPlan
 from .obs import Instrumentation
 from .topology.builder import TopologyConfig, build_topology as _build_topology
 from .topology.topology import Topology
 
 __all__ = [
     "Environment",
+    "FaultPlan",
     "PipelineConfig",
     "PipelineResult",
     "build_environment",
@@ -60,16 +64,22 @@ def run_pipeline(
     seed: int | None = None,
     scale: str | None = None,
     instrumentation: Instrumentation | None = None,
+    faults: FaultPlan | None = None,
 ) -> PipelineResult:
     """Build an environment, run the campaign, run CFS.
 
     ``instrumentation`` (optional) collects counters, stage timings and
     events across the campaign and the CFS loop; the frozen snapshot
     lands on ``result.cfs_result.metrics`` either way.
+
+    ``faults`` (optional) installs a fault-injection plan on top of the
+    resolved config; a zero plan produces byte-identical output to no
+    plan at all.
     """
-    return _run_pipeline(
-        _resolve_config(config, seed, scale), instrumentation=instrumentation
-    )
+    resolved = _resolve_config(config, seed, scale)
+    if faults is not None:
+        resolved = _dataclass_replace(resolved, faults=faults)
+    return _run_pipeline(resolved, instrumentation=instrumentation)
 
 
 def build_environment(
@@ -77,9 +87,17 @@ def build_environment(
     *,
     seed: int | None = None,
     scale: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> Environment:
-    """Wire the full measurement stack without running anything."""
-    return _build_environment(_resolve_config(config, seed, scale))
+    """Wire the full measurement stack without running anything.
+
+    ``faults`` installs a fault-injection plan on top of the resolved
+    config (see :func:`run_pipeline`).
+    """
+    resolved = _resolve_config(config, seed, scale)
+    if faults is not None:
+        resolved = _dataclass_replace(resolved, faults=faults)
+    return _build_environment(resolved)
 
 
 def build_topology(

@@ -7,10 +7,18 @@ Usage (via ``python -m repro``)::
     python -m repro experiment {table1,fig2,fig3,fig7,fig8,fig9,fig10,
                                 proximity,multirole,ablation}
                              [--seed N] [--scale ...]
+    python -m repro chaos    [--seed N] [--scale ...]
+                             [--intensities 0,0.25,0.5,1]
+                             [--no-degraded] [--json PATH]
 
 ``summary`` prints the generated Internet's shape; ``run`` executes the
 full campaign + CFS and reports (optionally exporting the inferred map
-as JSON); ``experiment`` regenerates one of the paper's tables/figures.
+as JSON); ``experiment`` regenerates one of the paper's tables/figures;
+``chaos`` sweeps the moderate fault profile across intensities and
+reports how inference accuracy degrades.
+
+Invalid ``--scale`` / ``--seed`` values exit with a one-line error on
+stderr and status 2 — no traceback.
 """
 
 from __future__ import annotations
@@ -37,12 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Constrained Facility Search over a synthetic Internet",
     )
+    # --seed and --scale are validated in main() (not via argparse
+    # choices=) so bad values produce a clean one-line error.
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
         "--scale",
-        choices=("small", "default", "large"),
         default="small",
-        help="topology scale (default: small)",
+        help="topology scale: small, default, or large (default: small)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -78,6 +87,28 @@ def build_parser() -> argparse.ArgumentParser:
             "multirole",
             "ablation",
         ),
+    )
+
+    chaos = commands.add_parser(
+        "chaos", help="sweep fault intensity and report degradation"
+    )
+    chaos.add_argument(
+        "--intensities",
+        default="0,0.25,0.5,1",
+        help="comma-separated fault intensities to sweep (default: "
+        "0,0.25,0.5,1; each scales the moderate profile)",
+    )
+    chaos.add_argument(
+        "--no-degraded",
+        action="store_true",
+        help="run CFS without degraded mode (inferences may empty out "
+        "under heavy dataset faults)",
+    )
+    chaos.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep report as JSON to PATH ('-' for stdout)",
     )
     return parser
 
@@ -194,17 +225,74 @@ def _cmd_experiment(env: Environment, name: str) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily: repro.faults sits below the pipeline layers and
+    # must not pull them in at repro.cli import time.
+    import json as _json
+
+    from .faults.chaos import run_chaos
+
+    try:
+        intensities = tuple(
+            float(item) for item in args.intensities.split(",") if item.strip()
+        )
+    except ValueError:
+        raise ValueError(
+            f"invalid --intensities {args.intensities!r}: expected "
+            "comma-separated numbers, e.g. 0,0.25,0.5,1"
+        ) from None
+    if not intensities:
+        raise ValueError("--intensities must name at least one intensity")
+    print(
+        f"chaos sweep over {len(intensities)} intensities "
+        f"(scale={args.scale}, seed={args.seed}) ..."
+    )
+    report = run_chaos(
+        seed=args.seed,
+        scale=args.scale,
+        intensities=intensities,
+        degraded=not args.no_degraded,
+    )
+    print(report.format())
+    if args.json is not None:
+        text = _json.dumps(report.as_dict(), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"chaos report written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Invalid ``--scale`` / ``--seed`` / ``--intensities`` values print a
+    one-line ``error: ...`` to stderr and return 2 instead of raising.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    env = build_environment(_config_for(args.scale, args.seed))
-    if args.command == "summary":
-        return _cmd_summary(env)
-    if args.command == "run":
-        return _cmd_run(env, args.json, args.metrics)
-    if args.command == "experiment":
-        return _cmd_experiment(env, args.name)
+    try:
+        if args.scale not in PipelineConfig.SCALES:
+            raise ValueError(
+                f"unknown scale {args.scale!r}; expected one of "
+                f"{PipelineConfig.SCALES}"
+            )
+        if args.seed < 0:
+            raise ValueError(f"invalid seed {args.seed}: must be non-negative")
+        if args.command == "chaos":
+            return _cmd_chaos(args)
+        env = build_environment(_config_for(args.scale, args.seed))
+        if args.command == "summary":
+            return _cmd_summary(env)
+        if args.command == "run":
+            return _cmd_run(env, args.json, args.metrics)
+        if args.command == "experiment":
+            return _cmd_experiment(env, args.name)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -108,6 +108,12 @@ class CfsConfig:
     #: the original full-rescan loop: every observation re-applied each
     #: iteration, the whole corpus re-parsed on every alias refresh.
     incremental: bool = True
+    #: Tolerate missing facility rows: when one side of a Step-2
+    #: constraint is unknown, widen the candidate set with the known
+    #: side (marked ``data_health="degraded"``) instead of leaving the
+    #: interface at MISSING_DATA.  Off by default — it trades precision
+    #: for coverage and is intended for fault-injected corpora.
+    degraded_mode: bool = False
 
     def __post_init__(self) -> None:
         if self.followup_strategy not in FOLLOWUP_STRATEGIES:
@@ -173,6 +179,8 @@ class ConstrainedFacilitySearch:
             facility_db,
             remote_detector or RemotePeeringDetector(),
             constrain_private_far_side=self.config.constrain_private_far_side,
+            degraded=self.config.degraded_mode,
+            instrumentation=self._obs,
         )
         self._planner = FollowupPlanner(
             facility_db, strategy=self.config.followup_strategy

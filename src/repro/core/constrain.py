@@ -19,6 +19,7 @@ knows about the two sides (Section 4.2):
 
 from __future__ import annotations
 
+from ..obs import Instrumentation
 from .facility_db import FacilityDatabase
 from .remote import RemotePeeringDetector
 from .types import (
@@ -40,6 +41,8 @@ class InitialFacilitySearch:
         facility_db: FacilityDatabase,
         remote_detector: RemotePeeringDetector | None = None,
         constrain_private_far_side: bool = False,
+        degraded: bool = False,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         """``constrain_private_far_side`` applies the campus mirror
         constraint to the far interface of private crossings.  The
@@ -48,10 +51,19 @@ class InitialFacilitySearch:
         the mirror is vulnerable to boundary-shifted observations:
         unrepaired shared /31s make an *interior* far-AS interface look
         like the crossing interface and pin it to a wrong facility.
-        Enabling it is a coverage-over-precision ablation."""
+        Enabling it is a coverage-over-precision ablation.
+
+        ``degraded`` tolerates missing facility rows: when one side of a
+        constraint is unknown (an AS or IXP with no recorded facilities),
+        the interface is *widened* with the known side instead of being
+        left at MISSING_DATA, and marked ``data_health="degraded"``.
+        Coverage over precision — meant for corpora corrupted by the
+        fault injector, off by default."""
         self._db = facility_db
         self._remote = remote_detector or RemotePeeringDetector()
         self._constrain_private_far = constrain_private_far_side
+        self._degraded = degraded
+        self._obs = instrumentation or Instrumentation()
         # Constraint-set caches: the loop re-applies every observation on
         # every iteration, and the sets only depend on (asn, ixp) or
         # (asn, other_asn) pairs over an immutable facility database.
@@ -121,8 +133,17 @@ class InitialFacilitySearch:
         state = self.state_for(states, address, asn)
         presence = self._db.facilities_of(asn)
         if not presence or not fabric:
+            changed = False
+            known = presence or fabric
+            if self._degraded and known:
+                # Degraded mode: one side of the intersection is missing
+                # from the corpus.  Widen with the known side rather than
+                # leaving the interface unconstrained.
+                changed = self._widen(state, known)
+                if changed and state.inferred_type is InferredType.UNKNOWN:
+                    state.inferred_type = InferredType.PUBLIC_LOCAL
             self._refresh_status(state)
-            return False
+            return changed
         assert observation.ixp_id is not None
         cache_key = (asn, observation.ixp_id)
         common = self._public_cache.get(cache_key)
@@ -183,8 +204,15 @@ class InitialFacilitySearch:
         presence = self._db.facilities_of(asn)
         other_presence = self._db.facilities_of(other_asn)
         if not presence or not other_presence:
+            changed = False
+            if self._degraded and presence:
+                # The peer's facility list is missing: fall back to the
+                # near AS's own footprint (wide, but not empty).
+                changed = self._widen(state, presence)
+                if changed and state.inferred_type is InferredType.UNKNOWN:
+                    state.inferred_type = InferredType.CROSS_CONNECT
             self._refresh_status(state)
-            return False
+            return changed
         cache_key = (asn, other_asn)
         reachable = self._private_cache.get(cache_key)
         if reachable is None:
@@ -220,6 +248,14 @@ class InitialFacilitySearch:
         return changed
 
     # ------------------------------------------------------------------
+
+    def _widen(self, state: InterfaceState, known: frozenset[int]) -> bool:
+        """Apply the one known side as a (wide) degraded constraint."""
+        changed = state.apply_constraint(set(known))
+        if changed:
+            state.data_health = "degraded"
+            self._obs.count("cfs.degraded_widenings")
+        return changed
 
     @staticmethod
     def _refresh_status(state: InterfaceState) -> None:

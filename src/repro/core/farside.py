@@ -157,6 +157,7 @@ class LinkFinalizer:
             far_facility=far_facility,
             ixp_id=observation.ixp_id,
             ixp_address=observation.ixp_address,
+            confidence=near.confidence if near is not None else 1.0,
         )
 
     def _far_candidates(
@@ -208,4 +209,5 @@ class LinkFinalizer:
             far_facility=far_facility,
             ixp_id=None,
             far_address=observation.far_address,
+            confidence=near.confidence if near is not None else 1.0,
         )

@@ -26,6 +26,8 @@ from ..datasets.ixp_sources import IxpDataSources, IxpSourcesConfig
 from ..datasets.noc import NocConfig, NocWebsites
 from ..datasets.normalize import LocationNormalizer
 from ..datasets.peeringdb import PeeringDBConfig, PeeringDBSnapshot
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..measurement.campaign import CampaignConfig, CampaignDriver, Hitlist, TraceCorpus
 from ..measurement.ipid import IpidResponder
 from ..measurement.platforms import PlatformSet, build_platforms
@@ -61,6 +63,10 @@ class PipelineConfig:
     #: Restrict both campaign and follow-ups to these platform names
     #: (``None`` = all four platforms).
     platform_filter: tuple[str, ...] | None = None
+    #: Fault-injection plan; ``None`` builds no injector at all.  A zero
+    #: plan installs the injector but perturbs nothing (byte-identical
+    #: output to ``None`` — the chaos smoke test pins this down).
+    faults: FaultPlan | None = None
 
     @classmethod
     def small(cls, seed: int = 0) -> "PipelineConfig":
@@ -150,6 +156,9 @@ class Environment:
     dns: DnsZone
     geodb: GeoDatabase
     target_asns: list[int]
+    #: The chaos layer wired through engine/platforms/MIDAR, or ``None``
+    #: when the config declared no fault plan.
+    fault_injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------
 
@@ -178,6 +187,7 @@ class Environment:
             config=MidarConfig(),
             seed=self.config.seed + 2000 + seed_offset,
             instrumentation=instrumentation,
+            fault_injector=self.fault_injector,
         )
 
     def platform_list(self, names: tuple[str, ...] | None):
@@ -271,11 +281,25 @@ def build_environment(config: PipelineConfig | None = None) -> Environment:
     config = config or PipelineConfig()
     seed = config.seed
     topology = build_topology(config.topology)
+    injector = (
+        FaultInjector(config.faults, seed=seed + 21)
+        if config.faults is not None
+        else None
+    )
     rtt_model = RttModel(seed=seed + 11)
-    engine = TracerouteEngine(topology, rtt_model=rtt_model, seed=seed + 12)
+    engine = TracerouteEngine(
+        topology, rtt_model=rtt_model, seed=seed + 12, fault_injector=injector
+    )
     platforms = build_platforms(topology, engine, seed=seed + 13)
+    if injector is not None:
+        # Live platforms only: archives are replayed corpora, immune to
+        # vantage-point outages (engine-level hop faults still apply).
+        platforms.atlas.fault_injector = injector
+        platforms.looking_glasses.fault_injector = injector
     hitlist = Hitlist(topology)
     peeringdb = PeeringDBSnapshot.build(topology, config.peeringdb, seed=seed + 14)
+    if injector is not None:
+        peeringdb = injector.corrupt_peeringdb(peeringdb)
     noc = NocWebsites.build(topology, config.noc, seed=seed + 15)
     ixp_sources = IxpDataSources.build(
         topology,
@@ -317,6 +341,7 @@ def build_environment(config: PipelineConfig | None = None) -> Environment:
         dns=dns,
         geodb=geodb,
         target_asns=targets,
+        fault_injector=injector,
     )
 
 
@@ -327,6 +352,9 @@ def run_pipeline(
     """Build an environment, run the campaign, run CFS."""
     environment = build_environment(config)
     effective = environment.config
+    if instrumentation is not None and environment.fault_injector is not None:
+        # Fault counters land on the run's metrics snapshot.
+        environment.fault_injector.instrumentation = instrumentation
     corpus = environment.run_campaign(
         effective.platform_filter, instrumentation=instrumentation
     )

@@ -103,6 +103,26 @@ class InterfaceState:
     #: IXPs already used to constrain this interface (Step 4 prefers
     #: follow-up targets away from them).
     constrained_by_ixps: set[int] = field(default_factory=set)
+    #: ``"ok"`` normally; ``"degraded"`` when a constraint was widened
+    #: because one side's facility data was missing (degraded mode).
+    data_health: str = "ok"
+
+    @property
+    def confidence(self) -> float:
+        """Heuristic confidence in [0, 1] for this interface's inference.
+
+        Penalises degraded-mode widening, accumulated conflicts, and
+        unconverged candidate sets; an unconstrained interface scores 0.
+        """
+        if self.candidates is None:
+            return 0.0
+        score = 1.0
+        if self.data_health != "ok":
+            score *= 0.6
+        score *= 0.9 ** min(self.conflicts, 10)
+        if len(self.candidates) > 1:
+            score *= 0.75
+        return round(score, 4)
 
     @property
     def resolved_facility(self) -> int | None:
@@ -178,6 +198,9 @@ class LinkInference:
     ixp_address: int | None = None
     #: The far side's point-to-point interface (private).
     far_address: int | None = None
+    #: Confidence inherited from the near interface's constraint state
+    #: (1.0 when the link was finalised without a tracked state).
+    confidence: float = 1.0
 
 
 @dataclass(slots=True)

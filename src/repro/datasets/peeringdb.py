@@ -231,6 +231,26 @@ class PeeringDBSnapshot:
                         )
         return cls(facilities, netfac, ixfac, ixlan, netixlan, quality)
 
+    def replace_rows(
+        self,
+        *,
+        netfac: list[PdbNetFacRow] | None = None,
+        ixfac: list[PdbIxFacRow] | None = None,
+    ) -> "PeeringDBSnapshot":
+        """A copy of this snapshot with some tables swapped out.
+
+        Used by the fault injector to corrupt association tables without
+        mutating the snapshot the environment was built from.
+        """
+        return PeeringDBSnapshot(
+            facilities=self.facilities,
+            netfac=self.netfac if netfac is None else netfac,
+            ixfac=self.ixfac if ixfac is None else ixfac,
+            ixlan=self.ixlan,
+            netixlan=self.netixlan,
+            quality=self.quality,
+        )
+
     # ------------------------------------------------------------------
     # Query helpers
     # ------------------------------------------------------------------

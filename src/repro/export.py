@@ -36,7 +36,8 @@ def interface_record(
 
     Fields: ``address`` (dotted quad), ``owner_asn``, ``status``,
     ``type``, ``remote``, ``facility`` (or null), ``candidates`` (sorted
-    list), ``metro`` (when the facility database can name it).
+    list), ``metro`` (when the facility database can name it),
+    ``confidence`` and ``data_health`` (degraded-mode annotations).
     """
     facility = state.resolved_facility
     metro = None
@@ -52,6 +53,8 @@ def interface_record(
         "metro": metro,
         "candidates": sorted(state.candidates) if state.candidates else [],
         "conflicts": state.conflicts,
+        "confidence": state.confidence,
+        "data_health": state.data_health,
     }
 
 
@@ -80,6 +83,7 @@ def link_record(link: LinkInference) -> dict[str, Any]:
             ),
         },
         "ixp": link.ixp_id,
+        "confidence": link.confidence,
     }
 
 

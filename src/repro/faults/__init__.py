@@ -1,0 +1,38 @@
+"""Fault injection and chaos harness for the measurement pipeline.
+
+The real pipeline survives lossy traceroutes, flapping vantage points,
+rate-limited looking glasses, and stale PeeringDB rows; this subpackage
+makes those failure modes reproducible over the synthetic substrate:
+
+* :class:`FaultPlan` — declarative, validated fault intensities
+  (all zero by default);
+* :class:`FaultInjector` — the seeded perturbation engine wired through
+  the traceroute engine, live platforms, PeeringDB snapshot, and MIDAR;
+* :mod:`repro.faults.errors` — the typed measurement faults the
+  resilience layer retries and quarantines;
+* :mod:`repro.faults.chaos` — the sweep harness behind ``repro chaos``
+  and ``benchmarks/bench_chaos.py`` (imported lazily by the CLI; not
+  re-exported here to keep this package import-light).
+
+Install a plan with ``PipelineConfig(faults=FaultPlan.moderate())`` or
+``repro.api.run_pipeline(faults=...)``; a zero plan is byte-identical
+to running with no injector at all.
+"""
+
+from .errors import (
+    MeasurementFault,
+    QueryTimeout,
+    RateLimitExceeded,
+    VantagePointOutage,
+)
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "MeasurementFault",
+    "QueryTimeout",
+    "RateLimitExceeded",
+    "VantagePointOutage",
+]

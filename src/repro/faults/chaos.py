@@ -1,0 +1,197 @@
+"""Chaos sweeps: accuracy versus fault intensity.
+
+The harness behind ``repro chaos`` and ``benchmarks/bench_chaos.py``:
+scale one base :class:`FaultPlan` across a range of intensities, run the
+full pipeline at each point (degraded-mode CFS on, so the loop survives
+the corrupted corpus), and report how resolution and accuracy degrade —
+the robustness analogue of the paper's Figure-8 dataset-degradation
+sweep.
+
+Imports of :mod:`repro.api` happen lazily inside the functions: the
+:mod:`repro.faults` package sits *below* the measurement and core layers
+in the import graph, and must stay importable from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import FaultPlan
+
+__all__ = ["ChaosPoint", "ChaosReport", "comparable_export", "run_chaos"]
+
+#: Intensities swept by default: clean baseline to full moderate profile.
+DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 1.0)
+
+
+def comparable_export(environment, result) -> dict:
+    """The run's export minus fields legitimate runs may differ in.
+
+    Drops ``metrics`` (wall-clock timings) — everything else must be
+    byte-identical between a run with a zero fault plan and a run with
+    no injector installed.
+    """
+    from ..export import export_result
+
+    exported = export_result(result, environment.facility_db)
+    exported.pop("metrics", None)
+    return exported
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPoint:
+    """One pipeline run at one fault intensity."""
+
+    intensity: float
+    completed: bool
+    interfaces: int
+    resolved_fraction: float
+    facility_accuracy: float
+    city_accuracy: float
+    #: Resilience activity observed during the run.
+    retries: int
+    quarantined: int
+    probe_faults: int
+    faults_injected: int
+    degraded_widenings: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering."""
+        return {
+            "intensity": self.intensity,
+            "completed": self.completed,
+            "interfaces": self.interfaces,
+            "resolved_fraction": self.resolved_fraction,
+            "facility_accuracy": self.facility_accuracy,
+            "city_accuracy": self.city_accuracy,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "probe_faults": self.probe_faults,
+            "faults_injected": self.faults_injected,
+            "degraded_widenings": self.degraded_widenings,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosReport:
+    """A full sweep: accuracy versus fault intensity."""
+
+    scale: str
+    seed: int
+    profile: dict[str, float]
+    points: tuple[ChaosPoint, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering of the whole sweep."""
+        return {
+            "schema": "repro/chaos-report/1",
+            "scale": self.scale,
+            "seed": self.seed,
+            "profile": self.profile,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+    def format(self) -> str:
+        """Human-readable sweep table."""
+        lines = [
+            f"chaos sweep  scale={self.scale}  seed={self.seed}",
+            f"{'intensity':>9}  {'resolved':>8}  {'fac-acc':>7}  "
+            f"{'city-acc':>8}  {'faults':>6}  {'retries':>7}  "
+            f"{'quarant':>7}  {'widened':>7}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.intensity:>9.2f}  {p.resolved_fraction:>8.3f}  "
+                f"{p.facility_accuracy:>7.3f}  {p.city_accuracy:>8.3f}  "
+                f"{p.faults_injected:>6d}  {p.retries:>7d}  "
+                f"{p.quarantined:>7d}  {p.degraded_widenings:>7d}"
+            )
+        return "\n".join(lines)
+
+
+def _counter(metrics, name: str) -> int:
+    if metrics is None:
+        return 0
+    return int(metrics.counters.get(name, 0))
+
+
+def _fault_total(metrics) -> int:
+    if metrics is None:
+        return 0
+    return int(
+        sum(
+            value
+            for name, value in metrics.counters.items()
+            if name.startswith("fault.")
+        )
+    )
+
+
+def run_chaos(
+    seed: int = 0,
+    scale: str = "small",
+    intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
+    base: FaultPlan | None = None,
+    degraded: bool = True,
+) -> ChaosReport:
+    """Sweep fault intensity and measure inference degradation.
+
+    Each point rebuilds the environment from the same seed with
+    ``base.scaled(intensity)`` installed (``base`` defaults to
+    :meth:`FaultPlan.moderate`), runs the full pipeline, and scores the
+    result against ground truth.  ``degraded`` turns on degraded-mode
+    CFS uniformly across the sweep so points differ only in intensity.
+    """
+    import dataclasses
+
+    from .. import api
+    from ..core.pipeline import run_pipeline
+    from ..obs import Instrumentation
+    from ..validation.metrics import score_interfaces
+
+    base = base or FaultPlan.moderate()
+    points: list[ChaosPoint] = []
+    for intensity in intensities:
+        config = api.PipelineConfig.for_scale(scale, seed=seed)
+        plan = base.scaled(intensity)
+        config = dataclasses.replace(
+            config,
+            faults=plan,
+            cfs=config.cfs.replace(degraded_mode=degraded),
+        )
+        obs = Instrumentation()
+        run = run_pipeline(config, instrumentation=obs)
+        result = run.cfs_result
+        report = score_interfaces(run.topology, result)
+        metrics = result.metrics
+        injector = run.environment.fault_injector
+        injected = _fault_total(metrics)
+        if injector is not None:
+            # Build-time dataset faults are counted on the injector
+            # itself (they land before the run's instrumentation).
+            injected = sum(
+                value
+                for name, value in injector.counts.items()
+                if name.startswith("fault.")
+            )
+        points.append(
+            ChaosPoint(
+                intensity=intensity,
+                completed=True,
+                interfaces=len(result.interfaces),
+                resolved_fraction=result.resolved_fraction(),
+                facility_accuracy=report.facility_accuracy,
+                city_accuracy=report.city_accuracy,
+                retries=_counter(metrics, "campaign.retries"),
+                quarantined=_counter(metrics, "campaign.vp_quarantined"),
+                probe_faults=_counter(metrics, "campaign.probe_faults"),
+                faults_injected=injected,
+                degraded_widenings=_counter(metrics, "cfs.degraded_widenings"),
+            )
+        )
+    return ChaosReport(
+        scale=scale,
+        seed=seed,
+        profile=base.as_dict(),
+        points=tuple(points),
+    )

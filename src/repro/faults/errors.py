@@ -1,0 +1,47 @@
+"""Measurement-fault exceptions raised by the fault-injection substrate.
+
+Real campaigns fail in kind, not just in degree: a RIPE Atlas probe
+disappears mid-campaign, a looking glass answers ``rate limit
+exceeded``, a query hangs until the prober's timeout.  The resilience
+layer (:mod:`repro.measurement.resilience`) needs to tell these apart —
+a rate-limited looking glass is worth retrying after backoff, a dead
+vantage point is worth quarantining — so each failure mode is its own
+exception class with a stable ``kind`` tag used in counter names
+(``campaign.fault.<kind>``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MeasurementFault",
+    "VantagePointOutage",
+    "RateLimitExceeded",
+    "QueryTimeout",
+]
+
+
+class MeasurementFault(Exception):
+    """Base class for injected measurement failures.
+
+    ``kind`` is a stable short tag used in observability counter names.
+    """
+
+    kind = "fault"
+
+
+class VantagePointOutage(MeasurementFault):
+    """A vantage point is transiently unreachable (probe lost its host)."""
+
+    kind = "vp-outage"
+
+
+class RateLimitExceeded(MeasurementFault):
+    """A looking glass rejected the query outright (too many requests)."""
+
+    kind = "rate-limit"
+
+
+class QueryTimeout(MeasurementFault):
+    """A query hung until the prober's timeout expired."""
+
+    kind = "timeout"

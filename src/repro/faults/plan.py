@@ -1,0 +1,134 @@
+"""Declarative fault profiles for the chaos substrate.
+
+A :class:`FaultPlan` names every fault class the injector knows how to
+produce and its intensity (a probability, 0 disables the class).  Plans
+are frozen and validated at construction like :class:`CfsConfig`, so a
+typo'd rate fails fast instead of silently injecting nothing.
+
+The zero plan is special: the injector guards every fault class behind
+``rate > 0`` *before* drawing randomness, so a pipeline with a zero
+plan installed is byte-identical to one with no injector at all (the
+tier-1 smoke test and ``benchmarks/bench_chaos.py`` both assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace as _dataclass_replace
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Per-class fault intensities (all probabilities, all 0 by default).
+
+    Measurement faults (consulted per probe):
+
+    * ``hop_loss`` — extra per-hop probability that a responsive hop's
+      reply is dropped on top of the substrate's own loss model;
+    * ``trace_truncation`` — per-trace probability that the output is
+      cut short at a random hop (the prober gave up mid-path);
+    * ``vp_outage`` — per-probe probability that the vantage point is
+      transiently down (:class:`~repro.faults.errors.VantagePointOutage`);
+    * ``lg_rate_limit`` — per-query probability a looking glass rejects
+      the request (:class:`~repro.faults.errors.RateLimitExceeded`);
+    * ``lg_timeout`` — per-query probability a looking glass hangs until
+      timeout (:class:`~repro.faults.errors.QueryTimeout`).
+
+    Dataset faults (applied once, to the PeeringDB snapshot):
+
+    * ``netfac_missing`` — per-row probability a ``netfac`` row is lost;
+    * ``netfac_stale`` — per-AS probability of gaining one stale,
+      contradictory ``netfac`` row (a facility the AS left long ago);
+    * ``ixfac_missing`` — per-row probability an ``ixfac`` row is lost.
+
+    Alias-resolution faults:
+
+    * ``alias_false_negative`` — probability a truly passing MIDAR pair
+      is nevertheless rejected (congestion broke the probe train).
+    """
+
+    hop_loss: float = 0.0
+    trace_truncation: float = 0.0
+    vp_outage: float = 0.0
+    lg_rate_limit: float = 0.0
+    lg_timeout: float = 0.0
+    netfac_missing: float = 0.0
+    netfac_stale: float = 0.0
+    ixfac_missing: float = 0.0
+    alias_false_negative: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fault rate {spec.name}={value!r} must be in [0, 1]"
+                )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FaultPlan":
+        """The no-op plan: injection installed but every class disabled."""
+        return cls()
+
+    @classmethod
+    def moderate(cls) -> "FaultPlan":
+        """The documented moderate chaos profile.
+
+        10% extra hop loss, 5% vantage-point outages, 5% stale and 5%
+        missing netfac rows, plus light looking-glass misbehaviour and
+        alias false negatives — the profile the acceptance criteria and
+        ``repro chaos`` default to.
+        """
+        return cls(
+            hop_loss=0.10,
+            trace_truncation=0.03,
+            vp_outage=0.05,
+            lg_rate_limit=0.05,
+            lg_timeout=0.05,
+            netfac_missing=0.05,
+            netfac_stale=0.05,
+            ixfac_missing=0.05,
+            alias_false_negative=0.03,
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """Every rate multiplied by ``intensity`` (clamped to [0, 1]).
+
+        The chaos sweep scales one base profile up and down so a single
+        knob spans "clean" to "hostile".
+        """
+        if intensity < 0:
+            raise ValueError("intensity must not be negative")
+        return FaultPlan(
+            **{
+                spec.name: min(1.0, getattr(self, spec.name) * intensity)
+                for spec in fields(self)
+            }
+        )
+
+    def replace(self, **overrides) -> "FaultPlan":
+        """A copy with ``overrides`` applied (and re-validated)."""
+        return _dataclass_replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every fault class is disabled."""
+        return all(getattr(self, spec.name) == 0.0 for spec in fields(self))
+
+    @property
+    def perturbs_datasets(self) -> bool:
+        """True when any dataset-level (PeeringDB) fault is enabled."""
+        return (
+            self.netfac_missing > 0
+            or self.netfac_stale > 0
+            or self.ixfac_missing > 0
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready rendering of every rate."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}

@@ -17,6 +17,12 @@ from .platforms import (
     VantagePoint,
     build_platforms,
 )
+from .resilience import (
+    CircuitBreaker,
+    ProbeBudget,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from .rtt import RttConfig, RttModel
 from .traceroute import TraceHop, Traceroute, TracerouteConfig, TracerouteEngine
 
@@ -26,7 +32,11 @@ __all__ = [
     "build_platforms",
     "CampaignConfig",
     "CampaignDriver",
+    "CircuitBreaker",
     "Hitlist",
+    "ProbeBudget",
+    "ResilienceConfig",
+    "RetryPolicy",
     "IPID_MODULUS",
     "IpidResponder",
     "LookingGlassPlatform",

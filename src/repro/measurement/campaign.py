@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from ..faults.errors import MeasurementFault
 from ..obs import Instrumentation
 from ..topology.network import InterfaceKind
 from ..topology.topology import Topology
 from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
+from .resilience import CircuitBreaker, ProbeBudget, ResilienceConfig
 from .traceroute import Traceroute
 
 __all__ = ["Hitlist", "TraceCorpus", "CampaignDriver", "CampaignConfig"]
@@ -38,7 +40,12 @@ class Hitlist:
     keep every router crossing (including the last one) observable.
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self._obs = instrumentation or Instrumentation()
         self._targets: dict[int, list[int]] = {}
         for asn in topology.ases:
             addresses: list[int] = []
@@ -50,8 +57,18 @@ class Hitlist:
             self._targets[asn] = sorted(addresses)
 
     def targets_for(self, asn: int) -> list[int]:
-        """Responsive addresses inside ``asn`` (may be empty)."""
-        return self._targets.get(asn, [])
+        """Responsive addresses inside ``asn`` (may be empty).
+
+        An ASN the hitlist has never heard of is worth surfacing — a
+        campaign aimed at it will silently probe nothing — so the miss
+        is counted and emitted as ``hitlist.miss``.
+        """
+        targets = self._targets.get(asn)
+        if targets is None:
+            self._obs.count("hitlist.miss")
+            self._obs.emit("hitlist.miss", asn=asn)
+            return []
+        return targets
 
     def all_targets(self) -> list[int]:
         """Every known-responsive address."""
@@ -102,6 +119,8 @@ class CampaignConfig:
     archive_targets_per_node: int = 15
     #: Traces issued per direction in one follow-up probe.
     followup_traces: int = 4
+    #: Retry/backoff, circuit-breaker, and probe-budget policy.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
 
 class CampaignDriver:
@@ -120,6 +139,114 @@ class CampaignDriver:
         self.config = config or CampaignConfig()
         self._rng = Random(seed)
         self._obs = instrumentation or Instrumentation()
+        resilience = self.config.resilience
+        self._retry_policy = resilience.retry
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.budget = ProbeBudget(max_probes=resilience.max_probes)
+        #: Simulated wall-clock cost of retry backoff (like the looking
+        #: glasses' ``simulated_wait_s`` — accounted, never slept).
+        self.simulated_backoff_s = 0.0
+        #: Jitter stream; untouched unless a probe actually fails, so
+        #: fault-free runs draw nothing from it.
+        self._retry_rng = Random(f"campaign-retry:{seed}")
+
+    def _breaker(self, platform_name: str) -> CircuitBreaker:
+        """The per-platform circuit breaker (lazily created)."""
+        breaker = self._breakers.get(platform_name)
+        if breaker is None:
+            resilience = self.config.resilience
+            breaker = CircuitBreaker(
+                failure_threshold=resilience.breaker_failure_threshold,
+                cooldown_s=resilience.breaker_cooldown_s,
+            )
+            self._breakers[platform_name] = breaker
+        return breaker
+
+    def quarantined_vantage_points(self) -> set[str]:
+        """Vantage points ever quarantined by a circuit breaker."""
+        return {
+            vp_id
+            for breaker in self._breakers.values()
+            for vp_id in breaker.tripped
+        }
+
+    def _backoff(self, attempt: int) -> None:
+        """Account the post-failure backoff and age the breakers."""
+        pause = self._retry_policy.backoff_s(attempt, self._retry_rng)
+        self.simulated_backoff_s += pause
+        for breaker in self._breakers.values():
+            breaker.advance(pause)
+
+    def _resilient_trace(
+        self,
+        platform: MeasurementPlatform,
+        vp: VantagePoint,
+        dst_address: int,
+    ) -> Traceroute | None:
+        """One probe with retry/backoff, breaker, and budget applied.
+
+        Returns ``None`` when the probe was skipped (quarantined vantage
+        point, exhausted budget) or abandoned after its last retry; the
+        campaign carries on with one trace fewer either way.
+        """
+        breaker = self._breaker(platform.name)
+        if breaker.is_open(vp.vp_id):
+            self.budget.skipped_quarantined += 1
+            self._obs.count("campaign.quarantined_skips")
+            return None
+        for attempt in range(self._retry_policy.max_attempts):
+            if not self.budget.allow():
+                self.budget.skipped_budget += 1
+                self._obs.count("campaign.budget_exhausted")
+                return None
+            self.budget.attempts += 1
+            try:
+                trace = platform.trace(vp, dst_address)
+            except MeasurementFault as fault:
+                self._obs.count("campaign.probe_faults")
+                self._obs.count(f"campaign.fault.{fault.kind}")
+                if breaker.record_failure(vp.vp_id):
+                    self._obs.count("campaign.vp_quarantined")
+                    self._obs.emit(
+                        "campaign.vp_quarantined",
+                        vp=vp.vp_id,
+                        platform=platform.name,
+                        fault=fault.kind,
+                    )
+                if breaker.is_open(vp.vp_id):
+                    break  # quarantined mid-probe: stop retrying it
+                if attempt + 1 < self._retry_policy.max_attempts:
+                    self._backoff(attempt)
+                    self.budget.retried += 1
+                    self._obs.count("campaign.retries")
+                continue
+            breaker.record_success(vp.vp_id)
+            self._obs.count("campaign.probes_issued")
+            return trace
+        self.budget.failed += 1
+        self._obs.count("campaign.probe_gave_up")
+        return None
+
+    def _trace_from_sample(
+        self,
+        platform: MeasurementPlatform,
+        dst_address: int,
+        sample_size: int,
+    ) -> list[Traceroute]:
+        """Resilient analogue of ``platform.trace_from_sample``.
+
+        Draws the identical vantage-point sample from ``self._rng`` (so
+        fault-free runs are byte-identical to the direct call), then
+        routes each probe through :meth:`_resilient_trace`.
+        """
+        size = min(sample_size, len(platform.vantage_points))
+        sample = self._rng.sample(platform.vantage_points, size) if size else []
+        traces: list[Traceroute] = []
+        for vp in sample:
+            trace = self._resilient_trace(platform, vp, dst_address)
+            if trace is not None:
+                traces.append(trace)
+        return traces
 
     def initial_campaign(
         self, target_asns: list[int], include_archives: bool = True
@@ -133,15 +260,22 @@ class CampaignDriver:
         """
         corpus = TraceCorpus()
         for asn in target_asns:
-            for dst in self.hitlist.targets_for(asn):
+            targets = self.hitlist.targets_for(asn)
+            if not targets:
+                self._obs.count("campaign.empty_hitlist")
+            for dst in targets:
                 corpus.extend(
-                    self.platforms.atlas.trace_from_sample(
-                        dst, self.config.atlas_sample_per_target, self._rng
+                    self._trace_from_sample(
+                        self.platforms.atlas,
+                        dst,
+                        self.config.atlas_sample_per_target,
                     )
                 )
                 corpus.extend(
-                    self.platforms.looking_glasses.trace_from_sample(
-                        dst, self.config.lg_sample_per_target, self._rng
+                    self._trace_from_sample(
+                        self.platforms.looking_glasses,
+                        dst,
+                        self.config.lg_sample_per_target,
                     )
                 )
         sweep_targets = self.hitlist.all_targets()
@@ -207,22 +341,29 @@ class CampaignDriver:
         if near_vps and target_addresses:
             for vp in self._sample(near_vps, budget):
                 dst = self._rng.choice(target_addresses)
-                corpus.add(self._platform_of(vp, platforms).trace(vp, dst))
-                issued += 1
+                trace = self._resilient_trace(
+                    self._platform_of(vp, platforms), vp, dst
+                )
+                if trace is not None:
+                    corpus.add(trace)
+                    issued += 1
         # Inbound: from inside the target AS toward the near AS,
         # approaching the shared interconnection from the far side.
         if target_vps and near_addresses:
             for vp in self._sample(target_vps, budget):
                 dst = self._rng.choice(near_addresses)
-                corpus.add(self._platform_of(vp, platforms).trace(vp, dst))
-                issued += 1
+                trace = self._resilient_trace(
+                    self._platform_of(vp, platforms), vp, dst
+                )
+                if trace is not None:
+                    corpus.add(trace)
+                    issued += 1
         # Fallback: random vantage points toward the target AS; some of
         # these paths transit the near AS and cross the peering.
         if not issued and target_addresses:
             for platform in platforms:
-                for trace in platform.trace_from_sample(
-                    self._rng.choice(target_addresses), budget, self._rng
-                ):
+                dst = self._rng.choice(target_addresses)
+                for trace in self._trace_from_sample(platform, dst, budget):
                     corpus.add(trace)
                     issued += 1
         self._obs.count("campaign.followup_probes")

@@ -74,6 +74,10 @@ class MeasurementPlatform:
     def __init__(self, engine: TracerouteEngine, vantage_points: list[VantagePoint]) -> None:
         self._engine = engine
         self.vantage_points = vantage_points
+        #: Optional chaos layer (installed on *live* platforms only;
+        #: archive corpora are replayed, not probed).  When set, each
+        #: probe first rolls for a transient vantage-point outage.
+        self.fault_injector = None
         self._by_asn: dict[int, list[VantagePoint]] = {}
         for vp in vantage_points:
             self._by_asn.setdefault(vp.asn, []).append(vp)
@@ -88,7 +92,13 @@ class MeasurementPlatform:
         return self._by_asn.get(asn, [])
 
     def trace(self, vp: VantagePoint, dst_address: int) -> Traceroute:
-        """Issue one traceroute from ``vp``."""
+        """Issue one traceroute from ``vp``.
+
+        Raises a :class:`~repro.faults.errors.MeasurementFault` when the
+        chaos layer decides the vantage point is transiently down.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.check_vp(vp)
         return self._engine.trace(
             vp.router_id, dst_address, source_id=vp.vp_id, platform=self.name
         )
@@ -213,11 +223,17 @@ class LookingGlassPlatform(MeasurementPlatform):
         return cls(engine, vantage_points, bgp_capable)
 
     def trace(self, vp: VantagePoint, dst_address: int) -> Traceroute:
-        """Traceroute with per-LG rate-limit accounting."""
+        """Traceroute with per-LG rate-limit accounting.
+
+        The rate-limit pause is paid even when the query then fails: a
+        timed-out web frontend still burned its query slot.
+        """
         queries = self._queries_per_lg.get(vp.asn, 0)
         if queries:
             self.simulated_wait_s += LG_QUERY_INTERVAL_S
         self._queries_per_lg[vp.asn] = queries + 1
+        if self.fault_injector is not None:
+            self.fault_injector.check_looking_glass(vp.asn)
         return super().trace(vp, dst_address)
 
     def bgp_route(

@@ -1,0 +1,170 @@
+"""Resilience primitives for the campaign driver.
+
+Production measurement against the real Internet is an exercise in
+failure management: probes time out, vantage points disappear, looking
+glasses rate-limit.  The campaign driver wraps every live probe with
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff and
+  deterministic jitter (time is *simulated*, accumulated in
+  ``CampaignDriver.simulated_backoff_s``, mirroring how the looking
+  glasses account their 60 s inter-query pauses);
+* :class:`CircuitBreaker` — per-platform breakers that quarantine a
+  vantage point after consecutive failures, with a half-open retry
+  after a simulated cooldown;
+* :class:`ProbeBudget` — accounting (and an optional hard cap) of
+  probes spent, retried, failed, and skipped.
+
+All three are dependency-free so tests can exercise them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ProbeBudget", "ResilienceConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and jitter."""
+
+    #: Total attempts per probe (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before the first retry (simulated seconds).
+    base_backoff_s: float = 1.0
+    #: Growth factor per subsequent retry.
+    backoff_multiplier: float = 2.0
+    #: Uniform jitter as a fraction of the backoff (avoids retry herds).
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must not be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: Random | None = None) -> float:
+        """Backoff after failed attempt ``attempt`` (0-based), jittered.
+
+        ``rng`` supplies the jitter draw; ``None`` (or a zero jitter
+        fraction) yields the deterministic midpoint.
+        """
+        backoff = self.base_backoff_s * self.backoff_multiplier**attempt
+        if rng is None or self.jitter_fraction <= 0:
+            return backoff
+        return backoff * (
+            1.0 + rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        )
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over string keys (vantage points).
+
+    Closed (normal) → ``failure_threshold`` consecutive failures open
+    the breaker for ``cooldown_s`` of simulated time → half-open: one
+    trial call is allowed; success closes the breaker, failure re-opens
+    it for another cooldown.  Time advances only through
+    :meth:`advance` (the driver feeds it the simulated backoff), so the
+    breaker is deterministic and wall-clock free.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 4, cooldown_s: float = 300.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._now = 0.0
+        self._failures: dict[str, int] = {}
+        self._opened_at: dict[str, float] = {}
+        #: Keys ever quarantined (for reporting).
+        self.tripped: set[str] = set()
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time (cooldowns elapse against this clock)."""
+        self._now += seconds
+
+    def is_open(self, key: str) -> bool:
+        """True while ``key`` is quarantined (cooldown not yet elapsed)."""
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return False
+        if self._now - opened >= self.cooldown_s:
+            # Half-open: allow a trial; the verdict re-opens or closes.
+            return False
+        return True
+
+    def record_success(self, key: str) -> None:
+        """A call through ``key`` succeeded: close and reset."""
+        self._failures.pop(key, None)
+        self._opened_at.pop(key, None)
+
+    def record_failure(self, key: str) -> bool:
+        """A call through ``key`` failed; returns True if this opened it."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count < self.failure_threshold:
+            return False
+        newly = key not in self._opened_at
+        self._opened_at[key] = self._now
+        self.tripped.add(key)
+        return newly
+
+    def open_keys(self) -> set[str]:
+        """Keys currently quarantined."""
+        return {key for key in self._opened_at if self.is_open(key)}
+
+
+@dataclass(slots=True)
+class ProbeBudget:
+    """Accounting of probe spend across a campaign.
+
+    ``max_probes`` (optional) is a hard cap on attempts — once spent,
+    further probes are skipped and counted, never silently dropped.
+    """
+
+    max_probes: int | None = None
+    #: Probe attempts actually issued (retries included).
+    attempts: int = 0
+    #: Attempts that were retries of a failed probe.
+    retried: int = 0
+    #: Probes abandoned after exhausting their attempts.
+    failed: int = 0
+    #: Probes skipped because the vantage point was quarantined.
+    skipped_quarantined: int = 0
+    #: Probes skipped because the budget was exhausted.
+    skipped_budget: int = 0
+
+    def allow(self) -> bool:
+        """True while another attempt fits in the budget."""
+        return self.max_probes is None or self.attempts < self.max_probes
+
+    def as_dict(self) -> dict[str, int | None]:
+        """JSON-ready rendering."""
+        return {
+            "max_probes": self.max_probes,
+            "attempts": self.attempts,
+            "retried": self.retried,
+            "failed": self.failed,
+            "skipped_quarantined": self.skipped_quarantined,
+            "skipped_budget": self.skipped_budget,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """Everything the campaign driver needs to survive a hostile substrate."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Consecutive failures before a vantage point is quarantined.
+    breaker_failure_threshold: int = 4
+    #: Simulated seconds a quarantined vantage point sits out.
+    breaker_cooldown_s: float = 300.0
+    #: Optional hard cap on probe attempts per driver (None = unlimited).
+    max_probes: int | None = None

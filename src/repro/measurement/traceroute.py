@@ -26,11 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from typing import TYPE_CHECKING
+
 from ..topology.geo import GeoLocation
 from ..topology.network import InterfaceKind
 from ..topology.routing import Forwarder
 from ..topology.topology import Topology
 from .rtt import RttModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..faults.injector import FaultInjector
 
 __all__ = ["TraceHop", "Traceroute", "TracerouteConfig", "TracerouteEngine"]
 
@@ -121,6 +126,7 @@ class TracerouteEngine:
         rtt_model: RttModel | None = None,
         config: TracerouteConfig | None = None,
         seed: int = 0,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self._topology = topology
         self._forwarder = forwarder or Forwarder(topology)
@@ -128,6 +134,9 @@ class TracerouteEngine:
         self.config = config or TracerouteConfig()
         self._rng = Random(seed)
         self.traces_issued = 0
+        #: Optional chaos layer; every finished trace passes through its
+        #: :meth:`~repro.faults.injector.FaultInjector.perturb_trace`.
+        self.fault_injector = fault_injector
 
     @staticmethod
     def _flow_id(src_router: int, dst_address: int, probe: int) -> int:
@@ -143,6 +152,12 @@ class TracerouteEngine:
     def forwarder(self) -> Forwarder:
         """The forwarding-path expander in use."""
         return self._forwarder
+
+    def _finish(self, trace: Traceroute) -> Traceroute:
+        """Route one finished trace through the fault injector, if any."""
+        if self.fault_injector is None:
+            return trace
+        return self.fault_injector.perturb_trace(trace)
 
     def trace(
         self,
@@ -160,19 +175,21 @@ class TracerouteEngine:
         self.traces_issued += 1
         src = self._topology.routers[src_router]
         if not self.config.paris:
-            return self._trace_classic(
-                src_router, dst_address, source_id, platform
+            return self._finish(
+                self._trace_classic(src_router, dst_address, source_id, platform)
             )
         flow_id = self._flow_id(src_router, dst_address, 0)
         path = self._forwarder.router_path(src_router, dst_address, flow_id)
         if path is None:
-            return Traceroute(
-                source_id=source_id,
-                platform=platform,
-                src_asn=src.asn,
-                dst_address=dst_address,
-                hops=(),
-                reached=False,
+            return self._finish(
+                Traceroute(
+                    source_id=source_id,
+                    platform=platform,
+                    src_asn=src.asn,
+                    dst_address=dst_address,
+                    hops=(),
+                    reached=False,
+                )
             )
 
         if len(path) == 1:
@@ -183,13 +200,15 @@ class TracerouteEngine:
                 rtt_ms=0.1,
                 router_id=src_router,
             )
-            return Traceroute(
-                source_id=source_id,
-                platform=platform,
-                src_asn=src.asn,
-                dst_address=dst_address,
-                hops=(hop,),
-                reached=True,
+            return self._finish(
+                Traceroute(
+                    source_id=source_id,
+                    platform=platform,
+                    src_asn=src.asn,
+                    dst_address=dst_address,
+                    hops=(hop,),
+                    reached=True,
+                )
             )
 
         hops: list[TraceHop] = []
@@ -251,13 +270,15 @@ class TracerouteEngine:
                 )
             )
             reached = True
-        return Traceroute(
-            source_id=source_id,
-            platform=platform,
-            src_asn=src.asn,
-            dst_address=dst_address,
-            hops=tuple(hops),
-            reached=reached,
+        return self._finish(
+            Traceroute(
+                source_id=source_id,
+                platform=platform,
+                src_asn=src.asn,
+                dst_address=dst_address,
+                hops=tuple(hops),
+                reached=reached,
+            )
         )
 
     def _trace_classic(

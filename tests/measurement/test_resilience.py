@@ -1,0 +1,303 @@
+"""Resilience layer: retry policy, circuit breaker, budget, driver wiring."""
+
+from __future__ import annotations
+
+import dataclasses
+from random import Random
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.measurement.campaign import CampaignDriver, Hitlist, TraceCorpus
+from repro.measurement.platforms import (
+    LG_QUERY_INTERVAL_S,
+    LookingGlassPlatform,
+)
+from repro.measurement.resilience import (
+    CircuitBreaker,
+    ProbeBudget,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.obs import Instrumentation, MemorySink
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(jitter_fraction=0.0)
+        assert policy.backoff_s(0) == pytest.approx(1.0)
+        assert policy.backoff_s(1) == pytest.approx(2.0)
+        assert policy.backoff_s(2) == pytest.approx(4.0)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(jitter_fraction=0.25)
+        rng = Random(0)
+        values = [policy.backoff_s(1, rng) for _ in range(50)]
+        assert all(1.5 <= value <= 2.5 for value in values)
+        assert len(set(values)) > 1  # actually jittered
+
+    def test_no_rng_is_midpoint(self):
+        policy = RetryPolicy(jitter_fraction=0.25)
+        assert policy.backoff_s(3) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_backoff_s"):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_multiplier"):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter_fraction"):
+            RetryPolicy(jitter_fraction=1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=60.0)
+        assert breaker.record_failure("vp") is False
+        assert not breaker.is_open("vp")
+        assert breaker.record_failure("vp") is False
+        assert breaker.record_failure("vp") is True  # newly opened
+        assert breaker.is_open("vp")
+        assert breaker.tripped == {"vp"}
+        assert breaker.open_keys() == {"vp"}
+        # Further failures while open are not "newly opened".
+        assert breaker.record_failure("vp") is False
+
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        breaker.record_failure("vp")
+        assert breaker.is_open("vp")
+        breaker.advance(59.0)
+        assert breaker.is_open("vp")
+        breaker.advance(1.0)
+        assert not breaker.is_open("vp")  # half-open: trial allowed
+
+    def test_trial_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0)
+        breaker.record_failure("vp")
+        breaker.record_failure("vp")
+        breaker.advance(10.0)
+        breaker.record_success("vp")
+        assert not breaker.is_open("vp")
+        # Failure count was reset: one new failure does not re-open.
+        assert breaker.record_failure("vp") is False
+        assert not breaker.is_open("vp")
+
+    def test_trial_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure("vp")
+        breaker.advance(10.0)
+        assert not breaker.is_open("vp")
+        breaker.record_failure("vp")
+        assert breaker.is_open("vp")
+
+    def test_keys_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestProbeBudget:
+    def test_unlimited_by_default(self):
+        budget = ProbeBudget()
+        budget.attempts = 10_000
+        assert budget.allow()
+
+    def test_hard_cap(self):
+        budget = ProbeBudget(max_probes=2)
+        assert budget.allow()
+        budget.attempts = 2
+        assert not budget.allow()
+
+    def test_as_dict(self):
+        budget = ProbeBudget(max_probes=5)
+        budget.attempts = 3
+        budget.retried = 1
+        rendered = budget.as_dict()
+        assert rendered["max_probes"] == 5
+        assert rendered["attempts"] == 3
+        assert rendered["retried"] == 1
+
+
+@pytest.fixture()
+def outage_atlas(small_env):
+    """The shared atlas platform with a 100% VP-outage injector, restored
+    on exit so the session environment stays pristine."""
+    platform = small_env.platforms.atlas
+    platform.fault_injector = FaultInjector(FaultPlan(vp_outage=1.0), seed=0)
+    try:
+        yield platform
+    finally:
+        platform.fault_injector = None
+
+
+class TestDriverResilience:
+    def _driver(self, small_env, obs=None, resilience=None):
+        config = small_env.config.campaign
+        if resilience is not None:
+            config = dataclasses.replace(config, resilience=resilience)
+        return CampaignDriver(
+            small_env.platforms,
+            small_env.hitlist,
+            config=config,
+            seed=99,
+            instrumentation=obs or Instrumentation(),
+        )
+
+    def test_retries_then_quarantines_failing_vp(self, small_env, outage_atlas):
+        obs = Instrumentation()
+        driver = self._driver(small_env, obs)
+        vp = outage_atlas.vantage_points[0]
+        dst = small_env.hitlist.all_targets()[0]
+        for _ in range(3):
+            assert driver._resilient_trace(outage_atlas, vp, dst) is None
+        # Call 1 burns all 3 attempts (2 retries), call 2's first failure
+        # trips the 4-failure breaker, call 3 is skipped outright.
+        assert obs.counter("campaign.probe_faults") == 4
+        assert obs.counter("campaign.retries") == 2
+        assert obs.counter("campaign.vp_quarantined") == 1
+        assert obs.counter("campaign.quarantined_skips") == 1
+        assert driver.quarantined_vantage_points() == {vp.vp_id}
+        assert driver.budget.retried == 2
+        assert driver.budget.failed == 2
+        assert driver.budget.skipped_quarantined == 1
+        assert driver.simulated_backoff_s > 0.0
+
+    def test_healthy_probe_resets_breaker(self, small_env):
+        driver = self._driver(small_env)
+        platform = small_env.platforms.atlas
+        vp = platform.vantage_points[0]
+        dst = small_env.hitlist.all_targets()[0]
+        trace = driver._resilient_trace(platform, vp, dst)
+        assert trace is not None
+        assert driver.quarantined_vantage_points() == set()
+        assert driver.budget.attempts == 1
+        assert driver.simulated_backoff_s == 0.0
+
+    def test_probe_budget_cap_enforced(self, small_env):
+        obs = Instrumentation()
+        driver = self._driver(
+            small_env, obs, resilience=ResilienceConfig(max_probes=3)
+        )
+        platform = small_env.platforms.atlas
+        dst = small_env.hitlist.all_targets()[0]
+        issued = [
+            driver._resilient_trace(platform, vp, dst)
+            for vp in platform.vantage_points[:5]
+        ]
+        assert sum(trace is not None for trace in issued) == 3
+        assert driver.budget.skipped_budget == 2
+        assert obs.counter("campaign.budget_exhausted") == 2
+
+
+class TestLookingGlassResilience:
+    @pytest.fixture()
+    def fresh_lg(self, small_env) -> LookingGlassPlatform:
+        """A private LG platform so rate-limit state never leaks into the
+        session environment."""
+        return LookingGlassPlatform.build(small_env.topology, small_env.engine)
+
+    def test_rate_limit_spacing(self, small_env, fresh_lg):
+        vp = fresh_lg.vantage_points[0]
+        dst = small_env.hitlist.all_targets()[0]
+        assert fresh_lg.simulated_wait_s == 0.0
+        fresh_lg.trace(vp, dst)
+        assert fresh_lg.simulated_wait_s == 0.0  # first query is free
+        fresh_lg.trace(vp, dst)
+        assert fresh_lg.simulated_wait_s == pytest.approx(LG_QUERY_INTERVAL_S)
+        fresh_lg.trace(vp, dst)
+        assert fresh_lg.simulated_wait_s == pytest.approx(
+            2 * LG_QUERY_INTERVAL_S
+        )
+
+    def test_rate_limit_independent_per_lg(self, small_env, fresh_lg):
+        by_asn = {}
+        for vp in fresh_lg.vantage_points:
+            by_asn.setdefault(vp.asn, vp)
+            if len(by_asn) == 2:
+                break
+        first, second = by_asn.values()
+        dst = small_env.hitlist.all_targets()[0]
+        fresh_lg.trace(first, dst)
+        fresh_lg.trace(second, dst)  # different LG: no pause yet
+        assert fresh_lg.simulated_wait_s == 0.0
+
+    def test_failed_query_still_pays_rate_limit(self, small_env, fresh_lg):
+        from repro.faults import QueryTimeout
+
+        fresh_lg.fault_injector = FaultInjector(
+            FaultPlan(lg_timeout=1.0), seed=0
+        )
+        vp = fresh_lg.vantage_points[0]
+        dst = small_env.hitlist.all_targets()[0]
+        with pytest.raises(QueryTimeout):
+            fresh_lg.trace(vp, dst)
+        with pytest.raises(QueryTimeout):
+            fresh_lg.trace(vp, dst)
+        assert fresh_lg.simulated_wait_s == pytest.approx(LG_QUERY_INTERVAL_S)
+
+    def test_breaker_opens_after_repeated_timeouts(self, small_env, fresh_lg):
+        fresh_lg.fault_injector = FaultInjector(
+            FaultPlan(lg_timeout=1.0), seed=0
+        )
+        obs = Instrumentation()
+        driver = CampaignDriver(
+            small_env.platforms,
+            small_env.hitlist,
+            config=small_env.config.campaign,
+            seed=7,
+            instrumentation=obs,
+        )
+        vp = fresh_lg.vantage_points[0]
+        dst = small_env.hitlist.all_targets()[0]
+        for _ in range(3):
+            assert driver._resilient_trace(fresh_lg, vp, dst) is None
+        assert obs.counter("campaign.fault.timeout") > 0
+        assert obs.counter("campaign.vp_quarantined") == 1
+        assert vp.vp_id in driver.quarantined_vantage_points()
+        assert driver.budget.skipped_quarantined >= 1
+
+
+class TestHitlistMiss:
+    def test_unknown_asn_emits_miss(self, small_env):
+        sink = MemorySink()
+        obs = Instrumentation(sink)
+        hitlist = Hitlist(small_env.topology, instrumentation=obs)
+        assert hitlist.targets_for(999_999) == []
+        assert obs.counter("hitlist.miss") == 1
+        events = sink.by_name("hitlist.miss")
+        assert len(events) == 1
+        assert events[0].payload["asn"] == 999_999
+
+    def test_known_asn_does_not_emit(self, small_env):
+        obs = Instrumentation()
+        hitlist = Hitlist(small_env.topology, instrumentation=obs)
+        asn = next(iter(small_env.topology.ases))
+        hitlist.targets_for(asn)
+        assert obs.counter("hitlist.miss") == 0
+
+    def test_campaign_survives_empty_hitlist(self, small_env):
+        obs = Instrumentation()
+        driver = CampaignDriver(
+            small_env.platforms,
+            small_env.hitlist,
+            config=small_env.config.campaign,
+            seed=11,
+            instrumentation=obs,
+        )
+        corpus = driver.initial_campaign([999_999], include_archives=False)
+        assert len(corpus) == 0
+        assert obs.counter("campaign.empty_hitlist") == 1
+        assert obs.counter("hitlist.miss") == 0  # driver's own hitlist is real
+
+    def test_cfs_tolerates_empty_corpus(self, small_env):
+        result = small_env.run_cfs(TraceCorpus())
+        assert result.interfaces == {}
+        assert result.links == []
+        assert result.peering_interfaces_seen == 0

@@ -95,9 +95,28 @@ class TestCli:
         assert document["schema"] == "repro/cfs-result/1"
         assert document["stats"]["resolved"] > 0
 
-    def test_unknown_scale_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["--scale", "galactic", "summary"])
+    def test_unknown_scale_clean_error(self, capsys):
+        code = main(["--scale", "galactic", "summary"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        assert "galactic" in lines[0]
+
+    def test_negative_seed_clean_error(self, capsys):
+        code = main(["--seed", "-3", "summary"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "seed" in err
+
+    def test_bad_chaos_intensities_clean_error(self, capsys):
+        code = main(["chaos", "--intensities", "0,banana"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
 
 
 class TestCharts:
