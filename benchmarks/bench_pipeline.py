@@ -180,6 +180,36 @@ def _smoke_seed(seed: int, scale: str) -> dict:
     }
 
 
+def _lint_smoke() -> tuple[dict, bool]:
+    """Run ``repro lint --format json`` over the installed tree.
+
+    Returns the recorded summary (finding/suppression counts over time
+    live in BENCH_pipeline.json) and whether the gate failed.
+    """
+    import contextlib
+    import io
+
+    from repro.devtools.cli import main as lint_main
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        exit_code = lint_main(["--format", "json"])
+    document = json.loads(stdout.getvalue())
+    summary = {
+        "exit_code": exit_code,
+        "files_scanned": document["files_scanned"],
+        "findings": len(document["findings"]),
+        "counts": document["counts"],
+        "suppressed": len(document["suppressed"]),
+    }
+    status = "ok" if exit_code == 0 else "FINDINGS"
+    print(
+        f"lint: {status} files={summary['files_scanned']} "
+        f"findings={summary['findings']} suppressed={summary['suppressed']}"
+    )
+    return summary, exit_code != 0
+
+
 def quick_smoke(output: str, scale: str = "small") -> int:
     """Run the engine comparison smoke and write ``BENCH_pipeline.json``.
 
@@ -202,6 +232,8 @@ def quick_smoke(output: str, scale: str = "small") -> int:
             f"speedup={row['speedup']}x"
         )
         failed = failed or not row["identical"]
+    report["lint"], lint_failed = _lint_smoke()
+    failed = failed or lint_failed
     path = Path(output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"report written to {path}")

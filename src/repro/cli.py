@@ -10,12 +10,16 @@ Usage (via ``python -m repro``)::
     python -m repro chaos    [--seed N] [--scale ...]
                              [--intensities 0,0.25,0.5,1]
                              [--no-degraded] [--json PATH]
+    python -m repro lint     [PATH] [--format text|json] [--rule R00X]
+                             [--baseline [FILE]]
 
 ``summary`` prints the generated Internet's shape; ``run`` executes the
 full campaign + CFS and reports (optionally exporting the inferred map
 as JSON); ``experiment`` regenerates one of the paper's tables/figures;
 ``chaos`` sweeps the moderate fault profile across intensities and
-reports how inference accuracy degrades.
+reports how inference accuracy degrades; ``lint`` runs the reprolint
+static analyzer over the source tree (also available standalone as
+``repro-lint``).
 
 Invalid ``--scale`` / ``--seed`` values exit with a one-line error on
 stderr and status 2 — no traceback.
@@ -27,6 +31,7 @@ import argparse
 import sys
 import time
 
+from .cliutil import cli_error
 from .core.pipeline import Environment, PipelineConfig, build_environment
 from .export import dumps_result
 from .obs import Instrumentation
@@ -110,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the sweep report as JSON to PATH ('-' for stdout)",
     )
+
+    # Imported lazily elsewhere; the parser wiring itself is cheap.
+    from .devtools.cli import add_lint_arguments
+
+    lint = commands.add_parser(
+        "lint", help="run the reprolint invariant checks over the tree"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -273,6 +286,10 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        from .devtools.cli import run_lint_command
+
+        return run_lint_command(args)
     try:
         if args.scale not in PipelineConfig.SCALES:
             raise ValueError(
@@ -291,8 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "experiment":
             return _cmd_experiment(env, args.name)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return cli_error(str(error))
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,20 @@
+"""Shared command-line conventions.
+
+Every CLI entry point in this repository (``repro``, ``repro-lint``)
+reports usage and configuration errors the same way: one ``error: ...``
+line on stderr and exit status 2, never a traceback.  Reprolint rule
+R006 enforces that CLI modules route error exits through
+:func:`cli_error` instead of hand-rolled ``sys.exit(1)`` calls.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["cli_error"]
+
+
+def cli_error(message: str) -> int:
+    """Print a one-line error to stderr and return exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2

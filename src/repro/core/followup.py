@@ -88,7 +88,7 @@ class FollowupPlanner:
             queried_ixp_members |= self._db.members_of(ixp_id)
 
         plans: list[FollowupPlan] = []
-        for target_asn in colocated:
+        for target_asn in sorted(colocated):
             target_facilities = self._db.facilities_of(target_asn)
             if not target_facilities:
                 continue

@@ -222,7 +222,7 @@ class IxpDataSources:
     def member_confirmations(self, ixp_id: int) -> dict[int, int]:
         """How many sources list each member ASN."""
         counts: dict[int, int] = {}
-        for asn in self.pdb_members.get(ixp_id, set()):
+        for asn in sorted(self.pdb_members.get(ixp_id, set())):
             counts[asn] = counts.get(asn, 0) + 1
         website = self.websites.get(ixp_id)
         if website is not None:
@@ -243,7 +243,7 @@ class IxpDataSources:
             | set(self.consortium)
         )
         active: set[int] = set()
-        for ixp_id in known:
+        for ixp_id in sorted(known):
             if self.prefix_confirmations(ixp_id) < 3:
                 continue
             members = self.member_confirmations(ixp_id)

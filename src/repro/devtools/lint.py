@@ -1,0 +1,358 @@
+"""reprolint — AST-based invariant linter for the ``repro`` tree.
+
+Every result this reproduction claims rests on byte-identical
+determinism under a fixed seed.  The invariants that guarantee it
+(seeded ``random.Random`` streams only, no wall-clock reads in the
+inference layers, ordered iteration feeding exports, every ``emit()``
+name declared in the event registry) used to be enforced by convention
+and after-the-fact equivalence tests; this module enforces them
+statically, at the line that introduces a violation.
+
+The public surface:
+
+* :func:`run_lint` — parse a tree, run the rules, return a
+  :class:`LintResult`;
+* :class:`Finding` — one violation (rule id, file, line, message);
+* :class:`LintError` — configuration/usage failure (missing path,
+  unknown rule id, unparsable source); CLIs render it as a one-line
+  ``error:`` and exit 2.
+
+Suppression: append ``# reprolint: disable=R003 <reason>`` to the
+flagged line (or place it on its own line directly above).  The reason
+is mandatory — a bare ``disable=`` does not suppress, so every waiver
+in the tree documents itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "Project",
+    "SourceFile",
+    "Suppression",
+    "run_lint",
+]
+
+
+class LintError(Exception):
+    """A usage or configuration failure (not a lint finding)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One invariant violation at a specific source location."""
+
+    #: Rule identifier, e.g. ``"R003"``.
+    rule: str
+    #: Path relative to the linted root, POSIX separators.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (stable field order)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: R00X message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One ``# reprolint: disable=...`` comment."""
+
+    #: Line the suppression *applies to* (the comment's own line for a
+    #: trailing comment, the following line for a standalone one).
+    line: int
+    #: Rule ids named by the comment.
+    rules: frozenset[str]
+    #: Free-text justification (empty string means the suppression is
+    #: invalid and does not take effect).
+    reason: str
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9,]+)(?:\s+(\S.*?))?\s*$"
+)
+
+
+def _parse_suppressions(text: str) -> list[Suppression]:
+    suppressions: list[Suppression] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            continue
+        standalone = raw[: match.start()].strip() == ""
+        suppressions.append(
+            Suppression(
+                line=lineno + 1 if standalone else lineno,
+                rules=frozenset(
+                    rule.strip()
+                    for rule in match.group(1).split(",")
+                    if rule.strip()
+                ),
+                reason=(match.group(2) or "").strip(),
+            )
+        )
+    return suppressions
+
+
+class SourceFile:
+    """One parsed module: path, text, AST (with parent links), and
+    suppression comments."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            raise LintError(f"cannot parse {rel}: {error}") from None
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._reprolint_parent = node  # type: ignore[attr-defined]
+        self.suppressions = _parse_suppressions(text)
+
+    def suppression_for(
+        self, rule: str, line: int, end_line: int | None = None
+    ) -> Suppression | None:
+        """The valid suppression covering ``rule`` on ``line`` (or any
+        line of the node's span), if one exists."""
+        last = end_line if end_line is not None else line
+        for suppression in self.suppressions:
+            if not suppression.reason or rule not in suppression.rules:
+                continue
+            if line <= suppression.line <= last:
+                return suppression
+        return None
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    """The syntactic parent recorded during parsing (None at module)."""
+    return getattr(node, "_reprolint_parent", None)
+
+
+@dataclass(slots=True)
+class Project:
+    """Everything the rules can see: parsed files plus the pre-pass
+    indexes (frozen dataclasses, the event-name registry)."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+    #: Frozen-dataclass class name -> rel path of the defining module.
+    frozen_dataclasses: dict[str, str] = field(default_factory=dict)
+    #: EVENT_NAMES registry contents (name -> description), or None
+    #: when the tree has no ``obs/events.py`` registry.
+    event_names: dict[str, str] | None = None
+    #: rel path of the registry module (when found).
+    registry_rel: str | None = None
+    #: Line of each registry key, for dead-entry findings.
+    registry_lines: dict[str, int] = field(default_factory=dict)
+
+    def file(self, rel: str) -> SourceFile | None:
+        for source in self.files:
+            if source.rel == rel:
+                return source
+        return None
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _index_frozen_dataclasses(project: Project) -> None:
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node):
+                project.frozen_dataclasses.setdefault(node.name, source.rel)
+
+
+def _index_event_registry(project: Project) -> None:
+    """Parse ``EVENT_NAMES`` out of ``obs/events.py`` (if present)."""
+    registry = None
+    for source in project.files:
+        if source.rel.endswith("obs/events.py") or source.rel == "events.py":
+            registry = source
+            break
+    if registry is None:
+        return
+    for node in ast.walk(registry.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "EVENT_NAMES"
+                and isinstance(value, ast.Dict)
+            ):
+                project.event_names = {}
+                project.registry_rel = registry.rel
+                for key, val in zip(value.keys, value.values):
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        description = (
+                            val.value
+                            if isinstance(val, ast.Constant)
+                            and isinstance(val.value, str)
+                            else ""
+                        )
+                        project.event_names[key.value] = description
+                        project.registry_lines[key.value] = key.lineno
+                return
+
+
+def _collect_files(root: Path) -> list[tuple[Path, str]]:
+    if root.is_file():
+        return [(root, root.name)]
+    paths = sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+    return [(path, path.relative_to(root).as_posix()) for path in paths]
+
+
+def load_project(root: Path) -> Project:
+    """Parse every ``*.py`` under ``root`` and build the pre-pass
+    indexes rules need.  Raises :class:`LintError` for a missing or
+    unreadable path and for unparsable source."""
+    root = Path(root)
+    if not root.exists():
+        raise LintError(f"no such file or directory: {root}")
+    entries = _collect_files(root)
+    if not entries:
+        raise LintError(f"no Python sources under {root}")
+    project = Project(root=root)
+    for path, rel in entries:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise LintError(f"cannot read {rel}: {error.strerror}") from None
+        project.files.append(SourceFile(path, rel, text))
+    _index_frozen_dataclasses(project)
+    _index_event_registry(project)
+    return project
+
+
+@dataclass(frozen=True, slots=True)
+class LintResult:
+    """The outcome of one lint run."""
+
+    #: Active findings, sorted by (path, line, col, rule).
+    findings: tuple[Finding, ...]
+    #: Findings silenced by a valid suppression, with its reason.
+    suppressed: tuple[tuple[Finding, str], ...]
+    #: Rule ids that ran.
+    rules: tuple[str, ...]
+    #: Number of files scanned.
+    files_scanned: int
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {rule: counts[rule] for rule in sorted(counts)}
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report (the ``--format json`` shape)."""
+        return {
+            "schema": "repro/lint/1",
+            "rules": list(self.rules),
+            "files_scanned": self.files_scanned,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "counts": self.counts_by_rule(),
+            "suppressed": [
+                {**finding.as_dict(), "reason": reason}
+                for finding, reason in self.suppressed
+            ],
+        }
+
+
+def run_lint(
+    root: Path | str, rules: Sequence[str] | None = None
+) -> LintResult:
+    """Lint every Python file under ``root`` with the named rules (all
+    rules when ``rules`` is None).  Unknown rule ids raise
+    :class:`LintError`."""
+    from .rules import make_rules
+
+    selected = make_rules(rules)
+    project = load_project(Path(root))
+    raw: list[Finding] = []
+    for rule in selected:
+        for source in project.files:
+            raw.extend(rule.check_file(source, project))
+        raw.extend(rule.finalize(project))
+
+    active: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    sources = {source.rel: source for source in project.files}
+    for finding in sorted(raw, key=Finding.sort_key):
+        source = sources.get(finding.path)
+        suppression = (
+            source.suppression_for(finding.rule, finding.line)
+            if source is not None
+            else None
+        )
+        if suppression is not None:
+            suppressed.append((finding, suppression.reason))
+        else:
+            active.append(finding)
+    return LintResult(
+        findings=tuple(active),
+        suppressed=tuple(suppressed),
+        rules=tuple(rule.id for rule in selected),
+        files_scanned=len(project.files),
+    )
+
+
+def iter_findings(result: LintResult) -> Iterable[Finding]:
+    """Convenience iterator over a result's active findings."""
+    return iter(result.findings)

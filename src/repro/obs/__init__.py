@@ -10,11 +10,12 @@ the :class:`MetricsSnapshot` carried on ``CfsResult.metrics`` and
 rendered by ``python -m repro run --metrics``.
 """
 
-from .events import ObsEvent
+from .events import EVENT_NAMES, ObsEvent, UnregisteredEventError
 from .instrument import Instrumentation, MetricsSnapshot
 from .sinks import LoggingSink, MemorySink, NullSink, ObsSink
 
 __all__ = [
+    "EVENT_NAMES",
     "Instrumentation",
     "LoggingSink",
     "MemorySink",
@@ -22,4 +23,5 @@ __all__ = [
     "NullSink",
     "ObsEvent",
     "ObsSink",
+    "UnregisteredEventError",
 ]

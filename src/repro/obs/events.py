@@ -15,7 +15,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["ObsEvent"]
+__all__ = ["EVENT_NAMES", "ObsEvent", "UnregisteredEventError"]
+
+
+#: The closed event namespace: every name an instrumented component may
+#: ``emit()``, with a one-line description of when it fires.  Reprolint
+#: rule R004 statically requires every ``emit("<name>", ...)`` literal
+#: in the tree to appear here (and flags entries nothing emits);
+#: ``Instrumentation(strict=True)`` is the runtime twin, raising
+#: :class:`UnregisteredEventError` for unknown names.
+EVENT_NAMES: dict[str, str] = {
+    "stage": "a timed stage closed (payload: stage, seconds)",
+    "cfs.iteration": "one CFS iteration finished (interfaces, applied)",
+    "cfs.alias_refresh": "alias resolution re-ran inside the CFS loop",
+    "midar.resolve": "one MIDAR-style alias resolution round completed",
+    "hitlist.miss": "a target AS had no responsive hitlist addresses",
+    "campaign.initial": "the initial traceroute campaign completed",
+    "campaign.vp_quarantined": "a vantage point's circuit breaker opened",
+    "fault.vp_outage": "fault injection took a vantage point down",
+    "fault.lg_timeout": "fault injection timed out a looking-glass query",
+    "fault.lg_rate_limit": "fault injection rate-limited a looking glass",
+}
+
+
+class UnregisteredEventError(ValueError):
+    """Raised in strict mode for an ``emit()`` name missing from
+    :data:`EVENT_NAMES`."""
 
 
 @dataclass(frozen=True, slots=True)

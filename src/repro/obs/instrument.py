@@ -21,7 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from .events import ObsEvent
+from .events import EVENT_NAMES, ObsEvent, UnregisteredEventError
 from .sinks import NullSink, ObsSink
 
 __all__ = ["Instrumentation", "MetricsSnapshot"]
@@ -59,11 +59,17 @@ class MetricsSnapshot:
 class Instrumentation:
     """Per-run counters, stage timers, and event emission."""
 
-    def __init__(self, sink: ObsSink | None = None) -> None:
+    def __init__(
+        self, sink: ObsSink | None = None, *, strict: bool = False
+    ) -> None:
         # `sink or NullSink()` would misfire: an *empty* MemorySink is
         # falsy through its __len__.
         self.sink: ObsSink = sink if sink is not None else NullSink()
         self._silent = isinstance(self.sink, NullSink)
+        #: Strict mode is the runtime twin of reprolint rule R004: an
+        #: ``emit()`` with a name missing from the EVENT_NAMES registry
+        #: raises instead of silently minting a new namespace entry.
+        self.strict = strict
         self._counters: dict[str, int] = {}
         self._stage_seconds: dict[str, float] = {}
         self._stage_calls: dict[str, int] = {}
@@ -76,7 +82,17 @@ class Instrumentation:
         self._counters[name] = self._counters.get(name, 0) + n
 
     def emit(self, name: str, /, **payload: Any) -> None:
-        """Send one structured event to the sink."""
+        """Send one structured event to the sink.
+
+        In strict mode an unregistered name raises
+        :class:`~repro.obs.events.UnregisteredEventError` even when the
+        sink would have discarded the event.
+        """
+        if self.strict and name not in EVENT_NAMES:
+            raise UnregisteredEventError(
+                f"event name {name!r} is not declared in EVENT_NAMES "
+                "(repro/obs/events.py)"
+            )
         if self._silent:
             return
         self.sink.emit(

@@ -1,0 +1,608 @@
+"""Per-rule fixtures for reprolint: each rule must fire on a minimal
+bad example and stay silent on the corresponding good one."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import LintError, run_lint
+
+pytestmark = pytest.mark.lint
+
+
+def lint_source(tmp_path: Path, source: str, *, rel: str = "mod.py", rules=None):
+    """Write one module into a scratch tree and lint it."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint(tmp_path, rules=rules)
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# R001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+
+def test_r001_flags_module_level_random(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.random()
+        """,
+    )
+    assert rule_ids(result) == ["R001"]
+    assert "random.random" in result.findings[0].message
+
+
+def test_r001_flags_unseeded_random_instance(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from random import Random
+
+        def draw():
+            return Random().random()
+        """,
+    )
+    assert rule_ids(result) == ["R001"]
+    assert "no seed" in result.findings[0].message
+
+
+def test_r001_flags_function_reference(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def scrambler():
+            return random.shuffle
+        """,
+    )
+    assert rule_ids(result) == ["R001"]
+
+
+def test_r001_accepts_seeded_random(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from random import Random
+
+        def draw(seed: int):
+            rng = Random(seed)
+            return rng.random()
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R002 — wall-clock / environment reads in inference layers
+# ----------------------------------------------------------------------
+
+
+def test_r002_flags_wall_clock_in_core(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        rel="core/clock.py",
+    )
+    assert rule_ids(result) == ["R002"]
+
+
+def test_r002_flags_environ_and_datetime(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import os
+        from datetime import datetime
+
+        def snapshot():
+            return os.environ.get("HOME"), datetime.now()
+        """,
+        rel="measurement/env.py",
+    )
+    assert sorted(rule_ids(result)) == ["R002", "R002"]
+
+
+def test_r002_ignores_layers_outside_scope(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        rel="experiments/clock.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r002_allows_monotonic_timers(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def elapsed(start: float):
+            return time.perf_counter() - start
+        """,
+        rel="core/timer.py",
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R003 — unsorted set iteration feeding outputs
+# ----------------------------------------------------------------------
+
+
+def test_r003_flags_returned_accumulation(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def collect(items: set):
+            out = []
+            for item in items:
+                out.append(item)
+            return out
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_flags_yield_from_set(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def walk(seen):
+            pending = set(seen)
+            for node in pending:
+                yield node
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_flags_comprehension_in_return(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def labels(ids: frozenset):
+            return [f"node-{i}" for i in ids]
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_flags_dict_keys_into_emit(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def report(obs, counts: dict):
+            for name in counts.keys():
+                obs.emit("row", name=name)
+        """,
+    )
+    assert "R003" in rule_ids(result)
+
+
+def test_r003_accepts_sorted_iteration(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def collect(items: set):
+            out = []
+            for item in sorted(items):
+                out.append(item)
+            return [f"x{i}" for i in sorted(items)]
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+def test_r003_infers_set_typed_attributes_project_wide(tmp_path):
+    # `tripped: set[str]` annotated in one module types `obj.tripped`
+    # wherever it is read.
+    (tmp_path / "state.py").write_text(
+        textwrap.dedent(
+            """
+            class Breaker:
+                def __init__(self):
+                    self.tripped: set[str] = set()
+            """
+        ),
+        encoding="utf-8",
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        def report(breaker):
+            return [name for name in breaker.tripped]
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_infers_dict_of_set_lookups(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def tenants(index: dict[int, set[int]], facility: int):
+            out = []
+            for asn in index[facility]:
+                out.append(asn)
+            return out
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_set_comprehension_is_order_free(tmp_path):
+    # Building a *set* from a set cannot leak iteration order; the rule
+    # re-fires wherever that set is later iterated into an output.
+    result = lint_source(
+        tmp_path,
+        """
+        def distinct(items: set):
+            return {i * 2 for i in items}
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+def test_r003_set_accumulator_is_order_free(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def widen(items: set):
+            out = set()
+            for item in items:
+                out.add(item + 1)
+            return out
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+def test_r003_ignores_order_free_consumption(tmp_path):
+    # Membership tests and local aggregation don't leak iteration order.
+    result = lint_source(
+        tmp_path,
+        """
+        def total(items: set):
+            acc = 0
+            for item in items:
+                acc += item
+            return acc
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R004 — the event namespace
+# ----------------------------------------------------------------------
+
+
+def _registry(names: dict[str, str]) -> str:
+    entries = "\n".join(f'    "{k}": "{v}",' for k, v in names.items())
+    return f"EVENT_NAMES = {{\n{entries}\n}}\n"
+
+
+def test_r004_flags_unregistered_emit(tmp_path):
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "obs" / "events.py").write_text(
+        _registry({"known.event": "fires"}), encoding="utf-8"
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        def run(obs):
+            obs.emit("known.event", n=1)
+            obs.emit("rogue.event", n=2)
+        """,
+    )
+    assert rule_ids(result) == ["R004"]
+    assert "rogue.event" in result.findings[0].message
+
+
+def test_r004_flags_dead_registry_entry(tmp_path):
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "obs" / "events.py").write_text(
+        _registry({"used.event": "fires", "dead.event": "never fires"}),
+        encoding="utf-8",
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        def run(obs):
+            obs.emit("used.event")
+        """,
+    )
+    assert rule_ids(result) == ["R004"]
+    assert "dead.event" in result.findings[0].message
+    assert result.findings[0].path == "obs/events.py"
+
+
+def test_r004_flags_missing_registry(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def run(obs):
+            obs.emit("orphan.event")
+        """,
+    )
+    assert rule_ids(result) == ["R004"]
+    assert "no EVENT_NAMES registry" in result.findings[0].message
+
+
+def test_r004_checks_obsevent_constructor(tmp_path):
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "obs" / "events.py").write_text(
+        _registry({"good.event": "fires"}), encoding="utf-8"
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        def make(ObsEvent, obs):
+            obs.emit("good.event")
+            return ObsEvent(name="bad.event")
+        """,
+    )
+    assert rule_ids(result) == ["R004"]
+    assert "bad.event" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# R005 — frozen config mutation
+# ----------------------------------------------------------------------
+
+_FROZEN_CONFIG = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class EngineConfig:
+    iterations: int = 5
+"""
+
+
+def test_r005_flags_cross_module_attribute_write(tmp_path):
+    (tmp_path / "config.py").write_text(
+        textwrap.dedent(_FROZEN_CONFIG), encoding="utf-8"
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        from config import EngineConfig
+
+        def tweak():
+            config = EngineConfig()
+            config.iterations = 10
+            return config
+        """,
+    )
+    assert rule_ids(result) == ["R005"]
+    assert "EngineConfig" in result.findings[0].message
+
+
+def test_r005_flags_object_setattr_bypass(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def tweak(config):
+            object.__setattr__(config, "iterations", 10)
+        """,
+    )
+    assert rule_ids(result) == ["R005"]
+
+
+def test_r005_allows_self_setattr_in_post_init(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class EngineConfig:
+            iterations: int = 5
+
+            def __post_init__(self):
+                object.__setattr__(self, "iterations", max(1, self.iterations))
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+def test_r005_allows_replace_derivation(tmp_path):
+    (tmp_path / "config.py").write_text(
+        textwrap.dedent(_FROZEN_CONFIG), encoding="utf-8"
+    )
+    result = lint_source(
+        tmp_path,
+        """
+        import dataclasses
+        from config import EngineConfig
+
+        def tweak():
+            config = EngineConfig()
+            return dataclasses.replace(config, iterations=10)
+        """,
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R006 — CLI exit discipline
+# ----------------------------------------------------------------------
+
+
+def test_r006_flags_hard_exit_in_cli(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import sys
+
+        def main():
+            sys.exit(1)
+        """,
+        rel="cli.py",
+    )
+    assert rule_ids(result) == ["R006"]
+
+
+def test_r006_flags_raised_systemexit(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def main():
+            raise SystemExit(3)
+        """,
+        rel="__main__.py",
+    )
+    assert rule_ids(result) == ["R006"]
+
+
+def test_r006_allows_exit_via_main_and_helper(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import sys
+
+        def main():
+            return cli_error("bad input")
+
+        def cli_error(message):
+            print(message, file=sys.stderr)
+            return 2
+
+        sys.exit(main())
+        """,
+        rel="cli.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r006_ignores_non_cli_modules(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import sys
+
+        def bail():
+            sys.exit(1)
+        """,
+        rel="worker.py",
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions, rule filtering, error handling
+# ----------------------------------------------------------------------
+
+
+def test_suppression_with_reason_silences_finding(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.random()  # reprolint: disable=R001 fixture only
+        """,
+    )
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1
+    finding, reason = result.suppressed[0]
+    assert finding.rule == "R001"
+    assert reason == "fixture only"
+
+
+def test_suppression_on_preceding_line(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            # reprolint: disable=R001 exercised by fixtures
+            return random.random()
+        """,
+    )
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_without_reason_does_not_suppress(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.random()  # reprolint: disable=R001
+        """,
+    )
+    assert rule_ids(result) == ["R001"]
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.random()  # reprolint: disable=R003 wrong rule
+        """,
+    )
+    assert rule_ids(result) == ["R001"]
+
+
+def test_rule_filter_runs_only_selected_rules(tmp_path):
+    source = """
+    import random
+    import sys
+
+    def main():
+        random.random()
+        sys.exit(1)
+    """
+    everything = lint_source(tmp_path, source, rel="cli.py")
+    assert sorted(rule_ids(everything)) == ["R001", "R006"]
+    only_exit = lint_source(tmp_path, source, rel="cli.py", rules=["R006"])
+    assert rule_ids(only_exit) == ["R006"]
+    assert only_exit.rules == ("R006",)
+
+
+def test_unknown_rule_raises_lint_error(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    with pytest.raises(LintError, match="unknown rule"):
+        run_lint(tmp_path, rules=["R999"])
+
+
+def test_missing_path_raises_lint_error(tmp_path):
+    with pytest.raises(LintError, match="no such file"):
+        run_lint(tmp_path / "absent")
+
+
+def test_syntax_error_raises_lint_error(tmp_path):
+    (tmp_path / "broken.py").write_text("def (:\n", encoding="utf-8")
+    with pytest.raises(LintError, match="cannot parse"):
+        run_lint(tmp_path)

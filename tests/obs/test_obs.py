@@ -7,6 +7,7 @@ import logging
 import pytest
 
 from repro.obs import (
+    EVENT_NAMES,
     Instrumentation,
     LoggingSink,
     MemorySink,
@@ -14,6 +15,7 @@ from repro.obs import (
     NullSink,
     ObsEvent,
     ObsSink,
+    UnregisteredEventError,
 )
 
 
@@ -135,3 +137,56 @@ class TestInstrumentation:
     def test_empty_snapshot(self):
         snap = MetricsSnapshot()
         assert snap.as_dict() == {"counters": {}, "stages": {}}
+
+
+class TestEventRegistry:
+    """EVENT_NAMES and strict-mode emit (the runtime twin of R004)."""
+
+    def test_registry_entries_are_documented(self):
+        assert EVENT_NAMES
+        for name, description in EVENT_NAMES.items():
+            assert name == name.strip() and name, name
+            assert description.strip(), f"{name} has no description"
+
+    def test_strict_emit_accepts_registered_names(self):
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink, strict=True)
+        obs.emit("cfs.iteration", iteration=1)
+        (event,) = sink.events
+        assert event.name == "cfs.iteration"
+
+    def test_strict_emit_rejects_unregistered_names(self):
+        obs = Instrumentation(sink=MemorySink(), strict=True)
+        with pytest.raises(UnregisteredEventError, match="rogue.name"):
+            obs.emit("rogue.name", x=1)
+
+    def test_strict_checks_even_with_null_sink(self):
+        # The check guards the namespace, not the sink: a NullSink run
+        # in strict mode still refuses to mint new names.
+        obs = Instrumentation(strict=True)
+        with pytest.raises(UnregisteredEventError):
+            obs.emit("rogue.name")
+
+    def test_default_mode_stays_permissive(self):
+        sink = MemorySink()
+        Instrumentation(sink=sink).emit("rogue.name")
+        assert sink.events[0].name == "rogue.name"
+
+    def test_stage_timer_emits_registered_name_under_strict(self):
+        obs = Instrumentation(sink=MemorySink(), strict=True)
+        with obs.stage("extract"):
+            pass  # the closing "stage" event must be registered
+
+    def test_full_pipeline_emits_only_registered_names(self):
+        """A whole campaign + CFS run in strict mode: every name any
+        instrumented component actually emits is in EVENT_NAMES."""
+        from repro.api import PipelineConfig, run_pipeline
+
+        sink = MemorySink()
+        obs = Instrumentation(sink=sink, strict=True)
+        run_pipeline(
+            PipelineConfig.small(seed=11), instrumentation=obs
+        )  # raises UnregisteredEventError on any rogue name
+        emitted = {event.name for event in sink.events}
+        assert emitted <= set(EVENT_NAMES)
+        assert "cfs.iteration" in emitted
