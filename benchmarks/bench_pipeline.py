@@ -10,8 +10,9 @@ Standalone smoke mode (no pytest-benchmark needed)::
 
     python benchmarks/bench_pipeline.py --quick
 
-runs the engine comparison on a few small seeds, checks the inferences
-stay byte-identical, and writes ``BENCH_pipeline.json`` next to the
+runs the engine comparison on a few small seeds plus a serial-vs-
+``workers=2`` executor smoke, checks the inferences stay
+byte-identical, and writes ``BENCH_pipeline.json`` next to the
 repository root.
 """
 
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -180,6 +182,39 @@ def _smoke_seed(seed: int, scale: str) -> dict:
     }
 
 
+def _workers_smoke(scale: str) -> dict:
+    """Serial vs process-pool pipeline at one seed.
+
+    Records wall-clock for ``workers=1`` and ``workers=2``, the
+    resulting speedup, and — the executor's actual contract — whether
+    the two runs produced identical inferences.  On a single-CPU host
+    the speedup hovers around (or below) 1.0; byte-identity is the bit
+    the smoke gates on.
+    """
+    rows: dict[str, dict] = {}
+    exports = {}
+    for name, workers in (("serial", 1), ("workers2", 2)):
+        env = build_environment(
+            PipelineConfig.for_scale(scale, seed=0, workers=workers)
+        )
+        started = time.perf_counter()
+        corpus = env.run_campaign()
+        result = env.run_cfs(corpus)
+        elapsed = time.perf_counter() - started
+        rows[name] = {"workers": workers, "pipeline_seconds": round(elapsed, 3)}
+        exports[name] = _comparable_export(env, result)
+    identical = exports["serial"] == exports["workers2"]
+    speedup = rows["serial"]["pipeline_seconds"] / max(
+        rows["workers2"]["pipeline_seconds"], 1e-9
+    )
+    return {
+        "identical": identical,
+        "speedup": round(speedup, 3),
+        "cpu_count": os.cpu_count() or 1,
+        **rows,
+    }
+
+
 def _lint_smoke() -> tuple[dict, bool]:
     """Run ``repro lint --format json`` over the installed tree.
 
@@ -232,6 +267,16 @@ def quick_smoke(output: str, scale: str = "small") -> int:
             f"speedup={row['speedup']}x"
         )
         failed = failed or not row["identical"]
+    report["workers"] = workers_row = _workers_smoke(scale)
+    workers_status = "ok" if workers_row["identical"] else "DIVERGED"
+    print(
+        f"workers: {workers_status} "
+        f"serial={workers_row['serial']['pipeline_seconds']}s "
+        f"workers2={workers_row['workers2']['pipeline_seconds']}s "
+        f"speedup={workers_row['speedup']}x "
+        f"cpus={workers_row['cpu_count']}"
+    )
+    failed = failed or not workers_row["identical"]
     report["lint"], lint_failed = _lint_smoke()
     failed = failed or lint_failed
     path = Path(output)

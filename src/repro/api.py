@@ -65,6 +65,7 @@ def run_pipeline(
     scale: str | None = None,
     instrumentation: Instrumentation | None = None,
     faults: FaultPlan | None = None,
+    workers: int | None = None,
 ) -> PipelineResult:
     """Build an environment, run the campaign, run CFS.
 
@@ -75,10 +76,16 @@ def run_pipeline(
     ``faults`` (optional) installs a fault-injection plan on top of the
     resolved config; a zero plan produces byte-identical output to no
     plan at all.
+
+    ``workers`` (optional) overrides the resolved config's process-pool
+    width; any width produces byte-identical results, so parallelism is
+    purely a wall-clock knob.
     """
     resolved = _resolve_config(config, seed, scale)
     if faults is not None:
         resolved = _dataclass_replace(resolved, faults=faults)
+    if workers is not None:
+        resolved = _dataclass_replace(resolved, workers=workers)
     return _run_pipeline(resolved, instrumentation=instrumentation)
 
 
@@ -88,15 +95,19 @@ def build_environment(
     seed: int | None = None,
     scale: str | None = None,
     faults: FaultPlan | None = None,
+    workers: int | None = None,
 ) -> Environment:
     """Wire the full measurement stack without running anything.
 
-    ``faults`` installs a fault-injection plan on top of the resolved
-    config (see :func:`run_pipeline`).
+    ``faults`` installs a fault-injection plan, and ``workers`` sets
+    the process-pool width, on top of the resolved config (see
+    :func:`run_pipeline`).
     """
     resolved = _resolve_config(config, seed, scale)
     if faults is not None:
         resolved = _dataclass_replace(resolved, faults=faults)
+    if workers is not None:
+        resolved = _dataclass_replace(resolved, workers=workers)
     return _build_environment(resolved)
 
 

@@ -3,7 +3,8 @@
 Usage (via ``python -m repro``)::
 
     python -m repro summary  [--seed N] [--scale small|default|large]
-    python -m repro run      [--seed N] [--scale ...] [--json PATH]
+    python -m repro run      [--seed N] [--scale ...] [--workers N]
+                             [--json PATH]
     python -m repro experiment {table1,fig2,fig3,fig7,fig8,fig9,fig10,
                                 proximity,multirole,ablation}
                              [--seed N] [--scale ...]
@@ -40,8 +41,8 @@ from .validation.metrics import score_interfaces, unresolved_city_constrained
 __all__ = ["main", "build_parser"]
 
 
-def _config_for(scale: str, seed: int) -> PipelineConfig:
-    return PipelineConfig.for_scale(scale, seed=seed)
+def _config_for(scale: str, seed: int, workers: int = 1) -> PipelineConfig:
+    return PipelineConfig.for_scale(scale, seed=seed, workers=workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale",
         default="small",
         help="topology scale: small, default, or large (default: small)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for the campaign and trace extraction "
+        "(default: 1 = serial; output is byte-identical at any width)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -298,9 +306,15 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.seed < 0:
             raise ValueError(f"invalid seed {args.seed}: must be non-negative")
+        if args.workers < 1:
+            raise ValueError(
+                f"invalid workers {args.workers}: must be at least 1"
+            )
         if args.command == "chaos":
             return _cmd_chaos(args)
-        env = build_environment(_config_for(args.scale, args.seed))
+        env = build_environment(
+            _config_for(args.scale, args.seed, args.workers)
+        )
         if args.command == "summary":
             return _cmd_summary(env)
         if args.command == "run":

@@ -43,10 +43,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as _dataclass_replace
 
 from ..alias.midar import AliasSets, MidarResolver, repair_ip_to_asn
+from ..exec import parallel_map, plan_blocks
 from ..measurement.campaign import CampaignDriver, TraceCorpus
 from ..measurement.platforms import MeasurementPlatform
 from ..measurement.traceroute import Traceroute
-from ..obs import Instrumentation
+from ..obs import Instrumentation, MetricsSnapshot
 from .alias_constraints import propagate_alias_constraints
 from .classify import PeeringClassifier
 from .constrain import InitialFacilitySearch
@@ -68,6 +69,10 @@ __all__ = ["CfsConfig", "ConstrainedFacilitySearch", "FOLLOWUP_STRATEGIES"]
 
 #: Valid values of :attr:`CfsConfig.followup_strategy`.
 FOLLOWUP_STRATEGIES = ("smallest-overlap", "random")
+
+#: Minimum traces in one extraction batch before forking pays off —
+#: below this the pool's fork/pickle overhead dwarfs the work.
+PARALLEL_EXTRACT_MIN = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,6 +155,7 @@ class ConstrainedFacilitySearch:
         remote_detector: RemotePeeringDetector | None = None,
         config: CfsConfig | None = None,
         instrumentation: Instrumentation | None = None,
+        workers: int = 1,
     ) -> None:
         """Args:
             facility_db: the assembled Section-3.1 knowledge base.
@@ -164,8 +170,11 @@ class ConstrainedFacilitySearch:
             config: loop knobs.
             instrumentation: counters/timers/event sink for the run; a
                 fresh silent instance when omitted.
+            workers: process-pool width for Step-2 trace extraction
+                (1 = serial; output is byte-identical either way).
         """
         self._db = facility_db
+        self.workers = workers
         self._ip_to_asn = ip_to_asn
         self._midar = alias_resolver
         self._driver = driver
@@ -291,11 +300,12 @@ class ConstrainedFacilitySearch:
                         dirty = None
                     else:
                         dirty = set(sticky_conflicts)
-                    extract = self._extract_trace
                     merge = PeeringClassifier.merge
                     new_keys: set[tuple] = set()
-                    for trace in corpus.traces[parsed_traces:]:
-                        records = extract(trace, mapping)
+                    fresh_indices = range(parsed_traces, len(corpus.traces))
+                    for records in self._extract_many(
+                        corpus, mapping, fresh_indices
+                    ):
                         trace_records.append(records)
                         traces_parsed_now += 1
                         if records is None:
@@ -421,6 +431,47 @@ class ConstrainedFacilitySearch:
         records = self._classifier.extract([trace], mapping, into={})
         return records or None
 
+    def _extract_many(
+        self,
+        corpus: TraceCorpus,
+        mapping: dict[int, int | None],
+        indices,
+    ) -> list[dict[tuple, ObservedPeering] | None]:
+        """Extract many traces by index, on the pool when it pays off.
+
+        Extraction is pure per trace, so the corpus splits into
+        contiguous blocks (:func:`repro.exec.plan_blocks`) and the block
+        results concatenate back into index order — byte-identical to
+        the serial loop.  Each worker classifies against a private
+        :class:`Instrumentation`; the parent absorbs the snapshots in
+        block order, so counter totals match the serial path exactly.
+        """
+        indices = list(indices)
+        if (
+            self.workers <= 1
+            or len(indices) < max(2, PARALLEL_EXTRACT_MIN)
+        ):
+            traces = corpus.traces
+            return [
+                self._extract_trace(traces[index], mapping)
+                for index in indices
+            ]
+        blocks = plan_blocks(len(indices), self.workers)
+        payloads = [tuple(indices[start:stop]) for start, stop in blocks]
+        self._obs.count("exec.extract.blocks", len(payloads))
+        outputs = parallel_map(
+            _extract_block,
+            payloads,
+            workers=self.workers,
+            context=(self._db, corpus.traces, mapping),
+            fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
+        )
+        results: list[dict[tuple, ObservedPeering] | None] = []
+        for records, snapshot in outputs:
+            results.extend(records)
+            self._obs.absorb(snapshot)
+        return results
+
     def _reparse_moved(
         self,
         corpus: TraceCorpus,
@@ -441,15 +492,18 @@ class ConstrainedFacilitySearch:
         }
         if not moved:
             return 0
-        reparsed = 0
         disjoint = moved.isdisjoint
         traces = corpus.traces
-        for index in range(len(trace_records)):
-            trace = traces[index]
-            if disjoint(trace.responsive_addresses()):
-                continue
-            trace_records[index] = self._extract_trace(trace, mapping)
-            reparsed += 1
+        touched = [
+            index
+            for index in range(len(trace_records))
+            if not disjoint(traces[index].responsive_addresses())
+        ]
+        for index, records in zip(
+            touched, self._extract_many(corpus, mapping, touched)
+        ):
+            trace_records[index] = records
+        reparsed = len(touched)
         self._obs.count("cfs.traces_reparsed", reparsed)
         self._obs.count(
             "cfs.trace_cache_hits", len(trace_records) - reparsed
@@ -559,3 +613,24 @@ class ConstrainedFacilitySearch:
             observations_applied=observations_applied,
             traces_parsed=traces_parsed,
         )
+
+
+def _extract_block(
+    context: tuple, indices: tuple[int, ...]
+) -> tuple[list[dict[tuple, ObservedPeering] | None], MetricsSnapshot]:
+    """Extract one trace block (:func:`repro.exec.parallel_map` worker).
+
+    ``context`` is ``(facility_db, traces, mapping)``, fork-inherited.
+    The worker classifies with a private classifier over a private
+    :class:`Instrumentation`, so nothing parent-owned is mutated — the
+    in-process serial fallback and the forked pool behave identically —
+    and the returned snapshot carries the block's counter contribution.
+    """
+    facility_db, traces, mapping = context
+    obs = Instrumentation()
+    classifier = PeeringClassifier(facility_db, instrumentation=obs)
+    records = [
+        classifier.extract([traces[index]], mapping, into={}) or None
+        for index in indices
+    ]
+    return records, obs.snapshot()

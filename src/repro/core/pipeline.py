@@ -67,9 +67,19 @@ class PipelineConfig:
     #: plan installs the injector but perturbs nothing (byte-identical
     #: output to ``None`` — the chaos smoke test pins this down).
     faults: FaultPlan | None = None
+    #: Process-pool width for the initial campaign and Step-2 trace
+    #: extraction (1 = serial).  Output is byte-identical at any width;
+    #: see ``repro/exec`` and DESIGN.md §5f for the determinism argument.
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be at least 1, got {self.workers}"
+            )
 
     @classmethod
-    def small(cls, seed: int = 0) -> "PipelineConfig":
+    def small(cls, seed: int = 0, workers: int = 1) -> "PipelineConfig":
         """Test-sized pipeline: small Internet, fewer probes."""
         return cls(
             topology=TopologyConfig.small(seed=seed + 1),
@@ -81,24 +91,33 @@ class PipelineConfig:
                 followup_traces=3,
             ),
             cfs=CfsConfig(max_iterations=60, followup_budget=10),
+            workers=workers,
         )
 
     @classmethod
-    def default(cls, seed: int = 0) -> "PipelineConfig":
+    def default(cls, seed: int = 0, workers: int = 1) -> "PipelineConfig":
         """Benchmark-sized pipeline (the figures are produced at this
         scale)."""
-        return cls(topology=TopologyConfig(seed=seed + 1), seed=seed)
+        return cls(
+            topology=TopologyConfig(seed=seed + 1), seed=seed, workers=workers
+        )
 
     @classmethod
-    def large(cls, seed: int = 0) -> "PipelineConfig":
+    def large(cls, seed: int = 0, workers: int = 1) -> "PipelineConfig":
         """Stress-sized pipeline over the large generated Internet."""
-        return cls(topology=TopologyConfig.large(seed=seed + 1), seed=seed)
+        return cls(
+            topology=TopologyConfig.large(seed=seed + 1),
+            seed=seed,
+            workers=workers,
+        )
 
     #: Named scales accepted by :meth:`for_scale` (and the CLI).
     SCALES = ("small", "default", "large")
 
     @classmethod
-    def for_scale(cls, scale: str, seed: int = 0) -> "PipelineConfig":
+    def for_scale(
+        cls, scale: str, seed: int = 0, workers: int = 1
+    ) -> "PipelineConfig":
         """The configuration for one named scale.
 
         Every scale routes through its constructor classmethod, so the
@@ -112,7 +131,7 @@ class PipelineConfig:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {cls.SCALES}"
             ) from None
-        return factory(seed=seed)
+        return factory(seed=seed, workers=workers)
 
 
 def select_targets(
@@ -174,6 +193,7 @@ class Environment:
             config=self.config.campaign,
             seed=self.config.seed + 1000 + seed_offset,
             instrumentation=instrumentation,
+            workers=self.config.workers,
         )
 
     def new_midar(
@@ -257,6 +277,7 @@ class Environment:
             remote_detector=self.remote_detector(),
             config=cfs_config or self.config.cfs,
             instrumentation=obs,
+            workers=self.config.workers,
         )
         platforms = self.platform_list(platform_filter)
         return search.run(corpus, platforms=platforms)

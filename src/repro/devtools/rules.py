@@ -1,4 +1,4 @@
-"""The reprolint rules (R001–R006).
+"""The reprolint rules (R001–R007).
 
 Each rule is a class with an ``id``, a ``title``, a per-file
 ``check_file(source, project)`` pass, and an optional cross-file
@@ -20,6 +20,7 @@ doubles as documentation of why the flagged line is actually safe.
 | R004 | every emitted event name is declared in ``EVENT_NAMES``       |
 | R005 | frozen config objects are never mutated outside their module  |
 | R006 | CLI error exits go through the ``cli_error`` helper           |
+| R007 | process-pool imports are confined to ``repro/exec``           |
 """
 
 from __future__ import annotations
@@ -267,8 +268,20 @@ class _AttrIndex:
     def __init__(self, project: Project) -> None:
         self.set_attrs: set[str] = set()
         self.mapping_attrs: set[str] = set()
+        #: Function/method names annotated ``-> set[...]`` anywhere in
+        #: the tree: their call results are set-typed at every call
+        #: site (same bare-name overapproximation as the attributes).
+        self.set_returning: set[str] = set()
         for source in project.files:
             for node in ast.walk(source.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    if node.returns is not None and _is_set_annotation(
+                        node.returns
+                    ):
+                        self.set_returning.add(node.name)
+                    continue
                 if not isinstance(node, ast.AnnAssign):
                     continue
                 target = node.target
@@ -374,6 +387,16 @@ class _SetTyping:
                     or any(self.is_set_expr(arg) for arg in node.args)
                 ):
                     return True
+            # Calls of functions/methods annotated `-> set[...]`
+            # anywhere in the tree (the open_keys() class of bug: a
+            # set-returning method consumed directly by a sink).
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if callee in self._index.set_returning:
+                return True
         return False
 
 
@@ -895,6 +918,57 @@ class CliExitDiscipline(Rule):
 
 
 # ----------------------------------------------------------------------
+# R007 — process management is confined to repro/exec
+# ----------------------------------------------------------------------
+
+
+class ProcessPoolDiscipline(Rule):
+    """Worker processes, start methods, and result ordering are the
+    parallel executor's whole job; a stray ``multiprocessing`` or
+    ``concurrent.futures`` import elsewhere would re-open every
+    determinism question :mod:`repro.exec` exists to settle (seeding,
+    fork inheritance, merge order).  Route parallelism through
+    ``repro.exec.parallel_map`` instead."""
+
+    id = "R007"
+    title = "process-pool imports are confined to repro/exec"
+
+    #: Top-level modules whose import is reserved to the executor.
+    _BANNED_ROOTS = frozenset({"multiprocessing", "concurrent"})
+    #: The one directory (relative to the lint root) allowed to import
+    #: them.
+    ALLOWED_DIR = "exec"
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        if source.rel.split("/")[0] == self.ALLOWED_DIR:
+            return
+        for node in ast.walk(source.tree):
+            dotted: str | None = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._BANNED_ROOTS:
+                        dotted = alias.name
+                        break
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module
+                and not node.level
+                and node.module.split(".")[0] in self._BANNED_ROOTS
+            ):
+                dotted = node.module
+            if dotted is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"imports {dotted} outside repro/exec; use "
+                    "repro.exec.parallel_map so process management "
+                    "stays in the one audited module",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -905,6 +979,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     EventNamespace,
     FrozenConfigMutation,
     CliExitDiscipline,
+    ProcessPoolDiscipline,
 )
 
 _BY_ID = {cls.id: cls for cls in ALL_RULES}

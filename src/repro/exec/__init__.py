@@ -1,0 +1,25 @@
+"""Parallel execution with byte-identical merge.
+
+The subsystem behind ``PipelineConfig(workers=N)``: a seeded shard
+planner (:mod:`repro.exec.shard`), and a fork-based process pool with
+ordered deterministic results (:mod:`repro.exec.pool`).  The campaign
+driver and the CFS extraction path shard their work here; everything
+merges back in shard-index order, so ``workers=N`` output is
+byte-identical to the serial ``workers=1`` path.
+
+This package is the only place allowed to import ``multiprocessing``
+or ``concurrent.futures`` (reprolint rule R007).
+"""
+
+from .pool import fork_available, parallel_map
+from .shard import Shard, plan_blocks, plan_shards, stable_key, substream
+
+__all__ = [
+    "Shard",
+    "fork_available",
+    "parallel_map",
+    "plan_blocks",
+    "plan_shards",
+    "stable_key",
+    "substream",
+]

@@ -1,0 +1,99 @@
+"""Fork-based ``parallel_map`` with deterministic, ordered results.
+
+The one place in the repository allowed to import ``multiprocessing``
+and ``concurrent.futures`` (reprolint rule R007 keeps every other
+module out): concentrating process management here keeps the seeding
+and merge discipline auditable in one file.
+
+Design constraints, in order:
+
+1. **Determinism** — results come back in submission order regardless
+   of completion order, and the worker context is shared by fork
+   (copy-on-write), never re-seeded or re-built per process.
+2. **Graceful degradation** — when fork is unavailable or the pool
+   cannot be created (sandboxes, restricted platforms), the map runs
+   serially in-process and reports the reason through the optional
+   ``fallback`` callback.  Serial and parallel execution produce
+   byte-identical results by construction, so falling back is always
+   safe.
+3. **Cheap payloads** — the context (engines, topologies, corpora) is
+   inherited by fork and addressed through a module global; only the
+   per-shard payloads and results cross the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+__all__ = ["fork_available", "parallel_map"]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+#: Fork-inherited worker context.  The parent sets it immediately
+#: before creating the pool; forked children see the same object via
+#: copy-on-write, so it is never pickled.
+_WORKER_CONTEXT: Any = None
+
+
+def _call_with_context(fn: Callable[[Any, P], R], payload: P) -> R:
+    """Worker-side trampoline: re-attach the fork-inherited context."""
+    return fn(_WORKER_CONTEXT, payload)
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[Any, P], R],
+    payloads: Sequence[P],
+    *,
+    workers: int,
+    context: Any = None,
+    fallback: Callable[[str], None] | None = None,
+) -> list[R]:
+    """Apply ``fn(context, payload)`` to every payload, in order.
+
+    With ``workers > 1`` the payloads run on a fork-based process pool
+    (``fn`` must be a module-level function; ``context`` is inherited
+    by fork and must not be mutated concurrently by the parent).
+    Results are collected in submission order, so the output is
+    byte-for-byte the serial ``[fn(context, p) for p in payloads]``
+    whenever ``fn`` is deterministic in (context, payload).
+
+    Serial execution is used — and ``fallback(reason)`` called once —
+    when parallelism is pointless (``workers <= 1``, fewer than two
+    payloads) or impossible (no fork support, pool creation failed).
+    """
+    global _WORKER_CONTEXT
+    if workers <= 1 or len(payloads) <= 1:
+        if workers > 1 and fallback is not None:
+            fallback("too_few_payloads")
+        return [fn(context, payload) for payload in payloads]
+    if not fork_available():
+        if fallback is not None:
+            fallback("no_fork")
+        return [fn(context, payload) for payload in payloads]
+    _WORKER_CONTEXT = context
+    try:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(payloads)),
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except OSError:
+            if fallback is not None:
+                fallback("pool_unavailable")
+            return [fn(context, payload) for payload in payloads]
+        with executor:
+            futures = [
+                executor.submit(_call_with_context, fn, payload)
+                for payload in payloads
+            ]
+            return [future.result() for future in futures]
+    finally:
+        _WORKER_CONTEXT = None

@@ -34,8 +34,12 @@ def format_bars(
     """Render labelled values as a horizontal ASCII bar chart.
 
     The longest bar spans ``width`` characters; zero and negative values
-    render as empty bars.  Used by the figure harnesses to echo the
-    paper's bar charts (Figures 2, 3, 9) in terminal output.
+    render as empty bars.  Positive values floor to whole characters but
+    never below one (so tiny non-zero values stay visible) and never
+    above ``width`` — ``round()`` here used to promote near-peak values
+    to a full-width bar, making them indistinguishable from the peak.
+    Used by the figure harnesses to echo the paper's bar charts
+    (Figures 2, 3, 9) in terminal output.
     """
     if not series:
         return title or ""
@@ -45,7 +49,7 @@ def format_bars(
     for label, value in series:
         filled = 0
         if peak > 0 and value > 0:
-            filled = max(1, round(width * value / peak))
+            filled = min(width, max(1, int(width * value / peak)))
         bar = "#" * filled
         lines.append(
             f"{label.ljust(label_width)}  {bar.ljust(width)}  "

@@ -12,6 +12,17 @@ The measurement workflow of Sections 3.2 and 4.1:
 
 A :class:`TraceCorpus` accumulates every measurement; CFS re-reads it on
 each iteration, so archived and fresh traces constrain inferences alike.
+
+The initial campaign is split into **plan** and **execute** phases:
+:meth:`CampaignDriver.plan_initial_campaign` draws every sampling
+decision from the driver's sequential RNG up front (in exactly the
+order the historical single-phase loop did), producing a list of
+:class:`ProbeTask` whose execution consumes no shared randomness at
+all.  That split is what makes the plan shardable: with ``workers>1``
+the tasks are partitioned by (platform, vantage point) and executed on
+a fork-based process pool (:mod:`repro.exec`), and the per-shard
+results and accounting deltas merge back in plan order, byte-identical
+to the serial run.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from ..exec import Shard, parallel_map, plan_shards
 from ..faults.errors import MeasurementFault
 from ..obs import Instrumentation
 from ..topology.network import InterfaceKind
@@ -27,7 +39,13 @@ from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
 from .resilience import CircuitBreaker, ProbeBudget, ResilienceConfig
 from .traceroute import Traceroute
 
-__all__ = ["Hitlist", "TraceCorpus", "CampaignDriver", "CampaignConfig"]
+__all__ = [
+    "Hitlist",
+    "TraceCorpus",
+    "CampaignDriver",
+    "CampaignConfig",
+    "ProbeTask",
+]
 
 
 class Hitlist:
@@ -123,6 +141,24 @@ class CampaignConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
 
+@dataclass(frozen=True, slots=True)
+class ProbeTask:
+    """One planned probe of the initial campaign.
+
+    ``index`` is the task's position in the probe plan — the corpus
+    order of its trace — so shard results merge back deterministically.
+    ``resilient`` live probes route through retry/breaker/budget;
+    archive replays call the platform directly, as the historical sweep
+    collection did.
+    """
+
+    index: int
+    platform: str
+    vp: VantagePoint
+    dst_address: int
+    resilient: bool
+
+
 class CampaignDriver:
     """Issues campaigns over a :class:`PlatformSet` into a corpus."""
 
@@ -133,12 +169,15 @@ class CampaignDriver:
         config: CampaignConfig | None = None,
         seed: int = 0,
         instrumentation: Instrumentation | None = None,
+        workers: int = 1,
     ) -> None:
         self.platforms = platforms
         self.hitlist = hitlist
         self.config = config or CampaignConfig()
         self._rng = Random(seed)
         self._obs = instrumentation or Instrumentation()
+        #: Process-pool width for the initial campaign (1 = serial).
+        self.workers = workers
         resilience = self.config.resilience
         self._retry_policy = resilience.retry
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -149,6 +188,9 @@ class CampaignDriver:
         #: Jitter stream; untouched unless a probe actually fails, so
         #: fault-free runs draw nothing from it.
         self._retry_rng = Random(f"campaign-retry:{seed}")
+        self._platform_by_name = {
+            platform.name: platform for platform in platforms.all_platforms()
+        }
 
     def _breaker(self, platform_name: str) -> CircuitBreaker:
         """The per-platform circuit breaker (lazily created)."""
@@ -196,7 +238,15 @@ class CampaignDriver:
             return None
         for attempt in range(self._retry_policy.max_attempts):
             if not self.budget.allow():
-                self.budget.skipped_budget += 1
+                # Exactly one bucket per probe: a probe that never got
+                # an attempt was *skipped*; one whose retries straddled
+                # the cap already burned attempts and is abandoned —
+                # that is a *failed* probe, not a skipped one.
+                if attempt:
+                    self.budget.failed += 1
+                    self._obs.count("campaign.probe_gave_up")
+                else:
+                    self.budget.skipped_budget += 1
                 self._obs.count("campaign.budget_exhausted")
                 return None
             self.budget.attempts += 1
@@ -248,6 +298,145 @@ class CampaignDriver:
                 traces.append(trace)
         return traces
 
+    # ------------------------------------------------------------------
+    # Initial campaign: plan, execute (serial or sharded), merge
+    # ------------------------------------------------------------------
+
+    def plan_initial_campaign(
+        self, target_asns: list[int], include_archives: bool = True
+    ) -> list[ProbeTask]:
+        """Draw every sampling decision of the initial campaign up front.
+
+        Consumes ``self._rng`` in exactly the order the historical
+        interleaved probe loop did — per target AS, per destination:
+        the Atlas vantage-point sample, then the looking-glass sample,
+        then one sweep seed per archive — so a planned-then-executed
+        campaign is byte-identical to the old single-phase one.  The
+        returned tasks carry their plan position (= corpus order) and
+        need no shared randomness to execute.
+        """
+        cfg = self.config
+        plan: list[ProbeTask] = []
+
+        def sample_tasks(
+            platform: MeasurementPlatform, dst: int, sample_size: int
+        ) -> None:
+            size = min(sample_size, len(platform.vantage_points))
+            sample = (
+                self._rng.sample(platform.vantage_points, size) if size else []
+            )
+            for vp in sample:
+                plan.append(
+                    ProbeTask(
+                        index=len(plan),
+                        platform=platform.name,
+                        vp=vp,
+                        dst_address=dst,
+                        resilient=True,
+                    )
+                )
+
+        for asn in target_asns:
+            targets = self.hitlist.targets_for(asn)
+            if not targets:
+                self._obs.count("campaign.empty_hitlist")
+            for dst in targets:
+                sample_tasks(
+                    self.platforms.atlas, dst, cfg.atlas_sample_per_target
+                )
+                sample_tasks(
+                    self.platforms.looking_glasses,
+                    dst,
+                    cfg.lg_sample_per_target,
+                )
+        sweep_targets = self.hitlist.all_targets()
+        if sweep_targets and include_archives:
+            for archive in (self.platforms.iplane, self.platforms.ark):
+                seed = self._rng.randrange(2**30)
+                for vp, dst in archive.plan_sweep(
+                    sweep_targets, cfg.archive_targets_per_node, seed=seed
+                ):
+                    plan.append(
+                        ProbeTask(
+                            index=len(plan),
+                            platform=archive.name,
+                            vp=vp,
+                            dst_address=dst,
+                            resilient=False,
+                        )
+                    )
+        return plan
+
+    def _execute_task(self, task: ProbeTask) -> Traceroute | None:
+        """Run one planned probe (no shared RNG; safe in any order)."""
+        platform = self._platform_by_name[task.platform]
+        if task.resilient:
+            return self._resilient_trace(platform, task.vp, task.dst_address)
+        return platform.trace(task.vp, task.dst_address)
+
+    def _can_parallel(self, n_tasks: int) -> bool:
+        """Whether the initial campaign may run on the process pool.
+
+        Two campaign features are inherently sequential and force the
+        serial path (counted, so fallbacks are observable): a global
+        probe-attempt cap, where each probe's fate depends on every
+        probe before it, and installed fault injectors, whose failure
+        draws come from sequential per-run streams.
+        """
+        if self.workers <= 1 or n_tasks < 2:
+            return False
+        if self.budget.max_probes is not None:
+            self._obs.count("exec.fallback.budget_capped")
+            return False
+        engine = self.platforms.atlas.engine
+        injected = engine.fault_injector is not None or any(
+            platform.fault_injector is not None
+            for platform in self.platforms.all_platforms()
+        )
+        if injected:
+            self._obs.count("exec.fallback.faults_installed")
+            return False
+        return True
+
+    def _execute_plan_sharded(
+        self, plan: list[ProbeTask]
+    ) -> list[Traceroute | None]:
+        """Execute the probe plan on the process pool and merge.
+
+        Tasks shard by (platform, vantage point) — a stable key, so the
+        partition is identical on every run — and results slot back into
+        plan positions, so the merged list equals the serial one however
+        shards interleave.  Accounting (probe issues, LG rate limits,
+        budget buckets, metrics) comes back as per-shard deltas and is
+        folded in shard-index order.
+        """
+        shards = plan_shards(
+            plan,
+            self.workers,
+            key=lambda task: f"{task.platform}:{task.vp.vp_id}",
+        )
+        self._obs.count("exec.campaign.shards", len(shards))
+        shard_results = parallel_map(
+            _run_campaign_shard,
+            shards,
+            workers=self.workers,
+            context=self,
+            fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
+        )
+        results: list[Traceroute | None] = [None] * len(plan)
+        engine = self.platforms.atlas.engine
+        for result in shard_results:
+            for index, trace in zip(result["indices"], result["traces"]):
+                results[index] = trace
+            issued, issue_deltas = result["engine"]
+            engine.absorb_issue_deltas(issued, issue_deltas)
+            self.platforms.looking_glasses.absorb_query_deltas(
+                result["lg_queries"]
+            )
+            self.budget.absorb(result["budget"])
+            self._obs.absorb(result["metrics"])
+        return results
+
     def initial_campaign(
         self, target_asns: list[int], include_archives: bool = True
     ) -> TraceCorpus:
@@ -257,43 +446,18 @@ class CampaignDriver:
         ``include_archives=False`` skips the archived sweeps — useful
         when campaigns toward individual targets are accumulated
         incrementally and the archives should be counted once.
+
+        With ``workers > 1`` (and no budget cap or fault injection) the
+        planned probes execute on a fork-based process pool; the merged
+        corpus is byte-identical to the serial run's.
         """
+        plan = self.plan_initial_campaign(target_asns, include_archives)
+        if self._can_parallel(len(plan)):
+            results = self._execute_plan_sharded(plan)
+        else:
+            results = [self._execute_task(task) for task in plan]
         corpus = TraceCorpus()
-        for asn in target_asns:
-            targets = self.hitlist.targets_for(asn)
-            if not targets:
-                self._obs.count("campaign.empty_hitlist")
-            for dst in targets:
-                corpus.extend(
-                    self._trace_from_sample(
-                        self.platforms.atlas,
-                        dst,
-                        self.config.atlas_sample_per_target,
-                    )
-                )
-                corpus.extend(
-                    self._trace_from_sample(
-                        self.platforms.looking_glasses,
-                        dst,
-                        self.config.lg_sample_per_target,
-                    )
-                )
-        sweep_targets = self.hitlist.all_targets()
-        if sweep_targets and include_archives:
-            corpus.extend(
-                self.platforms.iplane.collect_sweep(
-                    sweep_targets,
-                    self.config.archive_targets_per_node,
-                    seed=self._rng.randrange(2**30),
-                )
-            )
-            corpus.extend(
-                self.platforms.ark.collect_sweep(
-                    sweep_targets,
-                    self.config.archive_targets_per_node,
-                    seed=self._rng.randrange(2**30),
-                )
-            )
+        corpus.extend([trace for trace in results if trace is not None])
         self._obs.count("campaign.initial_traces", len(corpus))
         self._obs.emit(
             "campaign.initial",
@@ -301,6 +465,8 @@ class CampaignDriver:
             traces=len(corpus),
             archives=include_archives,
         )
+        self.budget.check()
+        self._obs.emit("campaign.budget", **self.budget.as_dict())
         return corpus
 
     # ------------------------------------------------------------------
@@ -381,3 +547,40 @@ class CampaignDriver:
             if platform.name == vp.platform:
                 return platform
         raise LookupError(f"no platform named {vp.platform}")
+
+
+def _run_campaign_shard(driver: CampaignDriver, shard: Shard) -> dict:
+    """Execute one campaign shard (:func:`repro.exec.parallel_map` worker).
+
+    The worker captures accounting baselines, runs its tasks against a
+    private :class:`Instrumentation`, derives the deltas, and then
+    **restores every baseline** before returning.  Restoring matters
+    for the in-process serial fallback, where this function mutates the
+    parent's real state: without the rewind, the parent's delta merge
+    would double-count.  In a forked child the restore is moot (the
+    child exits), so both paths behave identically by construction.
+    """
+    engine = driver.platforms.atlas.engine
+    lgs = driver.platforms.looking_glasses
+    engine_base = engine.issue_baseline()
+    lg_base = lgs.query_state()
+    budget_base = driver.budget.counts()
+    parent_obs = driver._obs
+    driver._obs = Instrumentation()
+    try:
+        traces = [driver._execute_task(task) for task in shard.items]
+        issued, issue_deltas = engine.issue_deltas_since(engine_base)
+        result = {
+            "indices": shard.item_indices,
+            "traces": traces,
+            "engine": (issued, issue_deltas),
+            "lg_queries": lgs.query_deltas_since(lg_base),
+            "budget": driver.budget.deltas_since(budget_base),
+            "metrics": driver._obs.snapshot(),
+        }
+    finally:
+        driver._obs = parent_obs
+    engine.restore_issue_state(engine_base)
+    lgs.restore_query_state(lg_base)
+    driver.budget.restore(budget_base)
+    return result

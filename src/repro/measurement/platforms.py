@@ -236,6 +236,47 @@ class LookingGlassPlatform(MeasurementPlatform):
             self.fault_injector.check_looking_glass(vp.asn)
         return super().trace(vp, dst_address)
 
+    # -- sharded-execution merge support -------------------------------
+
+    def query_state(self) -> tuple[dict[int, int], float]:
+        """Snapshot of the rate-limit accounting (shard baseline)."""
+        return dict(self._queries_per_lg), self.simulated_wait_s
+
+    def restore_query_state(self, state: tuple[dict[int, int], float]) -> None:
+        """Rewind the accounting to a :meth:`query_state` snapshot."""
+        queries, wait = state
+        self._queries_per_lg = dict(queries)
+        self.simulated_wait_s = wait
+
+    def query_deltas_since(
+        self, state: tuple[dict[int, int], float]
+    ) -> dict[int, int]:
+        """Per-ASN query-count growth since ``state`` (worker side)."""
+        baseline = state[0]
+        return {
+            asn: count - baseline.get(asn, 0)
+            for asn, count in self._queries_per_lg.items()
+            if count != baseline.get(asn, 0)
+        }
+
+    def absorb_query_deltas(self, deltas: dict[int, int]) -> None:
+        """Fold a shard's query counts in, re-deriving the rate-limit
+        wait (parent side).
+
+        The serial path pays ``LG_QUERY_INTERVAL_S`` for every query to
+        an LG after its first; ``added`` queries on top of ``count``
+        existing ones therefore owe the closed-form difference below,
+        which keeps the merged accounting equal to the serial run's
+        even when one AS's vantage points land in different shards.
+        """
+        for asn, added in deltas.items():
+            count = self._queries_per_lg.get(asn, 0)
+            total = count + added
+            self.simulated_wait_s += LG_QUERY_INTERVAL_S * (
+                max(0, total - 1) - max(0, count - 1)
+            )
+            self._queries_per_lg[asn] = total
+
     def bgp_route(
         self, vp: VantagePoint, dst_address: int
     ) -> tuple[list[int], list[tuple[int, str]]] | None:
@@ -320,18 +361,31 @@ class ArchivePlatform(MeasurementPlatform):
             )
         return cls(name, engine, vantage_points)
 
+    def plan_sweep(
+        self, targets: list[int], per_node: int, seed: int = 0
+    ) -> list[tuple[VantagePoint, int]]:
+        """Plan an archived sweep: each node gets a random target sample.
+
+        Planning draws all of its randomness from ``Random(seed)`` up
+        front, so executing the planned (vantage point, target) pairs —
+        serially or sharded — touches no shared RNG state.
+        """
+        rng = Random(seed)
+        plan: list[tuple[VantagePoint, int]] = []
+        for vp in self.vantage_points:
+            sample = rng.sample(targets, min(per_node, len(targets)))
+            plan.extend((vp, dst) for dst in sample)
+        return plan
+
     def collect_sweep(
         self, targets: list[int], per_node: int, seed: int = 0
     ) -> list[Traceroute]:
         """An archived sweep: each node traces a random target sample,
         mimicking the daily iPlane/Ark campaigns mined in Section 4.1."""
-        rng = Random(seed)
-        traces: list[Traceroute] = []
-        for vp in self.vantage_points:
-            sample = rng.sample(targets, min(per_node, len(targets)))
-            for dst in sample:
-                traces.append(self.trace(vp, dst))
-        return traces
+        return [
+            self.trace(vp, dst)
+            for vp, dst in self.plan_sweep(targets, per_node, seed=seed)
+        ]
 
 
 @dataclass(slots=True)

@@ -116,9 +116,16 @@ class CircuitBreaker:
         self.tripped.add(key)
         return newly
 
-    def open_keys(self) -> set[str]:
-        """Keys currently quarantined."""
-        return {key for key in self._opened_at if self.is_open(key)}
+    def open_keys(self) -> tuple[str, ...]:
+        """Keys currently quarantined, sorted.
+
+        A sorted tuple rather than a raw set: callers iterate this into
+        reports and event payloads, and set order would leak hash/
+        insertion history into those outputs (reprolint R003).
+        """
+        return tuple(
+            sorted(key for key in self._opened_at if self.is_open(key))
+        )
 
 
 @dataclass(slots=True)
@@ -141,6 +148,15 @@ class ProbeBudget:
     #: Probes skipped because the budget was exhausted.
     skipped_budget: int = 0
 
+    #: The accounting buckets (every field except the cap itself).
+    COUNT_FIELDS = (
+        "attempts",
+        "retried",
+        "failed",
+        "skipped_quarantined",
+        "skipped_budget",
+    )
+
     def allow(self) -> bool:
         """True while another attempt fits in the budget."""
         return self.max_probes is None or self.attempts < self.max_probes
@@ -155,6 +171,43 @@ class ProbeBudget:
             "skipped_quarantined": self.skipped_quarantined,
             "skipped_budget": self.skipped_budget,
         }
+
+    def check(self) -> None:
+        """Assert the hard cap was honoured (post-campaign invariant).
+
+        ``allow()`` is consulted before every attempt, so ``attempts``
+        can never legitimately exceed ``max_probes``; an overrun means
+        an accounting bug (e.g. a merge applied twice) and raises.
+        """
+        if self.max_probes is not None and self.attempts > self.max_probes:
+            raise RuntimeError(
+                f"probe budget overrun: {self.attempts} attempts issued "
+                f"against max_probes={self.max_probes}"
+            )
+
+    # -- sharded-execution merge support -------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """The accounting buckets as a plain dict (shard baseline)."""
+        return {name: getattr(self, name) for name in self.COUNT_FIELDS}
+
+    def deltas_since(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Bucket growth since a :meth:`counts` baseline (worker side)."""
+        return {
+            name: getattr(self, name) - baseline[name]
+            for name in self.COUNT_FIELDS
+            if getattr(self, name) != baseline[name]
+        }
+
+    def restore(self, baseline: dict[str, int]) -> None:
+        """Rewind the buckets to a :meth:`counts` baseline."""
+        for name in self.COUNT_FIELDS:
+            setattr(self, name, baseline[name])
+
+    def absorb(self, deltas: dict[str, int]) -> None:
+        """Fold a shard's bucket deltas in (parent side)."""
+        for name, delta in deltas.items():
+            setattr(self, name, getattr(self, name) + delta)
 
 
 @dataclass(frozen=True, slots=True)

@@ -72,16 +72,22 @@ class RttModel:
             + self.config.per_hop_processing_ms
         )
 
-    def sample_from_one_way(self, one_way_ms: float) -> float:
+    def sample_from_one_way(
+        self, one_way_ms: float, rng: Random | None = None
+    ) -> float:
         """One noisy RTT sample given an accumulated one-way base.
 
         The traceroute engine accumulates the base incrementally along
-        the path, so per-hop sampling stays O(1).
+        the path, so per-hop sampling stays O(1).  ``rng`` selects the
+        jitter stream; the engine passes its keyed per-trace substream
+        so a trace's noise never depends on unrelated probes, and
+        ``None`` falls back to the model's own sequential stream.
         """
+        draw = self._rng if rng is None else rng
         rtt = 2.0 * one_way_ms
-        rtt += self._rng.uniform(0.0, self.config.jitter_ms)
-        if self._rng.random() < self.config.congestion_prob:
-            rtt += self._rng.uniform(0.0, self.config.congestion_ms)
+        rtt += draw.uniform(0.0, self.config.jitter_ms)
+        if draw.random() < self.config.congestion_prob:
+            rtt += draw.uniform(0.0, self.config.congestion_ms)
         return rtt
 
     def metro_local_bound_ms(self) -> float:

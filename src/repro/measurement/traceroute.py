@@ -19,15 +19,23 @@ depends on (Sections 3.2, 4.1, 4.3):
 We model ICMP Paris traceroute: forwarding in the substrate is
 deterministic per flow, so the load-balancing artefacts Paris traceroute
 exists to suppress never arise and a single pass per target suffices.
+
+Observable noise (hop loss, RTT jitter) is drawn from a **keyed
+per-trace substream** — ``substream("trace", seed, source_id, dst,
+seq)`` where ``seq`` counts prior issues of the same (source, target)
+pair — never from a shared sequential stream.  A trace's bytes are a
+pure function of the engine seed and the probe's identity, independent
+of how many unrelated probes ran before it, which is what lets the
+parallel campaign executor shard probes freely and still merge
+byte-identical output (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from random import Random
-
 from typing import TYPE_CHECKING
 
+from ..exec.shard import substream
 from ..topology.geo import GeoLocation
 from ..topology.network import InterfaceKind
 from ..topology.routing import Forwarder
@@ -132,8 +140,13 @@ class TracerouteEngine:
         self._forwarder = forwarder or Forwarder(topology)
         self._rtt = rtt_model or RttModel(seed=seed)
         self.config = config or TracerouteConfig()
-        self._rng = Random(seed)
+        self._seed = seed
         self.traces_issued = 0
+        #: Issue counter per (source_id, dst_address): the ``seq`` part
+        #: of the per-trace RNG substream key, so a re-probe of the same
+        #: pair (retries, follow-ups) draws fresh but deterministic
+        #: noise.
+        self._issue_counts: dict[tuple[str, int], int] = {}
         #: Optional chaos layer; every finished trace passes through its
         #: :meth:`~repro.faults.injector.FaultInjector.perturb_trace`.
         self.fault_injector = fault_injector
@@ -159,6 +172,67 @@ class TracerouteEngine:
             return trace
         return self.fault_injector.perturb_trace(trace)
 
+    # ------------------------------------------------------------------
+    # Issue accounting (sharded-execution merge support)
+    # ------------------------------------------------------------------
+
+    def issue_baseline(self) -> tuple[int, dict[tuple[str, int], int]]:
+        """Snapshot of the probe-issue accounting.
+
+        A shard worker captures this before executing its tasks and
+        derives deltas afterwards (:meth:`issue_deltas_since`), so the
+        parent can replay the accounting without re-running the probes.
+        """
+        return self.traces_issued, dict(self._issue_counts)
+
+    def issue_deltas_since(
+        self, baseline: tuple[int, dict[tuple[str, int], int]]
+    ) -> tuple[int, dict[tuple[str, int], int]]:
+        """Issue-count growth since ``baseline`` (worker side)."""
+        base_issued, base_counts = baseline
+        deltas = {
+            key: count - base_counts.get(key, 0)
+            for key, count in self._issue_counts.items()
+            if count != base_counts.get(key, 0)
+        }
+        return self.traces_issued - base_issued, deltas
+
+    def restore_issue_state(
+        self, baseline: tuple[int, dict[tuple[str, int], int]]
+    ) -> None:
+        """Rewind the accounting to an :meth:`issue_baseline` snapshot.
+
+        Shard workers restore their baseline after computing deltas, so
+        the in-process serial fallback (which mutates the parent's
+        engine directly) does not double-count once the parent absorbs
+        the deltas.  In a forked child the restore is moot — the child
+        exits — but running it unconditionally keeps both paths alike.
+        """
+        self.traces_issued = baseline[0]
+        self._issue_counts = dict(baseline[1])
+
+    def absorb_issue_deltas(
+        self,
+        traces_issued: int,
+        issue_counts: dict[tuple[str, int], int],
+    ) -> None:
+        """Fold a shard's issue deltas into this engine (parent side).
+
+        After absorbing every shard in shard-index order the engine's
+        accounting equals the serial run's, so later probes (follow-up
+        campaigns) derive the same ``seq`` values either way.
+        """
+        self.traces_issued += traces_issued
+        for key, delta in issue_counts.items():
+            self._issue_counts[key] = self._issue_counts.get(key, 0) + delta
+
+    def _trace_rng(self, source_id: str, dst_address: int):
+        """The keyed noise substream for one probe (and bump ``seq``)."""
+        key = (source_id, dst_address)
+        seq = self._issue_counts.get(key, 0)
+        self._issue_counts[key] = seq + 1
+        return substream("trace", self._seed, source_id, dst_address, seq)
+
     def trace(
         self,
         src_router: int,
@@ -173,10 +247,13 @@ class TracerouteEngine:
         probe independently (:meth:`_trace_classic`).
         """
         self.traces_issued += 1
+        rng = self._trace_rng(source_id, dst_address)
         src = self._topology.routers[src_router]
         if not self.config.paris:
             return self._finish(
-                self._trace_classic(src_router, dst_address, source_id, platform)
+                self._trace_classic(
+                    src_router, dst_address, source_id, platform, rng
+                )
             )
         flow_id = self._flow_id(src_router, dst_address, 0)
         path = self._forwarder.router_path(src_router, dst_address, flow_id)
@@ -236,12 +313,12 @@ class TracerouteEngine:
                 address: int | None = dst_address
             else:
                 address = router_hop.ingress_address
-            if address is not None and self._rng.random() < self.config.hop_loss_prob:
+            if address is not None and rng.random() < self.config.hop_loss_prob:
                 address = None
             rtt: float | None = None
             if address is not None:
                 rtt = min(
-                    self._rtt.sample_from_one_way(one_way_ms)
+                    self._rtt.sample_from_one_way(one_way_ms, rng=rng)
                     for _ in range(self.config.rtt_samples)
                 )
             hops.append(
@@ -258,7 +335,7 @@ class TracerouteEngine:
             # The host's own echo, one hop behind its gateway router.
             one_way_ms += self._rtt.config.per_hop_processing_ms + 0.05
             rtt = min(
-                self._rtt.sample_from_one_way(one_way_ms)
+                self._rtt.sample_from_one_way(one_way_ms, rng=rng)
                 for _ in range(self.config.rtt_samples)
             )
             hops.append(
@@ -287,6 +364,7 @@ class TracerouteEngine:
         dst_address: int,
         source_id: str,
         platform: str,
+        rng,
     ) -> Traceroute:
         """Classic traceroute: each TTL's probe hashes to its own flow.
 
@@ -319,7 +397,7 @@ class TracerouteEngine:
             else:
                 router_hop = path[ttl]
                 address = router_hop.ingress_address
-            if address is not None and self._rng.random() < self.config.hop_loss_prob:
+            if address is not None and rng.random() < self.config.hop_loss_prob:
                 address = None
                 reached = False if ttl >= len(path) else reached
             rtt: float | None = None
@@ -331,7 +409,7 @@ class TracerouteEngine:
                     one_way += self._rtt.step_one_way_ms(here, there)
                     here = there
                 rtt = min(
-                    self._rtt.sample_from_one_way(one_way)
+                    self._rtt.sample_from_one_way(one_way, rng=rng)
                     for _ in range(self.config.rtt_samples)
                 )
             hops.append(

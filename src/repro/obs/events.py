@@ -31,6 +31,7 @@ EVENT_NAMES: dict[str, str] = {
     "midar.resolve": "one MIDAR-style alias resolution round completed",
     "hitlist.miss": "a target AS had no responsive hitlist addresses",
     "campaign.initial": "the initial traceroute campaign completed",
+    "campaign.budget": "final probe-budget accounting after a campaign",
     "campaign.vp_quarantined": "a vantage point's circuit breaker opened",
     "fault.vp_outage": "fault injection took a vantage point down",
     "fault.lg_timeout": "fault injection timed out a looking-glass query",

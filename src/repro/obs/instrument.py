@@ -5,13 +5,19 @@ offers three primitives to instrumented code:
 
 * ``count(name, n)`` — bump a named counter;
 * ``stage(name)`` — a context manager accumulating wall-clock time
-  (``time.perf_counter``, monotonic) under a stage name, re-entrant
+  (``time.perf_counter_ns``, monotonic) under a stage name, re-entrant
   across iterations so repeated stages aggregate;
 * ``emit(name, **payload)`` — forward a structured event to the sink.
 
 ``snapshot()`` freezes the counters and timings into a
 :class:`MetricsSnapshot`, which the CFS loop attaches to its result
 (``CfsResult.metrics``) and the exporter/CLI render.
+
+Every quantity is carried as an integer — counters, call counts, and
+stage time in **nanoseconds** — so snapshot merging is exact integer
+addition: associative, commutative, and independent of the order in
+which parallel shards hand their snapshots back.  ``stage_seconds``
+stays available as a derived float view for display and export.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from .events import EVENT_NAMES, ObsEvent, UnregisteredEventError
 from .sinks import NullSink, ObsSink
@@ -33,10 +39,16 @@ class MetricsSnapshot:
 
     #: Monotonic counters, e.g. ``{"cfs.traces_parsed": 1024}``.
     counters: dict[str, int] = field(default_factory=dict)
-    #: Accumulated wall-clock seconds per stage.
-    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Accumulated wall-clock nanoseconds per stage (integers, so
+    #: merging snapshots is exact).
+    stage_ns: dict[str, int] = field(default_factory=dict)
     #: Times each stage was entered.
     stage_calls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Stage times as float seconds (derived display view)."""
+        return {name: ns / 1e9 for name, ns in self.stage_ns.items()}
 
     def counter(self, name: str, default: int = 0) -> int:
         """One counter's value (``default`` if never bumped)."""
@@ -48,12 +60,35 @@ class MetricsSnapshot:
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "stages": {
                 name: {
-                    "seconds": self.stage_seconds[name],
+                    "seconds": self.stage_ns[name] / 1e9,
                     "calls": self.stage_calls.get(name, 0),
                 }
-                for name in sorted(self.stage_seconds)
+                for name in sorted(self.stage_ns)
             },
         }
+
+    @classmethod
+    def merge_all(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Sum many snapshots into one.
+
+        Pure integer addition per key, so the result is identical for
+        every ordering and grouping of ``snapshots`` — the property the
+        parallel executor's shard merge relies on (and that
+        ``tests/exec`` pins down).
+        """
+        counters: dict[str, int] = {}
+        stage_ns: dict[str, int] = {}
+        stage_calls: dict[str, int] = {}
+        for snapshot in snapshots:
+            for name, value in snapshot.counters.items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snapshot.stage_ns.items():
+                stage_ns[name] = stage_ns.get(name, 0) + value
+            for name, value in snapshot.stage_calls.items():
+                stage_calls[name] = stage_calls.get(name, 0) + value
+        return cls(
+            counters=counters, stage_ns=stage_ns, stage_calls=stage_calls
+        )
 
 
 class Instrumentation:
@@ -71,7 +106,7 @@ class Instrumentation:
         #: raises instead of silently minting a new namespace entry.
         self.strict = strict
         self._counters: dict[str, int] = {}
-        self._stage_seconds: dict[str, float] = {}
+        self._stage_ns: dict[str, int] = {}
         self._stage_calls: dict[str, int] = {}
         self._stage_stack: list[str] = []
 
@@ -109,16 +144,14 @@ class Instrumentation:
         """Accumulate monotonic wall-clock time under ``name``."""
         self._stage_stack.append(name)
         self._stage_calls[name] = self._stage_calls.get(name, 0) + 1
-        started = time.perf_counter()
+        started = time.perf_counter_ns()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
-            self._stage_seconds[name] = (
-                self._stage_seconds.get(name, 0.0) + elapsed
-            )
+            elapsed = time.perf_counter_ns() - started
+            self._stage_ns[name] = self._stage_ns.get(name, 0) + elapsed
             self._stage_stack.pop()
-            self.emit("stage", stage=name, seconds=elapsed)
+            self.emit("stage", stage=name, seconds=elapsed / 1e9)
 
     # ------------------------------------------------------------------
 
@@ -126,10 +159,25 @@ class Instrumentation:
         """Current value of counter ``name``."""
         return self._counters.get(name, default)
 
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this instance's live totals.
+
+        The parallel executor's parent-side merge: shards accumulate
+        into private :class:`Instrumentation` instances, and the parent
+        absorbs their snapshots in shard-index order.  All additions
+        are integer-exact, so the totals equal the serial run's.
+        """
+        for name, value in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.stage_ns.items():
+            self._stage_ns[name] = self._stage_ns.get(name, 0) + value
+        for name, value in snapshot.stage_calls.items():
+            self._stage_calls[name] = self._stage_calls.get(name, 0) + value
+
     def snapshot(self) -> MetricsSnapshot:
         """Freeze counters and timings into a :class:`MetricsSnapshot`."""
         return MetricsSnapshot(
             counters=dict(self._counters),
-            stage_seconds=dict(self._stage_seconds),
+            stage_ns=dict(self._stage_ns),
             stage_calls=dict(self._stage_calls),
         )

@@ -56,7 +56,7 @@ def test_json_format_shape(tmp_path, capsys):
     document = json.loads(capsys.readouterr().out)
     assert document["schema"] == "repro/lint/1"
     assert document["rules"] == [
-        "R001", "R002", "R003", "R004", "R005", "R006",
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007",
     ]
     assert document["files_scanned"] == 1
     assert document["counts"] == {"R001": 1}
@@ -122,7 +122,7 @@ def test_corrupt_baseline_is_clean_exit_2(tmp_path, capsys):
 def test_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
         assert rule_id in out
 
 

@@ -295,6 +295,51 @@ def test_r003_ignores_order_free_consumption(tmp_path):
     assert rule_ids(result) == []
 
 
+def _breaker_registry(tmp_path):
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "obs" / "events.py").write_text(
+        'EVENT_NAMES = {\n    "breaker.open": "fixture",\n}\n',
+        encoding="utf-8",
+    )
+
+
+def test_r003_flags_set_returning_method_in_sink(tmp_path):
+    # Regression for the CircuitBreaker.open_keys() bug: a method
+    # annotated ``-> set[...]`` types its *call result*, so iterating
+    # that result into an emit payload is flagged project-wide.
+    _breaker_registry(tmp_path)
+    result = lint_source(
+        tmp_path,
+        """
+        class Breaker:
+            def open_keys(self) -> set[str]:
+                return {"a", "b"}
+
+        def report(obs, breaker: Breaker):
+            for key in breaker.open_keys():
+                obs.emit("breaker.open", key=key)
+        """,
+    )
+    assert rule_ids(result) == ["R003"]
+
+
+def test_r003_accepts_sorted_set_returning_method(tmp_path):
+    _breaker_registry(tmp_path)
+    result = lint_source(
+        tmp_path,
+        """
+        class Breaker:
+            def open_keys(self) -> set[str]:
+                return {"a", "b"}
+
+        def report(obs, breaker: Breaker):
+            for key in sorted(breaker.open_keys()):
+                obs.emit("breaker.open", key=key)
+        """,
+    )
+    assert rule_ids(result) == []
+
+
 # ----------------------------------------------------------------------
 # R004 — the event namespace
 # ----------------------------------------------------------------------
@@ -510,6 +555,82 @@ def test_r006_ignores_non_cli_modules(tmp_path):
         rel="worker.py",
     )
     assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R007 — process pools confined to the exec layer
+# ----------------------------------------------------------------------
+
+
+def test_r007_flags_multiprocessing_import_outside_exec(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import multiprocessing
+
+        def spawn():
+            return multiprocessing.cpu_count()
+        """,
+        rel="measurement/campaign.py",
+    )
+    assert rule_ids(result) == ["R007"]
+    assert "exec" in result.findings[0].message
+
+
+def test_r007_flags_concurrent_futures_from_import(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def pool():
+            return ProcessPoolExecutor(max_workers=2)
+        """,
+        rel="core/cfs.py",
+    )
+    assert rule_ids(result) == ["R007"]
+
+
+def test_r007_allows_imports_inside_exec(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        def pool(workers: int):
+            context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(workers, mp_context=context)
+        """,
+        rel="exec/pool.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r007_ignores_relative_and_unrelated_imports(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import json
+        from . import helpers
+        from .exec import parallel_map
+        """,
+        rel="core/pipeline.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r007_suppressible_with_reason(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import multiprocessing  # reprolint: disable=R007 fixture only
+        """,
+        rel="faults/inject.py",
+    )
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0][0].rule == "R007"
 
 
 # ----------------------------------------------------------------------

@@ -60,7 +60,7 @@ class TestCircuitBreaker:
         assert breaker.record_failure("vp") is True  # newly opened
         assert breaker.is_open("vp")
         assert breaker.tripped == {"vp"}
-        assert breaker.open_keys() == {"vp"}
+        assert breaker.open_keys() == ("vp",)
         # Further failures while open are not "newly opened".
         assert breaker.record_failure("vp") is False
 
@@ -123,6 +123,19 @@ class TestProbeBudget:
         assert rendered["max_probes"] == 5
         assert rendered["attempts"] == 3
         assert rendered["retried"] == 1
+
+    def test_check_raises_on_overrun(self):
+        budget = ProbeBudget(max_probes=2)
+        budget.attempts = 2
+        budget.check()  # at the cap is legitimate
+        budget.attempts = 3
+        with pytest.raises(RuntimeError, match="overrun"):
+            budget.check()
+
+    def test_check_unlimited_never_raises(self):
+        budget = ProbeBudget()
+        budget.attempts = 10_000
+        budget.check()
 
 
 @pytest.fixture()
@@ -194,6 +207,46 @@ class TestDriverResilience:
         assert sum(trace is not None for trace in issued) == 3
         assert driver.budget.skipped_budget == 2
         assert obs.counter("campaign.budget_exhausted") == 2
+
+    def test_budget_straddle_counts_failed_not_skipped(
+        self, small_env, outage_atlas
+    ):
+        """Regression: a probe whose retries straddle the budget cap
+        already burned attempts, so it lands in the ``failed`` bucket —
+        it used to be miscounted as ``skipped_budget``, inflating the
+        'never probed' story while hiding the abandoned probe."""
+        obs = Instrumentation()
+        driver = self._driver(
+            small_env, obs, resilience=ResilienceConfig(max_probes=2)
+        )
+        dst = small_env.hitlist.all_targets()[0]
+        # Probe 1 burns both budgeted attempts on outages, then hits
+        # the cap mid-retry: failed, not skipped.
+        vp = outage_atlas.vantage_points[0]
+        assert driver._resilient_trace(outage_atlas, vp, dst) is None
+        assert driver.budget.attempts == 2
+        assert driver.budget.failed == 1
+        assert driver.budget.skipped_budget == 0
+        assert obs.counter("campaign.probe_gave_up") == 1
+        assert obs.counter("campaign.budget_exhausted") == 1
+        # Probe 2 never gets an attempt: skipped, not failed.
+        vp2 = outage_atlas.vantage_points[1]
+        assert driver._resilient_trace(outage_atlas, vp2, dst) is None
+        assert driver.budget.failed == 1
+        assert driver.budget.skipped_budget == 1
+        assert obs.counter("campaign.budget_exhausted") == 2
+        # Every probe sits in exactly one bucket and the cap held.
+        assert driver.budget.failed + driver.budget.skipped_budget == 2
+        driver.budget.check()
+
+    def test_campaign_emits_final_budget(self, small_env):
+        sink = MemorySink()
+        obs = Instrumentation(sink)
+        driver = self._driver(small_env, obs)
+        driver.initial_campaign([999_999], include_archives=False)
+        events = sink.by_name("campaign.budget")
+        assert len(events) == 1
+        assert events[0].payload == driver.budget.as_dict()
 
 
 class TestLookingGlassResilience:

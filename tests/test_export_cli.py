@@ -134,6 +134,30 @@ class TestCharts:
 
         assert format_bars([], title="t") == "t"
 
+    def test_format_bars_clamp_and_floor(self):
+        """Regression: bar widths floor (with a 1-char minimum) and
+        clamp to ``width`` — ``round()`` used to promote near-peak
+        values to a full-width bar, hiding which entry is the peak."""
+        from repro.experiments.formatting import format_bars
+
+        cases = [
+            # (value, peak, width) -> expected filled characters
+            (10.0, 10.0, 20, 20),  # peak spans the full width
+            (9.9, 10.0, 20, 19),   # near-peak must NOT round up to 20
+            (39.5, 40.0, 40, 39),  # round-half would have hit 40
+            (0.01, 10.0, 20, 1),   # tiny non-zero stays visible
+            (4.9, 10.0, 20, 9),    # floors, never rounds up
+            (0.0, 10.0, 20, 0),    # zero renders empty
+            (-3.0, 10.0, 20, 0),   # negative renders empty
+        ]
+        for value, peak, width, expected in cases:
+            text = format_bars(
+                [("peak", peak), ("val", value)], width=width
+            )
+            filled = text.splitlines()[1].count("#")
+            assert filled == expected, (value, peak, width, filled)
+            assert filled <= width
+
     def test_fig3_chart(self, small_env):
         from repro.experiments import run_fig3
 
