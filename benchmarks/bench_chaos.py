@@ -62,7 +62,16 @@ def quick_chaos(
     started = time.perf_counter()
     identical = _zero_fault_identity(seed, scale)
     print(f"zero-fault identity (seed {seed}): {'ok' if identical else 'BROKEN'}")
-    report = run_chaos(seed=seed, scale=scale, intensities=intensities)
+    # workers=2 so the moderate profile's worker_crash / worker_hang
+    # rates actually reach a pool and the supervisor columns are live
+    # (a 1s deadline keeps injected hangs from stalling the sweep).
+    report = run_chaos(
+        seed=seed,
+        scale=scale,
+        intensities=intensities,
+        workers=2,
+        shard_timeout_s=1.0,
+    )
     print(report.format())
     elapsed = time.perf_counter() - started
     payload = {

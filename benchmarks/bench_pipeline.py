@@ -11,9 +11,10 @@ Standalone smoke mode (no pytest-benchmark needed)::
     python benchmarks/bench_pipeline.py --quick
 
 runs the engine comparison on a few small seeds plus a serial-vs-
-``workers=2`` executor smoke, checks the inferences stay
-byte-identical, and writes ``BENCH_pipeline.json`` next to the
-repository root.
+``workers=2`` executor smoke, a kill-one-worker-and-recover supervisor
+smoke, and a checkpoint/resume smoke, checks the inferences stay
+byte-identical throughout, and writes ``BENCH_pipeline.json`` next to
+the repository root.
 """
 
 from __future__ import annotations
@@ -215,6 +216,88 @@ def _workers_smoke(scale: str) -> dict:
     }
 
 
+def _supervisor_smoke(scale: str) -> dict:
+    """Kill-one-worker-and-recover: the supervisor's contract in one bit.
+
+    Runs the pipeline at ``workers=2`` under a seeded ``worker_crash``
+    plan (workers die mid-shard with ``os._exit``; nothing else is
+    faulted) and compares against an unfaulted serial run.
+    ``recovered`` is the gate: the supervisor really saw crashes
+    (``shard_retries > 0``) *and* the inferences stayed byte-identical.
+    """
+    from repro.core.pipeline import run_pipeline
+    from repro.faults.plan import FaultPlan
+    from repro.obs import Instrumentation
+
+    import dataclasses
+
+    clean_env = build_environment(PipelineConfig.for_scale(scale, seed=0))
+    clean_corpus = clean_env.run_campaign()
+    clean_result = clean_env.run_cfs(clean_corpus)
+
+    config = dataclasses.replace(
+        PipelineConfig.for_scale(scale, seed=0),
+        workers=2,
+        faults=FaultPlan(worker_crash=0.5),
+    )
+    obs = Instrumentation()
+    started = time.perf_counter()
+    run = run_pipeline(config, instrumentation=obs)
+    elapsed = time.perf_counter() - started
+    identical = _comparable_export(
+        run.environment, run.cfs_result
+    ) == _comparable_export(clean_env, clean_result)
+    retries = obs.counter("exec.shard.retry")
+    return {
+        "identical": identical,
+        "shard_retries": retries,
+        "shard_quarantines": obs.counter("exec.shard.quarantine"),
+        "pool_rebuilds": obs.counter("exec.pool.rebuild"),
+        "recovered": bool(identical and retries > 0),
+        "pipeline_seconds": round(elapsed, 3),
+    }
+
+
+def _resume_smoke(scale: str) -> dict:
+    """Checkpoint a run, resume it, and compare the exports.
+
+    Records the wall-clock of the checkpointing run and of the resume
+    (the resume should be near-instant: every stage loads from disk),
+    plus the byte-identity bit the smoke gates on.
+    """
+    import tempfile
+
+    from repro.core.pipeline import run_pipeline
+    from repro.obs import Instrumentation
+
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as checkpoint_dir:
+        config = PipelineConfig.for_scale(scale, seed=0)
+        import dataclasses
+
+        first_config = dataclasses.replace(
+            config, checkpoint_dir=checkpoint_dir
+        )
+        started = time.perf_counter()
+        first = run_pipeline(first_config)
+        first_seconds = time.perf_counter() - started
+        resume_config = dataclasses.replace(
+            config, checkpoint_dir=checkpoint_dir, resume=True
+        )
+        obs = Instrumentation()
+        started = time.perf_counter()
+        resumed = run_pipeline(resume_config, instrumentation=obs)
+        resume_seconds = time.perf_counter() - started
+    identical = _comparable_export(
+        resumed.environment, resumed.cfs_result
+    ) == _comparable_export(first.environment, first.cfs_result)
+    return {
+        "identical": identical,
+        "stages_loaded": obs.counter("checkpoint.load"),
+        "first_run_seconds": round(first_seconds, 3),
+        "resume_seconds": round(resume_seconds, 3),
+    }
+
+
 def _lint_smoke() -> tuple[dict, bool]:
     """Run ``repro lint --format json`` over the installed tree.
 
@@ -277,6 +360,25 @@ def quick_smoke(output: str, scale: str = "small") -> int:
         f"cpus={workers_row['cpu_count']}"
     )
     failed = failed or not workers_row["identical"]
+    report["supervisor"] = supervisor_row = _supervisor_smoke(scale)
+    supervisor_status = "ok" if supervisor_row["recovered"] else "FAILED"
+    print(
+        f"supervisor: {supervisor_status} "
+        f"retries={supervisor_row['shard_retries']} "
+        f"quarantines={supervisor_row['shard_quarantines']} "
+        f"rebuilds={supervisor_row['pool_rebuilds']} "
+        f"identical={supervisor_row['identical']}"
+    )
+    failed = failed or not supervisor_row["recovered"]
+    report["resume"] = resume_row = _resume_smoke(scale)
+    resume_status = "ok" if resume_row["identical"] else "DIVERGED"
+    print(
+        f"resume: {resume_status} "
+        f"stages_loaded={resume_row['stages_loaded']} "
+        f"first={resume_row['first_run_seconds']}s "
+        f"resume={resume_row['resume_seconds']}s"
+    )
+    failed = failed or not resume_row["identical"]
     report["lint"], lint_failed = _lint_smoke()
     failed = failed or lint_failed
     path = Path(output)

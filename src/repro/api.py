@@ -66,6 +66,10 @@ def run_pipeline(
     instrumentation: Instrumentation | None = None,
     faults: FaultPlan | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    shard_timeout: float | None = None,
+    progress=None,
 ) -> PipelineResult:
     """Build an environment, run the campaign, run CFS.
 
@@ -80,13 +84,29 @@ def run_pipeline(
     ``workers`` (optional) overrides the resolved config's process-pool
     width; any width produces byte-identical results, so parallelism is
     purely a wall-clock knob.
+
+    ``checkpoint_dir`` (optional) durably checkpoints each completed
+    stage there; ``resume=True`` additionally loads every intact stage
+    instead of recomputing it (corrupt stages degrade to recompute with
+    a warning).  A resumed run's output is byte-identical to an
+    uninterrupted one.  ``shard_timeout`` (seconds) sets the executor
+    supervisor's per-shard progress deadline, and ``progress`` receives
+    human-readable stage/checkpoint notices.
     """
     resolved = _resolve_config(config, seed, scale)
     if faults is not None:
         resolved = _dataclass_replace(resolved, faults=faults)
     if workers is not None:
         resolved = _dataclass_replace(resolved, workers=workers)
-    return _run_pipeline(resolved, instrumentation=instrumentation)
+    if checkpoint_dir is not None or resume:
+        resolved = _dataclass_replace(
+            resolved, checkpoint_dir=checkpoint_dir, resume=resume
+        )
+    if shard_timeout is not None:
+        resolved = _dataclass_replace(resolved, shard_timeout_s=shard_timeout)
+    return _run_pipeline(
+        resolved, instrumentation=instrumentation, progress=progress
+    )
 
 
 def build_environment(
@@ -96,11 +116,13 @@ def build_environment(
     scale: str | None = None,
     faults: FaultPlan | None = None,
     workers: int | None = None,
+    shard_timeout: float | None = None,
 ) -> Environment:
     """Wire the full measurement stack without running anything.
 
-    ``faults`` installs a fault-injection plan, and ``workers`` sets
-    the process-pool width, on top of the resolved config (see
+    ``faults`` installs a fault-injection plan, ``workers`` sets the
+    process-pool width, and ``shard_timeout`` the supervisor's
+    per-shard deadline, on top of the resolved config (see
     :func:`run_pipeline`).
     """
     resolved = _resolve_config(config, seed, scale)
@@ -108,6 +130,8 @@ def build_environment(
         resolved = _dataclass_replace(resolved, faults=faults)
     if workers is not None:
         resolved = _dataclass_replace(resolved, workers=workers)
+    if shard_timeout is not None:
+        resolved = _dataclass_replace(resolved, shard_timeout_s=shard_timeout)
     return _build_environment(resolved)
 
 

@@ -4,7 +4,8 @@ Usage (via ``python -m repro``)::
 
     python -m repro summary  [--seed N] [--scale small|default|large]
     python -m repro run      [--seed N] [--scale ...] [--workers N]
-                             [--json PATH]
+                             [--shard-timeout S] [--json PATH]
+                             [--checkpoint-dir DIR] [--resume]
     python -m repro experiment {table1,fig2,fig3,fig7,fig8,fig9,fig10,
                                 proximity,multirole,ablation}
                              [--seed N] [--scale ...]
@@ -29,6 +30,7 @@ stderr and status 2 — no traceback.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -41,8 +43,23 @@ from .validation.metrics import score_interfaces, unresolved_city_constrained
 __all__ = ["main", "build_parser"]
 
 
-def _config_for(scale: str, seed: int, workers: int = 1) -> PipelineConfig:
-    return PipelineConfig.for_scale(scale, seed=seed, workers=workers)
+def _config_for(
+    scale: str,
+    seed: int,
+    workers: int = 1,
+    shard_timeout: float | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+) -> PipelineConfig:
+    config = PipelineConfig.for_scale(scale, seed=seed, workers=workers)
+    if shard_timeout is not None or checkpoint_dir is not None or resume:
+        config = dataclasses.replace(
+            config,
+            shard_timeout_s=shard_timeout,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for the campaign and trace extraction "
         "(default: 1 = serial; output is byte-identical at any width)",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard progress deadline for the parallel-executor "
+        "supervisor (default: no deadline; hung shards are retried and "
+        "eventually quarantined to serial execution)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("summary", help="print the generated Internet's shape")
@@ -81,6 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the run's counters and per-stage timings",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="durably checkpoint each completed pipeline stage under DIR",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="load intact stages from --checkpoint-dir instead of "
+        "recomputing them (corrupt stages degrade to recompute); the "
+        "resumed run's output is byte-identical to an uninterrupted one",
     )
 
     experiment = commands.add_parser(
@@ -171,15 +210,23 @@ def _print_metrics(result) -> None:
         print(f"  {name}: {metrics.counters[name]}")
 
 
-def _cmd_run(env: Environment, json_path: str | None, metrics: bool) -> int:
+def _cmd_run(
+    config: PipelineConfig, json_path: str | None, metrics: bool
+) -> int:
+    # Imported lazily: only the run command drives the checkpointing
+    # orchestrator; the other commands wire the environment directly.
+    from .core.pipeline import run_pipeline
+
     started = time.perf_counter()
     instrumentation = Instrumentation()
-    print("running initial campaign ...")
-    corpus = env.run_campaign(instrumentation=instrumentation)
-    print(f"  {len(corpus)} traceroutes collected")
-    print("running Constrained Facility Search ...")
-    result = env.run_cfs(corpus, instrumentation=instrumentation)
+    print("running campaign + Constrained Facility Search ...")
+    run = run_pipeline(
+        config, instrumentation=instrumentation, progress=print
+    )
+    env = run.environment
+    result = run.cfs_result
     elapsed = time.perf_counter() - started
+    print(f"  corpus holds {len(run.corpus)} traceroutes")
     print(
         f"  {result.iterations_run} iterations, "
         f"{result.followup_traces} follow-up traces, {elapsed:.1f}s"
@@ -310,15 +357,38 @@ def main(argv: list[str] | None = None) -> int:
             raise ValueError(
                 f"invalid workers {args.workers}: must be at least 1"
             )
+        if args.shard_timeout is not None and args.shard_timeout <= 0:
+            raise ValueError(
+                f"invalid shard timeout {args.shard_timeout}: must be "
+                "positive"
+            )
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "run":
+            if args.resume and args.checkpoint_dir is None:
+                raise ValueError(
+                    "--resume requires --checkpoint-dir (there is "
+                    "nothing to resume from)"
+                )
+            config = _config_for(
+                args.scale,
+                args.seed,
+                args.workers,
+                shard_timeout=args.shard_timeout,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+            return _cmd_run(config, args.json, args.metrics)
         env = build_environment(
-            _config_for(args.scale, args.seed, args.workers)
+            _config_for(
+                args.scale,
+                args.seed,
+                args.workers,
+                shard_timeout=args.shard_timeout,
+            )
         )
         if args.command == "summary":
             return _cmd_summary(env)
-        if args.command == "run":
-            return _cmd_run(env, args.json, args.metrics)
         if args.command == "experiment":
             return _cmd_experiment(env, args.name)
     except ValueError as error:

@@ -43,7 +43,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as _dataclass_replace
 
 from ..alias.midar import AliasSets, MidarResolver, repair_ip_to_asn
-from ..exec import parallel_map, plan_blocks
+from ..exec import (
+    ExecFaultSpec,
+    SupervisorConfig,
+    instrument_observer,
+    plan_blocks,
+    supervised_map,
+)
 from ..measurement.campaign import CampaignDriver, TraceCorpus
 from ..measurement.platforms import MeasurementPlatform
 from ..measurement.traceroute import Traceroute
@@ -156,6 +162,8 @@ class ConstrainedFacilitySearch:
         config: CfsConfig | None = None,
         instrumentation: Instrumentation | None = None,
         workers: int = 1,
+        supervision: SupervisorConfig | None = None,
+        exec_faults: ExecFaultSpec | None = None,
     ) -> None:
         """Args:
             facility_db: the assembled Section-3.1 knowledge base.
@@ -172,9 +180,15 @@ class ConstrainedFacilitySearch:
                 fresh silent instance when omitted.
             workers: process-pool width for Step-2 trace extraction
                 (1 = serial; output is byte-identical either way).
+            supervision: executor supervision policy (deadline, retry
+                and quarantine bounds); defaults apply when ``None``.
+            exec_faults: seeded executor-fault intensities (chaos);
+                ``None`` injects nothing.
         """
         self._db = facility_db
         self.workers = workers
+        self.supervision = supervision
+        self.exec_faults = exec_faults
         self._ip_to_asn = ip_to_asn
         self._midar = alias_resolver
         self._driver = driver
@@ -414,6 +428,7 @@ class ConstrainedFacilitySearch:
             followup_traces=followup_traces,
             peering_interfaces_seen=len(states),
             metrics=obs.snapshot(),
+            alias_sets=alias_sets if self._midar is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -459,12 +474,16 @@ class ConstrainedFacilitySearch:
         blocks = plan_blocks(len(indices), self.workers)
         payloads = [tuple(indices[start:stop]) for start, stop in blocks]
         self._obs.count("exec.extract.blocks", len(payloads))
-        outputs = parallel_map(
+        outputs = supervised_map(
             _extract_block,
             payloads,
             workers=self.workers,
             context=(self._db, corpus.traces, mapping),
+            config=self.supervision,
+            faults=self.exec_faults,
             fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
+            observer=instrument_observer(self._obs),
+            describe=lambda block: f"extract block of {len(block)} traces",
         )
         results: list[dict[tuple, ObservedPeering] | None] = []
         for records, snapshot in outputs:

@@ -26,6 +26,7 @@ from ..datasets.ixp_sources import IxpDataSources, IxpSourcesConfig
 from ..datasets.noc import NocConfig, NocWebsites
 from ..datasets.normalize import LocationNormalizer
 from ..datasets.peeringdb import PeeringDBConfig, PeeringDBSnapshot
+from ..exec import ExecFaultSpec, SupervisorConfig
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..measurement.campaign import CampaignConfig, CampaignDriver, Hitlist, TraceCorpus
@@ -71,12 +72,35 @@ class PipelineConfig:
     #: extraction (1 = serial).  Output is byte-identical at any width;
     #: see ``repro/exec`` and DESIGN.md §5f for the determinism argument.
     workers: int = 1
+    #: Supervisor progress deadline per shard, in seconds (``None``
+    #: waits forever between completions; dead workers are still
+    #: detected).  See DESIGN.md §5g.
+    shard_timeout_s: float | None = None
+    #: Retries per shard on a rebuilt pool before serial quarantine.
+    max_shard_retries: int = 2
+    #: Directory for crash-safe stage checkpoints (``None`` = no
+    #: checkpointing).
+    checkpoint_dir: str | None = None
+    #: Load intact stages from ``checkpoint_dir`` instead of
+    #: recomputing them (requires ``checkpoint_dir``).
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(
                 f"workers must be at least 1, got {self.workers}"
             )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be positive, got {self.shard_timeout_s}"
+            )
+        if self.max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must not be negative, "
+                f"got {self.max_shard_retries}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
 
     @classmethod
     def small(cls, seed: int = 0, workers: int = 1) -> "PipelineConfig":
@@ -181,6 +205,32 @@ class Environment:
 
     # ------------------------------------------------------------------
 
+    def supervision(self) -> SupervisorConfig:
+        """The executor supervision policy this config asks for."""
+        return SupervisorConfig(
+            shard_timeout_s=self.config.shard_timeout_s,
+            max_retries=self.config.max_shard_retries,
+        )
+
+    def exec_fault_spec(self) -> ExecFaultSpec | None:
+        """Seeded executor-fault intensities from the fault plan.
+
+        ``None`` when no injector is installed or neither worker fault
+        class is enabled.  Injected hangs sleep 1.5× the shard deadline
+        (so they reliably trip it); without a deadline they degrade to a
+        harmless 50 ms pause rather than stalling the run.
+        """
+        injector = self.fault_injector
+        if injector is None or not injector.plan.perturbs_workers:
+            return None
+        timeout = self.config.shard_timeout_s
+        return ExecFaultSpec(
+            crash=injector.plan.worker_crash,
+            hang=injector.plan.worker_hang,
+            hang_s=1.5 * timeout if timeout is not None else 0.05,
+            seed=injector.seed,
+        )
+
     def new_driver(
         self,
         seed_offset: int = 0,
@@ -194,6 +244,8 @@ class Environment:
             seed=self.config.seed + 1000 + seed_offset,
             instrumentation=instrumentation,
             workers=self.config.workers,
+            supervision=self.supervision(),
+            exec_faults=self.exec_fault_spec(),
         )
 
     def new_midar(
@@ -278,6 +330,8 @@ class Environment:
             config=cfs_config or self.config.cfs,
             instrumentation=obs,
             workers=self.config.workers,
+            supervision=self.supervision(),
+            exec_faults=self.exec_fault_spec(),
         )
         platforms = self.platform_list(platform_filter)
         return search.run(corpus, platforms=platforms)
@@ -366,24 +420,147 @@ def build_environment(config: PipelineConfig | None = None) -> Environment:
     )
 
 
+def _open_store(
+    config: PipelineConfig,
+    environment: Environment,
+    instrumentation: Instrumentation | None,
+    progress,
+):
+    """The run's checkpoint store, with the topology stage verified.
+
+    Returns ``None`` when the config asks for no checkpointing.  A
+    resumed store whose topology stage disagrees with the rebuilt
+    topology is invalidated wholesale — every later stage derives from
+    the topology, so none can be trusted.
+    """
+    from ..checkpoint import (
+        CheckpointStore,
+        config_fingerprint,
+        encode_topology_stage,
+    )
+
+    if config.checkpoint_dir is None:
+        return None
+    store = CheckpointStore(
+        config.checkpoint_dir,
+        config_fingerprint(config),
+        instrumentation=instrumentation,
+        warn=progress,
+    )
+    topology_stage = encode_topology_stage(environment.topology)
+    if config.resume:
+        checkpointed = store.load_stage("topology")
+        if checkpointed is not None and checkpointed != topology_stage:
+            store.invalidate("checkpointed topology does not match config")
+    store.write_stage("topology", topology_stage)
+    return store
+
+
 def run_pipeline(
     config: PipelineConfig | None = None,
     instrumentation: Instrumentation | None = None,
+    progress=None,
 ) -> PipelineResult:
-    """Build an environment, run the campaign, run CFS."""
+    """Build an environment, run the campaign, run CFS.
+
+    With ``config.checkpoint_dir`` set, each completed stage (topology
+    digest, campaign corpus + measurement accounting, alias sets, CFS
+    result) is durably checkpointed as it finishes; with
+    ``config.resume`` also set, intact stages are loaded instead of
+    recomputed — and because every stage is deterministic in the
+    config, a resumed run's output is byte-identical to an
+    uninterrupted one whether a stage was loaded or recomputed.
+    Corrupt or missing stages degrade to recompute with a warning.
+
+    ``progress(message)`` receives human-readable stage notices
+    (``None`` silences them).
+
+    One caveat on a *fully* resumed run (CFS stage loaded from disk):
+    :attr:`PipelineResult.corpus` holds the initial campaign only — the
+    follow-up traces CFS appended live inside the loaded result, not
+    the corpus.  The exported map, the thing the byte-identity
+    guarantee covers, is unaffected.
+    """
+    from ..checkpoint import (
+        decode_alias_stage,
+        decode_campaign_stage,
+        decode_cfs_stage,
+        encode_alias_stage,
+        encode_campaign_stage,
+        encode_cfs_stage,
+    )
+
+    def notify(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
     environment = build_environment(config)
     effective = environment.config
     if instrumentation is not None and environment.fault_injector is not None:
         # Fault counters land on the run's metrics snapshot.
         environment.fault_injector.instrumentation = instrumentation
-    corpus = environment.run_campaign(
-        effective.platform_filter, instrumentation=instrumentation
-    )
-    result = environment.run_cfs(
-        corpus,
-        platform_filter=effective.platform_filter,
-        instrumentation=instrumentation,
-    )
+    store = _open_store(effective, environment, instrumentation, progress)
+
+    corpus = None
+    if store is not None and effective.resume:
+        payload = store.load_stage("campaign")
+        if payload is not None:
+            try:
+                corpus = decode_campaign_stage(
+                    payload, environment.engine, environment.platforms
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                notify(f"checkpoint: campaign stage undecodable ({error}); recomputing")
+                corpus = None
+            else:
+                notify(f"resume: loaded campaign stage ({len(corpus)} traces)")
+    if corpus is None:
+        corpus = environment.run_campaign(
+            effective.platform_filter, instrumentation=instrumentation
+        )
+        if store is not None:
+            store.write_stage(
+                "campaign",
+                encode_campaign_stage(
+                    corpus, environment.engine, environment.platforms
+                ),
+            )
+            notify(f"checkpoint: campaign stage written ({len(corpus)} traces)")
+
+    result = None
+    if store is not None and effective.resume:
+        payload = store.load_stage("cfs")
+        if payload is not None:
+            alias_sets = None
+            alias_payload = store.load_stage("alias")
+            if alias_payload is not None:
+                try:
+                    alias_sets = decode_alias_stage(alias_payload)
+                except (KeyError, TypeError, ValueError) as error:
+                    notify(f"checkpoint: alias stage undecodable ({error})")
+            try:
+                result = decode_cfs_stage(payload, alias_sets=alias_sets)
+            except (KeyError, TypeError, ValueError) as error:
+                notify(f"checkpoint: cfs stage undecodable ({error}); recomputing")
+                result = None
+            else:
+                notify(
+                    f"resume: loaded cfs stage "
+                    f"({len(result.interfaces)} interfaces)"
+                )
+    if result is None:
+        result = environment.run_cfs(
+            corpus,
+            platform_filter=effective.platform_filter,
+            instrumentation=instrumentation,
+        )
+        if store is not None:
+            store.write_stage("alias", encode_alias_stage(result.alias_sets))
+            store.write_stage("cfs", encode_cfs_stage(result))
+            notify(
+                f"checkpoint: cfs stage written "
+                f"({len(result.interfaces)} interfaces)"
+            )
     return PipelineResult(
         environment=environment, corpus=corpus, cfs_result=result
     )

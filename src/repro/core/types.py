@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..obs import MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..alias.midar import AliasSets
 
 __all__ = [
     "PeeringKind",
@@ -216,6 +220,9 @@ class CfsResult:
     #: Counters and per-stage timings of the run; ``None`` for results
     #: built outside the instrumented loop.
     metrics: MetricsSnapshot | None = None
+    #: The final alias resolution the run converged on; ``None`` when
+    #: alias resolution was disabled.  Checkpointed as its own stage.
+    alias_sets: "AliasSets | None" = None
 
     def resolved_interfaces(self) -> dict[int, int]:
         """address -> facility for every resolved interface."""

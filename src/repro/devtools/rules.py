@@ -1,4 +1,4 @@
-"""The reprolint rules (R001–R007).
+"""The reprolint rules (R001–R008).
 
 Each rule is a class with an ``id``, a ``title``, a per-file
 ``check_file(source, project)`` pass, and an optional cross-file
@@ -21,6 +21,7 @@ doubles as documentation of why the flagged line is actually safe.
 | R005 | frozen config objects are never mutated outside their module  |
 | R006 | CLI error exits go through the ``cli_error`` helper           |
 | R007 | process-pool imports are confined to ``repro/exec``           |
+| R008 | checkpoint writes go through the atomic helper                |
 """
 
 from __future__ import annotations
@@ -969,6 +970,104 @@ class ProcessPoolDiscipline(Rule):
 
 
 # ----------------------------------------------------------------------
+# R008 — checkpoint writes go through the atomic helper
+# ----------------------------------------------------------------------
+
+
+class DurableWriteDiscipline(Rule):
+    """Crash safety in the checkpoint store rests on one write
+    discipline: write a pid-suffixed temp file, fsync, rename, fsync
+    the directory.  A bare ``open(path, "w")`` (or
+    ``Path.write_text``/``write_bytes``) inside ``repro/checkpoint``
+    can tear on crash and leave a half-written file a later ``--resume``
+    would read.  Durable writes must go through
+    ``repro.checkpoint.atomic.atomic_write_bytes`` /
+    ``atomic_write_json`` (the helper module itself is exempt — it is
+    the audited implementation of the discipline)."""
+
+    id = "R008"
+    title = "checkpoint writes go through the atomic helper"
+
+    #: The directory (relative to the lint root) the rule polices.
+    SCOPE_DIR = "checkpoint"
+    #: The one file allowed to perform raw writes: the helper itself.
+    EXEMPT_FILES = frozenset({"atomic.py"})
+    _WRITE_MODE_CHARS = frozenset("wax+")
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The statically-known mode of an ``open()`` call.
+
+        Returns the mode string when it is a literal, ``"r"`` when
+        omitted, and None when it is a dynamic expression (treated as
+        possibly-writing).
+        """
+        mode_expr: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode_expr = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode_expr = keyword.value
+                    break
+        if mode_expr is None:
+            return "r"
+        if isinstance(mode_expr, ast.Constant) and isinstance(
+            mode_expr.value, str
+        ):
+            return mode_expr.value
+        return None
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        parts = source.rel.split("/")
+        if parts[0] != self.SCOPE_DIR or parts[-1] in self.EXEMPT_FILES:
+            return
+        imports = _import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_mode(node)
+                if mode is not None and not (
+                    self._WRITE_MODE_CHARS & set(mode)
+                ):
+                    continue
+                described = (
+                    f"open(..., {mode!r})" if mode is not None else
+                    "open(...) with a dynamic mode"
+                )
+                yield self.finding(
+                    source,
+                    node,
+                    f"{described} in repro/checkpoint can tear on "
+                    "crash; route durable writes through "
+                    "checkpoint.atomic.atomic_write_bytes/_json",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f".{func.attr}() in repro/checkpoint is not "
+                    "crash-safe; route durable writes through "
+                    "checkpoint.atomic.atomic_write_bytes/_json",
+                )
+            elif _qualname(func, imports) == "os.open":
+                yield self.finding(
+                    source,
+                    node,
+                    "raw os.open in repro/checkpoint belongs in the "
+                    "atomic helper; route durable writes through "
+                    "checkpoint.atomic.atomic_write_bytes/_json",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -980,6 +1079,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FrozenConfigMutation,
     CliExitDiscipline,
     ProcessPoolDiscipline,
+    DurableWriteDiscipline,
 )
 
 _BY_ID = {cls.id: cls for cls in ALL_RULES}

@@ -54,6 +54,10 @@ class ChaosPoint:
     probe_faults: int
     faults_injected: int
     degraded_widenings: int
+    #: Executor-supervisor activity (worker_crash / worker_hang faults).
+    shard_retries: int = 0
+    shard_quarantines: int = 0
+    pool_rebuilds: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready rendering."""
@@ -69,6 +73,9 @@ class ChaosPoint:
             "probe_faults": self.probe_faults,
             "faults_injected": self.faults_injected,
             "degraded_widenings": self.degraded_widenings,
+            "shard_retries": self.shard_retries,
+            "shard_quarantines": self.shard_quarantines,
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
 
@@ -97,14 +104,17 @@ class ChaosReport:
             f"chaos sweep  scale={self.scale}  seed={self.seed}",
             f"{'intensity':>9}  {'resolved':>8}  {'fac-acc':>7}  "
             f"{'city-acc':>8}  {'faults':>6}  {'retries':>7}  "
-            f"{'quarant':>7}  {'widened':>7}",
+            f"{'quarant':>7}  {'widened':>7}  {'shard-r':>7}  "
+            f"{'shard-q':>7}  {'rebuilt':>7}",
         ]
         for p in self.points:
             lines.append(
                 f"{p.intensity:>9.2f}  {p.resolved_fraction:>8.3f}  "
                 f"{p.facility_accuracy:>7.3f}  {p.city_accuracy:>8.3f}  "
                 f"{p.faults_injected:>6d}  {p.retries:>7d}  "
-                f"{p.quarantined:>7d}  {p.degraded_widenings:>7d}"
+                f"{p.quarantined:>7d}  {p.degraded_widenings:>7d}  "
+                f"{p.shard_retries:>7d}  {p.shard_quarantines:>7d}  "
+                f"{p.pool_rebuilds:>7d}"
             )
         return "\n".join(lines)
 
@@ -133,6 +143,8 @@ def run_chaos(
     intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
     base: FaultPlan | None = None,
     degraded: bool = True,
+    workers: int = 1,
+    shard_timeout_s: float | None = None,
 ) -> ChaosReport:
     """Sweep fault intensity and measure inference degradation.
 
@@ -141,6 +153,12 @@ def run_chaos(
     :meth:`FaultPlan.moderate`), runs the full pipeline, and scores the
     result against ground truth.  ``degraded`` turns on degraded-mode
     CFS uniformly across the sweep so points differ only in intensity.
+
+    With ``workers > 1`` the plan's ``worker_crash`` / ``worker_hang``
+    rates exercise the executor supervisor; each point records its
+    shard retries, quarantines and pool rebuilds.  ``shard_timeout_s``
+    sets the supervisor's per-shard deadline (required for hang faults
+    to resolve quickly).
     """
     import dataclasses
 
@@ -158,6 +176,8 @@ def run_chaos(
             config,
             faults=plan,
             cfs=config.cfs.replace(degraded_mode=degraded),
+            workers=workers,
+            shard_timeout_s=shard_timeout_s,
         )
         obs = Instrumentation()
         run = run_pipeline(config, instrumentation=obs)
@@ -187,6 +207,9 @@ def run_chaos(
                 probe_faults=_counter(metrics, "campaign.probe_faults"),
                 faults_injected=injected,
                 degraded_widenings=_counter(metrics, "cfs.degraded_widenings"),
+                shard_retries=_counter(metrics, "exec.shard.retry"),
+                shard_quarantines=_counter(metrics, "exec.shard.quarantine"),
+                pool_rebuilds=_counter(metrics, "exec.pool.rebuild"),
             )
         )
     return ChaosReport(

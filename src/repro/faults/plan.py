@@ -46,6 +46,14 @@ class FaultPlan:
 
     * ``alias_false_negative`` — probability a truly passing MIDAR pair
       is nevertheless rejected (congestion broke the probe train).
+
+    Executor faults (consulted per shard attempt, inside forked
+    workers only — see :class:`repro.exec.ExecFaultSpec`):
+
+    * ``worker_crash`` — per-shard-attempt probability the worker dies
+      mid-shard via ``os._exit`` (no unwinding, no result);
+    * ``worker_hang`` — per-shard-attempt probability the worker stalls
+      long enough to trip the supervisor's shard deadline.
     """
 
     hop_loss: float = 0.0
@@ -57,6 +65,8 @@ class FaultPlan:
     netfac_stale: float = 0.0
     ixfac_missing: float = 0.0
     alias_false_negative: float = 0.0
+    worker_crash: float = 0.0
+    worker_hang: float = 0.0
 
     def __post_init__(self) -> None:
         for spec in fields(self):
@@ -80,7 +90,10 @@ class FaultPlan:
         10% extra hop loss, 5% vantage-point outages, 5% stale and 5%
         missing netfac rows, plus light looking-glass misbehaviour and
         alias false negatives — the profile the acceptance criteria and
-        ``repro chaos`` default to.
+        ``repro chaos`` default to.  The worker rates look high next to
+        the probe rates, but they are per *shard attempt* and parallel
+        maps carry at most ``workers`` shards per call, so at small
+        scale anything much lower never fires at all.
         """
         return cls(
             hop_loss=0.10,
@@ -92,6 +105,8 @@ class FaultPlan:
             netfac_stale=0.05,
             ixfac_missing=0.05,
             alias_false_negative=0.03,
+            worker_crash=0.15,
+            worker_hang=0.05,
         )
 
     def scaled(self, intensity: float) -> "FaultPlan":
@@ -128,6 +143,29 @@ class FaultPlan:
             or self.netfac_stale > 0
             or self.ixfac_missing > 0
         )
+
+    @property
+    def perturbs_probes(self) -> bool:
+        """True when any per-probe measurement fault is enabled.
+
+        Probe faults consume shared sequential RNG state inside the
+        campaign loop, so the driver must stay serial while one is
+        active; executor faults (``worker_crash``/``worker_hang``) are
+        keyed per shard attempt and explicitly do *not* force serial —
+        exercising the supervisor under parallelism is their point.
+        """
+        return (
+            self.hop_loss > 0
+            or self.trace_truncation > 0
+            or self.vp_outage > 0
+            or self.lg_rate_limit > 0
+            or self.lg_timeout > 0
+        )
+
+    @property
+    def perturbs_workers(self) -> bool:
+        """True when any executor-level fault is enabled."""
+        return self.worker_crash > 0 or self.worker_hang > 0
 
     def as_dict(self) -> dict[str, float]:
         """JSON-ready rendering of every rate."""

@@ -30,7 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
-from ..exec import Shard, parallel_map, plan_shards
+from ..exec import (
+    ExecFaultSpec,
+    Shard,
+    SupervisorConfig,
+    instrument_observer,
+    plan_shards,
+    supervised_map,
+)
 from ..faults.errors import MeasurementFault
 from ..obs import Instrumentation
 from ..topology.network import InterfaceKind
@@ -170,6 +177,8 @@ class CampaignDriver:
         seed: int = 0,
         instrumentation: Instrumentation | None = None,
         workers: int = 1,
+        supervision: SupervisorConfig | None = None,
+        exec_faults: ExecFaultSpec | None = None,
     ) -> None:
         self.platforms = platforms
         self.hitlist = hitlist
@@ -178,6 +187,11 @@ class CampaignDriver:
         self._obs = instrumentation or Instrumentation()
         #: Process-pool width for the initial campaign (1 = serial).
         self.workers = workers
+        #: Supervision policy for the sharded executor (deadline,
+        #: retry/quarantine bounds); defaults apply when ``None``.
+        self.supervision = supervision
+        #: Seeded executor-fault intensities (chaos); ``None`` = clean.
+        self.exec_faults = exec_faults
         resilience = self.config.resilience
         self._retry_policy = resilience.retry
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -380,20 +394,27 @@ class CampaignDriver:
         Two campaign features are inherently sequential and force the
         serial path (counted, so fallbacks are observable): a global
         probe-attempt cap, where each probe's fate depends on every
-        probe before it, and installed fault injectors, whose failure
-        draws come from sequential per-run streams.
+        probe before it, and installed *probe-level* fault injection
+        (hop loss, truncation, outages, LG misbehaviour), whose failure
+        draws come from sequential per-run streams.  Executor-level
+        faults (``worker_crash``/``worker_hang``) are keyed per shard
+        attempt and deliberately do NOT force serial — exercising the
+        supervisor under parallelism is their purpose.
         """
         if self.workers <= 1 or n_tasks < 2:
             return False
         if self.budget.max_probes is not None:
             self._obs.count("exec.fallback.budget_capped")
             return False
-        engine = self.platforms.atlas.engine
-        injected = engine.fault_injector is not None or any(
-            platform.fault_injector is not None
+        injectors = [self.platforms.atlas.engine.fault_injector]
+        injectors.extend(
+            platform.fault_injector
             for platform in self.platforms.all_platforms()
         )
-        if injected:
+        if any(
+            injector is not None and injector.plan.perturbs_probes
+            for injector in injectors
+        ):
             self._obs.count("exec.fallback.faults_installed")
             return False
         return True
@@ -409,6 +430,11 @@ class CampaignDriver:
         shards interleave.  Accounting (probe issues, LG rate limits,
         budget buckets, metrics) comes back as per-shard deltas and is
         folded in shard-index order.
+
+        Execution is supervised: a shard whose worker dies or hangs is
+        retried on a rebuilt pool and quarantined to serial in-process
+        execution past the retry bound, landing in the same plan slots
+        either way (see :mod:`repro.exec.supervise`).
         """
         shards = plan_shards(
             plan,
@@ -416,12 +442,18 @@ class CampaignDriver:
             key=lambda task: f"{task.platform}:{task.vp.vp_id}",
         )
         self._obs.count("exec.campaign.shards", len(shards))
-        shard_results = parallel_map(
+        shard_results = supervised_map(
             _run_campaign_shard,
             shards,
             workers=self.workers,
             context=self,
+            config=self.supervision,
+            faults=self.exec_faults,
             fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
+            observer=instrument_observer(self._obs),
+            describe=lambda shard: (
+                f"campaign shard {shard.index} ({len(shard.items)} probes)"
+            ),
         )
         results: list[Traceroute | None] = [None] * len(plan)
         engine = self.platforms.atlas.engine

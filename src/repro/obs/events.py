@@ -36,6 +36,12 @@ EVENT_NAMES: dict[str, str] = {
     "fault.vp_outage": "fault injection took a vantage point down",
     "fault.lg_timeout": "fault injection timed out a looking-glass query",
     "fault.lg_rate_limit": "fault injection rate-limited a looking glass",
+    "exec.shard.retry": "the supervisor resubmitted a crashed/hung shard",
+    "exec.shard.quarantine": "a poisoned shard was demoted to serial",
+    "exec.pool.rebuild": "the supervisor tore down and rebuilt the pool",
+    "checkpoint.write": "one pipeline stage was durably checkpointed",
+    "checkpoint.load": "one checkpointed stage passed verification and loaded",
+    "checkpoint.corrupt": "a checkpoint failed verification; recomputing",
 }
 
 

@@ -634,6 +634,95 @@ def test_r007_suppressible_with_reason(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# R008 — checkpoint writes go through the atomic helper
+# ----------------------------------------------------------------------
+
+
+def test_r008_flags_bare_write_open_in_checkpoint(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def save(path, text):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        """,
+        rel="checkpoint/store.py",
+    )
+    assert rule_ids(result) == ["R008"]
+    assert "atomic_write" in result.findings[0].message
+
+
+def test_r008_flags_path_write_text_and_dynamic_mode(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def save(path, text, mode):
+            path.write_text(text)
+            open(path, mode)
+        """,
+        rel="checkpoint/stages.py",
+    )
+    assert rule_ids(result) == ["R008", "R008"]
+
+
+def test_r008_flags_raw_os_open_outside_helper(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        import os
+
+        def save(path):
+            return os.open(path, os.O_WRONLY)
+        """,
+        rel="checkpoint/manifest.py",
+    )
+    assert rule_ids(result) == ["R008"]
+
+
+def test_r008_allows_reads_and_exempts_atomic_helper(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def load(path):
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        def load_default(path):
+            with open(path) as handle:
+                return handle.read()
+        """,
+        rel="checkpoint/store.py",
+    )
+    assert rule_ids(result) == []
+    result = lint_source(
+        tmp_path,
+        """
+        import os
+
+        def atomic_write_bytes(path, data):
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT)
+            os.write(fd, data)
+            os.close(fd)
+        """,
+        rel="checkpoint/atomic.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r008_ignores_writes_outside_checkpoint(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def export(path, text):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        """,
+        rel="export.py",
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions, rule filtering, error handling
 # ----------------------------------------------------------------------
 
