@@ -10,7 +10,7 @@ Expected directions (DESIGN.md section 5):
 
 from __future__ import annotations
 
-from repro.experiments import run_ablation
+from repro.api import run_ablation
 
 from _report import record_report
 

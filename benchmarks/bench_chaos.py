@@ -31,7 +31,7 @@ if __name__ == "__main__":
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.api import FaultPlan, PipelineConfig, run_pipeline
-from repro.faults.chaos import comparable_export, run_chaos
+from repro.api import comparable_export, run_chaos
 
 QUICK_SEEDS = (0, 1, 2)
 QUICK_INTENSITIES = (0.0, 0.5, 1.0)
@@ -39,9 +39,10 @@ QUICK_INTENSITIES = (0.0, 0.5, 1.0)
 
 def _zero_fault_identity(seed: int, scale: str) -> bool:
     """True when a zero plan run matches a no-injector run byte for byte."""
-    plain = run_pipeline(PipelineConfig.for_scale(scale, seed=seed))
+    plain = run_pipeline(config=PipelineConfig.for_scale(scale, seed=seed))
     injected = run_pipeline(
-        PipelineConfig.for_scale(scale, seed=seed), faults=FaultPlan.zero()
+        config=PipelineConfig.for_scale(scale, seed=seed),
+        faults=FaultPlan.zero(),
     )
     return comparable_export(
         plain.environment, plain.cfs_result

@@ -7,7 +7,7 @@ makes CFS reserve them for targeted follow-ups.
 
 from __future__ import annotations
 
-from repro.experiments import run_measurement_cost
+from repro.api import run_measurement_cost
 
 from _report import record_report
 

@@ -7,7 +7,7 @@ because their traceroutes also cross other networks' peerings).
 
 from __future__ import annotations
 
-from repro.experiments import run_coverage_growth
+from repro.api import run_coverage_growth
 
 from _report import record_report
 

@@ -6,8 +6,8 @@ private interconnects; Europe contributes the most inferred interfaces.
 
 from __future__ import annotations
 
-from repro.experiments import run_fig10
-from repro.experiments.fig10 import role_contrast
+from repro.api import run_fig10
+from repro.api import role_contrast
 
 from _report import record_report
 

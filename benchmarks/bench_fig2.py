@@ -7,7 +7,7 @@ operators publish full lists on their own sites.
 
 from __future__ import annotations
 
-from repro.experiments import run_fig2
+from repro.api import run_fig2
 
 from _report import record_report
 

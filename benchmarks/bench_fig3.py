@@ -6,7 +6,7 @@ facilities than exchanges per metro (Section 3.1.2).
 
 from __future__ import annotations
 
-from repro.experiments import run_fig3
+from repro.api import run_fig3
 
 from _report import record_report
 

@@ -11,7 +11,7 @@ Shape assertions, following Section 5:
 
 from __future__ import annotations
 
-from repro.experiments import run_fig7
+from repro.api import run_fig7
 
 from _report import record_report
 

@@ -7,7 +7,7 @@ minority of interfaces; changed inferences appear at moderate removals.
 
 from __future__ import annotations
 
-from repro.experiments import run_fig8
+from repro.api import run_fig8
 
 from _report import record_report
 

@@ -6,7 +6,7 @@ headline), with every populated cell comfortably above chance.
 
 from __future__ import annotations
 
-from repro.experiments import run_fig9
+from repro.api import run_fig9
 
 from _report import record_report
 

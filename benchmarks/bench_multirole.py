@@ -7,7 +7,7 @@ assert both phenomena are present at substantial rates.
 
 from __future__ import annotations
 
-from repro.experiments import run_multirole_census
+from repro.api import run_multirole_census
 
 from _report import record_report
 

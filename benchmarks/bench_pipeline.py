@@ -64,7 +64,7 @@ def test_initial_campaign(benchmark, small_pipeline_env):
 
 
 def _timed_cfs(env, corpus, incremental: bool, seed_offset: int):
-    from repro.experiments.context import clone_corpus
+    from repro.api import clone_corpus
 
     started = time.perf_counter()
     result = env.run_cfs(
@@ -82,7 +82,7 @@ def test_cfs_full_run(benchmark, small_pipeline_env):
     counter = iter(range(1000))
 
     def run():
-        from repro.experiments.context import clone_corpus
+        from repro.api import clone_corpus
 
         return env.run_cfs(clone_corpus(corpus), seed_offset=310 + next(counter))
 
@@ -130,7 +130,7 @@ QUICK_SEEDS = (0, 1, 2)
 
 
 def _comparable_export(env, result) -> dict:
-    from repro.export import export_result
+    from repro.api import export_result
 
     exported = export_result(result, env.facility_db)
     exported.pop("metrics")
@@ -149,7 +149,7 @@ def _smoke_seed(seed: int, scale: str) -> dict:
     rows: dict[str, dict] = {}
     exports = {}
     for name, incremental in (("incremental", True), ("full_rescan", False)):
-        env = build_environment(PipelineConfig.for_scale(scale, seed=seed))
+        env = build_environment(config=PipelineConfig.for_scale(scale, seed=seed))
         corpus = env.run_campaign()
         started = time.perf_counter()
         result = env.run_cfs(
@@ -196,7 +196,7 @@ def _workers_smoke(scale: str) -> dict:
     exports = {}
     for name, workers in (("serial", 1), ("workers2", 2)):
         env = build_environment(
-            PipelineConfig.for_scale(scale, seed=0, workers=workers)
+            config=PipelineConfig.for_scale(scale, seed=0, workers=workers)
         )
         started = time.perf_counter()
         corpus = env.run_campaign()
@@ -225,13 +225,11 @@ def _supervisor_smoke(scale: str) -> dict:
     ``recovered`` is the gate: the supervisor really saw crashes
     (``shard_retries > 0``) *and* the inferences stayed byte-identical.
     """
-    from repro.core.pipeline import run_pipeline
-    from repro.faults.plan import FaultPlan
-    from repro.obs import Instrumentation
+    from repro.api import FaultPlan, Instrumentation, run_pipeline
 
     import dataclasses
 
-    clean_env = build_environment(PipelineConfig.for_scale(scale, seed=0))
+    clean_env = build_environment(config=PipelineConfig.for_scale(scale, seed=0))
     clean_corpus = clean_env.run_campaign()
     clean_result = clean_env.run_cfs(clean_corpus)
 
@@ -242,7 +240,7 @@ def _supervisor_smoke(scale: str) -> dict:
     )
     obs = Instrumentation()
     started = time.perf_counter()
-    run = run_pipeline(config, instrumentation=obs)
+    run = run_pipeline(config=config, instrumentation=obs)
     elapsed = time.perf_counter() - started
     identical = _comparable_export(
         run.environment, run.cfs_result
@@ -267,8 +265,7 @@ def _resume_smoke(scale: str) -> dict:
     """
     import tempfile
 
-    from repro.core.pipeline import run_pipeline
-    from repro.obs import Instrumentation
+    from repro.api import Instrumentation, run_pipeline
 
     with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as checkpoint_dir:
         config = PipelineConfig.for_scale(scale, seed=0)
@@ -278,14 +275,14 @@ def _resume_smoke(scale: str) -> dict:
             config, checkpoint_dir=checkpoint_dir
         )
         started = time.perf_counter()
-        first = run_pipeline(first_config)
+        first = run_pipeline(config=first_config)
         first_seconds = time.perf_counter() - started
         resume_config = dataclasses.replace(
             config, checkpoint_dir=checkpoint_dir, resume=True
         )
         obs = Instrumentation()
         started = time.perf_counter()
-        resumed = run_pipeline(resume_config, instrumentation=obs)
+        resumed = run_pipeline(config=resume_config, instrumentation=obs)
         resume_seconds = time.perf_counter() - started
     identical = _comparable_export(
         resumed.environment, resumed.cfs_result
@@ -307,7 +304,7 @@ def _lint_smoke() -> tuple[dict, bool]:
     import contextlib
     import io
 
-    from repro.devtools.cli import main as lint_main
+    from repro.api import run_lint as lint_main
 
     stdout = io.StringIO()
     with contextlib.redirect_stdout(stdout):
@@ -384,16 +381,21 @@ def quick_smoke(output: str, scale: str = "small") -> int:
     path = Path(output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"report written to {path}")
-    # Fold in the chaos quick entry so one smoke run covers both reports.
+    # Fold in the chaos and serve quick entries so one smoke run
+    # covers all three reports.
     try:
         from bench_chaos import quick_chaos
+        from bench_serve import quick_serve
     except ImportError:  # imported as a module, benchmarks/ not on path
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         from bench_chaos import quick_chaos
+        from bench_serve import quick_serve
 
     chaos_output = str(path.parent / "BENCH_chaos.json")
     chaos_failed = quick_chaos(chaos_output, scale=scale)
-    return 1 if failed or chaos_failed else 0
+    serve_output = str(path.parent / "BENCH_serve.json")
+    serve_failed = quick_serve(serve_output, scale=scale)
+    return 1 if failed or chaos_failed or serve_failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

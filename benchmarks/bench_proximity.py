@@ -7,7 +7,7 @@ design.  We assert the heuristic clearly beats the 50% coin-flip.
 
 from __future__ import annotations
 
-from repro.experiments import run_proximity_validation
+from repro.api import run_proximity_validation
 
 from _report import record_report
 

@@ -1,0 +1,215 @@
+"""Serve benchmarks: query latency, swap pause, and stream throughput.
+
+The always-on map service makes three promises worth numbers:
+
+* **identity** — the final streamed snapshot fingerprints identical to
+  the one-shot batch pipeline's map (the acceptance contract);
+* **read-path latency** — lookups are precomputed-index hits, so p99
+  stays far under the interactive budget even while snapshots swap;
+* **swap pause** — publishing a new version is one reference
+  assignment, so the read path never stalls measurably.
+
+Standalone smoke mode (no pytest-benchmark needed)::
+
+    python benchmarks/bench_serve.py --quick
+
+writes ``BENCH_serve.json`` next to the repository root.  The quick
+entry is also folded into ``bench_pipeline.py --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Standalone smoke mode runs without an installed package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.api import (
+    PipelineConfig,
+    QueryEngine,
+    build_snapshot,
+    config_fingerprint,
+    run_pipeline,
+    serve_map,
+)
+
+#: The interactive budget the smoke gates p99 lookup latency on.  A
+#: hash lookup into a precomputed index should sit around microseconds;
+#: 50ms leaves three orders of magnitude of headroom for slow CI boxes.
+P99_BUDGET_SECONDS = 0.050
+
+QUICK_EPOCHS = 2
+QUICK_QUERIES = 400
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _load_lines(snapshot, count: int, seed: int) -> list[str]:
+    """A seeded, mixed query workload over the snapshot's own keys."""
+    rng = random.Random(seed)
+    addresses = sorted(snapshot.interfaces)
+    pairs = sorted(snapshot.links_by_aspair)
+    facilities = sorted(snapshot.facility_tenants)
+    lines: list[str] = []
+    for _ in range(count):
+        kind = rng.randrange(4)
+        if kind == 0 and addresses:
+            lines.append(f"iface {rng.choice(addresses)}")
+        elif kind == 1 and pairs:
+            near, far = rng.choice(pairs)
+            lines.append(f"link {near} {far}")
+        elif kind == 2 and facilities:
+            lines.append(f"tenants {rng.choice(facilities)}")
+        else:
+            lines.append("info")
+    return lines
+
+
+def quick_serve(
+    output: str,
+    scale: str = "small",
+    seed: int = 0,
+    epochs: int = QUICK_EPOCHS,
+    queries: int = QUICK_QUERIES,
+) -> int:
+    """Stream smoke + load generator; writes ``BENCH_serve.json``.
+
+    Returns a process exit code (non-zero when the stream/batch
+    fingerprints diverge or p99 lookup latency blows the budget).
+    """
+    config = PipelineConfig.for_scale(scale, seed=seed)
+
+    stream_started = time.perf_counter()
+    handle = serve_map(seed=seed, scale=scale, epochs=epochs)
+    stream_elapsed = time.perf_counter() - stream_started
+    assert handle.final is not None
+
+    batch_started = time.perf_counter()
+    batch = run_pipeline(config=config)
+    batch_elapsed = time.perf_counter() - batch_started
+    batch_fingerprint = build_snapshot(
+        batch.cfs_result,
+        epoch=0,
+        final=True,
+        seed=seed,
+        config_fingerprint=config_fingerprint(config),
+        traces_ingested=len(batch.corpus),
+    ).fingerprint
+    identical = handle.final.fingerprint == batch_fingerprint
+    print(
+        f"stream/batch identity (seed {seed}): "
+        f"{'ok' if identical else 'DIVERGED'} "
+        f"stream={stream_elapsed:.2f}s batch={batch_elapsed:.2f}s"
+    )
+
+    # Load generator: seeded workload against a private engine, with
+    # the published history swapping underneath it mid-run.
+    engine = QueryEngine()
+    engine.swap(handle.final)
+    lines = _load_lines(handle.final, queries, seed)
+    snapshots = handle.snapshots
+    latencies: list[float] = []
+    load_started = time.perf_counter()
+    for index, line in enumerate(lines):
+        if index and index % 50 == 0:  # a swap every 50 queries
+            engine.swap(snapshots[(index // 50) % len(snapshots)])
+        started = time.perf_counter()
+        engine.execute(line)
+        latencies.append(time.perf_counter() - started)
+    load_elapsed = time.perf_counter() - load_started
+
+    # Swap pause: the latency of publishing a version into the read
+    # path (one reference assignment plus instrumentation).
+    swap_samples: list[float] = []
+    for round_ in range(200):
+        snapshot = snapshots[round_ % len(snapshots)]
+        started = time.perf_counter()
+        engine.swap(snapshot)
+        swap_samples.append(time.perf_counter() - started)
+
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    qps = len(lines) / load_elapsed if load_elapsed else float("inf")
+    within_budget = p99 <= P99_BUDGET_SECONDS
+    print(
+        f"queries: {len(lines)} p50={p50 * 1e6:.1f}us p99={p99 * 1e6:.1f}us "
+        f"({'ok' if within_budget else 'OVER BUDGET'}) qps={qps:.0f}"
+    )
+    print(
+        f"swap pause: p50={_percentile(swap_samples, 0.50) * 1e6:.1f}us "
+        f"max={max(swap_samples) * 1e6:.1f}us; "
+        f"epochs/sec={epochs / stream_elapsed:.2f}"
+    )
+
+    payload = {
+        "schema": "repro/bench-serve/1",
+        "scale": scale,
+        "seed": seed,
+        "epochs": epochs,
+        "identical": identical,
+        "stream_fingerprint": handle.final.fingerprint,
+        "batch_fingerprint": batch_fingerprint,
+        "stream_seconds": round(stream_elapsed, 3),
+        "batch_seconds": round(batch_elapsed, 3),
+        "epochs_per_second": round(epochs / stream_elapsed, 4),
+        "queries": len(lines),
+        "query_p50_seconds": round(p50, 9),
+        "query_p99_seconds": round(p99, 9),
+        "query_p99_budget_seconds": P99_BUDGET_SECONDS,
+        "sustained_qps": round(qps, 1),
+        "swap_pause_p50_seconds": round(_percentile(swap_samples, 0.50), 9),
+        "swap_pause_max_seconds": round(max(swap_samples), 9),
+        "snapshots_published": len(snapshots),
+    }
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {path}")
+    return 0 if identical and within_budget else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the serve smoke and write BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=PipelineConfig.SCALES,
+        default="small",
+        help="pipeline scale for the smoke run",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=QUICK_EPOCHS,
+        help="epochs to stream the campaign in",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="where to write the smoke report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("standalone mode requires --quick")
+    return quick_serve(
+        args.output, scale=args.scale, seed=args.seed, epochs=args.epochs
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ mappings (1,138 interfaces).
 
 from __future__ import annotations
 
-from repro.experiments import run_alias_census, run_as_connectivity_stats
+from repro.api import run_alias_census, run_as_connectivity_stats
 
 from _report import record_report
 

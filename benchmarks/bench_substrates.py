@@ -11,11 +11,11 @@ import random
 
 import pytest
 
-from repro.alias.midar import MidarResolver
-from repro.measurement.ipid import IpidResponder
-from repro.measurement.traceroute import TracerouteEngine
-from repro.topology import RouteComputer
-from repro.topology.addressing import MAX_IPV4, LongestPrefixMatcher, Prefix
+from repro.api import MidarResolver
+from repro.api import IpidResponder
+from repro.api import TracerouteEngine
+from repro.api import RouteComputer
+from repro.api import MAX_IPV4, LongestPrefixMatcher, Prefix
 
 
 @pytest.fixture(scope="module")

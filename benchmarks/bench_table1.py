@@ -6,7 +6,7 @@ platform) and asserts its shape: Atlas dominates, archives are small.
 
 from __future__ import annotations
 
-from repro.experiments import run_table1
+from repro.api import run_table1
 
 from _report import record_report
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.context import experiment_environment, experiment_run
+from repro.api import experiment_environment, experiment_run
 
 from _report import all_reports
 

@@ -18,9 +18,9 @@ import argparse
 from collections import Counter
 
 from repro.api import build_environment
-from repro.core.types import PeeringKind
-from repro.experiments import run_fig10, run_multirole_census
-from repro.topology import ASRole
+from repro.api import PeeringKind
+from repro.api import run_fig10, run_multirole_census
+from repro.api import ASRole
 
 
 def main() -> None:

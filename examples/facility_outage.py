@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis import CriticalityIndex
+from repro.api import CriticalityIndex
 from repro.api import build_environment
 
 

@@ -16,9 +16,9 @@ from __future__ import annotations
 import argparse
 
 from repro.api import run_pipeline
-from repro.core.types import InterfaceStatus
-from repro.topology.addressing import int_to_ip
-from repro.validation import score_interfaces
+from repro.api import InterfaceStatus
+from repro.api import int_to_ip
+from repro.api import score_interfaces
 
 
 def main() -> None:

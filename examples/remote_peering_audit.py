@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 
 from repro.api import build_environment
-from repro.topology.addressing import int_to_ip
+from repro.api import int_to_ip
 
 
 def main() -> None:

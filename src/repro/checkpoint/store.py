@@ -166,6 +166,20 @@ class CheckpointStore:
         """Whether the manifest lists ``name`` (content not yet verified)."""
         return name in self._stages
 
+    def stage_digest(self, name: str) -> str | None:
+        """The manifest's sha256 for ``name`` (``None`` when absent).
+
+        The map service publishes this digest as each snapshot's
+        *watermark*: equal digests mean byte-identical durable payloads,
+        so two service runs (or a resume) can be compared without
+        re-reading the stage files.
+        """
+        entry = self._stages.get(name)
+        if entry is None:
+            return None
+        digest = entry.get("sha256")
+        return str(digest) if digest is not None else None
+
     def write_stage(self, name: str, payload: Any) -> None:
         """Durably persist one stage payload and index it in the manifest."""
         file_name = f"stage-{name}.json"

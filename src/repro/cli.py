@@ -6,6 +6,9 @@ Usage (via ``python -m repro``)::
     python -m repro run      [--seed N] [--scale ...] [--workers N]
                              [--shard-timeout S] [--json PATH]
                              [--checkpoint-dir DIR] [--resume]
+    python -m repro serve    [--seed N] [--scale ...] [--epochs N]
+                             [--checkpoint-dir DIR] [--resume]
+                             [--stop-after-epoch K] [--queries PATH|-]
     python -m repro experiment {table1,fig2,fig3,fig7,fig8,fig9,fig10,
                                 proximity,multirole,ablation}
                              [--seed N] [--scale ...]
@@ -17,11 +20,19 @@ Usage (via ``python -m repro``)::
 
 ``summary`` prints the generated Internet's shape; ``run`` executes the
 full campaign + CFS and reports (optionally exporting the inferred map
-as JSON); ``experiment`` regenerates one of the paper's tables/figures;
-``chaos`` sweeps the moderate fault profile across intensities and
-reports how inference accuracy degrades; ``lint`` runs the reprolint
-static analyzer over the source tree (also available standalone as
+as JSON); ``serve`` runs the always-on map service — the campaign
+streams in as epochs, each publishing a versioned snapshot, then a
+line-oriented query loop answers lookups against the live map;
+``experiment`` regenerates one of the paper's tables/figures; ``chaos``
+sweeps the moderate fault profile across intensities and reports how
+inference accuracy degrades; ``lint`` runs the reprolint static
+analyzer over the source tree (also available standalone as
 ``repro-lint``).
+
+Subcommands self-register in the :data:`SUBCOMMANDS` registry — one
+declarative :class:`Subcommand` record each (name, help, argument
+wiring, handler, whether the shared ``--seed``/``--scale`` validation
+applies) — so adding a command never touches the dispatch logic.
 
 Invalid ``--scale`` / ``--seed`` values exit with a one-line error on
 stderr and status 2 — no traceback.
@@ -33,14 +44,36 @@ import argparse
 import dataclasses
 import sys
 import time
+from dataclasses import dataclass
+from typing import Callable
 
 from .cliutil import cli_error
 from .core.pipeline import Environment, PipelineConfig, build_environment
-from .export import dumps_result
-from .obs import Instrumentation
-from .validation.metrics import score_interfaces, unresolved_city_constrained
 
-__all__ = ["main", "build_parser"]
+__all__ = ["SUBCOMMANDS", "Subcommand", "build_parser", "main"]
+
+
+# ---------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Subcommand:
+    """One declaratively registered CLI subcommand."""
+
+    #: Subcommand name as typed on the command line.
+    name: str
+    #: One-line help shown in ``repro --help``.
+    help: str
+    #: Handler; returns the process exit code.  ``ValueError`` raised
+    #: here (or during validation) is rendered by ``cliutil.cli_error``.
+    run: Callable[[argparse.Namespace], int]
+    #: Adds the subcommand's own arguments (``None`` = no extra args).
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+    #: Whether the shared ``--seed``/``--scale``/``--workers`` checks
+    #: apply (lint manages its own arguments and skips them).
+    validates: bool = True
 
 
 def _config_for(
@@ -62,41 +95,61 @@ def _config_for(
     return config
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse command-line interface."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Constrained Facility Search over a synthetic Internet",
+def _environment_for(args: argparse.Namespace) -> Environment:
+    return build_environment(
+        _config_for(
+            args.scale,
+            args.seed,
+            args.workers,
+            shard_timeout=args.shard_timeout,
+        )
     )
-    # --seed and --scale are validated in main() (not via argparse
-    # choices=) so bad values produce a clean one-line error.
-    parser.add_argument("--seed", type=int, default=0, help="master seed")
-    parser.add_argument(
-        "--scale",
-        default="small",
-        help="topology scale: small, default, or large (default: small)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process-pool width for the campaign and trace extraction "
-        "(default: 1 = serial; output is byte-identical at any width)",
-    )
-    parser.add_argument(
-        "--shard-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-shard progress deadline for the parallel-executor "
-        "supervisor (default: no deadline; hung shards are retried and "
-        "eventually quarantined to serial execution)",
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("summary", help="print the generated Internet's shape")
 
-    run = commands.add_parser("run", help="run the campaign and CFS")
+def _write_or_print(text: str, path: str, what: str) -> None:
+    """Write ``text`` to ``path``, or print it when ``path`` is ``-``."""
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{what} written to {path}")
+
+
+# ---------------------------------------------------------------------
+# summary
+# ---------------------------------------------------------------------
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    env = _environment_for(args)
+    topology = env.topology
+    print("generated Internet:")
+    for key, value in topology.summary().items():
+        print(f"  {key:>16}: {value}")
+    print("study targets:")
+    for asn in env.target_asns:
+        record = topology.ases[asn]
+        print(
+            f"  AS{asn:<6} {record.name:<12} role={record.role.value:<8}"
+            f" facilities={len(record.facility_ids)}"
+        )
+    rows = env.platforms.table1()
+    print("platforms (VPs/ASNs/countries):")
+    for stats in rows:
+        print(
+            f"  {stats.platform:>14}: {stats.vantage_points:>5} / "
+            f"{stats.asns:>4} / {stats.countries:>3}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------
+
+
+def _configure_run(run: argparse.ArgumentParser) -> None:
     run.add_argument(
         "--json",
         metavar="PATH",
@@ -122,78 +175,6 @@ def build_parser() -> argparse.ArgumentParser:
         "resumed run's output is byte-identical to an uninterrupted one",
     )
 
-    experiment = commands.add_parser(
-        "experiment", help="regenerate one paper table/figure"
-    )
-    experiment.add_argument(
-        "name",
-        choices=(
-            "table1",
-            "fig2",
-            "fig3",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "proximity",
-            "multirole",
-            "ablation",
-        ),
-    )
-
-    chaos = commands.add_parser(
-        "chaos", help="sweep fault intensity and report degradation"
-    )
-    chaos.add_argument(
-        "--intensities",
-        default="0,0.25,0.5,1",
-        help="comma-separated fault intensities to sweep (default: "
-        "0,0.25,0.5,1; each scales the moderate profile)",
-    )
-    chaos.add_argument(
-        "--no-degraded",
-        action="store_true",
-        help="run CFS without degraded mode (inferences may empty out "
-        "under heavy dataset faults)",
-    )
-    chaos.add_argument(
-        "--json",
-        metavar="PATH",
-        default=None,
-        help="write the sweep report as JSON to PATH ('-' for stdout)",
-    )
-
-    # Imported lazily elsewhere; the parser wiring itself is cheap.
-    from .devtools.cli import add_lint_arguments
-
-    lint = commands.add_parser(
-        "lint", help="run the reprolint invariant checks over the tree"
-    )
-    add_lint_arguments(lint)
-    return parser
-
-
-def _cmd_summary(env: Environment) -> int:
-    topology = env.topology
-    print("generated Internet:")
-    for key, value in topology.summary().items():
-        print(f"  {key:>16}: {value}")
-    print("study targets:")
-    for asn in env.target_asns:
-        record = topology.ases[asn]
-        print(
-            f"  AS{asn:<6} {record.name:<12} role={record.role.value:<8}"
-            f" facilities={len(record.facility_ids)}"
-        )
-    rows = env.platforms.table1()
-    print("platforms (VPs/ASNs/countries):")
-    for stats in rows:
-        print(
-            f"  {stats.platform:>14}: {stats.vantage_points:>5} / "
-            f"{stats.asns:>4} / {stats.countries:>3}"
-        )
-    return 0
-
 
 def _print_metrics(result) -> None:
     metrics = result.metrics
@@ -210,13 +191,27 @@ def _print_metrics(result) -> None:
         print(f"  {name}: {metrics.counters[name]}")
 
 
-def _cmd_run(
-    config: PipelineConfig, json_path: str | None, metrics: bool
-) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     # Imported lazily: only the run command drives the checkpointing
     # orchestrator; the other commands wire the environment directly.
     from .core.pipeline import run_pipeline
+    from .export import dumps_result
+    from .obs import Instrumentation
+    from .validation.metrics import score_interfaces, unresolved_city_constrained
 
+    if args.resume and args.checkpoint_dir is None:
+        raise ValueError(
+            "--resume requires --checkpoint-dir (there is "
+            "nothing to resume from)"
+        )
+    config = _config_for(
+        args.scale,
+        args.seed,
+        args.workers,
+        shard_timeout=args.shard_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     started = time.perf_counter()
     instrumentation = Instrumentation()
     print("running campaign + Constrained Facility Search ...")
@@ -243,23 +238,148 @@ def _cmd_run(
         f"omniscient accuracy: facility {report.facility_accuracy:.1%}, "
         f"city {report.city_accuracy:.1%}"
     )
-    if metrics:
+    if args.metrics:
         _print_metrics(result)
-    if json_path is not None:
-        text = dumps_result(result, env.facility_db)
-        if json_path == "-":
-            print(text)
-        else:
-            with open(json_path, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            print(f"inferred map written to {json_path}")
+    if args.json is not None:
+        _write_or_print(
+            dumps_result(result, env.facility_db), args.json, "inferred map"
+        )
     return 0
 
 
-def _cmd_experiment(env: Environment, name: str) -> int:
+# ---------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------
+
+
+def _configure_serve(serve: argparse.ArgumentParser) -> None:
+    serve.add_argument(
+        "--epochs",
+        type=int,
+        default=4,
+        help="number of contiguous epochs the campaign streams in as "
+        "(default: 4; each epoch publishes one versioned snapshot)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="durably publish every snapshot (and the mid-stream resume "
+        "state) under DIR",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore mid-stream state from --checkpoint-dir and continue "
+        "the stream (the re-published snapshots are byte-identical)",
+    )
+    serve.add_argument(
+        "--stop-after-epoch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="pause the service after epoch K's snapshot is published "
+        "(simulates a shutdown mid-stream; resume later with --resume)",
+    )
+    serve.add_argument(
+        "--queries",
+        metavar="PATH",
+        default=None,
+        help="after the stream, answer line-protocol queries from PATH "
+        "('-' reads stdin as a REPL); one JSON object per line "
+        "(commands: iface <addr>, link <asn> <asn>, tenants <id>, "
+        "info, help)",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve package pulls in checkpoint + pipeline.
+    from .obs import Instrumentation
+    from .serve import MapService
+
+    if args.epochs < 1:
+        raise ValueError(f"invalid epochs {args.epochs}: must be at least 1")
+    if args.stop_after_epoch is not None and args.stop_after_epoch < 0:
+        raise ValueError(
+            f"invalid --stop-after-epoch {args.stop_after_epoch}: "
+            "must be non-negative"
+        )
+    if args.resume and args.checkpoint_dir is None:
+        raise ValueError(
+            "--resume requires --checkpoint-dir (there is "
+            "nothing to resume from)"
+        )
+    config = _config_for(
+        args.scale,
+        args.seed,
+        args.workers,
+        shard_timeout=args.shard_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    print(
+        f"map service: streaming campaign in {args.epochs} epochs "
+        f"(scale={args.scale}, seed={args.seed}) ..."
+    )
+    service = MapService(
+        config, instrumentation=Instrumentation(), progress=print
+    )
+    handle = service.run_stream(
+        args.epochs, stop_after_epoch=args.stop_after_epoch
+    )
+    for snapshot in handle.snapshots:
+        label = "final" if snapshot.final else f"epoch {snapshot.epoch}"
+        print(
+            f"  snapshot {label}: {snapshot.stats['interfaces']} interfaces, "
+            f"{snapshot.stats['links']} links, "
+            f"fingerprint {snapshot.fingerprint[:12]}…"
+        )
+    if handle.final is None:
+        print("service paused mid-stream (resume with --resume)")
+    if args.queries is not None:
+        source = sys.stdin if args.queries == "-" else open(
+            args.queries, encoding="utf-8"
+        )
+        try:
+            for line in source:
+                if not line.strip():
+                    continue
+                print(service.engine.execute_line(line))
+        finally:
+            if source is not sys.stdin:
+                source.close()
+    return 0
+
+
+# ---------------------------------------------------------------------
+# experiment
+# ---------------------------------------------------------------------
+
+
+def _configure_experiment(experiment: argparse.ArgumentParser) -> None:
+    experiment.add_argument(
+        "name",
+        choices=(
+            "table1",
+            "fig2",
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "proximity",
+            "multirole",
+            "ablation",
+        ),
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
     # Imported lazily: the experiments package pulls in every harness.
     from . import experiments
 
+    env = _environment_for(args)
+    name = args.name
     if name == "table1":
         print(experiments.run_table1(env).format())
         return 0
@@ -293,6 +413,32 @@ def _cmd_experiment(env: Environment, name: str) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------
+# chaos
+# ---------------------------------------------------------------------
+
+
+def _configure_chaos(chaos: argparse.ArgumentParser) -> None:
+    chaos.add_argument(
+        "--intensities",
+        default="0,0.25,0.5,1",
+        help="comma-separated fault intensities to sweep (default: "
+        "0,0.25,0.5,1; each scales the moderate profile)",
+    )
+    chaos.add_argument(
+        "--no-degraded",
+        action="store_true",
+        help="run CFS without degraded mode (inferences may empty out "
+        "under heavy dataset faults)",
+    )
+    chaos.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep report as JSON to PATH ('-' for stdout)",
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     # Imported lazily: repro.faults sits below the pipeline layers and
     # must not pull them in at repro.cli import time.
@@ -323,14 +469,130 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.format())
     if args.json is not None:
-        text = _json.dumps(report.as_dict(), indent=2)
-        if args.json == "-":
-            print(text)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            print(f"chaos report written to {args.json}")
+        _write_or_print(
+            _json.dumps(report.as_dict(), indent=2), args.json, "chaos report"
+        )
     return 0
+
+
+# ---------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------
+
+
+def _configure_lint(lint: argparse.ArgumentParser) -> None:
+    # Imported lazily; the parser wiring itself is cheap.
+    from .devtools.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
+# ---------------------------------------------------------------------
+# Registry + dispatch
+# ---------------------------------------------------------------------
+
+#: Every subcommand, in help order.  Adding a command = adding a record.
+SUBCOMMANDS: tuple[Subcommand, ...] = (
+    Subcommand(
+        name="summary",
+        help="print the generated Internet's shape",
+        run=_cmd_summary,
+    ),
+    Subcommand(
+        name="run",
+        help="run the campaign and CFS",
+        run=_cmd_run,
+        configure=_configure_run,
+    ),
+    Subcommand(
+        name="serve",
+        help="run the always-on map service (streamed epochs, versioned "
+        "snapshots, line-oriented queries)",
+        run=_cmd_serve,
+        configure=_configure_serve,
+    ),
+    Subcommand(
+        name="experiment",
+        help="regenerate one paper table/figure",
+        run=_cmd_experiment,
+        configure=_configure_experiment,
+    ),
+    Subcommand(
+        name="chaos",
+        help="sweep fault intensity and report degradation",
+        run=_cmd_chaos,
+        configure=_configure_chaos,
+    ),
+    Subcommand(
+        name="lint",
+        help="run the reprolint invariant checks over the tree",
+        run=_cmd_lint,
+        configure=_configure_lint,
+        validates=False,
+    ),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line interface from the registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constrained Facility Search over a synthetic Internet",
+    )
+    # --seed and --scale are validated in main() (not via argparse
+    # choices=) so bad values produce a clean one-line error.
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--scale",
+        default="small",
+        help="topology scale: small, default, or large (default: small)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for the campaign and trace extraction "
+        "(default: 1 = serial; output is byte-identical at any width)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard progress deadline for the parallel-executor "
+        "supervisor (default: no deadline; hung shards are retried and "
+        "eventually quarantined to serial execution)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    for subcommand in SUBCOMMANDS:
+        subparser = commands.add_parser(subcommand.name, help=subcommand.help)
+        if subcommand.configure is not None:
+            subcommand.configure(subparser)
+        subparser.set_defaults(_subcommand=subcommand)
+    return parser
+
+
+def _validate_common(args: argparse.Namespace) -> None:
+    """Shared ``--seed``/``--scale``/``--workers`` checks (ValueError)."""
+    if args.scale not in PipelineConfig.SCALES:
+        raise ValueError(
+            f"unknown scale {args.scale!r}; expected one of "
+            f"{PipelineConfig.SCALES}"
+        )
+    if args.seed < 0:
+        raise ValueError(f"invalid seed {args.seed}: must be non-negative")
+    if args.workers < 1:
+        raise ValueError(f"invalid workers {args.workers}: must be at least 1")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        raise ValueError(
+            f"invalid shard timeout {args.shard_timeout}: must be positive"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -341,60 +603,14 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "lint":
-        from .devtools.cli import run_lint_command
-
-        return run_lint_command(args)
+    subcommand: Subcommand = args._subcommand
+    if not subcommand.validates:
+        return subcommand.run(args)
     try:
-        if args.scale not in PipelineConfig.SCALES:
-            raise ValueError(
-                f"unknown scale {args.scale!r}; expected one of "
-                f"{PipelineConfig.SCALES}"
-            )
-        if args.seed < 0:
-            raise ValueError(f"invalid seed {args.seed}: must be non-negative")
-        if args.workers < 1:
-            raise ValueError(
-                f"invalid workers {args.workers}: must be at least 1"
-            )
-        if args.shard_timeout is not None and args.shard_timeout <= 0:
-            raise ValueError(
-                f"invalid shard timeout {args.shard_timeout}: must be "
-                "positive"
-            )
-        if args.command == "chaos":
-            return _cmd_chaos(args)
-        if args.command == "run":
-            if args.resume and args.checkpoint_dir is None:
-                raise ValueError(
-                    "--resume requires --checkpoint-dir (there is "
-                    "nothing to resume from)"
-                )
-            config = _config_for(
-                args.scale,
-                args.seed,
-                args.workers,
-                shard_timeout=args.shard_timeout,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-            )
-            return _cmd_run(config, args.json, args.metrics)
-        env = build_environment(
-            _config_for(
-                args.scale,
-                args.seed,
-                args.workers,
-                shard_timeout=args.shard_timeout,
-            )
-        )
-        if args.command == "summary":
-            return _cmd_summary(env)
-        if args.command == "experiment":
-            return _cmd_experiment(env, args.name)
+        _validate_common(args)
+        return subcommand.run(args)
     except ValueError as error:
         return cli_error(str(error))
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

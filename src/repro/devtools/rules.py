@@ -1,4 +1,4 @@
-"""The reprolint rules (R001–R008).
+"""The reprolint rules (R001–R009).
 
 Each rule is a class with an ``id``, a ``title``, a per-file
 ``check_file(source, project)`` pass, and an optional cross-file
@@ -22,6 +22,7 @@ doubles as documentation of why the flagged line is actually safe.
 | R006 | CLI error exits go through the ``cli_error`` helper           |
 | R007 | process-pool imports are confined to ``repro/exec``           |
 | R008 | checkpoint writes go through the atomic helper                |
+| R009 | the serve read path never mutates snapshot objects            |
 """
 
 from __future__ import annotations
@@ -1068,6 +1069,142 @@ class DurableWriteDiscipline(Rule):
 
 
 # ----------------------------------------------------------------------
+# R009 — the serve read path never mutates snapshots
+# ----------------------------------------------------------------------
+
+
+class SnapshotMutationDiscipline(Rule):
+    """Published map snapshots are copy-on-write: the read path swaps
+    whole immutable versions and concurrent queries keep whichever
+    reference they captured.  That guarantee dies the moment any code
+    under ``repro/serve`` writes *into* a snapshot — an attribute
+    assignment, an index store, or a mutating container method reaches
+    every reader holding the same version, mid-query.  Build a new
+    snapshot and swap it instead.
+
+    Heuristic scope: an expression "is a snapshot" when it mentions a
+    name or attribute spelled ``snapshot``/``*_snapshot`` (the
+    package's naming convention, e.g. ``snapshot``, ``final_snapshot``,
+    ``self._snapshot``) or a parameter annotated ``MapSnapshot``.
+    Rebinding such a name (``self._snapshot = new``) is the sanctioned
+    swap and is not flagged — only writes *through* one are."""
+
+    id = "R009"
+    title = "serve query handlers never mutate snapshot objects"
+
+    #: The directory (relative to the lint root) the rule polices.
+    SCOPE_DIR = "serve"
+    #: Container methods that mutate their receiver in place.
+    _MUTATORS = frozenset(
+        {
+            "add",
+            "append",
+            "clear",
+            "discard",
+            "extend",
+            "insert",
+            "pop",
+            "popitem",
+            "remove",
+            "setdefault",
+            "sort",
+            "reverse",
+            "update",
+        }
+    )
+
+    @staticmethod
+    def _names_snapshot(identifier: str) -> bool:
+        low = identifier.lower()
+        return low == "snapshot" or low.endswith("_snapshot")
+
+    def _annotated_params(self, tree: ast.AST) -> set[str]:
+        """Parameter names annotated ``MapSnapshot`` anywhere in the file."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                annotation = arg.annotation
+                if annotation is not None and "MapSnapshot" in ast.unparse(
+                    annotation
+                ):
+                    names.add(arg.arg)
+        return names
+
+    def _is_snapshotish(self, expr: ast.expr, extra: set[str]) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and (
+                node.id in extra or self._names_snapshot(node.id)
+            ):
+                return True
+            if isinstance(node, ast.Attribute) and self._names_snapshot(
+                node.attr
+            ):
+                return True
+        return False
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        if source.rel.split("/")[0] != self.SCOPE_DIR:
+            return
+        extra = self._annotated_params(source.tree)
+        for node in ast.walk(source.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTATORS
+                    and self._is_snapshotish(func.value, extra)
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f".{func.attr}() mutates a published snapshot; "
+                        "the read path is copy-on-write — build a new "
+                        "snapshot and swap it",
+                    )
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id in ("setattr", "delattr")
+                    and node.args
+                    and self._is_snapshotish(node.args[0], extra)
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{func.id}() on a published snapshot; the read "
+                        "path is copy-on-write — build a new snapshot "
+                        "and swap it",
+                    )
+                continue
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and self._is_snapshotish(target.value, extra):
+                    yield self.finding(
+                        source,
+                        target,
+                        "assignment into a published snapshot; the read "
+                        "path is copy-on-write — build a new snapshot "
+                        "and swap it",
+                    )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -1080,6 +1217,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     CliExitDiscipline,
     ProcessPoolDiscipline,
     DurableWriteDiscipline,
+    SnapshotMutationDiscipline,
 )
 
 _BY_ID = {cls.id: cls for cls in ALL_RULES}

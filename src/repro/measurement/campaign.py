@@ -469,6 +469,19 @@ class CampaignDriver:
             self._obs.absorb(result["metrics"])
         return results
 
+    def execute_plan(self, plan: list[ProbeTask]) -> list[Traceroute | None]:
+        """Execute planned probes, parallel when safe, serial otherwise.
+
+        Tasks carry their own sampling decisions and consume no shared
+        randomness, so any contiguous split of a plan executed slice by
+        slice — the streaming service's epochs — produces exactly the
+        traces the one-shot execution would.  Results keep plan order;
+        unresponsive probes come back as ``None``.
+        """
+        if self._can_parallel(len(plan)):
+            return self._execute_plan_sharded(plan)
+        return [self._execute_task(task) for task in plan]
+
     def initial_campaign(
         self, target_asns: list[int], include_archives: bool = True
     ) -> TraceCorpus:
@@ -484,10 +497,7 @@ class CampaignDriver:
         corpus is byte-identical to the serial run's.
         """
         plan = self.plan_initial_campaign(target_asns, include_archives)
-        if self._can_parallel(len(plan)):
-            results = self._execute_plan_sharded(plan)
-        else:
-            results = [self._execute_task(task) for task in plan]
+        results = self.execute_plan(plan)
         corpus = TraceCorpus()
         corpus.extend([trace for trace in results if trace is not None])
         self._obs.count("campaign.initial_traces", len(corpus))

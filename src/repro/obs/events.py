@@ -42,6 +42,13 @@ EVENT_NAMES: dict[str, str] = {
     "checkpoint.write": "one pipeline stage was durably checkpointed",
     "checkpoint.load": "one checkpointed stage passed verification and loaded",
     "checkpoint.corrupt": "a checkpoint failed verification; recomputing",
+    "ingest.epoch.begin": "the map service started executing one epoch's probes",
+    "ingest.epoch.done": "one epoch's traces were folded into the live map",
+    "ingest.stream.end": "the simulated traceroute stream was exhausted",
+    "ingest.resume": "stream state was restored from a mid-stream checkpoint",
+    "serve.snapshot.publish": "a versioned map snapshot was durably published",
+    "serve.snapshot.swap": "the read path switched to a new snapshot",
+    "serve.query": "the query engine answered one lookup",
 }
 
 

@@ -1,0 +1,46 @@
+"""The always-on map service (streaming ingest + versioned snapshots).
+
+Four pieces:
+
+* :mod:`repro.serve.snapshot` — immutable, fingerprinted
+  :class:`MapSnapshot` versions with precomputed O(1) query indices
+  (interface→facility, AS-pair→links, facility→tenants), plus the
+  durable payload codec and :func:`open_snapshot`;
+* :mod:`repro.serve.ingest` — epoch slicing of the campaign plan and
+  the :class:`StreamingCfs` incremental fold;
+* :mod:`repro.serve.query` — the copy-on-write read path
+  (:class:`QueryEngine`) and the line-oriented query protocol;
+* :mod:`repro.serve.service` — :class:`MapService`, the daemon loop
+  that executes epochs, publishes snapshots through the checkpoint
+  store, and swaps them into the read path.
+
+The contract that makes the service trustworthy: the final snapshot a
+streamed run publishes is **fingerprint-identical** to the map the
+one-shot batch pipeline produces from the same config
+(``tests/serve/test_stream_identity.py``).
+"""
+
+from .ingest import StreamingCfs, slice_epochs
+from .query import QueryEngine, query_snapshot
+from .service import MapService, ServiceHandle
+from .snapshot import (
+    MapSnapshot,
+    build_snapshot,
+    open_snapshot,
+    snapshot_from_payload,
+    snapshot_payload,
+)
+
+__all__ = [
+    "MapService",
+    "MapSnapshot",
+    "QueryEngine",
+    "ServiceHandle",
+    "StreamingCfs",
+    "build_snapshot",
+    "open_snapshot",
+    "query_snapshot",
+    "slice_epochs",
+    "snapshot_from_payload",
+    "snapshot_payload",
+]

@@ -1,0 +1,211 @@
+"""The read path: line-oriented queries over the live snapshot.
+
+One :class:`QueryEngine` fronts the service.  Writers publish whole
+:class:`~repro.serve.snapshot.MapSnapshot` objects through
+:meth:`QueryEngine.swap` — a single reference assignment, which CPython
+performs atomically — and every request captures that reference exactly
+once, so a query runs start to finish against one immutable snapshot
+even while the ingest loop swaps new versions underneath it.  There is
+no partially-updated state to observe: the torn-map test hammers
+queries through concurrent swaps and checks each answer is internally
+consistent with exactly one published version.
+
+The query protocol is one request per line, one JSON object per
+response (every response names the ``epoch`` and ``fingerprint`` it was
+answered from)::
+
+    iface 10.1.2.3          interface -> facility inference
+    link 64500 64501        every inferred link between the AS pair
+    tenants 17              ASNs with an inferred presence at facility 17
+    info                    snapshot version, fingerprint, map sizes
+    help                    list the commands
+
+Unknown commands and malformed arguments answer ``{"error": ...}`` —
+the daemon never dies on a bad query line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..obs import Instrumentation
+from ..topology.addressing import int_to_ip, ip_to_int
+from .snapshot import LinkEntry, MapSnapshot
+
+__all__ = ["QueryEngine", "query_snapshot"]
+
+_HELP = {
+    "iface <address>": "facility inference for one interface "
+    "(dotted quad or integer)",
+    "link <asn> <asn>": "inferred links between an AS pair "
+    "(order-insensitive)",
+    "tenants <facility>": "ASNs with an inferred presence at a facility",
+    "info": "snapshot epoch, fingerprint, and map sizes",
+    "help": "this command list",
+}
+
+
+def _parse_address(token: str) -> int:
+    if token.isdigit():
+        return int(token)
+    return ip_to_int(token)
+
+
+def _link_document(link: LinkEntry) -> dict[str, Any]:
+    return {
+        "kind": link.kind,
+        "type": link.inferred_type,
+        "near_address": int_to_ip(link.near_address),
+        "near_asn": link.near_asn,
+        "near_facility": link.near_facility,
+        "far_asn": link.far_asn,
+        "far_facility": link.far_facility,
+        "ixp": link.ixp_id,
+        "confidence": link.confidence,
+    }
+
+
+def query_snapshot(snapshot: MapSnapshot, line: str) -> dict[str, Any]:
+    """Answer one query line against one immutable snapshot.
+
+    Pure read: the snapshot is never touched beyond index lookups, and
+    every response carries the snapshot's epoch and fingerprint so a
+    caller can tell which published version answered it.
+    """
+    version = {"epoch": snapshot.epoch, "fingerprint": snapshot.fingerprint}
+    tokens = line.strip().split()
+    if not tokens:
+        return {"error": "empty query; try 'help'", **version}
+    command, args = tokens[0].lower(), tokens[1:]
+
+    if command == "help":
+        return {"query": "help", "commands": dict(_HELP), **version}
+
+    if command == "info":
+        return {
+            "query": "info",
+            "final": snapshot.final,
+            "seed": snapshot.seed,
+            "traces_ingested": snapshot.traces_ingested,
+            "interfaces": snapshot.stats["interfaces"],
+            "resolved": snapshot.stats["resolved"],
+            "links": snapshot.stats["links"],
+            "facilities": snapshot.stats["facilities"],
+            **version,
+        }
+
+    if command == "iface":
+        if len(args) != 1:
+            return {"error": "usage: iface <address>", **version}
+        try:
+            address = _parse_address(args[0])
+        except ValueError:
+            return {"error": f"bad address {args[0]!r}", **version}
+        entry = snapshot.interfaces.get(address)
+        if entry is None:
+            return {
+                "query": "iface",
+                "address": int_to_ip(address),
+                "found": False,
+                **version,
+            }
+        return {
+            "query": "iface",
+            "address": int_to_ip(entry.address),
+            "found": True,
+            "owner_asn": entry.owner_asn,
+            "status": entry.status,
+            "type": entry.inferred_type,
+            "facility": entry.facility,
+            "confidence": entry.confidence,
+            "data_health": entry.data_health,
+            "candidates": list(entry.candidates),
+            **version,
+        }
+
+    if command == "link":
+        if len(args) != 2:
+            return {"error": "usage: link <asn> <asn>", **version}
+        try:
+            near, far = int(args[0]), int(args[1])
+        except ValueError:
+            return {"error": f"bad AS pair {args[0]!r} {args[1]!r}", **version}
+        pair = (min(near, far), max(near, far))
+        links = snapshot.links_by_aspair.get(pair, ())
+        return {
+            "query": "link",
+            "as_pair": list(pair),
+            "found": bool(links),
+            "links": [_link_document(link) for link in links],
+            **version,
+        }
+
+    if command == "tenants":
+        if len(args) != 1 or not args[0].lstrip("-").isdigit():
+            return {"error": "usage: tenants <facility-id>", **version}
+        facility = int(args[0])
+        tenants = snapshot.facility_tenants.get(facility, ())
+        return {
+            "query": "tenants",
+            "facility": facility,
+            "found": bool(tenants),
+            "tenants": list(tenants),
+            **version,
+        }
+
+    return {
+        "error": f"unknown command {command!r}; try 'help'",
+        **version,
+    }
+
+
+class QueryEngine:
+    """Serves queries against the most recently published snapshot.
+
+    The snapshot reference is the only mutable state, and only
+    :meth:`swap` writes it.  Queries read it once per request.
+    """
+
+    def __init__(self, instrumentation: Instrumentation | None = None) -> None:
+        self._obs = instrumentation or Instrumentation()
+        self._snapshot: MapSnapshot | None = None
+
+    def current(self) -> MapSnapshot | None:
+        """The live snapshot (``None`` before the first publication)."""
+        return self._snapshot
+
+    def swap(self, snapshot: MapSnapshot) -> None:
+        """Atomically switch the read path to ``snapshot``.
+
+        One reference assignment — in-flight queries keep the version
+        they captured; new queries see the new one.  The old snapshot
+        is unreferenced here, never mutated (copy-on-write).
+        """
+        self._snapshot = snapshot
+        self._obs.count("serve.swaps")
+        self._obs.emit(
+            "serve.snapshot.swap",
+            epoch=snapshot.epoch,
+            final=snapshot.final,
+            fingerprint=snapshot.fingerprint,
+        )
+
+    def execute(self, line: str) -> dict[str, Any]:
+        """Answer one query line against the snapshot captured now."""
+        snapshot = self._snapshot  # the one capture; never re-read below
+        self._obs.count("serve.queries")
+        if snapshot is None:
+            return {"error": "no snapshot published yet"}
+        response = query_snapshot(snapshot, line)
+        self._obs.emit(
+            "serve.query",
+            kind=response.get("query", "error"),
+            found=response.get("found"),
+            epoch=snapshot.epoch,
+        )
+        return response
+
+    def execute_line(self, line: str) -> str:
+        """One-line JSON rendering of :meth:`execute` (the wire format)."""
+        return json.dumps(self.execute(line), sort_keys=True)

@@ -1,0 +1,404 @@
+"""The always-on map service: epoch ingest loop and snapshot lifecycle.
+
+:class:`MapService` turns the batch pipeline into a long-lived daemon.
+The initial campaign's probe plan — every sampling decision already
+drawn — is partitioned into contiguous epochs that execute in plan
+order, simulating a continuous traceroute feed.  After each epoch the
+accumulated traces are folded into the incremental search state
+(:class:`~repro.serve.ingest.StreamingCfs`), an interim
+:class:`~repro.serve.snapshot.MapSnapshot` is built, durably published
+through the checkpoint store (PR 5), and atomically swapped into the
+read path (:class:`~repro.serve.query.QueryEngine`).  When the stream
+is exhausted, a full CFS convergence pass — identical seeds and
+substrates to the batch pipeline — produces the **final** snapshot,
+whose fingerprint is byte-identical to a one-shot
+:func:`repro.core.pipeline.run_pipeline` of the same config.
+
+Snapshot lifecycle and versioning:
+
+* each published snapshot is immutable and carries a content
+  fingerprint (sha256 of its canonical map document, epoch metadata
+  excluded);
+* the durable copy lands in the checkpoint store as stage
+  ``snapshot-epoch-<k>`` (or ``snapshot-final``), and the manifest's
+  sha256 of that stage file is the snapshot's **watermark** — equal
+  watermarks mean byte-identical durable payloads;
+* the read path holds exactly one snapshot reference; a publish swaps
+  it with a single assignment, so queries never observe a torn map.
+
+Crash recovery: after every epoch the service checkpoints a ``stream``
+stage (epoch count, fold boundaries, planned slice sizes, and the
+campaign codec's trace + engine-accounting payload).  A restart with
+``resume=True`` validates the recorded plan against its own, restores
+the corpus and measurement substrate, replays the fold per recorded
+epoch boundary — reproducing the ingest state exactly — and re-publishes
+the last epoch's snapshot before continuing the stream.  Probe-
+perturbing fault plans disable stream resume (their failure draws come
+from sequential per-run RNG streams that a restored engine cannot
+replay), as does a probe-budget cap (the restarted driver's budget
+ledger would restart at zero); both degrade to a fresh stream with a
+warning, never a crash.  Epoch-level fault perturbations need no new
+machinery: probes execute through the same engine and platforms the
+injector is wired into, so outages and timeouts simply land on
+whichever epoch's probes were in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..checkpoint import (
+    CheckpointStore,
+    config_fingerprint,
+    decode_campaign_stage,
+    encode_campaign_stage,
+)
+from ..core.pipeline import (
+    Environment,
+    PipelineConfig,
+    _open_store,
+    build_environment,
+)
+from ..measurement.campaign import TraceCorpus
+from ..measurement.traceroute import Traceroute
+from ..obs import Instrumentation
+from .ingest import StreamingCfs, slice_epochs
+from .query import QueryEngine
+from .snapshot import MapSnapshot, build_snapshot, snapshot_payload
+
+__all__ = ["MapService", "ServiceHandle"]
+
+#: Checkpoint stage holding the mid-stream resume state.
+STREAM_STAGE = "stream"
+
+
+@dataclass(slots=True)
+class ServiceHandle:
+    """Typed result of one service run (the ``repro.api`` return type).
+
+    Holds the published history and the live query engine; ``final`` is
+    ``None`` when the stream was paused mid-way (``stop_after_epoch``).
+    """
+
+    #: The service that produced this handle (query engine, environment
+    #: and checkpoint store remain live on it).
+    service: "MapService"
+    #: Every snapshot published by this run, in publish order.
+    snapshots: list[MapSnapshot] = field(default_factory=list)
+    #: The converged final snapshot, or ``None`` if the stream paused.
+    final: MapSnapshot | None = None
+    #: Whether this run restored mid-stream state from a checkpoint.
+    resumed: bool = False
+
+    @property
+    def environment(self) -> Environment:
+        """The simulated-Internet substrate behind the service."""
+        return self.service.environment
+
+    def query(self, line: str) -> dict[str, Any]:
+        """Answer one query line against the live snapshot."""
+        return self.service.engine.execute(line)
+
+
+class MapService:
+    """A long-lived map service over one pipeline configuration."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        instrumentation: Instrumentation | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self._obs = instrumentation or Instrumentation()
+        self._progress = progress
+        self.environment = build_environment(config)
+        self.config = self.environment.config
+        if (
+            instrumentation is not None
+            and self.environment.fault_injector is not None
+        ):
+            self.environment.fault_injector.instrumentation = instrumentation
+        #: The read path; live across the whole service lifetime.
+        self.engine = QueryEngine(self._obs)
+        #: Durable store (``None`` without ``config.checkpoint_dir``).
+        self.store: CheckpointStore | None = _open_store(
+            self.config, self.environment, instrumentation, progress
+        )
+
+    # ------------------------------------------------------------------
+
+    def _notify(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def _publish(self, snapshot: MapSnapshot, stage: str) -> None:
+        """Durably publish one snapshot, then swap it into the read path."""
+        watermark = None
+        if self.store is not None:
+            self.store.write_stage(stage, snapshot_payload(snapshot))
+            watermark = self.store.stage_digest(stage)
+        self._obs.count("serve.snapshots_published")
+        self._obs.emit(
+            "serve.snapshot.publish",
+            epoch=snapshot.epoch,
+            final=snapshot.final,
+            fingerprint=snapshot.fingerprint,
+            watermark=watermark,
+        )
+        self.engine.swap(snapshot)
+
+    def _stream_resumable(self) -> bool:
+        """Whether mid-stream resume is sound under this config."""
+        injector = self.environment.fault_injector
+        if injector is not None and injector.plan.perturbs_probes:
+            self._notify(
+                "serve: probe-perturbing faults installed; "
+                "stream resume disabled (fresh stream)"
+            )
+            return False
+        if self.config.campaign.resilience.max_probes is not None:
+            self._notify(
+                "serve: probe budget capped; stream resume disabled "
+                "(fresh stream)"
+            )
+            return False
+        return True
+
+    def _try_resume(
+        self,
+        task_sizes: list[int],
+        fold: StreamingCfs,
+        corpus: TraceCorpus,
+    ) -> tuple[int, MapSnapshot | None, list[int]]:
+        """Restore mid-stream state from the ``stream`` checkpoint stage.
+
+        Returns ``(epochs_done, last_snapshot, boundaries)`` —
+        ``(0, None, [])`` when there is nothing (or nothing trustworthy)
+        to restore.  The fold is replayed chunk by chunk along the
+        recorded epoch boundaries, so the restored ingest state is
+        identical to the state the interrupted run held after its last
+        completed epoch.
+        """
+        nothing = (0, None, [])
+        if self.store is None or not self.config.resume:
+            return nothing
+        payload = self.store.load_stage(STREAM_STAGE)
+        if payload is None:
+            return nothing
+        if not self._stream_resumable():
+            return nothing
+        recorded_sizes = payload.get("task_sizes")
+        if recorded_sizes != task_sizes:
+            self._notify(
+                "serve: checkpointed stream was planned differently "
+                "(epochs or config changed); starting fresh"
+            )
+            return nothing
+        epochs_done = payload.get("epoch")
+        boundaries = payload.get("boundaries")
+        if (
+            not isinstance(epochs_done, int)
+            or not isinstance(boundaries, list)
+            or len(boundaries) != epochs_done
+            or epochs_done < 1
+        ):
+            self._notify(
+                "serve: stream stage has an unknown layout; starting fresh"
+            )
+            return nothing
+        try:
+            restored = decode_campaign_stage(
+                payload["campaign"],
+                self.environment.engine,
+                self.environment.platforms,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            self._notify(
+                f"serve: stream stage undecodable ({error}); starting fresh"
+            )
+            return nothing
+        if len(restored) != boundaries[-1]:
+            self._notify(
+                "serve: stream stage boundaries disagree with its corpus; "
+                "starting fresh"
+            )
+            return nothing
+        corpus.extend(restored.traces)
+        start = 0
+        for boundary in boundaries:
+            fold.fold(restored.traces[start:boundary])
+            start = boundary
+        snapshot = self._interim_snapshot(fold, epochs_done - 1)
+        self._obs.count("ingest.resumes")
+        self._obs.emit(
+            "ingest.resume",
+            epoch=epochs_done,
+            traces=len(restored),
+            fingerprint=snapshot.fingerprint,
+        )
+        self._notify(
+            f"serve: resumed after epoch {epochs_done} "
+            f"({len(restored)} traces restored)"
+        )
+        return epochs_done, snapshot, [int(b) for b in boundaries]
+
+    def _checkpoint_stream(
+        self,
+        epochs_done: int,
+        boundaries: list[int],
+        task_sizes: list[int],
+        corpus: TraceCorpus,
+    ) -> None:
+        if self.store is None:
+            return
+        self.store.write_stage(
+            STREAM_STAGE,
+            {
+                "epoch": epochs_done,
+                "boundaries": list(boundaries),
+                "task_sizes": list(task_sizes),
+                "campaign": encode_campaign_stage(
+                    corpus,
+                    self.environment.engine,
+                    self.environment.platforms,
+                ),
+            },
+        )
+
+    def _interim_snapshot(self, fold: StreamingCfs, epoch: int) -> MapSnapshot:
+        return build_snapshot(
+            fold.interim_result(),
+            epoch=epoch,
+            final=False,
+            seed=self.config.seed,
+            config_fingerprint=config_fingerprint(self.config),
+            traces_ingested=fold.traces_folded,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_stream(
+        self,
+        epochs: int = 4,
+        *,
+        stop_after_epoch: int | None = None,
+    ) -> ServiceHandle:
+        """Ingest the streamed campaign and publish snapshots.
+
+        Executes the initial campaign's plan in ``epochs`` contiguous
+        slices, publishing one interim snapshot per epoch, then runs
+        the full convergence pass and publishes the final snapshot
+        (fingerprint-identical to the batch pipeline's map).
+
+        ``stop_after_epoch=k`` pauses the service after epoch ``k``'s
+        snapshot is published (simulating a crash/shutdown mid-stream);
+        the returned handle then has ``final=None`` and a later service
+        with ``resume=True`` picks up from the checkpoint.
+        """
+        env = self.environment
+        config = self.config
+        obs = self._obs
+        handle = ServiceHandle(service=self)
+        names = config.platform_filter
+
+        driver = env.new_driver(0, instrumentation=obs)
+        plan = driver.plan_initial_campaign(env.target_asns)
+        slices = slice_epochs(plan, epochs)
+        task_sizes = [len(s) for s in slices]
+        fold = StreamingCfs(env, instrumentation=obs)
+        corpus = TraceCorpus()  # filtered traces, stream order
+        executed_total = 0
+
+        start_epoch, resumed_snapshot, boundaries = self._try_resume(
+            task_sizes, fold, corpus
+        )
+        if start_epoch:
+            handle.resumed = True
+            assert resumed_snapshot is not None
+            self._publish(
+                resumed_snapshot, f"snapshot-epoch-{start_epoch - 1}"
+            )
+            handle.snapshots.append(resumed_snapshot)
+
+        for epoch in range(start_epoch, len(slices)):
+            obs.count("ingest.epochs")
+            obs.emit(
+                "ingest.epoch.begin", epoch=epoch, probes=len(slices[epoch])
+            )
+            results = driver.execute_plan(slices[epoch])
+            executed = [t for t in results if t is not None]
+            executed_total += len(executed)
+            arrived: list[Traceroute] = (
+                executed
+                if names is None
+                else [t for t in executed if t.platform in names]
+            )
+            corpus.extend(arrived)
+            fold.fold(arrived)
+            boundaries.append(len(corpus))
+            snapshot = self._interim_snapshot(fold, epoch)
+            self._publish(snapshot, f"snapshot-epoch-{epoch}")
+            handle.snapshots.append(snapshot)
+            self._checkpoint_stream(
+                epoch + 1, boundaries, task_sizes, corpus
+            )
+            obs.emit(
+                "ingest.epoch.done",
+                epoch=epoch,
+                traces=len(arrived),
+                total=len(corpus),
+                fingerprint=snapshot.fingerprint,
+            )
+            self._notify(
+                f"serve: epoch {epoch} published "
+                f"({len(arrived)} traces, {len(corpus)} total)"
+            )
+            if stop_after_epoch is not None and epoch >= stop_after_epoch:
+                self._notify(f"serve: paused after epoch {epoch}")
+                return handle
+
+        obs.emit(
+            "ingest.stream.end",
+            epochs=len(slices),
+            traces=len(corpus),
+        )
+        # Parity with the batch campaign's closing accounting (resumed
+        # runs restored the corpus rather than re-probing, so their
+        # executed counts cover only the replayed-forward epochs).
+        obs.count("campaign.initial_traces", executed_total)
+        obs.emit(
+            "campaign.initial",
+            targets=len(env.target_asns),
+            traces=executed_total,
+            archives=True,
+        )
+        driver.budget.check()
+        obs.emit("campaign.budget", **driver.budget.as_dict())
+
+        # Full convergence over a copy: follow-ups must not pollute the
+        # accumulated stream corpus (which the stream stage checkpointed).
+        final_input = TraceCorpus()
+        final_input.extend(corpus.traces)
+        result = env.run_cfs(
+            final_input,
+            platform_filter=config.platform_filter,
+            instrumentation=obs,
+        )
+        final_snapshot = build_snapshot(
+            result,
+            epoch=len(slices),
+            final=True,
+            seed=config.seed,
+            config_fingerprint=config_fingerprint(config),
+            traces_ingested=len(corpus),
+        )
+        self._publish(final_snapshot, "snapshot-final")
+        handle.snapshots.append(final_snapshot)
+        handle.final = final_snapshot
+        self._notify(
+            f"serve: final snapshot published "
+            f"(fingerprint {final_snapshot.fingerprint[:12]}…)"
+        )
+        return handle

@@ -70,11 +70,13 @@ class TestApiFacade:
 
     def test_config_and_keywords_are_exclusive(self):
         with pytest.raises(ValueError):
-            api.run_pipeline(PipelineConfig.small(seed=0), seed=1)
+            api.run_pipeline(config=PipelineConfig.small(seed=0), seed=1)
         with pytest.raises(ValueError):
-            api.build_environment(PipelineConfig.small(seed=0), scale="small")
+            api.build_environment(
+                config=PipelineConfig.small(seed=0), scale="small"
+            )
         with pytest.raises(ValueError):
-            api.build_topology(TopologyConfig.small(seed=0), seed=1)
+            api.build_topology(config=TopologyConfig.small(seed=0), seed=1)
 
     def test_build_topology_matches_pipeline_topology(self):
         direct = api.build_topology(seed=6, scale="small")
@@ -83,8 +85,26 @@ class TestApiFacade:
 
     def test_build_environment_positional_config_back_compat(self):
         config = PipelineConfig.small(seed=6)
-        env = api.build_environment(config)
+        with pytest.warns(DeprecationWarning, match="config="):
+            env = api.build_environment(config)
         assert env.config is config
+
+    def test_positional_and_keyword_config_together_rejected(self):
+        config = PipelineConfig.small(seed=6)
+        with pytest.raises(TypeError, match="both"):
+            api.run_pipeline(config, config=config)
+
+    def test_serving_surface_reexported(self):
+        assert api.open_snapshot is repro.api.open_snapshot
+        assert callable(api.serve_map)
+        assert callable(api.query)
+        # Lazy re-exports resolve and cache.
+        assert api.MapSnapshot is api.MapSnapshot
+        assert api.ServiceHandle.__name__ == "ServiceHandle"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            api.not_a_symbol
 
     def test_run_pipeline_by_seed_and_scale(self):
         result = api.run_pipeline(seed=5, scale="small")

@@ -723,6 +723,83 @@ def test_r008_ignores_writes_outside_checkpoint(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# R009 — serve read path never mutates snapshots
+# ----------------------------------------------------------------------
+
+
+def test_r009_flags_attribute_and_index_writes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def poison(snapshot, address):
+            snapshot.epoch = 99
+            snapshot.interfaces[address] = None
+        """,
+        rel="serve/query.py",
+    )
+    assert rule_ids(result) == ["R009", "R009"]
+    assert "copy-on-write" in result.findings[0].message
+
+
+def test_r009_flags_mutating_container_methods(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def poison(final_snapshot):
+            final_snapshot.links.append(None)
+            final_snapshot.stats.update({"interfaces": 0})
+        """,
+        rel="serve/ingest.py",
+    )
+    assert rule_ids(result) == ["R009", "R009"]
+
+
+def test_r009_flags_setattr_bypass_and_annotated_params(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def poison(published: MapSnapshot):
+            setattr(published, "epoch", 0)
+            published.facility_tenants.clear()
+        """,
+        rel="serve/service.py",
+    )
+    assert rule_ids(result) == ["R009", "R009"]
+
+
+def test_r009_allows_swap_rebinding_and_reads(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def swap(self, snapshot):
+                self._snapshot = snapshot  # rebinding IS the swap
+
+            def lookup(self, address):
+                snapshot = self._snapshot
+                return snapshot.interfaces.get(address)
+
+        def collect(handle, snapshot):
+            handle.snapshots.append(snapshot)  # a list of them, not one
+        """,
+        rel="serve/query.py",
+    )
+    assert rule_ids(result) == []
+
+
+def test_r009_ignores_modules_outside_serve(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def tweak(snapshot):
+            snapshot.epoch = 1
+        """,
+        rel="core/pipeline.py",
+    )
+    assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions, rule filtering, error handling
 # ----------------------------------------------------------------------
 

@@ -14,9 +14,9 @@ class TestZeroFaultIdentity:
         """The acceptance property: installing a zero FaultPlan must not
         move a single byte of the exported inference map."""
         seed = 0
-        plain = run_pipeline(PipelineConfig.for_scale("small", seed=seed))
+        plain = run_pipeline(config=PipelineConfig.for_scale("small", seed=seed))
         injected = run_pipeline(
-            PipelineConfig.for_scale("small", seed=seed),
+            config=PipelineConfig.for_scale("small", seed=seed),
             faults=FaultPlan.zero(),
         )
         assert injected.environment.fault_injector is not None
@@ -38,7 +38,7 @@ class TestModerateProfile:
             cfs=config.cfs.replace(degraded_mode=True),
         )
         obs = Instrumentation()
-        run = run_pipeline(config, instrumentation=obs)
+        run = run_pipeline(config=config, instrumentation=obs)
         result = run.cfs_result
         metrics = result.metrics
         assert metrics is not None
@@ -70,7 +70,7 @@ class TestModerateProfile:
                 faults=FaultPlan.moderate().scaled(intensity),
                 cfs=config.cfs.replace(degraded_mode=True),
             )
-            run = run_pipeline(config)
+            run = run_pipeline(config=config)
             result = run.cfs_result
             assert result.peering_interfaces_seen > 0
             assert result.resolved_fraction() > 0.2
@@ -92,7 +92,7 @@ class TestDegradedMode:
                 cfs=config.cfs.replace(degraded_mode=degraded),
             )
             obs = Instrumentation()
-            results[degraded] = run_pipeline(config, instrumentation=obs)
+            results[degraded] = run_pipeline(config=config, instrumentation=obs)
         plain = results[False].cfs_result
         tolerant = results[True].cfs_result
 
@@ -124,7 +124,7 @@ class TestDegradedMode:
             faults=FaultPlan(netfac_missing=1.0),
             cfs=config.cfs.replace(degraded_mode=True),
         )
-        run = run_pipeline(config)
+        run = run_pipeline(config=config)
         from repro.export import export_result
 
         document = export_result(run.cfs_result, run.environment.facility_db)

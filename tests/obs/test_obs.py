@@ -185,7 +185,7 @@ class TestEventRegistry:
         sink = MemorySink()
         obs = Instrumentation(sink=sink, strict=True)
         run_pipeline(
-            PipelineConfig.small(seed=11), instrumentation=obs
+            config=PipelineConfig.small(seed=11), instrumentation=obs
         )  # raises UnregisteredEventError on any rogue name
         emitted = {event.name for event in sink.events}
         assert emitted <= set(EVENT_NAMES)

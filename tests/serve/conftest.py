@@ -1,0 +1,33 @@
+"""Serve-suite fixtures: one session snapshot built from the shared
+small run (treat it as read-only — that is the whole point)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import config_fingerprint
+from repro.core import PipelineConfig
+from repro.serve import MapService, build_snapshot
+
+
+@pytest.fixture(scope="session")
+def small_snapshot(small_run):
+    """A final snapshot of the shared small run's converged map."""
+    env, corpus, result = small_run
+    return build_snapshot(
+        result,
+        epoch=1,
+        final=True,
+        seed=env.config.seed,
+        config_fingerprint=config_fingerprint(env.config),
+        traces_ingested=len(corpus),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_stream_handle():
+    """One streamed service run at the shared small seed (seed=3, the
+    same config as ``small_env`` — so its final snapshot must match
+    ``small_snapshot`` byte for byte)."""
+    service = MapService(PipelineConfig.small(seed=3))
+    return service.run_stream(epochs=3)

@@ -1,0 +1,50 @@
+"""The ``repro serve`` subcommand: stream summary plus the query loop."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestServeCli:
+    def test_streams_and_answers_queries(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("info\nhelp\nbogus\n", encoding="utf-8")
+        code = main(
+            [
+                "--seed", "0", "--scale", "small",
+                "serve", "--epochs", "2", "--queries", str(queries),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "map service" in out
+        # One summary line per published snapshot: 2 epochs + final.
+        summaries = [l for l in out.splitlines() if "snapshot" in l and "fingerprint" in l]
+        assert len(summaries) >= 3
+        assert any("final" in line for line in summaries)
+        responses = [
+            json.loads(line)
+            for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(responses) == 3
+        info, help_, bogus = responses
+        assert info["query"] == "info" and info["final"] is True
+        assert "commands" in help_
+        assert "error" in bogus
+        # Every response names the same (final) published version.
+        assert info["fingerprint"] == bogus["fingerprint"]
+
+    def test_rejects_invalid_epochs(self, capsys):
+        code = main(["serve", "--epochs", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(["serve", "--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "checkpoint-dir" in captured.err

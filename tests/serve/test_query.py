@@ -1,0 +1,152 @@
+"""The query protocol and the copy-on-write read path.
+
+The torn-map test is the serving contract: snapshots swap under
+concurrent queries and every answer must be internally consistent with
+exactly one published version — never a mix of two.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import Instrumentation
+from repro.serve import QueryEngine, query_snapshot
+from repro.topology.addressing import int_to_ip
+
+
+class TestQueryProtocol:
+    def test_iface_accepts_dotted_and_integer_forms(self, small_snapshot):
+        address = next(iter(small_snapshot.interfaces))
+        dotted = query_snapshot(small_snapshot, f"iface {int_to_ip(address)}")
+        numeric = query_snapshot(small_snapshot, f"iface {address}")
+        assert dotted == numeric
+        assert dotted["found"] is True
+        assert dotted["address"] == int_to_ip(address)
+        assert dotted["owner_asn"] == small_snapshot.interfaces[address].owner_asn
+
+    def test_iface_unknown_address_not_found(self, small_snapshot):
+        absent = max(small_snapshot.interfaces) + 1
+        response = query_snapshot(small_snapshot, f"iface {absent}")
+        assert response["found"] is False
+        assert response["fingerprint"] == small_snapshot.fingerprint
+
+    def test_link_is_order_insensitive(self, small_snapshot):
+        (low, high) = next(iter(small_snapshot.links_by_aspair))
+        forward = query_snapshot(small_snapshot, f"link {low} {high}")
+        backward = query_snapshot(small_snapshot, f"link {high} {low}")
+        assert forward == backward
+        assert forward["found"] is True
+        assert len(forward["links"]) == len(
+            small_snapshot.links_by_aspair[(low, high)]
+        )
+
+    def test_tenants_lists_facility_presence(self, small_snapshot):
+        facility = next(iter(small_snapshot.facility_tenants))
+        response = query_snapshot(small_snapshot, f"tenants {facility}")
+        assert response["found"] is True
+        assert tuple(response["tenants"]) == (
+            small_snapshot.facility_tenants[facility]
+        )
+
+    def test_info_reports_version_and_sizes(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "info")
+        assert response["epoch"] == small_snapshot.epoch
+        assert response["fingerprint"] == small_snapshot.fingerprint
+        assert response["interfaces"] == small_snapshot.stats["interfaces"]
+        assert response["links"] == small_snapshot.stats["links"]
+
+    def test_help_lists_commands(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "help")
+        assert "iface <address>" in response["commands"]
+
+    def test_errors_never_raise(self, small_snapshot):
+        for line in (
+            "",
+            "   ",
+            "bogus",
+            "iface",
+            "iface not-an-address",
+            "link 1",
+            "link a b",
+            "tenants many",
+        ):
+            response = query_snapshot(small_snapshot, line)
+            assert "error" in response
+            assert response["fingerprint"] == small_snapshot.fingerprint
+
+
+class TestQueryEngine:
+    def test_no_snapshot_yet_is_an_error(self):
+        engine = QueryEngine(Instrumentation())
+        assert engine.current() is None
+        assert engine.execute("info") == {"error": "no snapshot published yet"}
+
+    def test_swap_switches_the_read_path(self, small_snapshot):
+        obs = Instrumentation()
+        engine = QueryEngine(obs)
+        engine.swap(small_snapshot)
+        assert engine.current() is small_snapshot
+        response = engine.execute("info")
+        assert response["fingerprint"] == small_snapshot.fingerprint
+        assert obs.counter("serve.swaps") == 1
+        assert obs.counter("serve.queries") == 1
+
+    def test_execute_line_is_canonical_json(self, small_snapshot):
+        engine = QueryEngine()
+        engine.swap(small_snapshot)
+        line = engine.execute_line("info")
+        assert "\n" not in line
+        document = json.loads(line)
+        assert list(document) == sorted(document)
+
+
+class TestTornMap:
+    def test_swaps_under_concurrent_queries_never_tear(
+        self, small_stream_handle
+    ):
+        """Hammer the engine from threads while the main thread swaps
+        through every published version; each answer must match a pure
+        recomputation against the single version it names."""
+        snapshots = list(small_stream_handle.snapshots)
+        assert len(snapshots) >= 2
+        versions = {snapshot.fingerprint: snapshot for snapshot in snapshots}
+        engine = QueryEngine()
+        engine.swap(snapshots[0])
+
+        address = next(iter(snapshots[-1].interfaces))
+        pair = next(iter(snapshots[-1].links_by_aspair))
+        lines = ["info", f"iface {address}", f"link {pair[0]} {pair[1]}"]
+
+        stop = threading.Event()
+        observed: list[list[tuple[str, dict]]] = [[] for _ in range(4)]
+
+        def hammer(slot: int) -> None:
+            i = 0
+            while not stop.is_set():
+                line = lines[i % len(lines)]
+                observed[slot].append((line, engine.execute(line)))
+                i += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for round_ in range(200):
+            engine.swap(snapshots[round_ % len(snapshots)])
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        answered = 0
+        for slot in observed:
+            for line, response in slot:
+                fingerprint = response["fingerprint"]
+                assert fingerprint in versions  # a published version...
+                # ...and the whole answer came from that one version.
+                assert response == query_snapshot(
+                    versions[fingerprint], line
+                )
+                answered += 1
+        assert answered > 0

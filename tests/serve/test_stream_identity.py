@@ -1,0 +1,89 @@
+"""Stream/batch identity: the service's final snapshot fingerprints
+byte-identical to the one-shot batch pipeline's map.
+
+This is the acceptance contract of the streaming redesign — chopping
+the campaign into epochs and folding deltas incrementally must be an
+implementation detail invisible in the published map.  Checked on
+seeds 0-4 at both the small and default scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_pipeline, serve_map
+from repro.checkpoint import config_fingerprint
+from repro.core import PipelineConfig
+from repro.serve import build_snapshot, slice_epochs
+
+
+def batch_fingerprint(config: PipelineConfig) -> str:
+    """The one-shot batch pipeline's map fingerprint for ``config``."""
+    result = run_pipeline(config=config)
+    snapshot = build_snapshot(
+        result.cfs_result,
+        epoch=0,
+        final=True,
+        seed=config.seed,
+        config_fingerprint=config_fingerprint(config),
+        traces_ingested=len(result.corpus),
+    )
+    return snapshot.fingerprint
+
+
+class TestSliceEpochs:
+    def test_concatenation_reproduces_the_plan(self):
+        plan = list(range(11))
+        for epochs in (1, 2, 3, 4, 11):
+            slices = slice_epochs(plan, epochs)
+            assert len(slices) == epochs
+            assert [task for chunk in slices for task in chunk] == plan
+            sizes = {len(chunk) for chunk in slices}
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_more_epochs_than_tasks_leaves_empty_tails(self):
+        slices = slice_epochs([1, 2], 4)
+        assert slices == [[1], [2], [], []]
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            slice_epochs([1], 0)
+
+
+class TestStreamIdentity:
+    def test_shared_fixture_identity_seed3(
+        self, small_stream_handle, small_snapshot
+    ):
+        """The session stream run (seed 3) matches the session batch run."""
+        final = small_stream_handle.final
+        assert final is not None
+        assert final.final is True
+        assert final.fingerprint == small_snapshot.fingerprint
+
+    def test_snapshot_history_is_versioned(self, small_stream_handle):
+        snapshots = small_stream_handle.snapshots
+        assert [s.epoch for s in snapshots if not s.final] == [0, 1, 2]
+        assert snapshots[-1].final is True
+        assert snapshots[-1].epoch == 3  # the epoch count
+        ingested = [s.traces_ingested for s in snapshots if not s.final]
+        assert ingested == sorted(ingested)  # the stream only grows
+        fingerprint = config_fingerprint(
+            small_stream_handle.environment.config
+        )
+        assert all(s.config_fingerprint == fingerprint for s in snapshots)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_small_scale_identity(self, seed):
+        handle = serve_map(seed=seed, scale="small", epochs=3)
+        assert handle.final is not None
+        assert handle.final.fingerprint == batch_fingerprint(
+            PipelineConfig.for_scale("small", seed=seed)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_default_scale_identity(self, seed):
+        handle = serve_map(seed=seed, scale="default", epochs=2)
+        assert handle.final is not None
+        assert handle.final.fingerprint == batch_fingerprint(
+            PipelineConfig.for_scale("default", seed=seed)
+        )
