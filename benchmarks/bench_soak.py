@@ -1,0 +1,142 @@
+"""Chaos soak benchmark: availability under service-layer faults.
+
+The self-healing service makes four promises worth numbers:
+
+* **availability** — query threads hammering the live engine never see
+  an error while epochs fail, quarantine, and publishes roll back;
+* **incidents exercised** — the seeded default profile really fires at
+  least one epoch quarantine *and* one snapshot rollback, so the smoke
+  measures recovery rather than a lucky fault-free run;
+* **staleness** — how many epochs behind the served snapshot ran,
+  sampled per query;
+* **identity** — the final converged snapshot fingerprints identical
+  to a fault-free batch run of the same seed (quarantined epochs are
+  drained and re-folded, so self-healing costs no correctness).
+
+Standalone smoke mode (no pytest-benchmark needed)::
+
+    python benchmarks/bench_soak.py --quick
+
+writes ``BENCH_soak.json`` next to the repository root.  The quick
+entry is also folded into ``bench_pipeline.py --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Standalone smoke mode runs without an installed package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.api import PipelineConfig
+from repro.serve.soak import DEFAULT_EPOCHS, DEFAULT_SEED, run_soak
+
+QUICK_THREADS = 4
+
+
+def quick_soak(
+    output: str,
+    scale: str = "small",
+    seed: int = DEFAULT_SEED,
+    epochs: int = DEFAULT_EPOCHS,
+    threads: int = QUICK_THREADS,
+    intensity: float = 1.0,
+) -> int:
+    """Run the chaos soak and write ``BENCH_soak.json``.
+
+    Returns a process exit code.  The gates are the acceptance
+    contract: 100% availability, zero query errors, at least one
+    quarantine and one rollback actually exercised, and the final
+    fingerprint identical to the fault-free batch map.
+    """
+    report = run_soak(
+        seed=seed,
+        scale=scale,
+        epochs=epochs,
+        threads=threads,
+        intensity=intensity,
+    )
+    print(report.format())
+
+    incidents = report.quarantines >= 1 and report.rollbacks >= 1
+    passed = (
+        report.ok
+        and report.query_errors == 0
+        and report.availability == 1.0
+        and incidents
+        and report.identical is True
+    )
+    if not incidents:
+        print(
+            f"soak: faults did not fire (quarantines={report.quarantines} "
+            f"rollbacks={report.rollbacks}) — the smoke needs a seed that "
+            f"exercises both recovery paths"
+        )
+
+    payload = {
+        "schema": "repro/bench-soak/1",
+        "passed": passed,
+        "report": report.as_dict(),
+    }
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {path}")
+    return 0 if passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the chaos soak and write BENCH_soak.json",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=PipelineConfig.SCALES,
+        default="small",
+        help="pipeline scale for the soak run",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="master seed (the default deterministically exercises a "
+        "quarantine and a rollback)",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=DEFAULT_EPOCHS,
+        help="epochs the faulty stream ingests",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=QUICK_THREADS,
+        help="query threads hammering the live engine",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_soak.json",
+        help="where to write the soak report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("standalone mode requires --quick")
+    return quick_soak(
+        args.output,
+        scale=args.scale,
+        seed=args.seed,
+        epochs=args.epochs,
+        threads=args.threads,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,8 +73,12 @@ _REEXPORTS: dict[str, tuple[str, str]] = {
     "MapSnapshot": ("repro.serve", "MapSnapshot"),
     "QueryEngine": ("repro.serve", "QueryEngine"),
     "ServiceHandle": ("repro.serve", "ServiceHandle"),
+    "ServiceHealth": ("repro.serve", "ServiceHealth"),
+    "ServicePolicy": ("repro.serve", "ServicePolicy"),
+    "SoakReport": ("repro.serve.soak", "SoakReport"),
     "build_snapshot": ("repro.serve", "build_snapshot"),
     "query_snapshot": ("repro.serve", "query_snapshot"),
+    "run_soak": ("repro.serve.soak", "run_soak"),
     "config_fingerprint": ("repro.checkpoint", "config_fingerprint"),
     # -- experiments ---------------------------------------------------
     "run_ablation": ("repro.experiments", "run_ablation"),
@@ -288,6 +292,7 @@ def serve_map(
     faults: FaultPlan | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    policy: Any = None,
     progress=None,
 ) -> "ServiceHandle":
     """Run the always-on map service over a streamed campaign.
@@ -303,6 +308,10 @@ def serve_map(
     ``stop_after_epoch=k`` pauses after epoch ``k`` (``final`` stays
     ``None``); a later call with ``resume=True`` and the same
     ``checkpoint_dir`` restores mid-stream state and continues.
+
+    ``policy`` (a :class:`~repro.serve.ServicePolicy`) tunes the
+    supervisor: epoch retry budget, publish retry budget, snapshot
+    retention, and the staleness threshold behind the ``health`` verb.
     """
     from .serve import MapService
 
@@ -314,7 +323,10 @@ def serve_map(
             resolved, checkpoint_dir=checkpoint_dir, resume=resume
         )
     service = MapService(
-        resolved, instrumentation=instrumentation, progress=progress
+        resolved,
+        instrumentation=instrumentation,
+        policy=policy,
+        progress=progress,
     )
     return service.run_stream(epochs, stop_after_epoch=stop_after_epoch)
 

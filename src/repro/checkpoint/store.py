@@ -238,6 +238,25 @@ class CheckpointStore:
         self._stages.pop(name, None)
         self._write_manifest()
 
+    def drop_stage(self, name: str) -> bool:
+        """Intentionally retire one stage (manifest entry and file).
+
+        Unlike the corruption path this emits no ``checkpoint.corrupt``
+        event — the caller chose to delete the stage (a retention ring
+        rotating out an old snapshot, a publish rolling back a torn
+        write), nothing degraded.  Returns whether the stage existed.
+        """
+        entry = self._stages.pop(name, None)
+        if entry is None:
+            return False
+        path = self.root / str(entry.get("file", f"stage-{name}.json"))
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._write_manifest()
+        return True
+
     def invalidate(self, reason: str) -> None:
         """Discard every stage (e.g. the topology no longer matches)."""
         if self._stages:

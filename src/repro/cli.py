@@ -15,6 +15,10 @@ Usage (via ``python -m repro``)::
     python -m repro chaos    [--seed N] [--scale ...]
                              [--intensities 0,0.25,0.5,1]
                              [--no-degraded] [--json PATH]
+    python -m repro soak     [--seed N] [--scale ...] [--epochs N]
+                             [--threads N] [--intensity X]
+                             [--error-budget X] [--no-verify]
+                             [--quick] [--json PATH]
     python -m repro lint     [PATH] [--format text|json] [--rule R00X]
                              [--baseline [FILE]]
 
@@ -25,9 +29,11 @@ streams in as epochs, each publishing a versioned snapshot, then a
 line-oriented query loop answers lookups against the live map;
 ``experiment`` regenerates one of the paper's tables/figures; ``chaos``
 sweeps the moderate fault profile across intensities and reports how
-inference accuracy degrades; ``lint`` runs the reprolint static
-analyzer over the source tree (also available standalone as
-``repro-lint``).
+inference accuracy degrades; ``soak`` hammers the map service with
+query threads while a faulty stream ingests (availability, staleness,
+recovery latency, fingerprint-identity gate); ``lint`` runs the
+reprolint static analyzer over the source tree (also available
+standalone as ``repro-lint``).
 
 Subcommands self-register in the :data:`SUBCOMMANDS` registry — one
 declarative :class:`Subcommand` record each (name, help, argument
@@ -476,6 +482,101 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------
+# soak
+# ---------------------------------------------------------------------
+
+
+def _configure_soak(soak: argparse.ArgumentParser) -> None:
+    soak.add_argument(
+        "--epochs",
+        type=int,
+        default=8,
+        help="epochs the faulty stream ingests (default: 8)",
+    )
+    soak.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="query threads hammering the live engine (default: 4)",
+    )
+    soak.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="scales the moderate profile's epoch_fail/snapshot_corrupt "
+        "rates (default: 1.0)",
+    )
+    soak.add_argument(
+        "--error-budget",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="allowed workload-error fraction (default: 0.0 — the seeded "
+        "workload is all-valid lines)",
+    )
+    soak.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the fingerprint-identity gate against a fault-free "
+        "batch run of the same seed",
+    )
+    soak.add_argument(
+        "--quick",
+        action="store_true",
+        help="short smoke: 5 epochs, 2 threads (bench_pipeline --quick "
+        "runs this shape)",
+    )
+    soak.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the soak report as JSON to PATH ('-' for stdout)",
+    )
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    # Imported lazily: the soak harness pulls in the whole serve stack.
+    import json as _json
+
+    from .serve.soak import run_soak
+
+    if args.epochs < 1:
+        raise ValueError(f"invalid epochs {args.epochs}: must be at least 1")
+    if args.threads < 1:
+        raise ValueError(f"invalid threads {args.threads}: must be at least 1")
+    if args.intensity < 0:
+        raise ValueError(
+            f"invalid intensity {args.intensity}: must be non-negative"
+        )
+    if args.error_budget < 0:
+        raise ValueError(
+            f"invalid error budget {args.error_budget}: must be non-negative"
+        )
+    epochs = min(args.epochs, 5) if args.quick else args.epochs
+    threads = min(args.threads, 2) if args.quick else args.threads
+    print(
+        f"chaos soak: {threads} query threads over a faulty "
+        f"{epochs}-epoch stream (scale={args.scale}, seed={args.seed}) ..."
+    )
+    report = run_soak(
+        seed=args.seed,
+        scale=args.scale,
+        epochs=epochs,
+        threads=threads,
+        intensity=args.intensity,
+        error_budget=args.error_budget,
+        verify_identity=not args.no_verify,
+        progress=print,
+    )
+    print(report.format())
+    if args.json is not None:
+        _write_or_print(
+            _json.dumps(report.as_dict(), indent=2), args.json, "soak report"
+        )
+    return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------
 # lint
 # ---------------------------------------------------------------------
 
@@ -528,6 +629,13 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
         help="sweep fault intensity and report degradation",
         run=_cmd_chaos,
         configure=_configure_chaos,
+    ),
+    Subcommand(
+        name="soak",
+        help="hammer the map service with query threads while a faulty "
+        "stream ingests (availability + identity gate)",
+        run=_cmd_soak,
+        configure=_configure_soak,
     ),
     Subcommand(
         name="lint",

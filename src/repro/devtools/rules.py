@@ -1,4 +1,4 @@
-"""The reprolint rules (R001–R009).
+"""The reprolint rules (R001–R010).
 
 Each rule is a class with an ``id``, a ``title``, a per-file
 ``check_file(source, project)`` pass, and an optional cross-file
@@ -23,6 +23,7 @@ doubles as documentation of why the flagged line is actually safe.
 | R007 | process-pool imports are confined to ``repro/exec``           |
 | R008 | checkpoint writes go through the atomic helper                |
 | R009 | the serve read path never mutates snapshot objects            |
+| R010 | service health state changes only via its transition method   |
 """
 
 from __future__ import annotations
@@ -1205,6 +1206,134 @@ class SnapshotMutationDiscipline(Rule):
 
 
 # ----------------------------------------------------------------------
+# R010 — service health state changes only via its transition method
+# ----------------------------------------------------------------------
+
+
+class HealthStateDiscipline(Rule):
+    """The :class:`ServiceHealth` state machine is auditable because it
+    has exactly one mutation point: ``transition()`` validates the new
+    state, records the edge in history, emits the
+    ``serve.health.transition`` event, and notifies subscribers.  A
+    direct attribute write from outside ``serve/health.py`` —
+    ``health._state = "ok"``, ``service.health.epochs_behind += 1`` —
+    silently skips all of that: the health report and the event stream
+    stop agreeing, and soak-test recovery timestamps go dark.  Call the
+    ``record_*`` helpers (or ``transition`` itself) instead.
+
+    Heuristic scope: an expression "is health state" when it mentions a
+    name or attribute spelled ``health``/``*_health`` (the package's
+    naming convention, e.g. ``health``, ``self.health``,
+    ``self._health``) or a parameter annotated ``ServiceHealth``.
+    ``data_health`` is excluded — that is a per-interface inference
+    quality field, not the service state machine.  Rebinding such a
+    name (``self.health = ServiceHealth(...)``) is construction and is
+    not flagged — only writes *through* one are.  ``serve/health.py``
+    itself is exempt: that is where the mutation point lives."""
+
+    id = "R010"
+    title = "service health state changes only via its transition method"
+
+    #: The one module allowed to touch ServiceHealth internals.
+    EXEMPT_FILE = "serve/health.py"
+    _MUTATORS = SnapshotMutationDiscipline._MUTATORS
+
+    @staticmethod
+    def _names_health(identifier: str) -> bool:
+        low = identifier.lower()
+        if low == "data_health":
+            return False
+        return low == "health" or low.endswith("_health")
+
+    def _annotated_params(self, tree: ast.AST) -> set[str]:
+        """Parameter names annotated ``ServiceHealth`` anywhere in the
+        file."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                annotation = arg.annotation
+                if annotation is not None and "ServiceHealth" in ast.unparse(
+                    annotation
+                ):
+                    names.add(arg.arg)
+        return names
+
+    def _is_healthish(self, expr: ast.expr, extra: set[str]) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and (
+                node.id in extra or self._names_health(node.id)
+            ):
+                return True
+            if isinstance(node, ast.Attribute) and self._names_health(
+                node.attr
+            ):
+                return True
+        return False
+
+    def check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterable[Finding]:
+        if source.rel == self.EXEMPT_FILE:
+            return
+        extra = self._annotated_params(source.tree)
+        for node in ast.walk(source.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTATORS
+                    and self._is_healthish(func.value, extra)
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f".{func.attr}() mutates service health state "
+                        "directly; go through transition() or a "
+                        "record_* helper so the edge is validated, "
+                        "recorded, and announced",
+                    )
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id in ("setattr", "delattr")
+                    and node.args
+                    and self._is_healthish(node.args[0], extra)
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{func.id}() on service health state; go "
+                        "through transition() or a record_* helper so "
+                        "the edge is validated, recorded, and announced",
+                    )
+                continue
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and self._is_healthish(target.value, extra):
+                    yield self.finding(
+                        source,
+                        target,
+                        "assignment into service health state; go "
+                        "through transition() or a record_* helper so "
+                        "the edge is validated, recorded, and announced",
+                    )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -1218,6 +1347,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ProcessPoolDiscipline,
     DurableWriteDiscipline,
     SnapshotMutationDiscipline,
+    HealthStateDiscipline,
 )
 
 _BY_ID = {cls.id: cls for cls in ALL_RULES}

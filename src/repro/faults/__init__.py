@@ -20,6 +20,7 @@ to running with no injector at all.
 """
 
 from .errors import (
+    EpochIngestFault,
     MeasurementFault,
     QueryTimeout,
     RateLimitExceeded,
@@ -29,6 +30,7 @@ from .injector import FaultInjector
 from .plan import FaultPlan
 
 __all__ = [
+    "EpochIngestFault",
     "FaultInjector",
     "FaultPlan",
     "MeasurementFault",

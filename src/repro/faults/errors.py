@@ -17,6 +17,7 @@ __all__ = [
     "VantagePointOutage",
     "RateLimitExceeded",
     "QueryTimeout",
+    "EpochIngestFault",
 ]
 
 
@@ -45,3 +46,15 @@ class QueryTimeout(MeasurementFault):
     """A query hung until the prober's timeout expired."""
 
     kind = "timeout"
+
+
+class EpochIngestFault(MeasurementFault):
+    """A whole streamed ingest epoch failed before any probe ran.
+
+    Raised at the epoch boundary by :meth:`FaultInjector.check_epoch`,
+    so a retry never re-executes probes that already mutated substrate
+    state.  The map service's supervisor retries the epoch with a
+    re-rolled draw and quarantines it once the budget is exhausted.
+    """
+
+    kind = "epoch-fail"

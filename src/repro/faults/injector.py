@@ -30,7 +30,12 @@ from random import Random
 from typing import TYPE_CHECKING
 
 from ..obs import Instrumentation
-from .errors import QueryTimeout, RateLimitExceeded, VantagePointOutage
+from .errors import (
+    EpochIngestFault,
+    QueryTimeout,
+    RateLimitExceeded,
+    VantagePointOutage,
+)
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -149,6 +154,57 @@ class FaultInjector:
             self._count("fault.lg_rate_limit")
             self.instrumentation.emit("fault.lg_rate_limit", asn=asn)
             raise RateLimitExceeded(f"looking glass of AS{asn} rate-limited the query")
+
+    # ------------------------------------------------------------------
+    # Service faults (consulted by the map service's supervisor)
+    # ------------------------------------------------------------------
+    #
+    # Unlike the probe faults above, these draw from a *fresh* keyed
+    # Random per (unit, attempt) — the ``ExecFaultSpec`` idiom — instead
+    # of a shared sequential stream.  Retries re-roll independently, and
+    # a resumed or partially quarantined stream sees exactly the same
+    # draws as an uninterrupted one.
+
+    def check_epoch(self, epoch: int, attempt: int) -> None:
+        """Raise :class:`EpochIngestFault` if this epoch attempt fails.
+
+        Consulted *before* any probe of the epoch executes, so the
+        failure never leaves half an epoch's worth of substrate
+        mutations behind and a retry is safe.
+        """
+        rate = self.plan.epoch_fail
+        if rate <= 0:
+            return
+        rng = Random(f"faults:{self.seed}:epoch_fail:{epoch}:{attempt}")
+        if rng.random() < rate:
+            self._count("fault.epoch_fail")
+            raise EpochIngestFault(
+                f"epoch {epoch} ingest failed (attempt {attempt})"
+            )
+
+    def corrupt_snapshot_payload(
+        self, payload: dict, *, stage: str, attempt: int
+    ) -> dict:
+        """Possibly return a torn copy of a snapshot publication payload.
+
+        Simulates a durable write whose bytes land atomically but no
+        longer match the snapshot's content fingerprint (so the store's
+        file-level checksum — computed over the torn bytes — passes,
+        and only the publish-time fingerprint re-verification catches
+        it).  With ``snapshot_corrupt`` zero the payload is returned
+        unchanged, no randomness consumed.
+        """
+        rate = self.plan.snapshot_corrupt
+        if rate <= 0:
+            return payload
+        rng = Random(f"faults:{self.seed}:snapshot_corrupt:{stage}:{attempt}")
+        if rng.random() >= rate:
+            return payload
+        self._count("fault.snapshot_corrupt")
+        torn = dict(payload)
+        recorded = str(torn.get("fingerprint", ""))
+        torn["fingerprint"] = recorded[::-1] if recorded else "torn"
+        return torn
 
     # ------------------------------------------------------------------
     # Alias-resolution faults

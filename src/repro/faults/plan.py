@@ -54,6 +54,21 @@ class FaultPlan:
       mid-shard via ``os._exit`` (no unwinding, no result);
     * ``worker_hang`` — per-shard-attempt probability the worker stalls
       long enough to trip the supervisor's shard deadline.
+
+    Service faults (consulted per epoch / publish attempt by the map
+    service's :class:`repro.serve.ServiceSupervisor`):
+
+    * ``epoch_fail`` — per-epoch-attempt probability that one streamed
+      ingest epoch fails before any probe executes (the measurement
+      backend refused the whole batch);
+    * ``snapshot_corrupt`` — per-publish-attempt probability that the
+      durable snapshot write is torn (the bytes land atomically but the
+      payload no longer matches its content fingerprint).
+
+    Like the executor faults, both are keyed per attempt (not drawn
+    from a shared sequential stream), so retries re-roll independently
+    and neither class perturbs what the probes observe — a plan with
+    only service faults still converges to the fault-free fingerprint.
     """
 
     hop_loss: float = 0.0
@@ -67,6 +82,8 @@ class FaultPlan:
     alias_false_negative: float = 0.0
     worker_crash: float = 0.0
     worker_hang: float = 0.0
+    epoch_fail: float = 0.0
+    snapshot_corrupt: float = 0.0
 
     def __post_init__(self) -> None:
         for spec in fields(self):
@@ -93,7 +110,10 @@ class FaultPlan:
         ``repro chaos`` default to.  The worker rates look high next to
         the probe rates, but they are per *shard attempt* and parallel
         maps carry at most ``workers`` shards per call, so at small
-        scale anything much lower never fires at all.
+        scale anything much lower never fires at all.  The service
+        rates are sized the same way: a soak run streams a handful of
+        epochs, so per-attempt rates much below 0.3 rarely exhaust a
+        retry budget within one run.
         """
         return cls(
             hop_loss=0.10,
@@ -107,6 +127,8 @@ class FaultPlan:
             alias_false_negative=0.03,
             worker_crash=0.15,
             worker_hang=0.05,
+            epoch_fail=0.30,
+            snapshot_corrupt=0.30,
         )
 
     def scaled(self, intensity: float) -> "FaultPlan":
@@ -166,6 +188,18 @@ class FaultPlan:
     def perturbs_workers(self) -> bool:
         """True when any executor-level fault is enabled."""
         return self.worker_crash > 0 or self.worker_hang > 0
+
+    @property
+    def perturbs_serve(self) -> bool:
+        """True when any service-layer (epoch/publish) fault is enabled.
+
+        Service faults never touch the probes, so they don't force the
+        campaign serial the way ``perturbs_probes`` does — but they do
+        disable the map service's mid-stream checkpoint/resume, because
+        quarantined epochs make arrival order diverge from plan order
+        and the stream stage's boundary bookkeeping assumes they match.
+        """
+        return self.epoch_fail > 0 or self.snapshot_corrupt > 0
 
     def as_dict(self) -> dict[str, float]:
         """JSON-ready rendering of every rate."""

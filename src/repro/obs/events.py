@@ -49,6 +49,10 @@ EVENT_NAMES: dict[str, str] = {
     "serve.snapshot.publish": "a versioned map snapshot was durably published",
     "serve.snapshot.swap": "the read path switched to a new snapshot",
     "serve.query": "the query engine answered one lookup",
+    "serve.health.transition": "the service health state machine changed state",
+    "serve.epoch.retry": "one ingest epoch failed and was resubmitted",
+    "serve.epoch.quarantine": "a poisoned epoch was skipped after its retry budget",
+    "serve.snapshot.rollback": "a corrupt publish was dropped; last good snapshot kept",
 }
 
 

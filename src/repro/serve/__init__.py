@@ -12,14 +12,26 @@ Four pieces:
   (:class:`QueryEngine`) and the line-oriented query protocol;
 * :mod:`repro.serve.service` — :class:`MapService`, the daemon loop
   that executes epochs, publishes snapshots through the checkpoint
-  store, and swaps them into the read path.
+  store, and swaps them into the read path;
+* :mod:`repro.serve.health` — the :class:`ServiceHealth` state machine
+  (``ok``/``degraded``/``stale``/``recovering``) behind the ``health``
+  query verb;
+* :mod:`repro.serve.supervise` — the :class:`ServiceSupervisor`
+  wrapping the epoch loop: bounded retries, poisoned-epoch quarantine,
+  publish-time integrity re-verification with rollback, and a bounded
+  snapshot retention ring;
+* :mod:`repro.serve.soak` — the chaos soak harness behind ``repro
+  soak`` (imported lazily by the CLI, like :mod:`repro.faults.chaos`).
 
 The contract that makes the service trustworthy: the final snapshot a
 streamed run publishes is **fingerprint-identical** to the map the
 one-shot batch pipeline produces from the same config
-(``tests/serve/test_stream_identity.py``).
+(``tests/serve/test_stream_identity.py``) — including runs whose
+epochs were quarantined or whose publishes rolled back, because the
+final convergence pass re-folds the full corpus in plan order.
 """
 
+from .health import HealthPolicy, ServiceHealth
 from .ingest import StreamingCfs, slice_epochs
 from .query import QueryEngine, query_snapshot
 from .service import MapService, ServiceHandle
@@ -30,12 +42,17 @@ from .snapshot import (
     snapshot_from_payload,
     snapshot_payload,
 )
+from .supervise import ServicePolicy, ServiceSupervisor
 
 __all__ = [
+    "HealthPolicy",
     "MapService",
     "MapSnapshot",
     "QueryEngine",
     "ServiceHandle",
+    "ServiceHealth",
+    "ServicePolicy",
+    "ServiceSupervisor",
     "StreamingCfs",
     "build_snapshot",
     "open_snapshot",

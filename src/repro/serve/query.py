@@ -18,6 +18,7 @@ answered from)::
     link 64500 64501        every inferred link between the AS pair
     tenants 17              ASNs with an inferred presence at facility 17
     info                    snapshot version, fingerprint, map sizes
+    health                  service state, staleness, incident counters
     help                    list the commands
 
 Unknown commands and malformed arguments answer ``{"error": ...}`` —
@@ -27,11 +28,14 @@ the daemon never dies on a bad query line.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..obs import Instrumentation
-from ..topology.addressing import int_to_ip, ip_to_int
+from ..topology.addressing import MAX_IPV4, int_to_ip, ip_to_int
 from .snapshot import LinkEntry, MapSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from .health import ServiceHealth
 
 __all__ = ["QueryEngine", "query_snapshot"]
 
@@ -42,13 +46,27 @@ _HELP = {
     "(order-insensitive)",
     "tenants <facility>": "ASNs with an inferred presence at a facility",
     "info": "snapshot epoch, fingerprint, and map sizes",
+    "health": "service health state, staleness, and incident counters "
+    "(live service only)",
     "help": "this command list",
 }
 
 
 def _parse_address(token: str) -> int:
+    """One interface address, dotted quad or integer, bounds-checked.
+
+    ``isdigit`` alone admits any digit string — ``iface
+    99999999999999`` used to flow into ``int_to_ip`` and blow up out
+    of range — so integer forms are re-bounded to ``[0, 2^32)`` here
+    and rejections surface as the caller's clean ``{"error": ...}``.
+    """
     if token.isdigit():
-        return int(token)
+        value = int(token)
+        if value > MAX_IPV4:
+            raise ValueError(
+                f"address {token} is outside the IPv4 range [0, 2^32)"
+            )
+        return value
     return ip_to_int(token)
 
 
@@ -141,10 +159,30 @@ def query_snapshot(snapshot: MapSnapshot, line: str) -> dict[str, Any]:
             **version,
         }
 
+    if command == "health":
+        # The snapshot alone has no service state; the live engine
+        # intercepts this verb before it gets here.
+        return {
+            "error": "health requires a live service "
+            "(query through the service's engine)",
+            **version,
+        }
+
     if command == "tenants":
-        if len(args) != 1 or not args[0].lstrip("-").isdigit():
+        if len(args) != 1:
             return {"error": "usage: tenants <facility-id>", **version}
-        facility = int(args[0])
+        try:
+            facility = int(args[0])
+        except ValueError:
+            return {"error": "usage: tenants <facility-id>", **version}
+        # Facility ids share the address bound: a tampered or fat-
+        # fingered id like -5 or 10^14 is a clean miss-shaped error,
+        # not an unbounded dict probe.
+        if not 0 <= facility <= MAX_IPV4:
+            return {
+                "error": f"facility id {args[0]!r} is outside [0, 2^32)",
+                **version,
+            }
         tenants = snapshot.facility_tenants.get(facility, ())
         return {
             "query": "tenants",
@@ -167,9 +205,17 @@ class QueryEngine:
     :meth:`swap` writes it.  Queries read it once per request.
     """
 
-    def __init__(self, instrumentation: Instrumentation | None = None) -> None:
+    def __init__(
+        self,
+        instrumentation: Instrumentation | None = None,
+        health: "ServiceHealth | None" = None,
+    ) -> None:
         self._obs = instrumentation or Instrumentation()
         self._snapshot: MapSnapshot | None = None
+        #: The owning service's health machine; when present the
+        #: ``health`` verb is answered here (it needs service state a
+        #: bare snapshot doesn't carry), even before the first publish.
+        self._health = health
 
     def current(self) -> MapSnapshot | None:
         """The live snapshot (``None`` before the first publication)."""
@@ -195,6 +241,19 @@ class QueryEngine:
         """Answer one query line against the snapshot captured now."""
         snapshot = self._snapshot  # the one capture; never re-read below
         self._obs.count("serve.queries")
+        tokens = line.strip().split()
+        if tokens and tokens[0].lower() == "health" and self._health is not None:
+            if len(tokens) != 1:
+                response: dict[str, Any] = {"error": "usage: health"}
+            else:
+                response = self._health.report(snapshot)
+            self._obs.emit(
+                "serve.query",
+                kind=response.get("query", "error"),
+                found=response.get("found"),
+                epoch=snapshot.epoch if snapshot is not None else None,
+            )
+            return response
         if snapshot is None:
             return {"error": "no snapshot published yet"}
         response = query_snapshot(snapshot, line)

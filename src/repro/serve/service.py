@@ -41,6 +41,21 @@ warning, never a crash.  Epoch-level fault perturbations need no new
 machinery: probes execute through the same engine and platforms the
 injector is wired into, so outages and timeouts simply land on
 whichever epoch's probes were in flight.
+
+Resilience: every epoch execution and every durable publish runs under
+the :class:`~repro.serve.supervise.ServiceSupervisor` — bounded
+retries, poisoned-epoch quarantine (the service keeps answering from
+the last good snapshot), publish-time integrity re-verification with
+rollback — and the service's :class:`~repro.serve.health.ServiceHealth`
+state machine (``ok``/``degraded``/``stale``/``recovering``) is
+exposed through the ``health`` query verb and
+:meth:`ServiceHandle.health`.  Service-layer fault plans
+(``epoch_fail``/``snapshot_corrupt``) disable the mid-stream
+checkpoint and resume: quarantine makes arrival order diverge from
+plan order, which the stream stage's boundary bookkeeping assumes.
+Quarantined epochs are drained injection-free once the stream ends and
+the final convergence pass folds the full corpus in plan order, so the
+final fingerprint still matches the fault-free batch run.
 """
 
 from __future__ import annotations
@@ -63,14 +78,47 @@ from ..core.pipeline import (
 from ..measurement.campaign import TraceCorpus
 from ..measurement.traceroute import Traceroute
 from ..obs import Instrumentation
+from .health import HealthPolicy, ServiceHealth
 from .ingest import StreamingCfs, slice_epochs
 from .query import QueryEngine
-from .snapshot import MapSnapshot, build_snapshot, snapshot_payload
+from .snapshot import MapSnapshot, build_snapshot
+from .supervise import ServicePolicy, ServiceSupervisor
 
 __all__ = ["MapService", "ServiceHandle"]
 
 #: Checkpoint stage holding the mid-stream resume state.
 STREAM_STAGE = "stream"
+
+
+def _clean_int(value: Any) -> bool:
+    """A genuine int — explicitly not a bool.
+
+    A tampered stream stage carrying ``"epoch": true`` passes a naive
+    ``isinstance(value, int)`` check (``bool`` subclasses ``int``) and
+    then resumes from "epoch 1" that never ran; every count restored
+    from a checkpoint goes through this instead.
+    """
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _stream_shape_valid(epochs_done: Any, boundaries: Any) -> bool:
+    """Whether a stream stage's epoch/boundary bookkeeping is coherent.
+
+    Boundaries are cumulative corpus sizes per completed epoch, so they
+    must be genuine non-negative ints, non-decreasing (an epoch may
+    fold zero traces, never remove any), one per completed epoch.
+    """
+    return (
+        _clean_int(epochs_done)
+        and epochs_done >= 1
+        and isinstance(boundaries, list)
+        and len(boundaries) == epochs_done
+        and all(_clean_int(b) and b >= 0 for b in boundaries)
+        and all(
+            boundaries[i] <= boundaries[i + 1]
+            for i in range(len(boundaries) - 1)
+        )
+    )
 
 
 @dataclass(slots=True)
@@ -100,6 +148,10 @@ class ServiceHandle:
         """Answer one query line against the live snapshot."""
         return self.service.engine.execute(line)
 
+    def health(self) -> dict[str, Any]:
+        """The service's health document (state, staleness, incidents)."""
+        return self.service.health.report(self.service.engine.current())
+
 
 class MapService:
     """A long-lived map service over one pipeline configuration."""
@@ -110,6 +162,7 @@ class MapService:
         *,
         instrumentation: Instrumentation | None = None,
         progress: Callable[[str], None] | None = None,
+        policy: ServicePolicy | None = None,
     ) -> None:
         self._obs = instrumentation or Instrumentation()
         self._progress = progress
@@ -120,11 +173,31 @@ class MapService:
             and self.environment.fault_injector is not None
         ):
             self.environment.fault_injector.instrumentation = instrumentation
+        #: Supervision knobs (retry budgets, retention, staleness).
+        self.policy = policy or ServicePolicy()
+        #: The health state machine behind the ``health`` query verb.
+        self.health = ServiceHealth(
+            instrumentation=self._obs,
+            policy=HealthPolicy(stale_after=self.policy.stale_after),
+        )
         #: The read path; live across the whole service lifetime.
-        self.engine = QueryEngine(self._obs)
+        self.engine = QueryEngine(self._obs, health=self.health)
         #: Durable store (``None`` without ``config.checkpoint_dir``).
         self.store: CheckpointStore | None = _open_store(
             self.config, self.environment, instrumentation, progress
+        )
+        #: The resilience envelope around epoch ingest and publishes;
+        #: replaced per :meth:`run_stream` call so quarantine state and
+        #: the retention ring are per-run.
+        self.supervisor = self._new_supervisor()
+
+    def _new_supervisor(self) -> ServiceSupervisor:
+        return ServiceSupervisor(
+            self,
+            policy=self.policy,
+            health=self.health,
+            instrumentation=self._obs,
+            notify=self._notify,
         )
 
     # ------------------------------------------------------------------
@@ -133,28 +206,18 @@ class MapService:
         if self._progress is not None:
             self._progress(message)
 
-    def _publish(self, snapshot: MapSnapshot, stage: str) -> None:
-        """Durably publish one snapshot, then swap it into the read path."""
-        watermark = None
-        if self.store is not None:
-            self.store.write_stage(stage, snapshot_payload(snapshot))
-            watermark = self.store.stage_digest(stage)
-        self._obs.count("serve.snapshots_published")
-        self._obs.emit(
-            "serve.snapshot.publish",
-            epoch=snapshot.epoch,
-            final=snapshot.final,
-            fingerprint=snapshot.fingerprint,
-            watermark=watermark,
-        )
-        self.engine.swap(snapshot)
-
     def _stream_resumable(self) -> bool:
         """Whether mid-stream resume is sound under this config."""
         injector = self.environment.fault_injector
         if injector is not None and injector.plan.perturbs_probes:
             self._notify(
                 "serve: probe-perturbing faults installed; "
+                "stream resume disabled (fresh stream)"
+            )
+            return False
+        if injector is not None and injector.plan.perturbs_serve:
+            self._notify(
+                "serve: service-layer faults installed; "
                 "stream resume disabled (fresh stream)"
             )
             return False
@@ -189,6 +252,11 @@ class MapService:
             return nothing
         if not self._stream_resumable():
             return nothing
+        if not isinstance(payload, dict):
+            self._notify(
+                "serve: stream stage has an unknown layout; starting fresh"
+            )
+            return nothing
         recorded_sizes = payload.get("task_sizes")
         if recorded_sizes != task_sizes:
             self._notify(
@@ -198,12 +266,7 @@ class MapService:
             return nothing
         epochs_done = payload.get("epoch")
         boundaries = payload.get("boundaries")
-        if (
-            not isinstance(epochs_done, int)
-            or not isinstance(boundaries, list)
-            or len(boundaries) != epochs_done
-            or epochs_done < 1
-        ):
+        if not _stream_shape_valid(epochs_done, boundaries):
             self._notify(
                 "serve: stream stage has an unknown layout; starting fresh"
             )
@@ -302,22 +365,36 @@ class MapService:
         obs = self._obs
         handle = ServiceHandle(service=self)
         names = config.platform_filter
+        supervisor = self.supervisor = self._new_supervisor()
+        injector = env.fault_injector
+        # Quarantine makes arrival order diverge from plan order, which
+        # the stream stage's boundary bookkeeping assumes — under
+        # service-layer faults the mid-stream checkpoint is skipped
+        # (resume is already disabled by ``_stream_resumable``).
+        stream_checkpointing = not (
+            injector is not None and injector.plan.perturbs_serve
+        )
 
         driver = env.new_driver(0, instrumentation=obs)
         plan = driver.plan_initial_campaign(env.target_asns)
         slices = slice_epochs(plan, epochs)
         task_sizes = [len(s) for s in slices]
         fold = StreamingCfs(env, instrumentation=obs)
-        corpus = TraceCorpus()  # filtered traces, stream order
+        corpus = TraceCorpus()  # filtered traces, arrival order
         executed_total = 0
+        #: epoch -> that epoch's filtered traces; the final convergence
+        #: input is assembled from this in *plan* order, so a drained
+        #: quarantined epoch lands exactly where the batch run put it.
+        per_epoch: dict[int, list[Traceroute]] = {}
 
         start_epoch, resumed_snapshot, boundaries = self._try_resume(
             task_sizes, fold, corpus
         )
+        restored_total = len(corpus)  # traces restored, 0 on fresh streams
         if start_epoch:
             handle.resumed = True
             assert resumed_snapshot is not None
-            self._publish(
+            supervisor.publish(
                 resumed_snapshot, f"snapshot-epoch-{start_epoch - 1}"
             )
             handle.snapshots.append(resumed_snapshot)
@@ -327,60 +404,88 @@ class MapService:
             obs.emit(
                 "ingest.epoch.begin", epoch=epoch, probes=len(slices[epoch])
             )
-            results = driver.execute_plan(slices[epoch])
-            executed = [t for t in results if t is not None]
+            executed = supervisor.ingest_epoch(driver, epoch, slices[epoch])
+            if executed is None:
+                # Quarantined: nothing folds, the last good snapshot
+                # keeps serving; the epoch is drained after the stream.
+                continue
             executed_total += len(executed)
             arrived: list[Traceroute] = (
                 executed
                 if names is None
                 else [t for t in executed if t.platform in names]
             )
+            per_epoch[epoch] = arrived
             corpus.extend(arrived)
             fold.fold(arrived)
             boundaries.append(len(corpus))
             snapshot = self._interim_snapshot(fold, epoch)
-            self._publish(snapshot, f"snapshot-epoch-{epoch}")
-            handle.snapshots.append(snapshot)
-            self._checkpoint_stream(
-                epoch + 1, boundaries, task_sizes, corpus
-            )
+            published = supervisor.publish(snapshot, f"snapshot-epoch-{epoch}")
+            if published:
+                handle.snapshots.append(snapshot)
+                if stream_checkpointing:
+                    self._checkpoint_stream(
+                        epoch + 1, boundaries, task_sizes, corpus
+                    )
             obs.emit(
                 "ingest.epoch.done",
                 epoch=epoch,
                 traces=len(arrived),
                 total=len(corpus),
                 fingerprint=snapshot.fingerprint,
+                published=published,
             )
-            self._notify(
-                f"serve: epoch {epoch} published "
-                f"({len(arrived)} traces, {len(corpus)} total)"
-            )
+            if published:
+                self._notify(
+                    f"serve: epoch {epoch} published "
+                    f"({len(arrived)} traces, {len(corpus)} total)"
+                )
             if stop_after_epoch is not None and epoch >= stop_after_epoch:
                 self._notify(f"serve: paused after epoch {epoch}")
                 return handle
+
+        # Drain quarantined epochs (injection-free) so the final
+        # convergence pass sees the full corpus.
+        for epoch in list(supervisor.quarantined):
+            executed = supervisor.drain_epoch(driver, epoch, slices[epoch])
+            executed_total += len(executed)
+            per_epoch[epoch] = (
+                executed
+                if names is None
+                else [t for t in executed if t.platform in names]
+            )
 
         obs.emit(
             "ingest.stream.end",
             epochs=len(slices),
             traces=len(corpus),
+            quarantined=len(supervisor.quarantined),
         )
-        # Parity with the batch campaign's closing accounting (resumed
+        # Parity with the batch campaign's closing accounting.  Resumed
         # runs restored the corpus rather than re-probing, so their
-        # executed counts cover only the replayed-forward epochs).
+        # executed counts cover only the replayed-forward epochs; the
+        # restored trace count rides along so totals still reconcile.
         obs.count("campaign.initial_traces", executed_total)
         obs.emit(
             "campaign.initial",
             targets=len(env.target_asns),
             traces=executed_total,
             archives=True,
+            restored=restored_total,
         )
         driver.budget.check()
         obs.emit("campaign.budget", **driver.budget.as_dict())
 
         # Full convergence over a copy: follow-ups must not pollute the
         # accumulated stream corpus (which the stream stage checkpointed).
+        # Assembled in plan order — restored prefix, then each executed
+        # or drained epoch — which equals arrival order whenever nothing
+        # was quarantined.
         final_input = TraceCorpus()
-        final_input.extend(corpus.traces)
+        final_input.extend(corpus.traces[:restored_total])
+        for epoch in sorted(per_epoch):
+            final_input.extend(per_epoch[epoch])
+        total_streamed = len(final_input)
         result = env.run_cfs(
             final_input,
             platform_filter=config.platform_filter,
@@ -392,13 +497,18 @@ class MapService:
             final=True,
             seed=config.seed,
             config_fingerprint=config_fingerprint(config),
-            traces_ingested=len(corpus),
+            traces_ingested=total_streamed,
         )
-        self._publish(final_snapshot, "snapshot-final")
-        handle.snapshots.append(final_snapshot)
+        final_published = supervisor.publish(final_snapshot, "snapshot-final")
+        if final_published:
+            handle.snapshots.append(final_snapshot)
+        # The converged map is correct by construction even when its
+        # durable publish rolled back (the read path then keeps serving
+        # the last good epoch snapshot, staleness annotated).
         handle.final = final_snapshot
-        self._notify(
-            f"serve: final snapshot published "
-            f"(fingerprint {final_snapshot.fingerprint[:12]}…)"
-        )
+        if final_published:
+            self._notify(
+                f"serve: final snapshot published "
+                f"(fingerprint {final_snapshot.fingerprint[:12]}…)"
+            )
         return handle

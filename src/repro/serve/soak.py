@@ -1,0 +1,442 @@
+"""Chaos soak harness: query threads hammering a faulty ingest stream.
+
+``repro soak`` (and ``benchmarks/bench_soak.py``) runs the full
+self-healing story end to end: a :class:`~repro.serve.MapService`
+streams epochs under seeded ``epoch_fail``/``snapshot_corrupt`` faults
+— retrying, quarantining, rolling back — while worker threads fire a
+seeded query workload at the live :class:`~repro.serve.QueryEngine`
+the whole time.  The harness records:
+
+* **availability** — the fraction of queries answered from *some*
+  published snapshot (the copy-on-write read path never serves a torn
+  or missing map, so this should be 1.0 across any quarantine);
+* **error budget** — workload query errors against an allowed
+  fraction (the seeded workload is all-valid lines, so any error is a
+  service bug);
+* **staleness distribution** — ``epochs_behind`` sampled at each
+  query, showing how far the served map trailed the stream;
+* **recovery latency** — wall-clock seconds from leaving ``ok`` to
+  re-entering it, measured by timestamping health transitions from a
+  subscriber (the state machine itself stays clockless);
+* **the identity gate** — the faulted stream's final fingerprint
+  against a fault-free batch run of the same seed, which must match:
+  service faults never touch what the probes observe, and the final
+  convergence pass re-folds the full corpus in plan order.
+
+Everything measurable is seeded: the fault draws are keyed per
+(epoch|stage, attempt), the workload per thread — only the wall-clock
+timings vary between runs.
+
+The default profile (seed 8, 8 epochs, the moderate plan's service
+rates at intensity 1.0, retry budget 1) deterministically exercises at
+least one epoch quarantine *and* one publish rollback and still
+publishes the final snapshot cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable
+
+from ..checkpoint import config_fingerprint
+from ..core.pipeline import PipelineConfig, run_pipeline
+from ..faults import FaultPlan
+from ..obs import Instrumentation
+from .service import MapService
+from .snapshot import MapSnapshot, build_snapshot
+from .supervise import ServicePolicy
+
+__all__ = ["SOAK_SCHEMA", "SoakReport", "run_soak", "soak_plan"]
+
+SOAK_SCHEMA = "repro/soak-report/1"
+
+#: Deterministic defaults that exercise ≥1 quarantine and ≥1 rollback.
+DEFAULT_SEED = 8
+DEFAULT_EPOCHS = 8
+
+#: Retry budgets tight enough that moderate per-attempt rates actually
+#: exhaust them within one soak run.
+DEFAULT_POLICY = ServicePolicy(max_epoch_retries=1, max_publish_retries=1)
+
+
+def soak_plan(intensity: float = 1.0) -> FaultPlan:
+    """The service-layer slice of the moderate profile, scaled.
+
+    Only ``epoch_fail``/``snapshot_corrupt`` are kept: probe and
+    dataset faults perturb what the map *contains*, which would break
+    the soak's fingerprint-identity gate against a fault-free batch
+    run.  Service faults by design do not.
+    """
+    base = FaultPlan.moderate()
+    return FaultPlan(
+        epoch_fail=base.epoch_fail, snapshot_corrupt=base.snapshot_corrupt
+    ).scaled(intensity)
+
+
+@dataclass(slots=True)
+class SoakReport:
+    """Everything one soak run measured (JSON-ready via :meth:`as_dict`)."""
+
+    seed: int
+    scale: str
+    epochs: int
+    threads: int
+    intensity: float
+    plan: dict[str, float]
+    #: Total workload queries issued across every thread.
+    queries: int = 0
+    #: Queries answered from a published snapshot (or the health verb).
+    answered: int = 0
+    #: Workload responses carrying an ``error`` key, plus any exception
+    #: a query thread caught (the workload is all-valid lines).
+    query_errors: int = 0
+    #: Allowed error fraction; the seeded workload expects 0.
+    error_budget: float = 0.0
+    #: ``epochs_behind`` sampled at each query -> occurrence count.
+    staleness: dict[int, int] = field(default_factory=dict)
+    #: Seconds from each departure from ``ok`` to the next return.
+    recovery_seconds: list[float] = field(default_factory=list)
+    #: Timestamp-ordered health edges: (old, new, reason).
+    transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    epoch_retries: int = 0
+    quarantines: int = 0
+    quarantined_epochs: list[int] = field(default_factory=list)
+    publish_retries: int = 0
+    rollbacks: int = 0
+    drains: int = 0
+    final_state: str = "ok"
+    final_fingerprint: str | None = None
+    batch_fingerprint: str | None = None
+    #: Identity-gate verdict (``None`` when the gate was skipped).
+    identical: bool | None = None
+    wall_seconds: float = 0.0
+    first_error: str | None = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered from some published snapshot."""
+        return self.answered / self.queries if self.queries else 1.0
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether workload errors stayed inside :attr:`error_budget`."""
+        if not self.queries:
+            return True
+        return (self.query_errors / self.queries) <= self.error_budget
+
+    @property
+    def ok(self) -> bool:
+        """The soak's headline verdict: full availability, errors in
+        budget, and (when checked) the identity gate held."""
+        return (
+            self.availability == 1.0
+            and self.within_budget
+            and self.identical is not False
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (the BENCH_soak.json building block)."""
+        return {
+            "schema": SOAK_SCHEMA,
+            "seed": self.seed,
+            "scale": self.scale,
+            "epochs": self.epochs,
+            "threads": self.threads,
+            "intensity": self.intensity,
+            "plan": dict(self.plan),
+            "queries": self.queries,
+            "answered": self.answered,
+            "availability": round(self.availability, 6),
+            "query_errors": self.query_errors,
+            "error_budget": self.error_budget,
+            "within_budget": self.within_budget,
+            "staleness": {
+                str(behind): count
+                for behind, count in sorted(self.staleness.items())
+            },
+            "recovery_seconds": [round(s, 6) for s in self.recovery_seconds],
+            "transitions": [list(edge) for edge in self.transitions],
+            "epoch_retries": self.epoch_retries,
+            "quarantines": self.quarantines,
+            "quarantined_epochs": list(self.quarantined_epochs),
+            "publish_retries": self.publish_retries,
+            "rollbacks": self.rollbacks,
+            "drains": self.drains,
+            "final_state": self.final_state,
+            "final_fingerprint": self.final_fingerprint,
+            "batch_fingerprint": self.batch_fingerprint,
+            "identical": self.identical,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "first_error": self.first_error,
+            "ok": self.ok,
+        }
+
+    def format(self) -> str:
+        """Human-readable summary for the CLI."""
+        staleness = ", ".join(
+            f"{behind}:{count}"
+            for behind, count in sorted(self.staleness.items())
+        )
+        recovery = (
+            f"{max(self.recovery_seconds):.3f}s max"
+            if self.recovery_seconds
+            else "n/a"
+        )
+        identity = {True: "ok", False: "BROKEN", None: "skipped"}[
+            self.identical
+        ]
+        lines = [
+            f"soak: seed={self.seed} scale={self.scale} "
+            f"epochs={self.epochs} threads={self.threads} "
+            f"intensity={self.intensity}",
+            f"  queries {self.queries}, availability "
+            f"{self.availability:.4f}, errors {self.query_errors} "
+            f"(budget {self.error_budget})",
+            f"  staleness {{{staleness}}} (epochs behind : queries)",
+            f"  incidents: {self.epoch_retries} epoch retries, "
+            f"{self.quarantines} quarantines {self.quarantined_epochs}, "
+            f"{self.publish_retries} publish retries, "
+            f"{self.rollbacks} rollbacks, {self.drains} drains",
+            f"  recovery {recovery}, final state {self.final_state}, "
+            f"identity gate {identity}",
+            f"  wall {self.wall_seconds:.1f}s -> "
+            f"{'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+#: Workload mix: weights per query kind (drawn per query, per thread).
+_WORKLOAD = (
+    ("iface_hit", 4),
+    ("iface_miss", 1),
+    ("link", 3),
+    ("tenants", 2),
+    ("info", 1),
+    ("health", 2),
+)
+_WORKLOAD_TOTAL = sum(weight for _, weight in _WORKLOAD)
+
+
+def _pick_kind(rng: Random) -> str:
+    draw = rng.randrange(_WORKLOAD_TOTAL)
+    for kind, weight in _WORKLOAD:
+        draw -= weight
+        if draw < 0:
+            return kind
+    return "info"  # pragma: no cover - unreachable
+
+
+class _SnapshotKeys:
+    """Per-fingerprint cache of the index keys a workload samples from."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, tuple[list, list, list]] = {}
+        self._lock = threading.Lock()
+
+    def for_snapshot(self, snapshot: MapSnapshot) -> tuple[list, list, list]:
+        with self._lock:
+            cached = self._cache.get(snapshot.fingerprint)
+            if cached is None:
+                cached = (
+                    sorted(snapshot.interfaces),
+                    sorted(snapshot.links_by_aspair),
+                    sorted(snapshot.facility_tenants),
+                )
+                self._cache[snapshot.fingerprint] = cached
+        return cached
+
+
+def _workload_line(
+    rng: Random, snapshot: MapSnapshot, keys: _SnapshotKeys
+) -> str:
+    addresses, aspairs, facilities = keys.for_snapshot(snapshot)
+    kind = _pick_kind(rng)
+    if kind == "iface_hit" and addresses:
+        return f"iface {rng.choice(addresses)}"
+    if kind == "iface_miss":
+        return f"iface {rng.randrange(1 << 32)}"
+    if kind == "link" and aspairs:
+        near, far = rng.choice(aspairs)
+        return f"link {far} {near}"
+    if kind == "tenants" and facilities:
+        return f"tenants {rng.choice(facilities)}"
+    if kind == "health":
+        return "health"
+    return "info"
+
+
+def run_soak(
+    *,
+    seed: int = DEFAULT_SEED,
+    scale: str = "small",
+    epochs: int = DEFAULT_EPOCHS,
+    threads: int = 4,
+    intensity: float = 1.0,
+    plan: FaultPlan | None = None,
+    policy: ServicePolicy | None = None,
+    checkpoint_dir: str | None = None,
+    error_budget: float = 0.0,
+    verify_identity: bool = True,
+    instrumentation: Instrumentation | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SoakReport:
+    """Run one chaos soak and measure how the service held up.
+
+    Starts ``threads`` query workers (each waits for the first
+    publish, then hammers seeded workload lines until the stream
+    ends), runs the faulty stream to completion on the calling thread,
+    then (optionally) replays a fault-free batch run of the same seed
+    for the fingerprint-identity gate.
+
+    ``checkpoint_dir=None`` soaks in a temporary directory — the
+    durable store is required, since ``snapshot_corrupt`` tears
+    durable writes.
+    """
+    if threads < 1:
+        raise ValueError(f"threads={threads!r} must be at least 1")
+    if error_budget < 0:
+        raise ValueError(f"error_budget={error_budget!r} must not be negative")
+    plan = plan if plan is not None else soak_plan(intensity)
+    policy = policy or DEFAULT_POLICY
+    report = SoakReport(
+        seed=seed,
+        scale=scale,
+        epochs=epochs,
+        threads=threads,
+        intensity=intensity,
+        plan=plan.as_dict(),
+        error_budget=error_budget,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as scratch:
+        base = PipelineConfig.for_scale(scale, seed=seed)
+        config = dataclasses.replace(
+            base, faults=plan, checkpoint_dir=checkpoint_dir or scratch
+        )
+        service = MapService(
+            config,
+            instrumentation=instrumentation,
+            progress=progress,
+            policy=policy,
+        )
+        health = service.health
+        engine = service.engine
+
+        timed_edges: list[tuple[float, str, str, str]] = []
+        health.subscribe(
+            lambda old, new, reason: timed_edges.append(
+                (time.perf_counter(), old, new, reason)
+            )
+        )
+
+        stop = threading.Event()
+        keys = _SnapshotKeys()
+        counts_lock = threading.Lock()
+
+        def worker(tid: int) -> None:
+            rng = Random(f"soak:{seed}:{tid}")
+            queries = answered = errors = 0
+            staleness: dict[int, int] = {}
+            first_error: str | None = None
+            while not stop.is_set():
+                snapshot = engine.current()
+                if snapshot is None:
+                    time.sleep(0.001)  # pre-publish warm-up
+                    continue
+                line = _workload_line(rng, snapshot, keys)
+                behind = health.epochs_behind
+                try:
+                    response = engine.execute(line)
+                except Exception as error:  # a query must never raise
+                    queries += 1
+                    errors += 1
+                    if first_error is None:
+                        first_error = f"{line!r} raised {error!r}"
+                    continue
+                queries += 1
+                staleness[behind] = staleness.get(behind, 0) + 1
+                if "error" in response:
+                    errors += 1
+                    if first_error is None:
+                        first_error = f"{line!r} -> {response['error']!r}"
+                elif "fingerprint" in response or response.get("query") == (
+                    "health"
+                ):
+                    answered += 1
+            with counts_lock:
+                report.queries += queries
+                report.answered += answered
+                report.query_errors += errors
+                for behind, count in staleness.items():
+                    report.staleness[behind] = (
+                        report.staleness.get(behind, 0) + count
+                    )
+                if report.first_error is None:
+                    report.first_error = first_error
+
+        pool = [
+            threading.Thread(target=worker, args=(tid,), daemon=True)
+            for tid in range(threads)
+        ]
+        started = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        try:
+            handle = service.run_stream(epochs=epochs)
+        finally:
+            stop.set()
+            for thread in pool:
+                thread.join()
+        report.wall_seconds = time.perf_counter() - started
+
+        supervisor = service.supervisor
+        report.epoch_retries = supervisor.retries
+        report.quarantines = len(supervisor.quarantined)
+        report.quarantined_epochs = list(supervisor.quarantined)
+        report.publish_retries = supervisor.publish_retries
+        report.rollbacks = supervisor.rollbacks
+        report.drains = supervisor.drains
+        report.final_state = health.state
+        report.transitions = [
+            (old, new, reason) for _, old, new, reason in timed_edges
+        ]
+        report.recovery_seconds = _recovery_latencies(timed_edges)
+        report.final_fingerprint = (
+            handle.final.fingerprint if handle.final is not None else None
+        )
+
+        if verify_identity and handle.final is not None:
+            clean = PipelineConfig.for_scale(scale, seed=seed)
+            batch = run_pipeline(clean)
+            batch_snapshot = build_snapshot(
+                batch.cfs_result,
+                epoch=epochs,
+                final=True,
+                seed=seed,
+                config_fingerprint=config_fingerprint(clean),
+                traces_ingested=len(batch.corpus),
+            )
+            report.batch_fingerprint = batch_snapshot.fingerprint
+            report.identical = (
+                batch_snapshot.fingerprint == report.final_fingerprint
+            )
+    return report
+
+
+def _recovery_latencies(
+    timed_edges: list[tuple[float, str, str, str]],
+) -> list[float]:
+    """Seconds from each departure from ``ok`` to the next return to it."""
+    latencies: list[float] = []
+    left_ok_at: float | None = None
+    for stamp, old, new, _reason in timed_edges:
+        if old == "ok" and left_ok_at is None:
+            left_ok_at = stamp
+        if new == "ok" and left_ok_at is not None:
+            latencies.append(stamp - left_ok_at)
+            left_ok_at = None
+    return latencies

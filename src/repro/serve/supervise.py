@@ -1,0 +1,307 @@
+"""Service-layer supervision: epoch retries, quarantine, publish rollback.
+
+PR 5's executor supervisor keeps one *parallel map* alive across worker
+crashes; :class:`ServiceSupervisor` does the same one layer up, for the
+map service's epoch loop.  Its contract mirrors the worker pool's:
+
+* **bounded retries** — a failed ingest epoch is resubmitted up to
+  :attr:`ServicePolicy.max_epoch_retries` times.  Injected epoch faults
+  (:meth:`repro.faults.FaultInjector.check_epoch`) fire *before* any
+  probe executes and re-roll per attempt, so a retry is both safe and
+  deterministic;
+* **poisoned-epoch quarantine** — an epoch that exhausts its budget is
+  skipped and recorded; the service keeps answering queries from the
+  last good snapshot with the staleness annotated in its health
+  document.  When the stream ends, quarantined epochs are **drained**
+  (executed once more, with no fault injection — the same
+  never-inject-on-the-fallback-path rule as the executor's
+  quarantine-to-serial), so the final convergence pass folds the full
+  corpus and the final fingerprint matches the fault-free batch run;
+* **publish-time integrity re-verification** — every durable snapshot
+  write is read back and re-verified against the snapshot's *content*
+  fingerprint (the store's file checksum can't help: a torn write
+  lands its bytes atomically, so the manifest hashes the torn bytes).
+  A failed verification rewrites the stage; after
+  :attr:`ServicePolicy.max_publish_retries` the stage is dropped and
+  the service **rolls back** — the read path keeps the last good
+  snapshot, and the durable directory's best stage is again the last
+  good one;
+* **bounded retention** — published epoch stages rotate through a ring
+  of :attr:`ServicePolicy.snapshot_retention` entries, so a long
+  stream cannot grow the checkpoint directory without bound.
+
+Exceptions never escape the supervisor to the caller; every failure
+degrades to a recorded incident on the :class:`ServiceHealth` machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..measurement.traceroute import Traceroute
+from ..obs import Instrumentation
+from .health import ServiceHealth
+from .snapshot import MapSnapshot, snapshot_from_payload, snapshot_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..checkpoint import CheckpointStore
+    from ..measurement.campaign import CampaignDriver
+    from .service import MapService
+
+__all__ = ["ServicePolicy", "ServiceSupervisor"]
+
+#: Stage-name prefix of interim (per-epoch) snapshot publications.
+EPOCH_STAGE_PREFIX = "snapshot-epoch-"
+
+
+@dataclass(frozen=True, slots=True)
+class ServicePolicy:
+    """Validated supervision knobs for one :class:`MapService`."""
+
+    #: Resubmissions of a failed ingest epoch before quarantine
+    #: (attempts = retries + 1).
+    max_epoch_retries: int = 2
+    #: Rewrites of a corrupt snapshot publication before rollback.
+    max_publish_retries: int = 2
+    #: Per-epoch snapshot stages kept durable (older ones rotate out;
+    #: the final stage never rotates).
+    snapshot_retention: int = 4
+    #: Epochs-behind threshold at which health reports ``stale``.
+    stale_after: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("max_epoch_retries", "max_publish_retries"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name}={getattr(self, name)!r} must not be negative"
+                )
+        if self.snapshot_retention < 1:
+            raise ValueError(
+                f"snapshot_retention={self.snapshot_retention!r} "
+                "must be at least 1"
+            )
+        if self.stale_after < 1:
+            raise ValueError(
+                f"stale_after={self.stale_after!r} must be at least 1"
+            )
+
+
+class ServiceSupervisor:
+    """Wraps the epoch loop so no single failure kills the service."""
+
+    def __init__(
+        self,
+        service: "MapService",
+        policy: ServicePolicy,
+        health: ServiceHealth,
+        instrumentation: Instrumentation | None = None,
+        notify: Callable[[str], None] | None = None,
+    ) -> None:
+        self.service = service
+        self.policy = policy
+        self.health = health
+        self._obs = instrumentation or Instrumentation()
+        self._notify_cb = notify
+        #: Epochs skipped after exhausting the retry budget, stream order.
+        self.quarantined: list[int] = []
+        #: Lifetime incident totals (independent of instrumentation).
+        self.retries = 0
+        self.publish_retries = 0
+        self.rollbacks = 0
+        self.drains = 0
+        self._retained: list[str] = []
+
+    def _notify(self, message: str) -> None:
+        if self._notify_cb is not None:
+            self._notify_cb(message)
+
+    # ------------------------------------------------------------------
+    # Epoch ingest: retry, then quarantine
+    # ------------------------------------------------------------------
+
+    def _check_epoch_fault(self, epoch: int, attempt: int) -> None:
+        injector = self.service.environment.fault_injector
+        if injector is not None:
+            injector.check_epoch(epoch, attempt)
+
+    def ingest_epoch(
+        self,
+        driver: "CampaignDriver",
+        epoch: int,
+        tasks: list,
+    ) -> list[Traceroute] | None:
+        """Execute one epoch's probes under the retry/quarantine envelope.
+
+        Returns the executed traces, or ``None`` when the epoch was
+        quarantined — the caller skips the fold and keeps serving the
+        last good snapshot.  No exception escapes.
+        """
+        attempts = self.policy.max_epoch_retries + 1
+        for attempt in range(attempts):
+            try:
+                self._check_epoch_fault(epoch, attempt)
+                results = driver.execute_plan(tasks)
+            except Exception as error:
+                self.health.record_failure(
+                    reason=f"epoch {epoch} attempt {attempt} failed: {error}"
+                )
+                if attempt + 1 < attempts:
+                    self.retries += 1
+                    self._obs.count("serve.epoch.retry")
+                    self._obs.emit(
+                        "serve.epoch.retry",
+                        epoch=epoch,
+                        attempt=attempt,
+                        reason=str(error),
+                    )
+                    self._notify(
+                        f"serve: epoch {epoch} ingest failed ({error}); "
+                        "retrying"
+                    )
+                continue
+            return [t for t in results if t is not None]
+        self.quarantined.append(epoch)
+        self.health.record_quarantine(epoch)
+        self._obs.count("serve.epoch.quarantine")
+        self._obs.emit(
+            "serve.epoch.quarantine", epoch=epoch, attempts=attempts
+        )
+        self._notify(
+            f"serve: epoch {epoch} quarantined after {attempts} attempts; "
+            "serving last good snapshot"
+        )
+        return None
+
+    def drain_epoch(
+        self,
+        driver: "CampaignDriver",
+        epoch: int,
+        tasks: list,
+    ) -> list[Traceroute]:
+        """Execute one quarantined epoch after the stream ended.
+
+        Drains never consult the epoch-fault injector (the same rule as
+        the executor's quarantine-to-serial: the fallback path must not
+        be re-poisoned), so with an ``epoch_fail``-only plan a drain
+        always succeeds and the final corpus equals the batch corpus.
+        A genuine execution error here is terminal for the epoch's
+        traces but still doesn't escape.
+        """
+        try:
+            results = driver.execute_plan(tasks)
+        except Exception as error:
+            self._notify(
+                f"serve: drain of quarantined epoch {epoch} failed "
+                f"({error}); its traces are lost"
+            )
+            return []
+        self.drains += 1
+        self._obs.count("serve.epoch.drained")
+        self._notify(f"serve: quarantined epoch {epoch} drained")
+        return [t for t in results if t is not None]
+
+    # ------------------------------------------------------------------
+    # Publish: verify, retry, roll back
+    # ------------------------------------------------------------------
+
+    def _announce(self, snapshot: MapSnapshot, watermark: str | None) -> None:
+        self._obs.count("serve.snapshots_published")
+        self._obs.emit(
+            "serve.snapshot.publish",
+            epoch=snapshot.epoch,
+            final=snapshot.final,
+            fingerprint=snapshot.fingerprint,
+            watermark=watermark,
+        )
+        self.service.engine.swap(snapshot)
+
+    @staticmethod
+    def _stage_verifies(
+        store: "CheckpointStore", stage: str, expected_fingerprint: str
+    ) -> bool:
+        """Re-read one published stage and re-verify its *content*.
+
+        ``load_stage`` re-hashes the file against the manifest — which
+        passes for a torn-but-atomic write — so the decisive check is
+        :func:`snapshot_from_payload` recomputing the map's content
+        fingerprint from the payload itself.
+        """
+        payload = store.load_stage(stage)
+        if not isinstance(payload, dict):
+            return False
+        try:
+            rebuilt = snapshot_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return False
+        return rebuilt.fingerprint == expected_fingerprint
+
+    def publish(self, snapshot: MapSnapshot, stage: str) -> bool:
+        """Durably publish, verify, and swap one snapshot.
+
+        Returns ``False`` when every attempt produced a corrupt durable
+        copy and the publish was rolled back — the read path keeps the
+        previously served snapshot and the corrupt stage is removed, so
+        ``open_snapshot`` over the checkpoint directory also falls back
+        to the last good version.
+        """
+        store = self.service.store
+        if store is None:
+            # No durable layer: nothing can tear, publish is a swap.
+            self._announce(snapshot, None)
+            self.health.record_publish(snapshot)
+            return True
+        attempts = self.policy.max_publish_retries + 1
+        for attempt in range(attempts):
+            payload = snapshot_payload(snapshot)
+            injector = self.service.environment.fault_injector
+            if injector is not None:
+                payload = injector.corrupt_snapshot_payload(
+                    payload, stage=stage, attempt=attempt
+                )
+            store.write_stage(stage, payload)
+            if self._stage_verifies(store, stage, snapshot.fingerprint):
+                self._announce(snapshot, store.stage_digest(stage))
+                self.health.record_publish(snapshot)
+                self._retain(stage)
+                return True
+            self.health.record_failure(
+                reason=f"publish of {stage} attempt {attempt} "
+                "failed verification"
+            )
+            if attempt + 1 < attempts:
+                self.publish_retries += 1
+                self._obs.count("serve.publish.retries")
+                self._notify(
+                    f"serve: publish of {stage} failed verification; "
+                    "rewriting"
+                )
+        store.drop_stage(stage)
+        fallback = self._retained[-1] if self._retained else None
+        self.rollbacks += 1
+        self._obs.count("serve.snapshot.rollback")
+        self._obs.emit(
+            "serve.snapshot.rollback",
+            stage=stage,
+            epoch=snapshot.epoch,
+            attempts=attempts,
+            fallback=fallback,
+        )
+        self.health.record_rollback(stage)
+        self._notify(
+            f"serve: publish of {stage} failed verification "
+            f"{attempts} times and was rolled back"
+            + (f"; still serving {fallback}" if fallback else "")
+        )
+        return False
+
+    def _retain(self, stage: str) -> None:
+        """Rotate the bounded ring of durable per-epoch snapshot stages."""
+        if not stage.startswith(EPOCH_STAGE_PREFIX):
+            return
+        self._retained.append(stage)
+        store = self.service.store
+        while len(self._retained) > self.policy.snapshot_retention:
+            oldest = self._retained.pop(0)
+            if store is not None and store.drop_stage(oldest):
+                self._notify(f"serve: retention ring dropped {oldest}")

@@ -57,7 +57,7 @@ def test_json_format_shape(tmp_path, capsys):
     assert document["schema"] == "repro/lint/1"
     assert document["rules"] == [
         "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-        "R009",
+        "R009", "R010",
     ]
     assert document["files_scanned"] == 1
     assert document["counts"] == {"R001": 1}

@@ -893,3 +893,86 @@ def test_syntax_error_raises_lint_error(tmp_path):
     (tmp_path / "broken.py").write_text("def (:\n", encoding="utf-8")
     with pytest.raises(LintError, match="cannot parse"):
         run_lint(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# R010 — service health state changes only via transition()
+# ----------------------------------------------------------------------
+
+
+def test_r010_flags_attribute_and_augmented_writes(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def poison(health):
+            health._state = "ok"
+            health.epochs_behind += 1
+        """,
+        rel="serve/supervise.py",
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010", "R010"]
+    assert "transition()" in result.findings[0].message
+
+
+def test_r010_flags_mutators_setattr_and_annotated_params(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def poison(machine: ServiceHealth, service):
+            machine._history.clear()
+            setattr(service.health, "_state", "stale")
+        """,
+        rel="serve/service.py",
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010", "R010"]
+
+
+def test_r010_fires_outside_serve_too(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        def tamper(service):
+            service.health._epochs_behind = 0
+        """,
+        rel="cli.py",
+        rules=["R010"],
+    )
+    assert rule_ids(result) == ["R010"]
+
+
+def test_r010_exempts_health_module_itself(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        class ServiceHealth:
+            def transition(self, new_state, *, reason):
+                self._state = new_state
+                self._history.append((new_state, reason))
+        """,
+        rel="serve/health.py",
+        rules=["R010"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_r010_allows_construction_reads_and_data_health(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """
+        class MapService:
+            def __init__(self):
+                self.health = ServiceHealth()  # construction, not a write-through
+
+            def report(self):
+                return self.health.report(None)
+
+        def summarize(entry, counts):
+            entry.data_health = "degraded"  # inference field, not the machine
+            counts["ok"] = 1
+        """,
+        rel="serve/service.py",
+        rules=["R010"],
+    )
+    assert rule_ids(result) == []

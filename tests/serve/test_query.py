@@ -150,3 +150,63 @@ class TestTornMap:
                 )
                 answered += 1
         assert answered > 0
+
+
+class TestAddressBounds:
+    """Integer forms are re-bounded to [0, 2^32) — `isdigit` alone let
+    oversized digit strings blow up inside `int_to_ip`."""
+
+    def test_oversized_iface_integer_is_a_clean_error(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "iface 99999999999999")
+        assert "bad address" in response["error"]
+        assert response["fingerprint"] == small_snapshot.fingerprint
+
+    def test_max_ipv4_is_still_a_valid_address(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "iface 4294967295")
+        assert "error" not in response
+        assert response["found"] is False
+
+    def test_tenants_rejects_out_of_range_ids(self, small_snapshot):
+        for bad in ("-5", "99999999999999"):
+            response = query_snapshot(small_snapshot, f"tenants {bad}")
+            assert "error" in response
+            assert "found" not in response
+        assert "outside [0, 2^32)" in query_snapshot(
+            small_snapshot, "tenants 99999999999999"
+        )["error"]
+
+    def test_tenants_rejects_non_integer_ids(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "tenants five")
+        assert response["error"] == "usage: tenants <facility-id>"
+
+
+class TestHealthVerb:
+    def test_snapshot_health_needs_a_live_service(self, small_snapshot):
+        response = query_snapshot(small_snapshot, "health")
+        assert "live service" in response["error"]
+
+    def test_engine_answers_health_even_before_first_publish(self):
+        from repro.serve import ServiceHealth
+
+        engine = QueryEngine(Instrumentation(), health=ServiceHealth())
+        response = engine.execute("health")
+        assert response["state"] == "ok"
+        assert response["epochs_behind"] == 0
+        assert "error" not in response
+        assert "fingerprint" not in response  # nothing published yet
+
+    def test_engine_health_names_the_served_version(self, small_snapshot):
+        from repro.serve import ServiceHealth
+
+        engine = QueryEngine(Instrumentation(), health=ServiceHealth())
+        engine.swap(small_snapshot)
+        response = engine.execute("health")
+        assert response["fingerprint"] == small_snapshot.fingerprint
+        assert response["epoch"] == small_snapshot.epoch
+        assert response["data"]["interfaces"] == len(small_snapshot.interfaces)
+
+    def test_health_takes_no_arguments(self):
+        from repro.serve import ServiceHealth
+
+        engine = QueryEngine(Instrumentation(), health=ServiceHealth())
+        assert engine.execute("health now")["error"] == "usage: health"
