@@ -310,19 +310,63 @@ def _lint_smoke() -> tuple[dict, bool]:
     with contextlib.redirect_stdout(stdout):
         exit_code = lint_main(["--format", "json"])
     document = json.loads(stdout.getvalue())
+    by_rule = document["summary"]["by_rule"]
     summary = {
         "exit_code": exit_code,
+        "schema_version": document["schema_version"],
         "files_scanned": document["files_scanned"],
         "findings": len(document["findings"]),
         "counts": document["counts"],
+        "flow_counts": {
+            rule: count
+            for rule, count in by_rule.items()
+            if rule in ("R011", "R012", "R013", "R014")
+        },
         "suppressed": len(document["suppressed"]),
     }
     status = "ok" if exit_code == 0 else "FINDINGS"
+    flow_total = sum(summary["flow_counts"].values())
     print(
         f"lint: {status} files={summary['files_scanned']} "
-        f"findings={summary['findings']} suppressed={summary['suppressed']}"
+        f"findings={summary['findings']} (flow {flow_total}) "
+        f"suppressed={summary['suppressed']}"
     )
     return summary, exit_code != 0
+
+
+def _sanitizer_smoke(scale: str) -> tuple[dict, bool]:
+    """One pipeline run with the reprosan sanitizer armed.
+
+    Must finish with zero violations and the same map fingerprint as a
+    plain run of the same seed (the sanitizer never changes bytes).
+    """
+    import dataclasses
+
+    from repro import sanitize
+    from repro.core.pipeline import PipelineConfig, run_pipeline
+
+    config = PipelineConfig.for_scale(scale, seed=QUICK_SEEDS[0])
+    before = len(sanitize.violations())
+    started = time.perf_counter()
+    sanitized = run_pipeline(dataclasses.replace(config, sanitize=True))
+    seconds = time.perf_counter() - started
+    plain = run_pipeline(config)
+    violations = len(sanitize.violations()) - before
+    identical = _comparable_export(
+        sanitized.environment, sanitized.cfs_result
+    ) == _comparable_export(plain.environment, plain.cfs_result)
+    row = {
+        "violations": violations,
+        "identical": identical,
+        "pipeline_seconds": round(seconds, 3),
+    }
+    clean = violations == 0 and identical
+    print(
+        f"sanitizer: {'ok' if clean else 'VIOLATIONS'} "
+        f"violations={violations} identical={identical} "
+        f"seconds={row['pipeline_seconds']}"
+    )
+    return row, not clean
 
 
 def quick_smoke(output: str, scale: str = "small") -> int:
@@ -378,6 +422,8 @@ def quick_smoke(output: str, scale: str = "small") -> int:
     failed = failed or not resume_row["identical"]
     report["lint"], lint_failed = _lint_smoke()
     failed = failed or lint_failed
+    report["sanitizer"], sanitizer_failed = _sanitizer_smoke(scale)
+    failed = failed or sanitizer_failed
     path = Path(output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"report written to {path}")

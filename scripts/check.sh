@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# The local gate: everything the driver checks, in one command.
+#
+#   scripts/check.sh          # tier-1 tests + lint self-gate + sanitizer smoke
+#   scripts/check.sh --fast   # skip the sanitizer smoke (pure static checks)
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== reprolint self-gate (flow rules on) =="
+python -m repro lint
+
+if [[ "$fast" == "0" ]]; then
+    echo
+    echo "== reprosan sanitizer smoke (small pipeline, armed) =="
+    python - <<'EOF'
+import dataclasses
+import sys
+
+from repro import sanitize
+from repro.core.pipeline import PipelineConfig, run_pipeline
+
+run_pipeline(
+    dataclasses.replace(PipelineConfig.small(seed=0), sanitize=True)
+)
+violations = sanitize.violations()
+if violations:
+    for entry in violations:
+        print(f"sanitizer: {entry['kind']}: {entry['detail']}")
+    sys.exit(1)
+print("sanitizer: clean (0 violations)")
+EOF
+fi
+
+echo
+echo "check.sh: all gates passed"

@@ -53,6 +53,7 @@ TRANSIENT_CONFIG_FIELDS = (
     "resume",
     "shard_timeout_s",
     "max_shard_retries",
+    "sanitize",
 )
 
 

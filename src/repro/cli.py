@@ -18,9 +18,10 @@ Usage (via ``python -m repro``)::
     python -m repro soak     [--seed N] [--scale ...] [--epochs N]
                              [--threads N] [--intensity X]
                              [--error-budget X] [--no-verify]
-                             [--quick] [--json PATH]
+                             [--quick] [--sanitize] [--json PATH]
     python -m repro lint     [PATH] [--format text|json] [--rule R00X]
-                             [--baseline [FILE]]
+                             [--baseline [FILE]] [--no-flow]
+                             [--graph FILE]
 
 ``summary`` prints the generated Internet's shape; ``run`` executes the
 full campaign + CFS and reports (optionally exporting the inferred map
@@ -527,6 +528,12 @@ def _configure_soak(soak: argparse.ArgumentParser) -> None:
         "runs this shape)",
     )
     soak.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the reprosan runtime sanitizer for the whole soak "
+        "(equivalent to REPRO_SANITIZE=1); any violation fails the run",
+    )
+    soak.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -566,6 +573,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         intensity=args.intensity,
         error_budget=args.error_budget,
         verify_identity=not args.no_verify,
+        sanitize=args.sanitize,
         progress=print,
     )
     print(report.format())

@@ -37,6 +37,7 @@ from ..measurement.traceroute import TracerouteEngine
 from ..obs import Instrumentation
 from ..topology.asn import ASRole
 from ..topology.builder import TopologyConfig, build_topology
+from ..sanitize import armed as sanitizer_armed
 from ..topology.topology import Topology
 from .cfs import CfsConfig, ConstrainedFacilitySearch
 from .facility_db import FacilityDatabase
@@ -84,6 +85,10 @@ class PipelineConfig:
     #: Load intact stages from ``checkpoint_dir`` instead of
     #: recomputing them (requires ``checkpoint_dir``).
     resume: bool = False
+    #: Run with the reprosan runtime sanitizer armed (write tripwires,
+    #: RNG provenance assertions); a transient knob — it never changes
+    #: output bytes, so it is excluded from the config fingerprint.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -480,7 +485,27 @@ def run_pipeline(
     follow-up traces CFS appended live inside the loaded result, not
     the corpus.  The exported map, the thing the byte-identity
     guarantee covers, is unaffected.
+
+    With ``config.sanitize`` set, the stages run with the reprosan
+    runtime sanitizer armed (see :mod:`repro.sanitize`): RNG substreams
+    carry provenance tags asserted at draw chokepoints, and write
+    tripwires guard published state.  The sanitizer never changes
+    output bytes; a violation raises :class:`SanitizerViolation` and is
+    recorded as a ``sanitizer.violation`` event on ``instrumentation``.
     """
+    environment = build_environment(config)
+    if not environment.config.sanitize:
+        return _pipeline_stages(environment, instrumentation, progress)
+    with sanitizer_armed(instrumentation):
+        return _pipeline_stages(environment, instrumentation, progress)
+
+
+def _pipeline_stages(
+    environment: "Environment",
+    instrumentation: Instrumentation | None,
+    progress,
+) -> "PipelineResult":
+    """The checkpointed stage sequence behind :func:`run_pipeline`."""
     from ..checkpoint import (
         decode_alias_stage,
         decode_campaign_stage,
@@ -494,7 +519,6 @@ def run_pipeline(
         if progress is not None:
             progress(message)
 
-    environment = build_environment(config)
     effective = environment.config
     if instrumentation is not None and environment.fault_injector is not None:
         # Fault counters land on the run's metrics snapshot.

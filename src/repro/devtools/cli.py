@@ -3,6 +3,7 @@
 Usage::
 
     repro-lint [PATH] [--format text|json] [--rule R00X] [--baseline [FILE]]
+               [--no-flow] [--graph FILE]
 
 PATH defaults to the installed ``repro`` package, so a bare
 ``repro-lint`` checks this repository's own invariants.  Exit status:
@@ -70,6 +71,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "does not exist yet",
     )
     parser.add_argument(
+        "--no-flow",
+        dest="flow",
+        action="store_false",
+        help="skip the interprocedural flow rules (R011-R014)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        default=None,
+        help="also write the flow engine's import/call graph to FILE "
+        "as JSON",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -84,7 +98,12 @@ def run_lint_command(args: argparse.Namespace) -> int:
         return 0
     try:
         root = Path(args.path) if args.path is not None else _default_root()
-        result = run_lint(root, rules=args.rule)
+        result = run_lint(
+            root,
+            rules=args.rule,
+            flow=getattr(args, "flow", True),
+            graph=args.graph,
+        )
         if args.baseline is not None:
             baseline_path = Path(args.baseline)
             if baseline_path.exists():

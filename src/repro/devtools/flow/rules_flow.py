@@ -1,0 +1,551 @@
+"""The flow rules R011–R014 (interprocedural; see package docstring).
+
+All four consume the shared :class:`~repro.devtools.flow.FlowAnalysis`
+(memoized per project) from their ``finalize`` pass — they need the
+whole program, so a per-file pass would be wasted work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..lint import Finding, Project, Rule, SourceFile, parent_of
+from . import FlowAnalysis
+from .graph import LAYER_RANKS, unit_of
+from .raises import RaisesAnalysis
+from .symbols import FunctionInfo, scope_statements
+
+__all__ = [
+    "ExceptionContainment",
+    "ImportLayering",
+    "SeedProvenance",
+    "SharedStateRace",
+    "FLOW_RULES",
+]
+
+#: Container-mutating method names (on an escaped object's attribute
+#: or on the object itself) that count as writes for R012.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "clear", "discard", "extend", "insert", "pop",
+        "popitem", "remove", "setdefault", "sort", "update",
+    }
+)
+
+_LOCKISH = ("lock", "mutex", "guard", "sem")
+
+
+def _lock_guarded(node: ast.AST) -> bool:
+    """True when ``node`` sits inside a ``with <something lock-ish>:``."""
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                for name_node in ast.walk(item.context_expr):
+                    text = None
+                    if isinstance(name_node, ast.Name):
+                        text = name_node.id
+                    elif isinstance(name_node, ast.Attribute):
+                        text = name_node.attr
+                    if text is not None and any(
+                        mark in text.lower() for mark in _LOCKISH
+                    ):
+                        return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Stop at the owning function: an outer caller's lock does
+            # not guard code in a function that may be called bare.
+            return False
+        current = parent_of(current)
+    return False
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """Leftmost ``Name`` of an attribute/subscript chain."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+class SeedProvenance(Rule):
+    """R011 — every RNG reaching the measurement/alias/fault/serve/exec
+    draw sites must derive from ``exec.substream()`` or an explicit
+    seed; ambient (module-level or global-``random``) streams and RNG
+    instances crossing the fork boundary are findings."""
+
+    id = "R011"
+    title = "pipeline RNG draws derive from substream or an explicit seed"
+
+    #: Units whose draws feed trace/alias/fault/ingest inference.
+    SINK_UNITS = frozenset({"alias", "exec", "faults", "measurement", "serve"})
+    #: Fork entry points whose ``context`` payload must not carry RNGs.
+    FORK_ENTRY_POINTS = frozenset({"parallel_map", "supervised_map"})
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        flow = FlowAnalysis.of(project)
+        for draw in flow.taint.iter_draws():
+            if unit_of(draw.rel) not in self.SINK_UNITS:
+                continue
+            if "ambient" not in draw.tags:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=draw.rel,
+                line=draw.node.lineno,
+                col=draw.node.col_offset,
+                message=(
+                    f"{draw.method}() draws from {draw.origin}; ambient "
+                    "RNG state is shared across callers and fork "
+                    "boundaries — derive a named stream via "
+                    "exec.substream(...) or thread an explicit seed"
+                ),
+            )
+        yield from self._check_fork_context(flow)
+
+    def _check_fork_context(self, flow: FlowAnalysis) -> Iterator[Finding]:
+        for qual, sites in sorted(flow.graphs.call_sites.items()):
+            info = flow.symbols.functions[qual]
+            env = flow.taint.scope_env(info)
+            for call, callee in sites:
+                if callee.name not in self.FORK_ENTRY_POINTS:
+                    continue
+                for keyword in call.keywords:
+                    if keyword.arg != "context":
+                        continue
+                    payload = (
+                        list(keyword.value.elts)
+                        if isinstance(keyword.value, (ast.Tuple, ast.List))
+                        else [keyword.value]
+                    )
+                    for item in payload:
+                        tags = flow.taint.expr_tags(
+                            item, info, info.rel, env
+                        )
+                        if tags:
+                            yield Finding(
+                                rule=self.id,
+                                path=info.rel,
+                                line=item.lineno,
+                                col=item.col_offset,
+                                message=(
+                                    "an RNG instance crosses the fork "
+                                    f"boundary via {callee.name}'s "
+                                    "context; pass seeds and rebuild "
+                                    "per-shard streams with "
+                                    "substream() inside the worker"
+                                ),
+                            )
+
+
+class SharedStateRace(Rule):
+    """R012 — objects that escape into serve/soak worker threads may
+    only be mutated at their documented atomic points (``__init__``,
+    the per-class atomic method set, or under a lock)."""
+
+    id = "R012"
+    title = "thread-shared state mutates only at documented atomic points"
+
+    #: Documented atomic mutation points per thread-escaped class.
+    ATOMIC_METHODS: dict[str, frozenset[str]] = {
+        "QueryEngine": frozenset({"swap"}),
+        "ServiceHealth": frozenset(
+            {
+                "transition",
+                "record_failure",
+                "record_quarantine",
+                "record_rollback",
+                "record_publish",
+                "subscribe",
+            }
+        ),
+    }
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        flow = FlowAnalysis.of(project)
+        escaped_classes: set[str] = set()
+        findings: list[Finding] = []
+        for source in project.files:
+            findings.extend(
+                self._check_thread_sites(source, flow, escaped_classes)
+            )
+        escaped_classes.update(
+            name for name in self.ATOMIC_METHODS if name in flow.symbols.classes
+        )
+        for cls_name in sorted(escaped_classes):
+            findings.extend(self._check_class_methods(cls_name, flow))
+        findings.extend(self._check_outside_writes(escaped_classes, flow))
+        return findings
+
+    # -- thread spawn sites -------------------------------------------
+
+    def _check_thread_sites(
+        self,
+        source: SourceFile,
+        flow: FlowAnalysis,
+        escaped_classes: set[str],
+    ) -> Iterator[Finding]:
+        module = flow.symbols.modules.get(source.rel)
+        imports = module.imports if module is not None else {}
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            dotted = None
+            if isinstance(func, ast.Name):
+                dotted = imports.get(func.id)
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                base = imports.get(func.value.id)
+                if base is not None:
+                    dotted = f"{base}.{func.attr}"
+            if dotted != "threading.Thread":
+                continue
+            target_info, extra_args = self._thread_target(node, source, flow)
+            if target_info is None:
+                continue
+            escaped = self._escaped_names(target_info, extra_args, flow)
+            owner = flow.symbols.functions.get(target_info.parent_qual or "")
+            env = (
+                flow.graphs.local_types(owner)
+                if owner is not None
+                else {}
+            )
+            for name in sorted(escaped):
+                cls = env.get(name)
+                if cls is not None:
+                    escaped_classes.add(cls)
+            yield from self._check_closure_mutations(
+                target_info, escaped, source
+            )
+
+    def _thread_target(
+        self, call: ast.Call, source: SourceFile, flow: FlowAnalysis
+    ) -> tuple[FunctionInfo | None, list[str]]:
+        target: FunctionInfo | None = None
+        extra: list[str] = []
+        for keyword in call.keywords:
+            if keyword.arg == "target" and isinstance(
+                keyword.value, ast.Name
+            ):
+                wanted = keyword.value.id
+                for info in flow.symbols.functions.values():
+                    if info.rel == source.rel and info.name == wanted:
+                        target = info
+                        break
+            elif keyword.arg == "args" and isinstance(
+                keyword.value, (ast.Tuple, ast.List)
+            ):
+                for element in keyword.value.elts:
+                    name = _base_name(element)
+                    if name is not None:
+                        extra.append(name)
+        return target, extra
+
+    def _escaped_names(
+        self,
+        target: FunctionInfo,
+        extra_args: list[str],
+        flow: FlowAnalysis,
+    ) -> set[str]:
+        args = target.node.args
+        local: set[str] = {a.arg for a in args.posonlyargs + args.args}
+        for node in ast.walk(target.node):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        local.add(tgt.id)
+            elif isinstance(node, (ast.For,)) and isinstance(
+                node.target, ast.Name
+            ):
+                local.add(node.target.id)
+        enclosing: set[str] = set()
+        probe = target.parent_qual
+        while probe is not None:
+            owner = flow.symbols.functions.get(probe)
+            if owner is None:
+                break
+            for node in ast.walk(owner.node):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            enclosing.add(tgt.id)
+            owner_args = owner.node.args
+            enclosing.update(
+                a.arg for a in owner_args.posonlyargs + owner_args.args
+            )
+            probe = owner.parent_qual
+        free: set[str] = set()
+        for node in ast.walk(target.node):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in enclosing
+                and node.id not in local
+            ):
+                free.add(node.id)
+        free.update(extra_args)
+        return free
+
+    def _check_closure_mutations(
+        self,
+        target: FunctionInfo,
+        escaped: set[str],
+        source: SourceFile,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(target.node):
+            write: ast.expr | None = None
+            verb = "mutates"
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for tgt in targets:
+                    if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                        write = tgt
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                write = node.func.value
+                verb = f"calls .{node.func.attr}() on"
+            if write is None:
+                continue
+            name = _base_name(write)
+            if name is None or name not in escaped:
+                continue
+            if _lock_guarded(node):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=source.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"thread body {verb} {name!r}, which is shared "
+                    "with other threads, outside any lock; guard the "
+                    "write or route it through the object's atomic "
+                    "mutation point"
+                ),
+            )
+
+    # -- escaped-class method scan ------------------------------------
+
+    def _allowed(self, cls_name: str, method: str) -> bool:
+        if method == "__init__":
+            return True
+        return method in self.ATOMIC_METHODS.get(cls_name, frozenset())
+
+    def _check_class_methods(
+        self, cls_name: str, flow: FlowAnalysis
+    ) -> Iterator[Finding]:
+        info = flow.symbols.classes.get(cls_name)
+        if info is None:
+            return
+        for method_name, method in sorted(info.methods.items()):
+            if self._allowed(cls_name, method_name):
+                continue
+            for node in ast.walk(method.node):
+                write: ast.expr | None = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for tgt in targets:
+                        if (
+                            isinstance(tgt, (ast.Attribute, ast.Subscript))
+                            and _base_name(tgt) == "self"
+                        ):
+                            write = tgt
+                            break
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                    and _base_name(node.func.value) == "self"
+                    and isinstance(node.func.value, ast.Attribute)
+                ):
+                    write = node.func.value
+                if write is None or _lock_guarded(node):
+                    continue
+                atomic = ", ".join(
+                    sorted(self.ATOMIC_METHODS.get(cls_name, ()))
+                ) or "__init__"
+                yield Finding(
+                    rule=self.id,
+                    path=info.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{cls_name}.{method_name} mutates thread-"
+                        f"shared state outside the documented atomic "
+                        f"points ({atomic}) and without a lock"
+                    ),
+                )
+
+    # -- writes from outside the class --------------------------------
+
+    def _check_outside_writes(
+        self, escaped_classes: set[str], flow: FlowAnalysis
+    ) -> Iterator[Finding]:
+        if not escaped_classes:
+            return
+        for qual in sorted(flow.symbols.functions):
+            info = flow.symbols.functions[qual]
+            if info.cls in escaped_classes:
+                continue  # own methods handled above
+            env = flow.graphs.local_types(info)
+            for node in scope_statements(info.node):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for tgt in targets:
+                    if not isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                        continue
+                    holder = tgt.value if isinstance(tgt, ast.Attribute) else tgt
+                    while isinstance(holder, ast.Subscript):
+                        holder = holder.value
+                    if isinstance(holder, ast.Attribute):
+                        owner_cls = flow.graphs.expr_class(
+                            holder.value, info, env
+                        )
+                    elif isinstance(tgt, ast.Attribute):
+                        owner_cls = flow.graphs.expr_class(
+                            tgt.value, info, env
+                        )
+                    else:
+                        owner_cls = None
+                    if owner_cls not in escaped_classes:
+                        continue
+                    if _lock_guarded(node):
+                        continue
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"writes {owner_cls} state from outside "
+                            "the class; thread-shared objects mutate "
+                            "only via their atomic methods"
+                        ),
+                    )
+
+
+class ExceptionContainment(Rule):
+    """R013 — functions under a supervision contract cannot let
+    exceptions escape past their declared boundary."""
+
+    id = "R013"
+    title = "supervised boundaries contain every non-contract exception"
+
+    #: (module rel suffix, dotted function, exception names allowed to
+    #: escape).  The serve supervisor's docstring contract is
+    #: "exceptions never escape"; supervised_map's contract names
+    #: ShardExecutionError as its one deliberate re-raise.
+    BOUNDARIES: tuple[tuple[str, str, frozenset[str]], ...] = (
+        ("exec/supervise.py", "supervised_map", frozenset({"ShardExecutionError"})),
+        ("serve/supervise.py", "ServiceSupervisor.ingest_epoch", frozenset()),
+        ("serve/supervise.py", "ServiceSupervisor.drain_epoch", frozenset()),
+        ("serve/supervise.py", "ServiceSupervisor.publish", frozenset()),
+    )
+
+    #: Fail-loud diagnostics: these assert broken invariants, and the
+    #: whole point of an invariant assertion is that nothing swallows
+    #: it — any boundary may let them escape.
+    FAIL_LOUD = frozenset(
+        {"AssertionError", "SanitizerViolation", "UnregisteredEventError"}
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        flow = FlowAnalysis.of(project)
+        raises: RaisesAnalysis = flow.raises
+        for suffix, dotted, allowed in self.BOUNDARIES:
+            for qual, info in flow.symbols.functions.items():
+                if not info.rel.endswith(suffix):
+                    continue
+                local = qual.split("::", 1)[1]
+                if local != dotted:
+                    continue
+                for exc, (origin_rel, origin_line) in sorted(
+                    raises.escaping.get(qual, {}).items()
+                ):
+                    if exc in allowed or exc in self.FAIL_LOUD:
+                        continue
+                    where = (
+                        f"raised at {origin_rel}:{origin_line}"
+                        if (origin_rel, origin_line)
+                        != (info.rel, info.node.lineno)
+                        else "raised here"
+                    )
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel,
+                        line=info.node.lineno,
+                        col=info.node.col_offset,
+                        message=(
+                            f"{dotted} lets {exc} escape its "
+                            f"containment boundary ({where}); the "
+                            "contract allows only "
+                            f"{{{', '.join(sorted(allowed)) or 'nothing'}}}"
+                        ),
+                    )
+
+
+class ImportLayering(Rule):
+    """R014 — the module-level runtime import graph must be a DAG that
+    respects the architecture layering (see DESIGN.md §5j)."""
+
+    id = "R014"
+    title = "module imports respect the layering DAG"
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        flow = FlowAnalysis.of(project)
+        for edge in flow.graphs.layering_violations():
+            src_unit, dst_unit = unit_of(edge.src), unit_of(edge.dst)
+            yield Finding(
+                rule=self.id,
+                path=edge.src,
+                line=edge.line,
+                col=0,
+                message=(
+                    f"imports {edge.dst} ({dst_unit}, layer "
+                    f"{LAYER_RANKS[dst_unit]}) from {src_unit} (layer "
+                    f"{LAYER_RANKS[src_unit]}); module-level imports "
+                    "must point strictly down the layering"
+                ),
+            )
+        for component in flow.graphs.import_cycles():
+            head = component[0]
+            line = 1
+            for edge in flow.graphs.import_edges:
+                if edge.src == head and edge.dst in component:
+                    line = edge.line
+                    break
+            yield Finding(
+                rule=self.id,
+                path=head,
+                line=line,
+                col=0,
+                message=(
+                    "import cycle: " + " -> ".join(component + [head])
+                ),
+            )
+
+
+FLOW_RULES: tuple[type[Rule], ...] = (
+    SeedProvenance,
+    SharedStateRace,
+    ExceptionContainment,
+    ImportLayering,
+)

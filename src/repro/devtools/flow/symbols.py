@@ -1,0 +1,418 @@
+"""Project-wide symbol table for the flow engine.
+
+Everything here is name-level and deliberately approximate: the repro
+tree is a closed codebase with unambiguous class names, so a bare-name
+class index plus per-module import maps resolve the overwhelming
+majority of references without real type inference.  The consumers
+(:mod:`.graph`, :mod:`.taint`, :mod:`.raises`) are written so that an
+*unresolved* reference degrades to "no edge / no fact", never to a
+false finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lint import Project, SourceFile
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "module_name",
+]
+
+#: Attribute names so common on builtins that a unique project method
+#: of the same name must not capture unrelated ``obj.name()`` calls.
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "decode",
+        "discard", "encode", "endswith", "extend", "format", "get",
+        "index", "insert", "items", "join", "keys", "lower", "pop",
+        "read", "remove", "replace", "setdefault", "sort", "split",
+        "startswith", "strip", "update", "upper", "values", "write",
+    }
+)
+
+
+def module_name(rel: str) -> str:
+    """Dotted module name of a rel path: ``serve/query.py`` ->
+    ``serve.query``; package ``__init__`` files name the package."""
+    parts = rel[:-3].split("/") if rel.endswith(".py") else rel.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module, every class body, and every (nested) function."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function or class
+    bodies (each is analysed as its own scope)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method, anywhere in the tree."""
+
+    #: ``rel::Class.method`` / ``rel::func`` / ``rel::outer.<locals>.inner``.
+    qual: str
+    rel: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    source: "SourceFile"
+    #: Owning class name for methods, else None.
+    cls: str | None = None
+    #: Qual of the lexically enclosing function, for closures.
+    parent_qual: str | None = None
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One class definition plus its inferred attribute types."""
+
+    name: str
+    rel: str
+    node: ast.ClassDef
+    source: "SourceFile"
+    #: Base-class names as written (bare trailing name of the base expr).
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.x = SomeClass(...)`` / annotated fields -> class name.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Per-module import facts."""
+
+    rel: str
+    name: str
+    source: "SourceFile"
+    #: Local name -> fully dotted origin, relative imports resolved to
+    #: project-local dotted names.  Includes function-level imports.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Dotted modules imported at module level at runtime (class bodies
+    #: count, ``if TYPE_CHECKING`` bodies and function bodies do not),
+    #: with the line of the import statement.
+    runtime_imports: list[tuple[str, int]] = field(default_factory=list)
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _annotation_class(ann: ast.expr | None) -> str | None:
+    """Best-effort class name out of an annotation expression.
+
+    Handles ``X``, ``mod.X``, ``Optional[X]``, ``X | None``, and string
+    annotations; container annotations return None (we only track
+    whole-object types)."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        left = _annotation_class(ann.left)
+        if left is not None and left != "None":
+            return left
+        return _annotation_class(ann.right)
+    if isinstance(ann, ast.Subscript):
+        base = _annotation_class(ann.value)
+        if base == "Optional" and not isinstance(ann.slice, ast.Tuple):
+            return _annotation_class(ann.slice)
+    return None
+
+
+class SymbolTable:
+    """Modules, classes, functions, import maps, attribute types."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.modules: dict[str, ModuleInfo] = {}
+        #: Dotted module name -> rel path.
+        self.by_module_name: dict[str, str] = {}
+        #: Bare class name -> ClassInfo (first definition wins; the
+        #: repro tree has no duplicate class names).
+        self.classes: dict[str, ClassInfo] = {}
+        #: Full qual -> FunctionInfo.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: (rel, name) -> top-level module function.
+        self.module_functions: dict[tuple[str, str], FunctionInfo] = {}
+        #: Method name -> every project method with that name.
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        #: parent function qual -> {name: qual} of directly nested defs.
+        self.nested: dict[str, dict[str, str]] = {}
+
+        for source in project.files:
+            self._index_module(source)
+        for source in project.files:
+            self._index_defs(source)
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+
+    # ------------------------------------------------------------------
+    # Imports
+    # ------------------------------------------------------------------
+
+    def _index_module(self, source: "SourceFile") -> None:
+        info = ModuleInfo(
+            rel=source.rel, name=module_name(source.rel), source=source
+        )
+        self.modules[source.rel] = info
+        self.by_module_name[info.name] = source.rel
+        package = info.name.split(".") if info.name else []
+        if not source.rel.endswith("__init__.py"):
+            package = package[:-1] if package else []
+
+        def resolve_from(node: ast.ImportFrom) -> str:
+            if node.level:
+                base = package[: len(package) - (node.level - 1)]
+                if node.module:
+                    base = base + node.module.split(".")
+                return ".".join(base)
+            return node.module or ""
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    info.imports[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = resolve_from(node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    info.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+        def walk_runtime(body: Iterable[ast.stmt]) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _is_type_checking_guard(node):
+                    walk_runtime(node.orelse)
+                    continue
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        info.runtime_imports.append((alias.name, node.lineno))
+                elif isinstance(node, ast.ImportFrom):
+                    base = resolve_from(node)
+                    if base:
+                        info.runtime_imports.append((base, node.lineno))
+                    for alias in node.names:
+                        if base and alias.name != "*":
+                            # ``from pkg import mod`` imports a module
+                            # too; resolution tolerates non-modules.
+                            info.runtime_imports.append(
+                                (f"{base}.{alias.name}", node.lineno)
+                            )
+                if isinstance(
+                    node, (ast.If, ast.Try, ast.With, ast.For, ast.While)
+                ):
+                    for attr in ("body", "orelse", "finalbody", "handlers"):
+                        sub = getattr(node, attr, None) or []
+                        if attr == "handlers":
+                            for handler in sub:
+                                walk_runtime(handler.body)
+                        else:
+                            walk_runtime(sub)
+                elif isinstance(node, ast.ClassDef):
+                    walk_runtime(node.body)
+
+        walk_runtime(source.tree.body)
+
+    def resolve_module(self, dotted: str) -> str | None:
+        """Rel path of a dotted module, tolerating the installed
+        package prefix (``repro.serve.query`` matches ``serve/query.py``
+        when the linted root *is* the package directory)."""
+        parts = dotted.split(".")
+        for start in range(len(parts)):
+            rel = self.by_module_name.get(".".join(parts[start:]))
+            if rel is not None:
+                return rel
+        return None
+
+    # ------------------------------------------------------------------
+    # Definitions
+    # ------------------------------------------------------------------
+
+    def _register_function(self, info: FunctionInfo) -> None:
+        self.functions[info.qual] = info
+        if info.cls is None and info.parent_qual is None:
+            self.module_functions[(info.rel, info.name)] = info
+        if info.cls is not None:
+            self.methods_by_name.setdefault(info.name, []).append(info)
+        if info.parent_qual is not None:
+            self.nested.setdefault(info.parent_qual, {})[info.name] = info.qual
+
+    def _index_defs(self, source: "SourceFile") -> None:
+        def visit(
+            body: Iterable[ast.stmt],
+            cls: ClassInfo | None,
+            parent: FunctionInfo | None,
+        ) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if parent is not None:
+                        qual = f"{parent.qual}.<locals>.{node.name}"
+                    elif cls is not None:
+                        qual = f"{source.rel}::{cls.name}.{node.name}"
+                    else:
+                        qual = f"{source.rel}::{node.name}"
+                    info = FunctionInfo(
+                        qual=qual,
+                        rel=source.rel,
+                        name=node.name,
+                        node=node,
+                        source=source,
+                        cls=cls.name if cls is not None and parent is None else None,
+                        parent_qual=parent.qual if parent is not None else None,
+                    )
+                    self._register_function(info)
+                    if cls is not None and parent is None:
+                        cls.methods[node.name] = info
+                    visit(node.body, cls if parent is None else None, info)
+                elif isinstance(node, ast.ClassDef) and parent is None:
+                    bases = []
+                    for base in node.bases:
+                        while isinstance(base, ast.Subscript):
+                            base = base.value
+                        if isinstance(base, ast.Attribute):
+                            bases.append(base.attr)
+                        elif isinstance(base, ast.Name):
+                            bases.append(base.id)
+                    cinfo = ClassInfo(
+                        name=node.name,
+                        rel=source.rel,
+                        node=node,
+                        source=source,
+                        bases=tuple(bases),
+                    )
+                    self.classes.setdefault(node.name, cinfo)
+                    visit(node.body, cinfo, None)
+
+        visit(source.tree.body, None, None)
+
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        for stmt in info.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                cls = _annotation_class(stmt.annotation)
+                if cls in self.classes:
+                    info.attr_types.setdefault(stmt.target.id, cls)
+        for method in info.methods.values():
+            for node in ast.walk(method.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    cls = _annotation_class(node.annotation)
+                    if (
+                        cls in self.classes
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.attr_types.setdefault(target.attr, cls)
+                if (
+                    target is None
+                    or value is None
+                    or not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                cls = self.call_class_name(value)
+                if cls is not None:
+                    info.attr_types.setdefault(target.attr, cls)
+
+    def call_class_name(self, value: ast.expr) -> str | None:
+        """Class name when ``value`` (possibly ``x or Cls(...)``)
+        constructs a known project class."""
+        if isinstance(value, ast.BoolOp):
+            for part in value.values:
+                cls = self.call_class_name(part)
+                if cls is not None:
+                    return cls
+            return None
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name if name in self.classes else None
+
+    # ------------------------------------------------------------------
+    # Class hierarchy helpers
+    # ------------------------------------------------------------------
+
+    def mro_names(self, cls_name: str) -> list[str]:
+        """``cls_name`` plus project ancestors (bare names, cycle-safe)."""
+        seen: list[str] = []
+        stack = [cls_name]
+        while stack:
+            name = stack.pop(0)
+            if name in seen:
+                continue
+            seen.append(name)
+            info = self.classes.get(name)
+            if info is not None:
+                stack.extend(info.bases)
+        return seen
+
+    def lookup_method(self, cls_name: str, method: str) -> FunctionInfo | None:
+        for name in self.mro_names(cls_name):
+            info = self.classes.get(name)
+            if info is not None and method in info.methods:
+                return info.methods[method]
+        return None

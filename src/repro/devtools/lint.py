@@ -18,9 +18,11 @@ The public surface:
   ``error:`` and exit 2.
 
 Suppression: append ``# reprolint: disable=R003 <reason>`` to the
-flagged line (or place it on its own line directly above).  The reason
-is mandatory — a bare ``disable=`` does not suppress, so every waiver
-in the tree documents itself.
+flagged line (or place it on its own line directly above).  Several
+rules may share one comment (``disable=R003,R009 <reason>``, spaces
+after the commas allowed).  The reason is mandatory — a bare
+``disable=`` does not suppress, so every waiver in the tree documents
+itself.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ __all__ = [
     "LintError",
     "LintResult",
     "Project",
+    "Rule",
     "SourceFile",
     "Suppression",
     "run_lint",
@@ -94,7 +97,9 @@ class Suppression:
 
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*disable=([A-Za-z0-9,]+)(?:\s+(\S.*?))?\s*$"
+    r"#\s*reprolint:\s*disable="
+    r"([A-Za-z0-9]+(?:\s*,\s*[A-Za-z0-9]+)*)"
+    r"(?:\s+(\S.*?))?\s*$"
 )
 
 
@@ -155,6 +160,37 @@ def parent_of(node: ast.AST) -> ast.AST | None:
     return getattr(node, "_reprolint_parent", None)
 
 
+class Rule:
+    """Base class: one named, independently runnable invariant.
+
+    Lives here (not in :mod:`.rules`) so the flow rules can subclass
+    it without importing the registry module that registers *them* —
+    R014 itself flags that import cycle.
+    """
+
+    id: str = "R000"
+    title: str = ""
+
+    def check_file(
+        self, source: "SourceFile", project: "Project"
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self, source: "SourceFile", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=source.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
 @dataclass(slots=True)
 class Project:
     """Everything the rules can see: parsed files plus the pre-pass
@@ -171,6 +207,9 @@ class Project:
     registry_rel: str | None = None
     #: Line of each registry key, for dead-entry findings.
     registry_lines: dict[str, int] = field(default_factory=dict)
+    #: Memoized expensive analyses (the flow engine caches itself
+    #: here so R011–R014 share one whole-program pass).
+    cache: dict[str, Any] = field(default_factory=dict)
 
     def file(self, rel: str) -> SourceFile | None:
         for source in self.files:
@@ -301,30 +340,66 @@ class LintResult:
         return {rule: counts[rule] for rule in sorted(counts)}
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-ready report (the ``--format json`` shape)."""
+        """JSON-ready report (the ``--format json`` shape).
+
+        Deterministic and versioned: findings arrive pre-sorted by
+        (path, line, col, rule), ``schema_version`` gates consumers,
+        and the ``summary`` block carries a per-rule count for *every*
+        rule that ran (zeroes included) so two runs diff cleanly.
+        """
+        counts = self.counts_by_rule()
         return {
-            "schema": "repro/lint/1",
+            "schema": "repro/lint/2",
+            "schema_version": 2,
             "rules": list(self.rules),
             "files_scanned": self.files_scanned,
             "findings": [finding.as_dict() for finding in self.findings],
-            "counts": self.counts_by_rule(),
+            "counts": counts,
             "suppressed": [
                 {**finding.as_dict(), "reason": reason}
                 for finding, reason in self.suppressed
             ],
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "by_rule": {
+                    rule: counts.get(rule, 0) for rule in sorted(self.rules)
+                },
+            },
         }
 
 
 def run_lint(
-    root: Path | str, rules: Sequence[str] | None = None
+    root: Path | str,
+    rules: Sequence[str] | None = None,
+    *,
+    flow: bool = True,
+    graph: Path | str | None = None,
 ) -> LintResult:
     """Lint every Python file under ``root`` with the named rules (all
-    rules when ``rules`` is None).  Unknown rule ids raise
+    rules when ``rules`` is None; ``flow=False`` drops the
+    interprocedural rules R011–R014 from the default set).  When
+    ``graph`` names a path, the flow engine's import/call graph is
+    written there as JSON.  Unknown rule ids raise
     :class:`LintError`."""
     from .rules import make_rules
 
-    selected = make_rules(rules)
+    selected = make_rules(rules, include_flow=flow)
     project = load_project(Path(root))
+    if graph is not None:
+        from .flow import FlowAnalysis
+
+        graph_path = Path(graph)
+        try:
+            graph_path.write_text(
+                FlowAnalysis.of(project).graphs.render_json(),
+                encoding="utf-8",
+            )
+        except OSError as error:
+            raise LintError(
+                f"cannot write graph {graph_path}: {error.strerror}"
+            ) from None
     raw: list[Finding] = []
     for rule in selected:
         for source in project.files:

@@ -1,29 +1,39 @@
-"""The reprolint rules (R001–R010).
+"""The reprolint rules (R001–R014).
 
 Each rule is a class with an ``id``, a ``title``, a per-file
 ``check_file(source, project)`` pass, and an optional cross-file
 ``finalize(project)`` pass that runs after every file has been scanned
-(used by R004's dead-registry-entry check).
+(used by R004's dead-registry-entry check and by all flow rules).
 
-The rules are deliberately heuristic: they reason locally (per module,
+R001–R010 are deliberately heuristic: they reason locally (per module,
 per function) with a small amount of project-wide indexing (frozen
 dataclasses, the event registry) rather than whole-program type
-inference.  False positives are expected to be rare and are silenced
-with an inline ``# reprolint: disable=R00X <reason>`` comment, which
-doubles as documentation of why the flagged line is actually safe.
+inference.  R011–R014 live in :mod:`repro.devtools.flow` and consume
+the interprocedural engine (symbol table, call graph, taint solver).
+False positives are expected to be rare and are silenced with an
+inline ``# reprolint: disable=R00X <reason>`` comment, which doubles
+as documentation of why the flagged line is actually safe.
 
-| id   | invariant                                                     |
-|------|---------------------------------------------------------------|
-| R001 | no unseeded randomness anywhere                               |
-| R002 | no wall-clock / environment reads in the inference layers     |
-| R003 | set / ``dict.keys()`` iteration feeding an output is sorted   |
-| R004 | every emitted event name is declared in ``EVENT_NAMES``       |
-| R005 | frozen config objects are never mutated outside their module  |
-| R006 | CLI error exits go through the ``cli_error`` helper           |
-| R007 | process-pool imports are confined to ``repro/exec``           |
-| R008 | checkpoint writes go through the atomic helper                |
-| R009 | the serve read path never mutates snapshot objects            |
-| R010 | service health state changes only via its transition method   |
+The table below is the canonical catalog; each row's second column is
+the rule's ``title`` verbatim, and a tier-1 test asserts it matches
+both ``rule_catalog()`` and DESIGN.md's rule list.
+
+| id   | title                                                            |
+|------|------------------------------------------------------------------|
+| R001 | no unseeded randomness                                           |
+| R002 | no wall-clock/environment reads in inference layers              |
+| R003 | set/dict.keys() iteration feeding an output must be sorted       |
+| R004 | emitted event names declared in EVENT_NAMES                      |
+| R005 | no mutation of frozen config objects outside their module        |
+| R006 | CLI error exits route through cli_error (exit 2)                 |
+| R007 | process-pool imports are confined to repro/exec                  |
+| R008 | checkpoint writes go through the atomic helper                   |
+| R009 | serve query handlers never mutate snapshot objects               |
+| R010 | service health state changes only via its transition method      |
+| R011 | pipeline RNG draws derive from substream or an explicit seed     |
+| R012 | thread-shared state mutates only at documented atomic points     |
+| R013 | supervised boundaries contain every non-contract exception       |
+| R014 | module imports respect the layering DAG                          |
 """
 
 from __future__ import annotations
@@ -31,35 +41,16 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Sequence
 
-from .lint import Finding, LintError, Project, SourceFile, parent_of
+from .flow.rules_flow import FLOW_RULES
+from .lint import Finding, LintError, Project, Rule, SourceFile, parent_of
 
-__all__ = ["Rule", "ALL_RULES", "make_rules", "rule_catalog"]
-
-
-class Rule:
-    """Base class: one named, independently runnable invariant."""
-
-    id: str = "R000"
-    title: str = ""
-
-    def check_file(
-        self, source: SourceFile, project: Project
-    ) -> Iterable[Finding]:
-        return ()
-
-    def finalize(self, project: Project) -> Iterable[Finding]:
-        return ()
-
-    def finding(
-        self, source: SourceFile, node: ast.AST, message: str
-    ) -> Finding:
-        return Finding(
-            rule=self.id,
-            path=source.rel,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            message=message,
-        )
+__all__ = [
+    "Rule",
+    "ALL_RULES",
+    "FLOW_RULE_IDS",
+    "make_rules",
+    "rule_catalog",
+]
 
 
 # ----------------------------------------------------------------------
@@ -1348,7 +1339,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     DurableWriteDiscipline,
     SnapshotMutationDiscipline,
     HealthStateDiscipline,
-)
+) + FLOW_RULES
+
+#: Ids of the interprocedural rules (skipped by ``--no-flow``).
+FLOW_RULE_IDS: frozenset[str] = frozenset(cls.id for cls in FLOW_RULES)
 
 _BY_ID = {cls.id: cls for cls in ALL_RULES}
 
@@ -1358,13 +1352,21 @@ def rule_catalog() -> dict[str, str]:
     return {cls.id: cls.title for cls in ALL_RULES}
 
 
-def make_rules(ids: Sequence[str] | None = None) -> list[Rule]:
-    """Instantiate the named rules (all of them when ``ids`` is None).
+def make_rules(
+    ids: Sequence[str] | None = None, *, include_flow: bool = True
+) -> list[Rule]:
+    """Instantiate the named rules (all of them when ``ids`` is None;
+    ``include_flow=False`` drops R011–R014 from the default set but
+    never from an explicit ``ids`` selection).
 
     Raises :class:`LintError` for an unknown id, naming the known ones.
     """
     if ids is None:
-        return [cls() for cls in ALL_RULES]
+        return [
+            cls()
+            for cls in ALL_RULES
+            if include_flow or cls.id not in FLOW_RULE_IDS
+        ]
     rules: list[Rule] = []
     seen: set[str] = set()
     for raw in ids:

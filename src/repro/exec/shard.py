@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from random import Random
 from typing import Callable, Sequence, TypeVar
 
+from ..sanitize import tag_rng
+
 __all__ = ["Shard", "plan_shards", "plan_blocks", "stable_key", "substream"]
 
 T = TypeVar("T")
@@ -46,8 +48,11 @@ def substream(*parts: object) -> Random:
     ``random.Random`` seeds from strings deterministically — so every
     (name, index) pair owns an independent stream regardless of how
     many other streams were consumed before it.
+
+    Under the sanitizer the stream is stamped with its derivation, so
+    draw chokepoints can assert provenance (``assert_rng``).
     """
-    return Random(":".join(str(part) for part in parts))
+    return tag_rng(Random(":".join(str(part) for part in parts)), *parts)
 
 
 @dataclass(frozen=True, slots=True)

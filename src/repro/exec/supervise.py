@@ -288,23 +288,32 @@ def supervised_map(
 
         active: dict[Future, int] = {}
 
-        def submit(indices: Sequence[int]) -> None:
-            for index in indices:
-                future = pool.submit(
-                    _supervised_call,
-                    fn,
-                    index,
-                    attempts[index],
-                    faults,
-                    payloads[index],
-                )
-                active[future] = index
+        def submit(indices: Sequence[int]) -> list[int]:
+            """Submit shards; return the ones a mid-loop pool break
+            left unsubmitted (an early crash can flag the pool broken
+            before the loop reaches its later indices)."""
+            pending = list(indices)
+            while pending:
+                try:
+                    future = pool.submit(
+                        _supervised_call,
+                        fn,
+                        pending[0],
+                        attempts[pending[0]],
+                        faults,
+                        payloads[pending[0]],
+                    )
+                except BrokenProcessPool:
+                    return pending
+                active[future] = pending.pop(0)
+            return []
 
         def recover(failed: list[int], reason: str) -> None:
             """Classify failed shards, rebuild the pool, resubmit."""
             nonlocal pool, rebuilds
             retry: list[int] = []
             quarantine: list[int] = []
+            unsubmitted: list[int] = []
             for index in sorted(failed):
                 attempts[index] += 1
                 if attempts[index] > config.max_retries:
@@ -336,10 +345,16 @@ def supervised_map(
                 else:
                     if observer is not None:
                         observer("rebuild", len(retry), reason)
-                    submit(retry)
+                    unsubmitted = submit(retry)
             run_serial(quarantine)
+            if unsubmitted:
+                # The rebuilt pool broke during resubmission: the shards
+                # it did accept are doomed alongside the leftovers.
+                recover(unsubmitted + list(active.values()), "crash")
 
-        submit(range(len(payloads)))
+        unsubmitted = submit(range(len(payloads)))
+        if unsubmitted:
+            recover(unsubmitted + list(active.values()), "crash")
         while active:
             done, _ = wait(
                 set(active),

@@ -29,7 +29,9 @@ from dataclasses import replace as _dc_replace
 from random import Random
 from typing import TYPE_CHECKING
 
+from ..exec import substream
 from ..obs import Instrumentation
+from ..sanitize import assert_rng
 from .errors import (
     EpochIngestFault,
     QueryTimeout,
@@ -73,9 +75,9 @@ class FaultInjector:
         """
         rng = self._rngs.get(name)
         if rng is None:
-            rng = Random(f"faults:{self.seed}:{name}")
+            rng = substream("faults", self.seed, name)
             self._rngs[name] = rng
-        return rng
+        return assert_rng(rng, f"faults.{name}")
 
     def _count(self, name: str, n: int = 1) -> None:
         self.counts[name] = self.counts.get(name, 0) + n
@@ -175,7 +177,7 @@ class FaultInjector:
         rate = self.plan.epoch_fail
         if rate <= 0:
             return
-        rng = Random(f"faults:{self.seed}:epoch_fail:{epoch}:{attempt}")
+        rng = substream("faults", self.seed, "epoch_fail", epoch, attempt)
         if rng.random() < rate:
             self._count("fault.epoch_fail")
             raise EpochIngestFault(
@@ -197,7 +199,7 @@ class FaultInjector:
         rate = self.plan.snapshot_corrupt
         if rate <= 0:
             return payload
-        rng = Random(f"faults:{self.seed}:snapshot_corrupt:{stage}:{attempt}")
+        rng = substream("faults", self.seed, "snapshot_corrupt", stage, attempt)
         if rng.random() >= rate:
             return payload
         self._count("fault.snapshot_corrupt")

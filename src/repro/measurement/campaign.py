@@ -36,10 +36,12 @@ from ..exec import (
     SupervisorConfig,
     instrument_observer,
     plan_shards,
+    substream,
     supervised_map,
 )
 from ..faults.errors import MeasurementFault
 from ..obs import Instrumentation
+from ..sanitize import tag_rng
 from ..topology.network import InterfaceKind
 from ..topology.topology import Topology
 from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
@@ -183,7 +185,7 @@ class CampaignDriver:
         self.platforms = platforms
         self.hitlist = hitlist
         self.config = config or CampaignConfig()
-        self._rng = Random(seed)
+        self._rng = tag_rng(Random(seed), "campaign", seed)
         self._obs = instrumentation or Instrumentation()
         #: Process-pool width for the initial campaign (1 = serial).
         self.workers = workers
@@ -201,7 +203,7 @@ class CampaignDriver:
         self.simulated_backoff_s = 0.0
         #: Jitter stream; untouched unless a probe actually fails, so
         #: fault-free runs draw nothing from it.
-        self._retry_rng = Random(f"campaign-retry:{seed}")
+        self._retry_rng = substream("campaign-retry", seed)
         self._platform_by_name = {
             platform.name: platform for platform in platforms.all_platforms()
         }

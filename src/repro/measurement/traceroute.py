@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..exec.shard import substream
+from ..sanitize import assert_rng
 from ..topology.geo import GeoLocation
 from ..topology.network import InterfaceKind
 from ..topology.routing import Forwarder
@@ -231,7 +232,10 @@ class TracerouteEngine:
         key = (source_id, dst_address)
         seq = self._issue_counts.get(key, 0)
         self._issue_counts[key] = seq + 1
-        return substream("trace", self._seed, source_id, dst_address, seq)
+        return assert_rng(
+            substream("trace", self._seed, source_id, dst_address, seq),
+            "trace.noise",
+        )
 
     def trace(
         self,

@@ -53,6 +53,7 @@ EVENT_NAMES: dict[str, str] = {
     "serve.epoch.retry": "one ingest epoch failed and was resubmitted",
     "serve.epoch.quarantine": "a poisoned epoch was skipped after its retry budget",
     "serve.snapshot.rollback": "a corrupt publish was dropped; last good snapshot kept",
+    "sanitizer.violation": "the runtime sanitizer tripped a determinism invariant",
 }
 
 

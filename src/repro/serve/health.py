@@ -28,10 +28,12 @@ outside this module.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..obs import Instrumentation
+from ..sanitize import enabled as sanitizer_enabled, record_violation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .snapshot import MapSnapshot
@@ -82,6 +84,28 @@ def snapshot_data_health(snapshot: "MapSnapshot | None") -> dict[str, Any]:
     }
 
 
+def _mutation_point(method: Callable) -> Callable:
+    """Mark a :class:`ServiceHealth` method as a documented write site.
+
+    The sanitizer's ``__setattr__`` guard only admits attribute writes
+    while one of these frames is live; the depth counter (rather than
+    a flag) keeps nested mutation points — ``record_failure`` calling
+    ``transition`` — balanced.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: "ServiceHealth", *args: Any, **kwargs: Any) -> Any:
+        object.__setattr__(
+            self, "_write_depth", getattr(self, "_write_depth", 0) + 1
+        )
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            object.__setattr__(self, "_write_depth", self._write_depth - 1)
+
+    return wrapper
+
+
 class ServiceHealth:
     """The map service's health state machine.
 
@@ -89,8 +113,21 @@ class ServiceHealth:
     :meth:`record_quarantine`, :meth:`record_rollback`,
     :meth:`record_publish`); queries read the resulting document via
     :meth:`report`.  State only ever changes inside :meth:`transition`.
+
+    Under the sanitizer, attribute writes outside the
+    :func:`_mutation_point`-decorated methods trip ``health.write`` —
+    the runtime twin of reprolint R010/R012.
     """
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        if sanitizer_enabled() and getattr(self, "_write_depth", 0) == 0:
+            record_violation(
+                "health.write",
+                f"ServiceHealth.{name} written outside a mutation point",
+            )
+        object.__setattr__(self, name, value)
+
+    @_mutation_point
     def __init__(
         self,
         instrumentation: Instrumentation | None = None,
@@ -151,6 +188,7 @@ class ServiceHealth:
         """Recent transition edges, oldest first: ``(from, to, reason)``."""
         return tuple(self._history)
 
+    @_mutation_point
     def subscribe(self, listener: Callable[[str, str, str], None]) -> None:
         """Call ``listener(old, new, reason)`` on every state change."""
         self._listeners.append(listener)
@@ -180,6 +218,7 @@ class ServiceHealth:
     # The single mutation point (reprolint R010)
     # ------------------------------------------------------------------
 
+    @_mutation_point
     def transition(self, new_state: str, *, reason: str) -> None:
         """Move to ``new_state``, recording and announcing the edge.
 
@@ -222,12 +261,14 @@ class ServiceHealth:
             else "degraded"
         )
 
+    @_mutation_point
     def record_failure(self, *, reason: str) -> None:
         """One epoch or publish attempt failed (a retry may follow)."""
         self._ingest_failures += 1
         self._consecutive_failures += 1
         self.transition(self._unhealthy_state(), reason=reason)
 
+    @_mutation_point
     def record_quarantine(self, epoch: int) -> None:
         """An epoch exhausted its retry budget and was skipped."""
         self._quarantined.append(epoch)
@@ -236,6 +277,7 @@ class ServiceHealth:
             self._unhealthy_state(), reason=f"epoch {epoch} quarantined"
         )
 
+    @_mutation_point
     def record_rollback(self, stage: str) -> None:
         """A publish exhausted its retry budget and was rolled back."""
         self._rollbacks += 1
@@ -244,6 +286,7 @@ class ServiceHealth:
             self._unhealthy_state(), reason=f"publish of {stage} rolled back"
         )
 
+    @_mutation_point
     def record_publish(self, snapshot: "MapSnapshot") -> None:
         """A snapshot was durably published and is now being served.
 

@@ -35,6 +35,7 @@ from typing import Any, Mapping
 
 from ..checkpoint.atomic import canonical_json, sha256_hex
 from ..core.types import CfsResult
+from ..sanitize import TripwireMapping, enabled as sanitizer_enabled
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
@@ -171,6 +172,19 @@ def _content_document(
     }
 
 
+def _index(data: dict, label: str) -> Mapping:
+    """Freeze one query index for publication.
+
+    Normally a zero-copy ``MappingProxyType``; under the sanitizer a
+    :class:`TripwireMapping` instead, so an in-place write to a
+    published index is recorded as a ``sanitizer.violation`` naming the
+    index rather than surfacing as an anonymous ``TypeError``.
+    """
+    if sanitizer_enabled():
+        return TripwireMapping(data, f"snapshot.{label}")
+    return MappingProxyType(data)
+
+
 def _assemble(
     interfaces: list[InterfaceEntry],
     links: list[LinkEntry],
@@ -198,22 +212,24 @@ def _assemble(
         config_fingerprint=config_fingerprint,
         traces_ingested=traces_ingested,
         fingerprint=sha256_hex(canonical_json(content)),
-        interfaces=MappingProxyType(
-            {entry.address: entry for entry in interfaces}
+        interfaces=_index(
+            {entry.address: entry for entry in interfaces}, "interfaces"
         ),
         links=tuple(links),
-        interface_facility=MappingProxyType(
+        interface_facility=_index(
             {
                 entry.address: entry.facility
                 for entry in interfaces
                 if entry.facility is not None
-            }
+            },
+            "interface_facility",
         ),
-        links_by_aspair=MappingProxyType(
-            {pair: tuple(group) for pair, group in by_pair.items()}
+        links_by_aspair=_index(
+            {pair: tuple(group) for pair, group in by_pair.items()},
+            "links_by_aspair",
         ),
-        facility_tenants=MappingProxyType(dict(tenants)),
-        stats=MappingProxyType(dict(content["stats"])),
+        facility_tenants=_index(dict(tenants), "facility_tenants"),
+        stats=_index(dict(content["stats"]), "stats"),
     )
 
 

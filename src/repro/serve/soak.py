@@ -45,8 +45,15 @@ from typing import Any, Callable
 
 from ..checkpoint import config_fingerprint
 from ..core.pipeline import PipelineConfig, run_pipeline
+from ..exec import substream
 from ..faults import FaultPlan
 from ..obs import Instrumentation
+from ..sanitize import (
+    armed as sanitizer_armed,
+    assert_rng,
+    enabled as sanitizer_enabled,
+    violations as sanitizer_violations,
+)
 from .service import MapService
 from .snapshot import MapSnapshot, build_snapshot
 from .supervise import ServicePolicy
@@ -116,6 +123,10 @@ class SoakReport:
     identical: bool | None = None
     wall_seconds: float = 0.0
     first_error: str | None = None
+    #: Whether the reprosan runtime sanitizer was armed for this run.
+    sanitized: bool = False
+    #: ``sanitizer.violation`` records during the run (must stay 0).
+    sanitizer_violations: int = 0
 
     @property
     def availability(self) -> float:
@@ -137,6 +148,7 @@ class SoakReport:
             self.availability == 1.0
             and self.within_budget
             and self.identical is not False
+            and self.sanitizer_violations == 0
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -173,6 +185,8 @@ class SoakReport:
             "identical": self.identical,
             "wall_seconds": round(self.wall_seconds, 3),
             "first_error": self.first_error,
+            "sanitized": self.sanitized,
+            "sanitizer_violations": self.sanitizer_violations,
             "ok": self.ok,
         }
 
@@ -190,6 +204,12 @@ class SoakReport:
         identity = {True: "ok", False: "BROKEN", None: "skipped"}[
             self.identical
         ]
+        if not self.sanitized:
+            sanitizer = "off"
+        elif self.sanitizer_violations:
+            sanitizer = f"{self.sanitizer_violations} VIOLATION(S)"
+        else:
+            sanitizer = "clean"
         lines = [
             f"soak: seed={self.seed} scale={self.scale} "
             f"epochs={self.epochs} threads={self.threads} "
@@ -203,7 +223,7 @@ class SoakReport:
             f"{self.publish_retries} publish retries, "
             f"{self.rollbacks} rollbacks, {self.drains} drains",
             f"  recovery {recovery}, final state {self.final_state}, "
-            f"identity gate {identity}",
+            f"identity gate {identity}, sanitizer {sanitizer}",
             f"  wall {self.wall_seconds:.1f}s -> "
             f"{'OK' if self.ok else 'FAILED'}",
         ]
@@ -255,7 +275,7 @@ def _workload_line(
     rng: Random, snapshot: MapSnapshot, keys: _SnapshotKeys
 ) -> str:
     addresses, aspairs, facilities = keys.for_snapshot(snapshot)
-    kind = _pick_kind(rng)
+    kind = _pick_kind(assert_rng(rng, "soak.workload"))
     if kind == "iface_hit" and addresses:
         return f"iface {rng.choice(addresses)}"
     if kind == "iface_miss":
@@ -282,6 +302,7 @@ def run_soak(
     checkpoint_dir: str | None = None,
     error_budget: float = 0.0,
     verify_identity: bool = True,
+    sanitize: bool = False,
     instrumentation: Instrumentation | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SoakReport:
@@ -296,13 +317,35 @@ def run_soak(
     ``checkpoint_dir=None`` soaks in a temporary directory — the
     durable store is required, since ``snapshot_corrupt`` tears
     durable writes.
+
+    ``sanitize=True`` arms the reprosan runtime sanitizer for the
+    whole soak (including the identity-gate batch replay); violations
+    land in :attr:`SoakReport.sanitizer_violations` and fail
+    :attr:`SoakReport.ok`.
     """
+    if sanitize and not sanitizer_enabled():
+        with sanitizer_armed(instrumentation):
+            return run_soak(
+                seed=seed,
+                scale=scale,
+                epochs=epochs,
+                threads=threads,
+                intensity=intensity,
+                plan=plan,
+                policy=policy,
+                checkpoint_dir=checkpoint_dir,
+                error_budget=error_budget,
+                verify_identity=verify_identity,
+                instrumentation=instrumentation,
+                progress=progress,
+            )
     if threads < 1:
         raise ValueError(f"threads={threads!r} must be at least 1")
     if error_budget < 0:
         raise ValueError(f"error_budget={error_budget!r} must not be negative")
     plan = plan if plan is not None else soak_plan(intensity)
     policy = policy or DEFAULT_POLICY
+    violations_before = len(sanitizer_violations())
     report = SoakReport(
         seed=seed,
         scale=scale,
@@ -311,6 +354,7 @@ def run_soak(
         intensity=intensity,
         plan=plan.as_dict(),
         error_budget=error_budget,
+        sanitized=sanitizer_enabled(),
     )
     with tempfile.TemporaryDirectory(prefix="repro-soak-") as scratch:
         base = PipelineConfig.for_scale(scale, seed=seed)
@@ -338,7 +382,7 @@ def run_soak(
         counts_lock = threading.Lock()
 
         def worker(tid: int) -> None:
-            rng = Random(f"soak:{seed}:{tid}")
+            rng = substream("soak", seed, tid)
             queries = answered = errors = 0
             staleness: dict[int, int] = {}
             first_error: str | None = None
@@ -424,6 +468,9 @@ def run_soak(
             report.identical = (
                 batch_snapshot.fingerprint == report.final_fingerprint
             )
+    report.sanitizer_violations = (
+        len(sanitizer_violations()) - violations_before
+    )
     return report
 
 

@@ -22,10 +22,10 @@ paper: a source only speaks for its own operators/exchanges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from random import Random
 
 from ..datasets.dnsnames import DnsZone
 from ..datasets.ixp_sources import IxpDataSources
+from ..exec import substream
 from ..topology.asn import ASRole
 from ..topology.topology import Topology
 
@@ -94,7 +94,7 @@ class DirectFeedbackSource:
                 continue
             # Whether the operator answered for this interface is a fixed
             # fact of the validation dataset, not a per-query coin flip.
-            if Random(f"{self._seed}:{address}").random() >= self._response_rate:
+            if substream(self._seed, address).random() >= self._response_rate:
                 continue
             samples.append(
                 ValidationSample(

@@ -1,0 +1,53 @@
+"""The rule catalog is documented in three places — the rules.py
+docstring table, ``rule_catalog()``, and DESIGN.md §5e's bullet list —
+and they must agree on every id and title, verbatim."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.devtools.rules as rules_module
+from repro.devtools.rules import ALL_RULES, rule_catalog
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def docstring_table() -> dict[str, str]:
+    rows = re.findall(
+        r"^\| (R\d{3}) \| (.*?)\s*\|$", rules_module.__doc__, flags=re.M
+    )
+    return dict(rows)
+
+
+def design_bullets() -> dict[str, str]:
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    bullets = re.findall(r"^\* \*\*(R\d{3}) — (.*?)\.\*\*", text, flags=re.M | re.S)
+    return {
+        rule: re.sub(r"\s+", " ", title).strip() for rule, title in bullets
+    }
+
+
+def test_catalog_covers_every_rule_class_in_order():
+    catalog = rule_catalog()
+    assert list(catalog) == sorted(catalog)
+    assert list(catalog) == [cls.id for cls in ALL_RULES]
+    assert list(catalog) == [f"R{n:03d}" for n in range(1, len(catalog) + 1)]
+
+
+def test_docstring_table_matches_rule_catalog():
+    assert docstring_table() == rule_catalog()
+
+
+def test_design_md_bullets_match_rule_catalog():
+    assert design_bullets() == rule_catalog()
+
+
+def test_titles_are_single_line_and_nonempty():
+    for rule, title in rule_catalog().items():
+        assert title.strip() == title and title, rule
+        assert "\n" not in title, rule

@@ -54,10 +54,11 @@ def test_json_format_shape(tmp_path, capsys):
     root = write_tree(tmp_path, BAD_MODULE)
     assert lint_main([str(root), "--format", "json"]) == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["schema"] == "repro/lint/1"
+    assert document["schema"] == "repro/lint/2"
+    assert document["schema_version"] == 2
     assert document["rules"] == [
         "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-        "R009", "R010",
+        "R009", "R010", "R011", "R012", "R013", "R014",
     ]
     assert document["files_scanned"] == 1
     assert document["counts"] == {"R001": 1}
@@ -65,6 +66,58 @@ def test_json_format_shape(tmp_path, capsys):
     assert set(finding) == {"rule", "path", "line", "col", "message"}
     assert finding["path"] == "mod.py"
     assert document["suppressed"] == []
+    assert document["summary"] == {
+        "files_scanned": 1,
+        "findings": 1,
+        "suppressed": 0,
+        "by_rule": {
+            rule: (1 if rule == "R001" else 0)
+            for rule in document["rules"]
+        },
+    }
+
+
+def test_json_output_is_deterministic(tmp_path, capsys):
+    root = write_tree(tmp_path, BAD_MODULE)
+    (tmp_path / "second.py").write_text(
+        "import random\n\n\ndef roll():\n    return random.choice([1, 2])\n",
+        encoding="utf-8",
+    )
+    lint_main([str(root), "--format", "json"])
+    first = capsys.readouterr().out
+    lint_main([str(root), "--format", "json"])
+    assert capsys.readouterr().out == first
+
+
+def test_no_flow_drops_flow_rules(tmp_path, capsys):
+    root = tmp_path
+    (root / "measurement").mkdir()
+    (root / "measurement" / "probe.py").write_text(
+        "from random import Random\n\n_G = Random(1)\n\n\n"
+        "def draw():\n    return _G.random()\n",
+        encoding="utf-8",
+    )
+    assert lint_main([str(root)]) == 1
+    assert "R011" in capsys.readouterr().out
+    assert lint_main([str(root), "--no-flow"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_graph_flag_writes_flow_graph_json(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN_MODULE)
+    graph_path = tmp_path / "callgraph.json"
+    assert lint_main([str(root), "--graph", str(graph_path)]) == 0
+    document = json.loads(graph_path.read_text(encoding="utf-8"))
+    assert document["schema"] == "repro/flow-graph/1"
+    assert "mod.py" in document["modules"]
+    assert {"imports", "calls", "layers", "stats"} <= set(document)
+
+
+def test_graph_unwritable_path_is_clean_exit_2(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN_MODULE)
+    target = tmp_path / "missing-dir" / "graph.json"
+    assert lint_main([str(root), "--graph", str(target)]) == 2
+    assert capsys.readouterr().err.startswith("error:")
 
 
 def test_rule_filter_flag(tmp_path):

@@ -1,0 +1,346 @@
+"""Fixtures for the interprocedural flow rules (R011–R014): each rule
+fires on a minimal multi-module bad tree and stays silent on the
+corresponding good one.
+
+The bad patterns are the static half of the static/runtime pairing —
+their runtime twins (sanitizer tripwires) live in
+``tests/test_sanitize.py`` and must catch the same mistakes live.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import run_lint
+
+pytestmark = pytest.mark.lint
+
+
+def lint_tree(tmp_path: Path, files: dict[str, str], rules=None, flow=True):
+    """Write a multi-module tree and lint it."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint(tmp_path, rules=rules, flow=flow)
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+#: A minimal substream helper matching the real ``repro.exec`` one, so
+#: fixtures can model the provenance-carrying construction path.
+SUBSTREAM = """
+    from random import Random
+
+    def substream(*parts):
+        return Random(":".join(str(p) for p in parts))
+"""
+
+
+# ----------------------------------------------------------------------
+# R011 — seed provenance
+# ----------------------------------------------------------------------
+
+
+class TestSeedProvenance:
+    def test_flags_module_level_ambient_rng_reaching_draws(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "measurement/probe.py": """
+                from random import Random
+
+                _GLOBAL = Random(7)
+
+                def helper(rng):
+                    return rng.random()
+
+                def run(seed):
+                    ok = Random(seed).random()
+                    bad = _GLOBAL.random()
+                    worse = helper(_GLOBAL)
+                    return ok, bad, worse
+                """,
+            },
+            rules=["R011"],
+        )
+        # Both the direct module-stream draw and the one smuggled
+        # through helper()'s parameter are flagged; the explicitly
+        # seeded local stream is not.
+        lines = [finding.line for finding in result.findings]
+        assert rule_ids(result) == ["R011", "R011"]
+        assert lines == [7, 11]  # helper's draw, then _GLOBAL.random()
+
+    def test_substream_derived_draws_are_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "exec/shard.py": SUBSTREAM,
+                "measurement/probe.py": """
+                from proj.exec.shard import substream
+
+                def run(seed, index):
+                    rng = substream("probe", seed, index)
+                    return rng.random()
+                """,
+            },
+            rules=["R011"],
+        )
+        assert rule_ids(result) == []
+
+    def test_non_sink_units_are_not_flagged(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "analysis/plot.py": """
+                from random import Random
+
+                _JITTER = Random(0)
+
+                def jitter():
+                    return _JITTER.random()
+                """,
+            },
+            rules=["R011"],
+        )
+        assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R012 — shared-state races
+# ----------------------------------------------------------------------
+
+
+class TestSharedStateRace:
+    BAD = {
+        "serve/soaky.py": """
+        import threading
+
+        class Engine:
+            def __init__(self):
+                self.state = 0
+
+        def run():
+            engine = Engine()
+            counts = {}
+
+            def worker():
+                engine.state = 9
+                counts["x"] = 1
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            return engine, counts
+        """,
+    }
+
+    def test_flags_closure_mutations_of_thread_shared_state(self, tmp_path):
+        result = lint_tree(tmp_path, dict(self.BAD), rules=["R012"])
+        assert rule_ids(result).count("R012") >= 2  # attribute + key write
+        messages = " / ".join(f.message for f in result.findings)
+        assert "engine" in messages
+        assert "counts" in messages
+
+    def test_lock_guarded_mutation_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "serve/soaky.py": """
+                import threading
+
+                def run():
+                    counts = {}
+                    lock = threading.Lock()
+
+                    def worker():
+                        with lock:
+                            counts["x"] = 1
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    return counts
+                """,
+            },
+            rules=["R012"],
+        )
+        assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R013 — exception containment
+# ----------------------------------------------------------------------
+
+
+class TestExceptionContainment:
+    def test_flags_exception_escaping_supervised_map(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "exec/supervise.py": """
+                class ShardExecutionError(RuntimeError):
+                    pass
+
+                class WeirdFault(Exception):
+                    pass
+
+                def inner():
+                    raise WeirdFault("boom")
+
+                def supervised_map(items):
+                    try:
+                        return [inner() for item in items]
+                    except ShardExecutionError:
+                        raise
+                """,
+            },
+            rules=["R013"],
+        )
+        assert rule_ids(result) == ["R013"]
+        message = result.findings[0].message
+        assert "WeirdFault" in message
+        assert "ShardExecutionError" in message  # the allowed contract
+
+    def test_contained_boundary_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "exec/supervise.py": """
+                class ShardExecutionError(RuntimeError):
+                    pass
+
+                class WeirdFault(Exception):
+                    pass
+
+                def inner():
+                    raise WeirdFault("boom")
+
+                def supervised_map(items):
+                    try:
+                        return [inner() for item in items]
+                    except ShardExecutionError:
+                        raise
+                    except Exception:
+                        return []
+                """,
+            },
+            rules=["R013"],
+        )
+        assert rule_ids(result) == []
+
+
+# ----------------------------------------------------------------------
+# R014 — import layering
+# ----------------------------------------------------------------------
+
+
+class TestImportLayering:
+    def test_flags_upward_import(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "serve/engine.py": """
+                class Engine:
+                    pass
+                """,
+                "faults/upward.py": """
+                from proj.serve.engine import Engine
+
+                WHO = Engine
+                """,
+            },
+            rules=["R014"],
+        )
+        assert rule_ids(result) == ["R014"]
+        assert result.findings[0].path == "faults/upward.py"
+        assert "strictly down" in result.findings[0].message
+
+    def test_downward_import_is_clean(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "faults/plan.py": """
+                class FaultPlan:
+                    pass
+                """,
+                "serve/engine.py": """
+                from proj.faults.plan import FaultPlan
+
+                PLAN = FaultPlan
+                """,
+            },
+            rules=["R014"],
+        )
+        assert rule_ids(result) == []
+
+    def test_flags_import_cycle(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "serve/alpha.py": """
+                from proj.serve.beta import B
+
+                class A:
+                    pass
+                """,
+                "serve/beta.py": """
+                from proj.serve.alpha import A
+
+                class B:
+                    pass
+                """,
+            },
+            rules=["R014"],
+        )
+        assert rule_ids(result) == ["R014"]
+        assert "import cycle" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Flow toggle and multi-rule suppressions
+# ----------------------------------------------------------------------
+
+
+class TestFlowWiring:
+    AMBIENT = {
+        "measurement/probe.py": """
+        import random
+
+        def sample():
+            return random.random()
+        """,
+    }
+
+    def test_flow_rules_run_by_default(self, tmp_path):
+        result = lint_tree(tmp_path, dict(self.AMBIENT))
+        assert set(rule_ids(result)) == {"R001", "R011"}
+
+    def test_no_flow_drops_flow_rules_only(self, tmp_path):
+        result = lint_tree(tmp_path, dict(self.AMBIENT), flow=False)
+        assert rule_ids(result) == ["R001"]
+
+    def test_one_comment_suppresses_multiple_rules(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "measurement/probe.py": """
+                import random
+
+                def sample():
+                    return random.random()  # reprolint: disable=R001, R011 fixture: ambient on purpose
+                """,
+            },
+        )
+        assert rule_ids(result) == []
+        assert sorted(finding.rule for finding, _ in result.suppressed) == [
+            "R001",
+            "R011",
+        ]
+        assert all(
+            reason == "fixture: ambient on purpose"
+            for _, reason in result.suppressed
+        )
