@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # The local gate: everything the driver checks, in one command.
 #
-#   scripts/check.sh          # tier-1 tests + lint self-gate + sanitizer smoke
-#   scripts/check.sh --fast   # skip the sanitizer smoke (pure static checks)
+#   scripts/check.sh          # tier-1 tests + lint + sanitizer + speedup gate
+#   scripts/check.sh --fast   # skip the sanitizer smoke and the speedup gate
 #
 # Exits non-zero on the first failing stage.
 
@@ -42,6 +42,43 @@ if violations:
         print(f"sanitizer: {entry['kind']}: {entry['detail']}")
     sys.exit(1)
 print("sanitizer: clean (0 violations)")
+EOF
+
+    echo
+    echo "== parallel speedup gate (workers=2 vs serial, default scale) =="
+    python - <<'EOF'
+import os
+import sys
+import time
+
+from repro.core.pipeline import PipelineConfig, build_environment
+
+cpus = os.cpu_count() or 1
+if cpus < 2:
+    print(
+        f"speedup gate: skipped — cpu_count={cpus} < 2, the pool can only "
+        "time-slice one core (identity is still gated by the test suite)"
+    )
+    sys.exit(0)
+
+seconds = {}
+for workers in (1, 2):
+    env = build_environment(
+        config=PipelineConfig.for_scale("default", seed=0, workers=workers)
+    )
+    started = time.perf_counter()
+    corpus = env.run_campaign()
+    env.run_cfs(corpus)
+    seconds[workers] = time.perf_counter() - started
+
+speedup = seconds[1] / max(seconds[2], 1e-9)
+print(
+    f"speedup gate: serial={seconds[1]:.2f}s workers2={seconds[2]:.2f}s "
+    f"speedup={speedup:.2f}x (floor 1.2x, {cpus} cpus)"
+)
+if speedup < 1.2:
+    print("speedup gate: FAILED — workers=2 must beat serial by >= 1.2x")
+    sys.exit(1)
 EOF
 fi
 

@@ -2,7 +2,7 @@
 
 Usage (via ``python -m repro``)::
 
-    python -m repro summary  [--seed N] [--scale small|default|large]
+    python -m repro summary  [--seed N] [--scale small|default|large|xlarge]
     python -m repro run      [--seed N] [--scale ...] [--workers N]
                              [--shard-timeout S] [--json PATH]
                              [--checkpoint-dir DIR] [--resume]
@@ -667,7 +667,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale",
         default="small",
-        help="topology scale: small, default, or large (default: small)",
+        help="topology scale: small, default, large, or xlarge "
+        "(default: small)",
     )
     parser.add_argument(
         "--workers",

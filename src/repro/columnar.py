@@ -1,0 +1,288 @@
+"""Columnar trace storage: flat parallel arrays behind the hot paths.
+
+The CFS hot loop (address scanning, Step-1/Step-2 crossing extraction,
+moved-address re-parse) iterates tens of thousands of traceroute hops
+per campaign.  Walking per-hop dataclasses makes every visit pay
+attribute lookups and keeps the per-object layout scattered across the
+heap; shipping those objects across a process-pool boundary additionally
+pays one ``__reduce__`` round-trip per hop.  This module flattens a
+traceroute stream **once per campaign epoch** into parallel flat arrays
+— addresses as u32, RTTs as f64, hop offsets as u64 — that
+
+* the classify/extract stages scan as array slices (no objects touched),
+* fork workers inherit copy-on-write and answer with compact rows,
+* pickle as single ``memcpy``-shaped buffers instead of object graphs.
+
+The dataclass API stays the module boundary: :class:`TraceArrays` is a
+*codec target*, built from any objects shaped like
+:class:`repro.measurement.traceroute.Traceroute` (duck-typed, so this
+module imports nothing from the inference tree and sits at layer 1 of
+the R014 DAG) and rebuilt into them on request.  Field round-trips are
+exact: addresses/ASNs/TTLs are integers, RTTs are IEEE doubles stored
+in ``array('d')``, and ``None`` hops ride dedicated sentinels — the
+property test in ``tests/core/test_columnar.py`` pins every field.
+
+Nothing here draws randomness or reads clocks; arrays are pure
+functions of the traces they flatten.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Sequence
+
+__all__ = [
+    "NO_ADDRESS",
+    "NO_ROUTER",
+    "NO_RTT",
+    "TraceArrays",
+]
+
+#: Sentinel for an unresponsive hop (``TraceHop.address is None``).
+#: 255.255.255.255 is never allocated by the address pools; flattening
+#: a trace that really carries it raises rather than corrupting data.
+NO_ADDRESS = 0xFFFFFFFF
+#: Sentinel for ``TraceHop.router_id is None`` (ground-truth column).
+NO_ROUTER = 0xFFFFFFFF
+#: Sentinel for ``TraceHop.rtt_ms is None``; NaN never equals itself,
+#: so it can never collide with a real RTT sample.
+NO_RTT = float("nan")
+
+
+class TraceArrays:
+    """A traceroute stream flattened into parallel flat arrays.
+
+    Per-hop columns (``len == total hops``, indexed by flat hop index):
+
+    * ``hop_address`` — u32, :data:`NO_ADDRESS` for ``*`` hops;
+    * ``hop_rtt`` — f64, :data:`NO_RTT` (NaN) for missing samples;
+    * ``hop_ttl`` — u16;
+    * ``hop_router`` — u32 ground-truth router id, :data:`NO_ROUTER`
+      when absent (scoring only, like the field it mirrors).
+
+    Per-trace columns (``len == trace count``):
+
+    * ``trace_offsets`` — u64 hop-range starts, one extra terminal
+      entry (trace *i* owns flat hops ``offsets[i]:offsets[i+1]``);
+    * ``src_asn`` / ``dst_address`` — u32;
+    * ``reached`` — one byte per trace (0/1);
+    * ``source_id`` / ``platform`` — plain string lists (identifiers,
+      not numeric data; pickle memoises the shared objects).
+
+    The structure is **append-only**: :meth:`extend` flattens new traces
+    onto the end, which is what lets a corpus-wide instance be built
+    once per campaign epoch and grown as follow-up probes arrive,
+    without ever re-flattening the prefix.
+    """
+
+    __slots__ = (
+        "trace_offsets",
+        "hop_address",
+        "hop_rtt",
+        "hop_ttl",
+        "hop_router",
+        "src_asn",
+        "dst_address",
+        "reached",
+        "source_id",
+        "platform",
+    )
+
+    def __init__(self) -> None:
+        self.trace_offsets = array("Q", [0])
+        self.hop_address = array("I")
+        self.hop_rtt = array("d")
+        self.hop_ttl = array("H")
+        self.hop_router = array("I")
+        self.src_asn = array("I")
+        self.dst_address = array("I")
+        self.reached = bytearray()
+        self.source_id: list[str] = []
+        self.platform: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_traces(cls, traces: Iterable) -> "TraceArrays":
+        """Flatten ``traces`` (Traceroute-shaped objects) into arrays."""
+        arrays = cls()
+        arrays.extend(traces)
+        return arrays
+
+    def extend(self, traces: Iterable) -> None:
+        """Append ``traces`` onto the flattened stream."""
+        offsets = self.trace_offsets
+        addresses = self.hop_address
+        rtts = self.hop_rtt
+        ttls = self.hop_ttl
+        routers = self.hop_router
+        for trace in traces:
+            for hop in trace.hops:
+                address = hop.address
+                if address is None:
+                    address = NO_ADDRESS
+                elif address >= NO_ADDRESS:
+                    raise ValueError(
+                        f"address {address:#x} collides with the "
+                        f"NO_ADDRESS sentinel"
+                    )
+                addresses.append(address)
+                rtts.append(NO_RTT if hop.rtt_ms is None else hop.rtt_ms)
+                ttls.append(hop.ttl)
+                routers.append(
+                    NO_ROUTER if hop.router_id is None else hop.router_id
+                )
+            offsets.append(len(addresses))
+            self.src_asn.append(trace.src_asn)
+            self.dst_address.append(trace.dst_address)
+            self.reached.append(1 if trace.reached else 0)
+            self.source_id.append(trace.source_id)
+            self.platform.append(trace.platform)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of flattened traces."""
+        return len(self.trace_offsets) - 1
+
+    @property
+    def total_hops(self) -> int:
+        """Number of flattened hops across every trace."""
+        return len(self.hop_address)
+
+    def hop_range(self, index: int) -> tuple[int, int]:
+        """The flat hop range ``[start, stop)`` of trace ``index``."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"trace index {index} out of range")
+        return self.trace_offsets[index], self.trace_offsets[index + 1]
+
+    def responsive_addresses(self, index: int) -> list[int]:
+        """Addresses of trace ``index``'s responsive hops, path order.
+
+        The columnar twin of ``Traceroute.responsive_addresses`` — one
+        array slice, no hop objects touched.
+        """
+        start, stop = self.hop_range(index)
+        return [
+            address
+            for address in self.hop_address[start:stop]
+            if address != NO_ADDRESS
+        ]
+
+    def intersects(self, index: int, addresses) -> bool:
+        """Whether any responsive hop of trace ``index`` is in
+        ``addresses`` (a set).  The moved-address re-parse filter: one
+        flat scan instead of materialising an address list per trace.
+        """
+        start, stop = self.hop_range(index)
+        hop_address = self.hop_address
+        for flat in range(start, stop):
+            value = hop_address[flat]
+            if value in addresses and value != NO_ADDRESS:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Rebuild codec (arrays -> dataclasses)
+    # ------------------------------------------------------------------
+
+    def rebuild(self, index: int, trace_factory, hop_factory):
+        """Reconstruct trace ``index`` through the given dataclass
+        factories (kept injectable so this module imports nothing from
+        the measurement layer).
+
+        Every field round-trips exactly; the property test in
+        ``tests/core/test_columnar.py`` holds flatten → rebuild to
+        field-for-field equality.
+        """
+        start, stop = self.hop_range(index)
+        hops = []
+        for flat in range(start, stop):
+            address = self.hop_address[flat]
+            rtt = self.hop_rtt[flat]
+            router = self.hop_router[flat]
+            hops.append(
+                hop_factory(
+                    ttl=self.hop_ttl[flat],
+                    address=None if address == NO_ADDRESS else address,
+                    # NaN is the None sentinel; a real sample equals itself.
+                    rtt_ms=rtt if rtt == rtt else None,
+                    router_id=None if router == NO_ROUTER else router,
+                )
+            )
+        return trace_factory(
+            source_id=self.source_id[index],
+            platform=self.platform[index],
+            src_asn=self.src_asn[index],
+            dst_address=self.dst_address[index],
+            hops=tuple(hops),
+            reached=bool(self.reached[index]),
+        )
+
+    def rebuild_all(self, trace_factory, hop_factory) -> list:
+        """Reconstruct every flattened trace, in flatten order."""
+        return [
+            self.rebuild(index, trace_factory, hop_factory)
+            for index in range(len(self))
+        ]
+
+    # ------------------------------------------------------------------
+    # Slicing codec (shard boundaries)
+    # ------------------------------------------------------------------
+
+    def slice(self, indices: Sequence[int]) -> "TraceArrays":
+        """A new instance holding ``indices``'s traces, in given order.
+
+        The shard-result codec: a worker flattens just its block and
+        the whole answer pickles as a handful of flat buffers.
+        """
+        sliced = TraceArrays()
+        offsets = sliced.trace_offsets
+        for index in indices:
+            start, stop = self.hop_range(index)
+            sliced.hop_address.extend(self.hop_address[start:stop])
+            sliced.hop_rtt.extend(self.hop_rtt[start:stop])
+            sliced.hop_ttl.extend(self.hop_ttl[start:stop])
+            sliced.hop_router.extend(self.hop_router[start:stop])
+            offsets.append(len(sliced.hop_address))
+            sliced.src_asn.append(self.src_asn[index])
+            sliced.dst_address.append(self.dst_address[index])
+            sliced.reached.append(self.reached[index])
+            sliced.source_id.append(self.source_id[index])
+            sliced.platform.append(self.platform[index])
+        return sliced
+
+    # ------------------------------------------------------------------
+    # Pickling (fork results cross this boundary)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceArrays):
+            return NotImplemented
+        for slot in self.__slots__:
+            mine = getattr(self, slot)
+            theirs = getattr(other, slot)
+            if isinstance(mine, array):
+                # Bitwise, not elementwise: the NaN RTT sentinel must
+                # compare equal to itself for round-trip checks.
+                if mine.typecode != theirs.typecode:
+                    return False
+                if mine.tobytes() != theirs.tobytes():
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceArrays(traces={len(self)}, hops={self.total_hops})"

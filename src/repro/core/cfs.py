@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as _dataclass_replace
 
 from ..alias.midar import AliasSets, MidarResolver, repair_ip_to_asn
+from ..columnar import TraceArrays
 from ..exec import (
     ExecFaultSpec,
     SupervisorConfig,
@@ -79,6 +80,11 @@ FOLLOWUP_STRATEGIES = ("smallest-overlap", "random")
 #: Minimum traces in one extraction batch before forking pays off —
 #: below this the pool's fork/pickle overhead dwarfs the work.
 PARALLEL_EXTRACT_MIN = 64
+
+#: Minimum traces per extraction block: a fork that classifies fewer
+#: than this spends more on submit/IPC than on work, so block planning
+#: coarsens small batches into fewer, fatter shards.
+EXTRACT_BLOCK_MIN = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +125,14 @@ class CfsConfig:
     #: the original full-rescan loop: every observation re-applied each
     #: iteration, the whole corpus re-parsed on every alias refresh.
     incremental: bool = True
+    #: Columnar hot paths (the default): address scanning, Step-1/2
+    #: extraction, and the moved-address re-parse consume flat arrays
+    #: (:class:`repro.columnar.TraceArrays`) flattened once per corpus
+    #: growth instead of walking hop dataclasses.  Byte-identical to the
+    #: object walk; ``False`` keeps the dataclass path.  The full-rescan
+    #: oracle (``incremental=False``) always walks objects — it is the
+    #: paper-literal reference both optimisations are measured against.
+    columnar: bool = True
     #: Tolerate missing facility rows: when one side of a Step-2
     #: constraint is unknown, widen the candidate set with the known
     #: side (marked ``data_health="degraded"``) instead of leaving the
@@ -220,6 +234,10 @@ class ConstrainedFacilitySearch:
         """Run the loop to convergence/timeout and finalize inferences."""
         obs = self._obs
         incremental = self.config.incremental
+        # The columnar fast path serves the incremental engine only; the
+        # full-rescan engine stays the untouched paper-literal oracle.
+        use_columnar = incremental and self.config.columnar
+        arrays: TraceArrays | None = None
         known_addresses: set[int] = set()
         raw_mapping: dict[int, int | None] = {}
         mapping: dict[int, int | None] = {}
@@ -253,12 +271,23 @@ class ConstrainedFacilitySearch:
             # --- mapping upkeep for newly observed addresses ----------
             with obs.stage("map"):
                 scan_from = scanned_traces if incremental else parsed_traces
-                fresh = [
-                    address
-                    for trace in corpus.traces[scan_from:]
-                    for address in trace.responsive_addresses()
-                    if address not in known_addresses
-                ]
+                if use_columnar:
+                    # Re-flatten lazily: only traces appended since the
+                    # last epoch are encoded (the corpus is append-only).
+                    arrays = corpus.columnar()
+                    fresh = [
+                        address
+                        for index in range(scan_from, len(corpus.traces))
+                        for address in arrays.responsive_addresses(index)
+                        if address not in known_addresses
+                    ]
+                else:
+                    fresh = [
+                        address
+                        for trace in corpus.traces[scan_from:]
+                        for address in trace.responsive_addresses()
+                        if address not in known_addresses
+                    ]
                 for address in fresh:
                     known_addresses.add(address)
                     asn = self._ip_to_asn.lookup(address)
@@ -302,7 +331,8 @@ class ConstrainedFacilitySearch:
                 if incremental:
                     if refreshed:
                         reparsed = self._reparse_moved(
-                            corpus, mapping, previous_mapping, trace_records
+                            corpus, mapping, previous_mapping, trace_records,
+                            arrays,
                         )
                         traces_parsed_now += reparsed
                         if reparsed:
@@ -318,7 +348,7 @@ class ConstrainedFacilitySearch:
                     new_keys: set[tuple] = set()
                     fresh_indices = range(parsed_traces, len(corpus.traces))
                     for records in self._extract_many(
-                        corpus, mapping, fresh_indices
+                        corpus, mapping, fresh_indices, arrays
                     ):
                         trace_records.append(records)
                         traces_parsed_now += 1
@@ -451,34 +481,56 @@ class ConstrainedFacilitySearch:
         corpus: TraceCorpus,
         mapping: dict[int, int | None],
         indices,
+        arrays: TraceArrays | None = None,
     ) -> list[dict[tuple, ObservedPeering] | None]:
         """Extract many traces by index, on the pool when it pays off.
 
         Extraction is pure per trace, so the corpus splits into
-        contiguous blocks (:func:`repro.exec.plan_blocks`) and the block
-        results concatenate back into index order — byte-identical to
-        the serial loop.  Each worker classifies against a private
-        :class:`Instrumentation`; the parent absorbs the snapshots in
-        block order, so counter totals match the serial path exactly.
+        contiguous blocks (:func:`repro.exec.plan_blocks`, coarsened to
+        at least :data:`EXTRACT_BLOCK_MIN` traces each so every fork
+        amortises its IPC cost) and the block results concatenate back
+        into index order — byte-identical to the serial loop.  Each
+        worker classifies against a private :class:`Instrumentation`;
+        the parent absorbs the snapshots in block order, so counter
+        totals match the serial path exactly.
+
+        With ``arrays`` (the columnar engine) the scan runs over flat
+        hop columns, workers inherit the arrays copy-on-write, and
+        results come back as packed rows instead of pickled record
+        objects (:func:`_pack_records` / :func:`_unpack_records`).
         """
         indices = list(indices)
         if (
             self.workers <= 1
             or len(indices) < max(2, PARALLEL_EXTRACT_MIN)
         ):
+            if arrays is not None:
+                classifier = self._classifier
+                return [
+                    classifier.extract_arrays(arrays, (index,), mapping, into={})
+                    or None
+                    for index in indices
+                ]
             traces = corpus.traces
             return [
                 self._extract_trace(traces[index], mapping)
                 for index in indices
             ]
-        blocks = plan_blocks(len(indices), self.workers)
+        blocks = plan_blocks(
+            len(indices), self.workers, min_size=EXTRACT_BLOCK_MIN
+        )
         payloads = [tuple(indices[start:stop]) for start, stop in blocks]
         self._obs.count("exec.extract.blocks", len(payloads))
+        columnar = arrays is not None
         outputs = supervised_map(
-            _extract_block,
+            _extract_block_columnar if columnar else _extract_block,
             payloads,
             workers=self.workers,
-            context=(self._db, corpus.traces, mapping),
+            context=(
+                (self._db, arrays, mapping)
+                if columnar
+                else (self._db, corpus.traces, mapping)
+            ),
             config=self.supervision,
             faults=self.exec_faults,
             fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
@@ -487,7 +539,12 @@ class ConstrainedFacilitySearch:
         )
         results: list[dict[tuple, ObservedPeering] | None] = []
         for records, snapshot in outputs:
-            results.extend(records)
+            if columnar:
+                results.extend(
+                    _unpack_records(packed) for packed in records
+                )
+            else:
+                results.extend(records)
             self._obs.absorb(snapshot)
         return results
 
@@ -497,6 +554,7 @@ class ConstrainedFacilitySearch:
         mapping: dict[int, int | None],
         previous_mapping: dict[int, int | None],
         trace_records: list[dict[tuple, ObservedPeering] | None],
+        arrays: TraceArrays | None = None,
     ) -> int:
         """Re-extract cached traces whose address-to-ASN mapping moved.
 
@@ -511,15 +569,23 @@ class ConstrainedFacilitySearch:
         }
         if not moved:
             return 0
-        disjoint = moved.isdisjoint
-        traces = corpus.traces
-        touched = [
-            index
-            for index in range(len(trace_records))
-            if not disjoint(traces[index].responsive_addresses())
-        ]
+        if arrays is not None:
+            intersects = arrays.intersects
+            touched = [
+                index
+                for index in range(len(trace_records))
+                if intersects(index, moved)
+            ]
+        else:
+            disjoint = moved.isdisjoint
+            traces = corpus.traces
+            touched = [
+                index
+                for index in range(len(trace_records))
+                if not disjoint(traces[index].responsive_addresses())
+            ]
         for index, records in zip(
-            touched, self._extract_many(corpus, mapping, touched)
+            touched, self._extract_many(corpus, mapping, touched, arrays)
         ):
             trace_records[index] = records
         reparsed = len(touched)
@@ -650,6 +716,91 @@ def _extract_block(
     classifier = PeeringClassifier(facility_db, instrumentation=obs)
     records = [
         classifier.extract([traces[index]], mapping, into={}) or None
+        for index in indices
+    ]
+    return records, obs.snapshot()
+
+
+def _pack_records(
+    records: dict[tuple, ObservedPeering] | None,
+) -> tuple[tuple, ...] | None:
+    """One trace's record batch as plain rows (the shard-result codec).
+
+    Rows keep the dict's insertion order, which *is* the scan order, so
+    :func:`_unpack_records` rebuilds an identical dict — same records,
+    same order — while the pool boundary moves flat tuples instead of
+    dataclass object graphs.
+    """
+    if records is None:
+        return None
+    return tuple(
+        (
+            record.kind.value,
+            record.near_address,
+            record.near_asn,
+            record.far_asn,
+            record.far_address,
+            record.ixp_id,
+            record.ixp_address,
+            record.min_rtt_step_ms,
+            record.observations,
+        )
+        for record in records.values()
+    )
+
+
+def _unpack_records(
+    rows: tuple[tuple, ...] | None,
+) -> dict[tuple, ObservedPeering] | None:
+    """Materialise packed rows back into a keyed record batch."""
+    if rows is None:
+        return None
+    records: dict[tuple, ObservedPeering] = {}
+    for (
+        kind,
+        near_address,
+        near_asn,
+        far_asn,
+        far_address,
+        ixp_id,
+        ixp_address,
+        min_rtt_step_ms,
+        observations,
+    ) in rows:
+        record = ObservedPeering(
+            kind=PeeringKind(kind),
+            near_address=near_address,
+            near_asn=near_asn,
+            far_asn=far_asn,
+            far_address=far_address,
+            ixp_id=ixp_id,
+            ixp_address=ixp_address,
+            min_rtt_step_ms=min_rtt_step_ms,
+            observations=observations,
+        )
+        records[record.key()] = record
+    return records
+
+
+def _extract_block_columnar(
+    context: tuple, indices: tuple[int, ...]
+) -> tuple[list[tuple[tuple, ...] | None], MetricsSnapshot]:
+    """Columnar twin of :func:`_extract_block`.
+
+    ``context`` is ``(facility_db, trace_arrays, mapping)``,
+    fork-inherited copy-on-write — the flat arrays are never pickled on
+    the way in.  The scan walks array slices, and each trace's records
+    leave the worker as packed rows (:func:`_pack_records`), so the
+    result pickle is a list of flat tuples rather than an object graph.
+    """
+    facility_db, arrays, mapping = context
+    obs = Instrumentation()
+    classifier = PeeringClassifier(facility_db, instrumentation=obs)
+    records = [
+        _pack_records(
+            classifier.extract_arrays(arrays, (index,), mapping, into={})
+            or None
+        )
         for index in indices
     ]
     return records, obs.snapshot()

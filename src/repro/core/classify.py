@@ -17,8 +17,9 @@ the far side's peering-LAN port — become the subjects of Steps 2-4.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
+from ..columnar import NO_ADDRESS, TraceArrays
 from ..measurement.traceroute import TraceHop, Traceroute
 from ..obs import Instrumentation
 from .facility_db import FacilityDatabase
@@ -64,6 +65,31 @@ class PeeringClassifier:
         self._obs.count("classify.traces_parsed", parsed)
         return observations
 
+    def extract_arrays(
+        self,
+        arrays: TraceArrays,
+        indices: Sequence[int],
+        ip_to_asn: Mapping[int, int | None],
+        into: dict[tuple, ObservedPeering] | None = None,
+    ) -> dict[tuple, ObservedPeering]:
+        """Columnar twin of :meth:`extract` over flattened traces.
+
+        Scans the hop columns of ``arrays`` for the traces named by
+        ``indices`` without materialising a single hop object.  Both
+        paths funnel into the same record builders
+        (:meth:`_record_public` / :meth:`_record_private`), so the
+        observation dicts — records, insertion order, counters — are
+        byte-identical to the dataclass walk
+        (``tests/core/test_columnar.py`` pins this on seeds 0-4).
+        """
+        observations = into if into is not None else {}
+        parsed = 0
+        for index in indices:
+            parsed += 1
+            self._scan_trace_arrays(arrays, index, ip_to_asn, observations)
+        self._obs.count("classify.traces_parsed", parsed)
+        return observations
+
     @staticmethod
     def _responsive_runs(trace: Traceroute) -> list[list[TraceHop]]:
         """Maximal sub-paths of consecutive responsive hops.
@@ -105,7 +131,14 @@ class PeeringClassifier:
                     far = run[index + 2]
                     assert far.address is not None
                     self._record_public(
-                        near, middle, far, middle_ixp, ip_to_asn, observations
+                        near.address,
+                        near.rtt_ms,
+                        middle.address,
+                        middle.rtt_ms,
+                        far.address,
+                        middle_ixp,
+                        ip_to_asn,
+                        observations,
                     )
                 # The far border router has been consumed as the IXP hop;
                 # continue scanning from it.
@@ -119,70 +152,161 @@ class PeeringClassifier:
                 index += 1
                 continue
             if self._db.ixp_of_address(near.address) is None:
-                self._record_private(near, middle, ip_to_asn, observations)
+                self._record_private(
+                    near.address,
+                    near.rtt_ms,
+                    middle.address,
+                    middle.rtt_ms,
+                    ip_to_asn,
+                    observations,
+                )
             index += 1
+
+    # ------------------------------------------------------------------
+    # Columnar scan (flat hop indices instead of hop objects)
+    # ------------------------------------------------------------------
+
+    def _scan_trace_arrays(
+        self,
+        arrays: TraceArrays,
+        index: int,
+        ip_to_asn: Mapping[int, int | None],
+        observations: dict[tuple, ObservedPeering],
+    ) -> None:
+        """Scan one flattened trace: runs over the address column, then
+        the same pair walk as :meth:`_scan_run` on flat indices."""
+        start, stop = arrays.hop_range(index)
+        addresses = arrays.hop_address
+        dst_address = arrays.dst_address[index]
+        run_start = start
+        for flat in range(start, stop + 1):
+            if flat == stop or addresses[flat] == NO_ADDRESS:
+                if flat - run_start >= 2:
+                    self._scan_run_flat(
+                        arrays, run_start, flat, ip_to_asn,
+                        observations, dst_address,
+                    )
+                run_start = flat + 1
+
+    def _scan_run_flat(
+        self,
+        arrays: TraceArrays,
+        lo: int,
+        hi: int,
+        ip_to_asn: Mapping[int, int | None],
+        observations: dict[tuple, ObservedPeering],
+        dst_address: int,
+    ) -> None:
+        addresses = arrays.hop_address
+        rtts = arrays.hop_rtt
+        db = self._db
+        flat = lo
+        while flat < hi - 1:
+            near_address = addresses[flat]
+            middle_address = addresses[flat + 1]
+            middle_ixp = db.ixp_of_address(middle_address)
+            if middle_ixp is not None:
+                if flat + 2 < hi:
+                    near_rtt = rtts[flat]
+                    middle_rtt = rtts[flat + 1]
+                    self._record_public(
+                        near_address,
+                        # NaN is the missing-RTT sentinel (!= itself).
+                        None if near_rtt != near_rtt else near_rtt,
+                        middle_address,
+                        None if middle_rtt != middle_rtt else middle_rtt,
+                        addresses[flat + 2],
+                        middle_ixp,
+                        ip_to_asn,
+                        observations,
+                    )
+                flat += 1
+                continue
+            if middle_address == dst_address:
+                flat += 1
+                continue
+            if db.ixp_of_address(near_address) is None:
+                near_rtt = rtts[flat]
+                middle_rtt = rtts[flat + 1]
+                self._record_private(
+                    near_address,
+                    None if near_rtt != near_rtt else near_rtt,
+                    middle_address,
+                    None if middle_rtt != middle_rtt else middle_rtt,
+                    ip_to_asn,
+                    observations,
+                )
+            flat += 1
+
+    # ------------------------------------------------------------------
+    # Record builders (shared by the object and columnar scans)
+    # ------------------------------------------------------------------
 
     def _record_public(
         self,
-        near: TraceHop,
-        middle: TraceHop,
-        far: TraceHop,
+        near_address: int,
+        near_rtt: float | None,
+        middle_address: int,
+        middle_rtt: float | None,
+        far_address: int,
         ixp_id: int,
         ip_to_asn: Mapping[int, int | None],
         observations: dict[tuple, ObservedPeering],
     ) -> None:
-        near_asn = ip_to_asn.get(near.address)
+        near_asn = ip_to_asn.get(near_address)
         # The peering-LAN port belongs to the far border router, so its
         # (alias-repaired) mapping identifies the far AS most reliably —
         # essential when the hop after it is another exchange's LAN port
         # (multi-IXP routers, Section 5).  Fall back to the next hop.
-        far_asn = ip_to_asn.get(middle.address)
+        far_asn = ip_to_asn.get(middle_address)
         if far_asn is None or far_asn not in self._db.members_of(ixp_id):
-            far_asn = ip_to_asn.get(far.address)
+            far_asn = ip_to_asn.get(far_address)
         if near_asn is None or far_asn is None or near_asn == far_asn:
             return
         self._obs.count("classify.crossings_public")
-        rtt_step = self._rtt_step(near, middle)
+        rtt_step = (
+            None
+            if near_rtt is None or middle_rtt is None
+            else middle_rtt - near_rtt
+        )
         observation = ObservedPeering(
             kind=PeeringKind.PUBLIC,
-            near_address=near.address,  # type: ignore[arg-type]
+            near_address=near_address,
             near_asn=near_asn,
             far_asn=far_asn,
-            far_address=far.address,
+            far_address=far_address,
             ixp_id=ixp_id,
-            ixp_address=middle.address,
+            ixp_address=middle_address,
             min_rtt_step_ms=rtt_step,
         )
         self.merge(observations, observation)
 
     def _record_private(
         self,
-        near: TraceHop,
-        far: TraceHop,
+        near_address: int,
+        near_rtt: float | None,
+        far_address: int,
+        far_rtt: float | None,
         ip_to_asn: Mapping[int, int | None],
         observations: dict[tuple, ObservedPeering],
     ) -> None:
-        near_asn = ip_to_asn.get(near.address)
-        far_asn = ip_to_asn.get(far.address)
+        near_asn = ip_to_asn.get(near_address)
+        far_asn = ip_to_asn.get(far_address)
         if near_asn is None or far_asn is None or near_asn == far_asn:
             return
         self._obs.count("classify.crossings_private")
-        rtt_step = self._rtt_step(near, far)
+        rtt_step = (
+            None if near_rtt is None or far_rtt is None else far_rtt - near_rtt
+        )
         observation = ObservedPeering(
             kind=PeeringKind.PRIVATE,
-            near_address=near.address,  # type: ignore[arg-type]
+            near_address=near_address,
             near_asn=near_asn,
             far_asn=far_asn,
-            far_address=far.address,
+            far_address=far_address,
             min_rtt_step_ms=rtt_step,
         )
         self.merge(observations, observation)
-
-    @staticmethod
-    def _rtt_step(near: TraceHop, far: TraceHop) -> float | None:
-        if near.rtt_ms is None or far.rtt_ms is None:
-            return None
-        return far.rtt_ms - near.rtt_ms
 
     @staticmethod
     def merge(

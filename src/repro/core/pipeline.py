@@ -140,8 +140,31 @@ class PipelineConfig:
             workers=workers,
         )
 
+    @classmethod
+    def xlarge(cls, seed: int = 0, workers: int = 1) -> "PipelineConfig":
+        """Scale-out pipeline: ≥10⁶ planned traces.
+
+        Sixty study targets over the double-size Internet, with sample
+        widths cranked until the initial campaign plans more than a
+        million traceroutes (1,064,240 at seed 0).  This is the scale
+        at which the workers-vs-serial speedup curve is meaningful —
+        per-fork overhead is fully amortised by the columnar batches.
+        """
+        return cls(
+            topology=TopologyConfig.xlarge(seed=seed + 1),
+            seed=seed,
+            n_content_targets=20,
+            n_transit_targets=40,
+            campaign=CampaignConfig(
+                atlas_sample_per_target=600,
+                lg_sample_per_target=200,
+                archive_targets_per_node=40,
+            ),
+            workers=workers,
+        )
+
     #: Named scales accepted by :meth:`for_scale` (and the CLI).
-    SCALES = ("small", "default", "large")
+    SCALES = ("small", "default", "large", "xlarge")
 
     @classmethod
     def for_scale(
@@ -153,7 +176,12 @@ class PipelineConfig:
         topology/campaign/CFS knobs are consistent by construction —
         nothing mutates a config after the fact.
         """
-        factories = {"small": cls.small, "default": cls.default, "large": cls.large}
+        factories = {
+            "small": cls.small,
+            "default": cls.default,
+            "large": cls.large,
+            "xlarge": cls.xlarge,
+        }
         try:
             factory = factories[scale]
         except KeyError:

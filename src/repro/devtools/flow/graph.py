@@ -49,6 +49,7 @@ LAYER_RANKS: dict[str, int] = {
     # 1 — substrate with no inference dependencies
     "topology": 1,
     "exec": 1,
+    "columnar": 1,
     # 2 — data + perturbation over the substrate
     "datasets": 2,
     "faults": 2,

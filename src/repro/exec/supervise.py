@@ -201,6 +201,25 @@ def _supervised_call(
     return fn(_SUPERVISED_CONTEXT, payload)
 
 
+def _draw_faults(
+    faults: ExecFaultSpec | None, index: int, attempt: int
+) -> bool:
+    """Parent-side replica of :func:`_supervised_call`'s fault draw.
+
+    The draw is a pure function of ``(spec, index, attempt)``, so the
+    supervisor can tell *which* shard took the pool down without any
+    signal from the dead child (``BrokenProcessPool`` fails every
+    pending future indiscriminately).  Returns True when the shard's
+    current attempt draws an injected crash or hang.
+    """
+    if faults is None or faults.is_zero:
+        return False
+    rng = substream("exec-fault", faults.seed, index, attempt)
+    if faults.crash > 0 and rng.random() < faults.crash:
+        return True
+    return faults.hang > 0 and rng.random() < faults.hang
+
+
 # ----------------------------------------------------------------------
 # Parent-side supervision
 # ----------------------------------------------------------------------
@@ -309,12 +328,35 @@ def supervised_map(
             return []
 
         def recover(failed: list[int], reason: str) -> None:
-            """Classify failed shards, rebuild the pool, resubmit."""
+            """Classify failed shards, rebuild the pool, resubmit.
+
+            One dead worker fails *every* in-flight future, but only the
+            shard whose seeded draw fired actually burned an attempt —
+            the rest are innocent bystanders that never ran (or were
+            killed mid-flight through no fault of their own).  Charging
+            everyone amplifies one crash into a retry per in-flight
+            shard and cascades into repeated rebuilds, so retries are
+            charged **per shard attempt**: only shards whose current
+            (index, attempt) draw faults are charged and re-rolled;
+            bystanders resubmit with their attempt unchanged, which
+            re-runs the identical (clean) draw.  When no culprit can be
+            predicted — a genuine crash or hang, no fault spec to
+            consult — every failed shard is charged, as before.
+            """
             nonlocal pool, rebuilds
+            failed = sorted(set(failed))
+            culprits = {
+                index
+                for index in failed
+                if _draw_faults(faults, index, attempts[index])
+            } or set(failed)
             retry: list[int] = []
             quarantine: list[int] = []
             unsubmitted: list[int] = []
-            for index in sorted(failed):
+            for index in failed:
+                if index not in culprits:
+                    retry.append(index)
+                    continue
                 attempts[index] += 1
                 if attempts[index] > config.max_retries:
                     quarantine.append(index)

@@ -30,9 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
+from ..columnar import TraceArrays
 from ..exec import (
     ExecFaultSpec,
-    Shard,
     SupervisorConfig,
     instrument_observer,
     plan_shards,
@@ -46,7 +46,7 @@ from ..topology.network import InterfaceKind
 from ..topology.topology import Topology
 from .platforms import MeasurementPlatform, PlatformSet, VantagePoint
 from .resilience import CircuitBreaker, ProbeBudget, ResilienceConfig
-from .traceroute import Traceroute
+from .traceroute import Traceroute, rebuild_traces
 
 __all__ = [
     "Hitlist",
@@ -104,9 +104,19 @@ class Hitlist:
 
 @dataclass(slots=True)
 class TraceCorpus:
-    """Accumulated traceroute measurements."""
+    """Accumulated traceroute measurements.
+
+    ``traces`` is append-only (campaigns and follow-ups only ever add),
+    which is what makes the lazy columnar cache sound: flattened
+    prefixes never change, so :meth:`columnar` extends the arrays with
+    the tail instead of re-encoding the corpus.
+    """
 
     traces: list[Traceroute] = field(default_factory=list)
+    #: Lazy columnar mirror of ``traces`` (built on first use).
+    _arrays: TraceArrays | None = field(default=None, repr=False)
+    #: How many leading traces ``_arrays`` already covers.
+    _flattened: int = field(default=0, repr=False)
 
     def add(self, trace: Traceroute) -> None:
         """Append one traceroute."""
@@ -115,6 +125,20 @@ class TraceCorpus:
     def extend(self, traces: list[Traceroute]) -> None:
         """Append many traceroutes."""
         self.traces.extend(traces)
+
+    def columnar(self) -> TraceArrays:
+        """The corpus as flat arrays, flattened once per growth epoch.
+
+        Amortised O(new traces): only the tail appended since the last
+        call is encoded.  The returned object is shared and append-only
+        — callers must treat it as read-only.
+        """
+        if self._arrays is None:
+            self._arrays = TraceArrays()
+        if self._flattened < len(self.traces):
+            self._arrays.extend(self.traces[self._flattened:])
+            self._flattened = len(self.traces)
+        return self._arrays
 
     def __len__(self) -> int:
         return len(self.traces)
@@ -444,23 +468,31 @@ class CampaignDriver:
             key=lambda task: f"{task.platform}:{task.vp.vp_id}",
         )
         self._obs.count("exec.campaign.shards", len(shards))
+        # Each payload is just the shard's plan positions: the plan
+        # itself rides into the forked children as copy-on-write context,
+        # so submission pickles a few index tuples, not ProbeTask lists.
+        payloads = [shard.item_indices for shard in shards]
         shard_results = supervised_map(
             _run_campaign_shard,
-            shards,
+            payloads,
             workers=self.workers,
-            context=self,
+            context=(self, plan),
             config=self.supervision,
             faults=self.exec_faults,
             fallback=lambda reason: self._obs.count(f"exec.fallback.{reason}"),
             observer=instrument_observer(self._obs),
-            describe=lambda shard: (
-                f"campaign shard {shard.index} ({len(shard.items)} probes)"
+            describe=lambda indices: (
+                f"campaign shard of {len(indices)} probes"
             ),
         )
         results: list[Traceroute | None] = [None] * len(plan)
         engine = self.platforms.atlas.engine
         for result in shard_results:
-            for index, trace in zip(result["indices"], result["traces"]):
+            # Traces come back columnar; rebuild preserves shard order,
+            # and "indices" names the plan slot of each rebuilt trace.
+            for index, trace in zip(
+                result["indices"], rebuild_traces(result["traces"])
+            ):
                 results[index] = trace
             issued, issue_deltas = result["engine"]
             engine.absorb_issue_deltas(issued, issue_deltas)
@@ -593,17 +625,28 @@ class CampaignDriver:
         raise LookupError(f"no platform named {vp.platform}")
 
 
-def _run_campaign_shard(driver: CampaignDriver, shard: Shard) -> dict:
+def _run_campaign_shard(
+    context: tuple[CampaignDriver, list[ProbeTask]],
+    indices: tuple[int, ...],
+) -> dict:
     """Execute one campaign shard (:func:`repro.exec.parallel_map` worker).
 
-    The worker captures accounting baselines, runs its tasks against a
-    private :class:`Instrumentation`, derives the deltas, and then
-    **restores every baseline** before returning.  Restoring matters
-    for the in-process serial fallback, where this function mutates the
+    ``context`` is ``(driver, plan)``, fork-inherited; the payload is
+    just the shard's plan positions.  The worker captures accounting
+    baselines, runs its tasks against a private
+    :class:`Instrumentation`, derives the deltas, and then **restores
+    every baseline** before returning.  Restoring matters for the
+    in-process serial fallback, where this function mutates the
     parent's real state: without the rewind, the parent's delta merge
     would double-count.  In a forked child the restore is moot (the
     child exits), so both paths behave identically by construction.
+
+    Captured traces leave the worker flattened into
+    :class:`repro.columnar.TraceArrays` — ``"indices"`` holds the plan
+    slot of each (unresponsive probes yield no trace and no slot), and
+    the parent rebuilds field-identical dataclasses from the arrays.
     """
+    driver, plan = context
     engine = driver.platforms.atlas.engine
     lgs = driver.platforms.looking_glasses
     engine_base = engine.issue_baseline()
@@ -612,10 +655,16 @@ def _run_campaign_shard(driver: CampaignDriver, shard: Shard) -> dict:
     parent_obs = driver._obs
     driver._obs = Instrumentation()
     try:
-        traces = [driver._execute_task(task) for task in shard.items]
+        trace_indices: list[int] = []
+        traces = TraceArrays()
+        for index in indices:
+            trace = driver._execute_task(plan[index])
+            if trace is not None:
+                trace_indices.append(index)
+                traces.extend((trace,))
         issued, issue_deltas = engine.issue_deltas_since(engine_base)
         result = {
-            "indices": shard.item_indices,
+            "indices": tuple(trace_indices),
             "traces": traces,
             "engine": (issued, issue_deltas),
             "lg_queries": lgs.query_deltas_since(lg_base),

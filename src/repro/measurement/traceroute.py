@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..columnar import TraceArrays
 from ..exec.shard import substream
 from ..sanitize import assert_rng
 from ..topology.geo import GeoLocation
@@ -46,7 +47,14 @@ from .rtt import RttModel
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..faults.injector import FaultInjector
 
-__all__ = ["TraceHop", "Traceroute", "TracerouteConfig", "TracerouteEngine"]
+__all__ = [
+    "TraceHop",
+    "Traceroute",
+    "TracerouteConfig",
+    "TracerouteEngine",
+    "flatten_traces",
+    "rebuild_traces",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +112,21 @@ class Traceroute:
             if len(run) >= 3:
                 triples.append((run[-3], run[-2], run[-1]))
         return triples
+
+
+def flatten_traces(traces) -> TraceArrays:
+    """Flatten :class:`Traceroute` objects into columnar arrays.
+
+    The measurement-layer half of the columnar codec: dataclasses in,
+    :class:`repro.columnar.TraceArrays` out.  Pure and exact —
+    :func:`rebuild_traces` restores field-identical objects.
+    """
+    return TraceArrays.from_traces(traces)
+
+
+def rebuild_traces(arrays: TraceArrays) -> list[Traceroute]:
+    """Rebuild :class:`Traceroute` objects from columnar arrays."""
+    return arrays.rebuild_all(Traceroute, TraceHop)
 
 
 @dataclass(frozen=True, slots=True)

@@ -204,6 +204,29 @@ class TopologyConfig:
             n_inactive_ixps=5,
         )
 
+    @classmethod
+    def xlarge(cls, seed: int = 42) -> "TopologyConfig":
+        """A stress-scale Internet, roughly double :meth:`large`.
+
+        Sized so that a campaign over it (see
+        ``PipelineConfig.xlarge``) plans upward of 10⁶ traceroutes —
+        the regime where multi-core extraction speedups are measurable
+        rather than drowned in fork overhead.
+        """
+        return cls(
+            seed=seed,
+            n_tier1=14,
+            n_transit=90,
+            n_content=28,
+            n_access=320,
+            n_stub=440,
+            n_reseller=10,
+            n_facilities=640,
+            n_big_operators=10,
+            n_ixps=48,
+            n_inactive_ixps=6,
+        )
+
     def validate(self) -> None:
         """Reject configurations the builder cannot honour."""
         if self.n_tier1 < 2:

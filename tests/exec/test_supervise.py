@@ -289,3 +289,73 @@ class TestGenuineExceptions:
                 workers=1,
                 describe=lambda payload: f"shard {payload}",
             )
+
+
+class TestRetryAccounting:
+    """Retries are charged per shard *attempt*, not per pool incident.
+
+    A dead worker fails every in-flight future (``BrokenProcessPool``
+    cannot say which shard was on the dead child), and the supervisor
+    used to charge each of them a retry — one crash amplified into a
+    retry per in-flight shard and a cascade of rebuilds (the benchmark
+    once recorded ``shard_retries: 16, pool_rebuilds: 8`` for a single
+    killed worker).  With seeded faults the culprit is predictable from
+    the ``(seed, index, attempt)`` draw, so only it is charged.
+    """
+
+    # seed 10 with 6 payloads at crash=0.5: exactly shard 2 draws a
+    # crash at attempt 0, and its attempt-1 re-roll is clean.
+    ONE_CRASH = ExecFaultSpec(crash=0.5, seed=10)
+
+    def test_draw_prediction_matches_scenario(self):
+        draws = [
+            supervise_module._draw_faults(self.ONE_CRASH, index, 0)
+            for index in range(6)
+        ]
+        assert draws == [False, False, True, False, False, False]
+        assert not supervise_module._draw_faults(self.ONE_CRASH, 2, 1)
+
+    @needs_fork
+    def test_one_crash_charges_one_retry(self):
+        incidents = []
+        results = supervised_map(
+            _double,
+            list(range(6)),
+            workers=2,
+            config=SupervisorConfig(max_retries=2),
+            faults=self.ONE_CRASH,
+            observer=lambda kind, index, reason: incidents.append(
+                (kind, index, reason)
+            ),
+        )
+        assert results == [value * 2 for value in range(6)]
+        retries = [entry for entry in incidents if entry[0] == "retry"]
+        rebuilds = [entry for entry in incidents if entry[0] == "rebuild"]
+        quarantines = [
+            entry for entry in incidents if entry[0] == "quarantine"
+        ]
+        assert retries == [("retry", 2, "crash")]
+        assert len(rebuilds) == 1
+        assert quarantines == []
+
+    @needs_fork
+    def test_bystanders_keep_their_attempt_budget(self):
+        """Shards killed alongside the culprit still get their full
+        retry budget later: max_retries=0 quarantines only the culprit,
+        never the bystanders that happened to share the pool."""
+        incidents = []
+        results = supervised_map(
+            _double,
+            list(range(6)),
+            workers=2,
+            config=SupervisorConfig(max_retries=0),
+            faults=self.ONE_CRASH,
+            observer=lambda kind, index, reason: incidents.append(
+                (kind, index)
+            ),
+        )
+        assert results == [value * 2 for value in range(6)]
+        assert ("quarantine", 2) in incidents
+        assert not any(
+            kind == "quarantine" and index != 2 for kind, index in incidents
+        )
