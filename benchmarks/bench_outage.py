@@ -1,0 +1,140 @@
+"""Outage-detection benchmark: churn rate × fault intensity.
+
+The temporal stream makes the disruption detector's promises
+measurable, and each one gets a gate:
+
+* **recall** — at full churn with clean measurements, at least 80% of
+  the injected facility power losses raise a localized alarm inside
+  the event window (plus the detector's own confirmation latency);
+* **precision** — at least 90% of those alarms are explained by a real
+  disruption event at that facility;
+* **quiet under faults** — with zero churn and the moderate
+  measurement-fault profile at full intensity, the detector raises
+  *no* alarms at all: uniform measurement loss must not read as a
+  facility outage;
+* **events exercised** — the seeded profile really draws and detects
+  at least one power loss, so the recall gate measures detection
+  rather than an empty event log.
+
+Standalone smoke mode (no pytest-benchmark needed)::
+
+    python benchmarks/bench_outage.py --quick
+
+writes ``BENCH_outage.json`` next to the repository root.  The quick
+entry is also folded into ``bench_pipeline.py --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Standalone smoke mode runs without an installed package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.api import PipelineConfig
+from repro.serve.outage import DEFAULT_EPOCHS, DEFAULT_SEED, run_outage
+
+#: Gate thresholds for the clean-measurement, full-churn cell.
+MIN_PRECISION = 0.9
+MIN_RECALL = 0.8
+
+
+def quick_outage(
+    output: str,
+    scale: str = "small",
+    seed: int = DEFAULT_SEED,
+    epochs: int = DEFAULT_EPOCHS,
+) -> int:
+    """Run the outage sweep and write ``BENCH_outage.json``.
+
+    Returns a process exit code.  The gates are the acceptance
+    contract: precision >= 0.9 and recall >= 0.8 on injected facility
+    power losses at moderate churn, at least one loss actually drawn
+    and detected, and zero alarms under pure measurement faults.
+    """
+    report = run_outage(seed=seed, scale=scale, epochs=epochs)
+    print(report.format())
+
+    churned = report.point(1.0, 0.0)
+    faulty = report.point(0.0, 1.0)
+    gates: dict[str, bool] = {}
+    if churned is None or faulty is None:
+        gates["cells_present"] = False
+    else:
+        gates["cells_present"] = True
+        gates["losses_drawn"] = churned.power_losses >= 1
+        gates["losses_detected"] = churned.detected >= 1
+        gates["precision"] = (
+            churned.precision is not None
+            and churned.precision >= MIN_PRECISION
+        )
+        gates["recall"] = (
+            churned.recall is not None and churned.recall >= MIN_RECALL
+        )
+        gates["quiet_under_faults"] = faulty.alarms == 0
+    passed = all(gates.values())
+    for name, ok in sorted(gates.items()):
+        if not ok:
+            print(f"outage gate failed: {name}")
+
+    payload = {
+        "schema": "repro/bench-outage/1",
+        "passed": passed,
+        "gates": gates,
+        "report": report.as_dict(),
+    }
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {path}")
+    return 0 if passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the outage sweep and write BENCH_outage.json",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=PipelineConfig.SCALES,
+        default="small",
+        help="pipeline scale for the sweep",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="master seed (the default deterministically draws several "
+        "scorable power losses)",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=DEFAULT_EPOCHS,
+        help="epochs per sweep cell",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_outage.json",
+        help="where to write the sweep report",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("standalone mode requires --quick")
+    return quick_outage(
+        args.output,
+        scale=args.scale,
+        seed=args.seed,
+        epochs=args.epochs,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

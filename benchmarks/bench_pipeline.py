@@ -490,15 +490,17 @@ def quick_smoke(output: str, scale: str = "small") -> int:
     path = Path(output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"report written to {path}")
-    # Fold in the chaos, serve, and soak quick entries so one smoke
-    # run covers all four reports.
+    # Fold in the chaos, serve, soak, and outage quick entries so one
+    # smoke run covers all five reports.
     try:
         from bench_chaos import quick_chaos
+        from bench_outage import quick_outage
         from bench_serve import quick_serve
         from bench_soak import quick_soak
     except ImportError:  # imported as a module, benchmarks/ not on path
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         from bench_chaos import quick_chaos
+        from bench_outage import quick_outage
         from bench_serve import quick_serve
         from bench_soak import quick_soak
 
@@ -508,7 +510,11 @@ def quick_smoke(output: str, scale: str = "small") -> int:
     serve_failed = quick_serve(serve_output, scale=scale)
     soak_output = str(path.parent / "BENCH_soak.json")
     soak_failed = quick_soak(soak_output, scale=scale)
-    return 1 if failed or chaos_failed or serve_failed or soak_failed else 0
+    outage_output = str(path.parent / "BENCH_outage.json")
+    outage_failed = quick_outage(outage_output, scale=scale)
+    return 1 if (
+        failed or chaos_failed or serve_failed or soak_failed or outage_failed
+    ) else 0
 
 
 def main(argv: list[str] | None = None) -> int:

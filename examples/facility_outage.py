@@ -1,87 +1,110 @@
 #!/usr/bin/env python3
-"""Operational use of the inferred map: facility outage blast radius.
+"""Scored facility-outage experiment over the temporal map service.
 
-One of the paper's motivations is resilience assessment — knowing which
-interconnections share a building tells you what a facility outage (or a
-natural disaster hitting a metro) takes down.  This example runs CFS,
-picks the facility carrying the most *inferred* interconnections, and
-reports the affected networks and links — then checks the prediction
-against ground truth.
+One of the paper's motivations is resilience assessment — knowing
+which interconnections share a building tells you what a facility
+outage takes down.  This example makes that operational end to end: it
+picks the facility carrying the most ground-truth interconnection
+endpoints, injects a power loss there into a hand-built churn plan,
+streams the churned epochs through :class:`MapService`, and scores the
+disruption detector's alarm log against the injected event — detection
+latency in epochs, localisation, and the clear after power returns.
 
 Usage::
 
-    python examples/facility_outage.py [--seed N] [--metro NAME]
+    python examples/facility_outage.py [--seed N] [--epochs N]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.api import CriticalityIndex
-from repro.api import build_environment
+from repro.api import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnPlan,
+    MapService,
+    PipelineConfig,
+    apply_events,
+)
+from repro.serve.outage import score_detection
+from repro.topology.churn import FACILITY_POWER_LOSS
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=23, help="master seed")
     parser.add_argument(
-        "--metro",
-        default=None,
-        help="restrict the outage candidate to this metro",
+        "--epochs", type=int, default=8, help="stream length in epochs"
     )
     args = parser.parse_args()
+    if args.epochs < 6:
+        raise SystemExit("need at least 6 epochs: outage at 3, recovery after")
 
-    env = build_environment(seed=args.seed, scale="small")
-    topology = env.topology
-    print("running campaign + CFS ...")
-    corpus = env.run_campaign()
-    result = env.run_cfs(corpus)
+    config = PipelineConfig.for_scale("small", seed=args.seed)
+    service = MapService(config, progress=print)
+    topology = service.environment.topology
 
-    index = CriticalityIndex(result, env.facility_db)
-    ranked = [
-        row
-        for row in index.ranked()
-        if args.metro is None or row.metro == args.metro
-    ]
-    if not ranked:
-        raise SystemExit("no facility inferences matched the filter")
-
-    top = ranked[0]
-    facility_id = top.facility_id
-    facility = topology.facilities[facility_id]
+    # The outage target: the facility with the most ground-truth
+    # interconnection endpoints — the building whose loss hurts most.
+    counts: dict[int, int] = {}
+    for link in topology.interconnections.values():
+        for facility in (link.facility_a, link.facility_b):
+            if facility is not None:
+                counts[facility] = counts.get(facility, 0) + 1
+    target = max(sorted(counts), key=lambda f: counts[f])
+    facility = topology.facilities[target]
     print(
-        f"\nhighest-load facility: {facility.name} ({facility.metro}) "
-        f"with {top.link_endpoints} inferred link endpoints"
+        f"target: {facility.name} ({facility.metro}) — "
+        f"{counts[target]} ground-truth link endpoints"
     )
 
-    radius = index.blast_radius({facility_id})
-    affected_asns = radius.asns_affected
-    print(f"networks with interconnections there: {len(affected_asns)}")
-    print("affected link types:")
-    for name, count in sorted(
-        radius.types_affected.items(), key=lambda item: -item[1]
-    ):
-        print(f"  {name:>15}: {count}")
-    exchanges = [
-        topology.ixps[ixp_id].name
-        for ixp_id in facility.ixp_ids
-    ]
-    if exchanges:
-        print(f"exchange switches in the building: {', '.join(exchanges)}")
-
-    # Omniscient check: how much of the true blast radius did we find?
-    truly_affected = {
-        asn
-        for link in topology.interconnections.values()
-        for asn in (link.asn_a, link.asn_b)
-        if facility_id in (link.facility_a, link.facility_b)
-    }
-    found = len(affected_asns & truly_affected)
-    print(
-        f"\nground truth: {len(truly_affected)} networks actually terminate "
-        f"links there; the inferred map identified {found} of them "
-        f"({found / len(truly_affected):.0%})"
+    # A hand-built plan: one power loss, epochs 3-4, nothing else.
+    events = (
+        ChurnEvent(
+            kind=FACILITY_POWER_LOSS, epoch=3, duration=2, facility_id=target
+        ),
     )
+    views = tuple(
+        apply_events(topology, events, epoch) for epoch in range(args.epochs)
+    )
+    plan = ChurnPlan(
+        seed=args.seed,
+        epochs=args.epochs,
+        config=ChurnConfig.zero(),
+        events=events,
+        views=views,
+    )
+
+    print(f"\nstreaming {args.epochs} churned epochs ...")
+    service.run_stream(args.epochs, churn=plan)
+    assert service.detector is not None
+
+    print("\ndetector log:")
+    for report in service.detector.reports:
+        print(
+            f"  epoch {report.epoch}: {report.kind} facility "
+            f"{report.facility_id} (score {report.score:.2f}, "
+            f"baseline {report.baseline}, observed {report.observed})"
+        )
+    if not service.detector.reports:
+        print("  (empty)")
+
+    scores = score_detection(plan, service.detector.reports, grace=3)
+    detected = scores["detected"] == scores["power_losses"] == 1
+    localized = all(
+        r.facility_id == target for r in service.detector.reports
+    )
+    print(
+        f"\nscore: detected {scores['detected']}/{scores['power_losses']} "
+        f"injected power losses, {scores['false_alarms']} false alarms, "
+        f"latency {scores['mean_latency']} epochs, "
+        f"{scores['clears']} clears"
+    )
+    if detected and localized and scores["false_alarms"] == 0:
+        print("outage detected, localized, and cleared — experiment passed")
+    else:
+        raise SystemExit("experiment failed: see detector log above")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,44 @@ print("sanitizer: clean (0 violations)")
 EOF
 
     echo
+    echo "== outage-detection smoke (seeded churn profile, small scale) =="
+    python - <<'EOF'
+import sys
+
+from repro.serve.outage import DEFAULT_EPOCHS, DEFAULT_SEED, run_outage
+
+report = run_outage(seed=DEFAULT_SEED, scale="small", epochs=DEFAULT_EPOCHS)
+print(report.format())
+churned = report.point(1.0, 0.0)   # full churn, clean measurements
+faulty = report.point(0.0, 1.0)    # no churn, moderate measurement faults
+failures = []
+if churned is None or faulty is None:
+    failures.append("sweep missing a gate cell")
+else:
+    if churned.power_losses < 1 or churned.detected < 1:
+        failures.append(
+            f"no power loss detected (drawn={churned.power_losses} "
+            f"detected={churned.detected})"
+        )
+    if churned.false_alarms != 0:
+        failures.append(f"false alarms under churn: {churned.false_alarms}")
+    if churned.precision is None or churned.precision < 0.9:
+        failures.append(f"precision {churned.precision} < 0.9")
+    if churned.recall is None or churned.recall < 0.8:
+        failures.append(f"recall {churned.recall} < 0.8")
+    if faulty.alarms != 0:
+        failures.append(
+            f"detector cried wolf at pure measurement faults: "
+            f"{faulty.alarms} alarms"
+        )
+for failure in failures:
+    print(f"outage smoke: FAILED — {failure}")
+if failures:
+    sys.exit(1)
+print("outage smoke: detection gates passed")
+EOF
+
+    echo
     echo "== parallel speedup gate (workers=2 vs serial, default scale) =="
     python - <<'EOF'
 import os

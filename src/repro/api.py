@@ -80,6 +80,19 @@ _REEXPORTS: dict[str, tuple[str, str]] = {
     "query_snapshot": ("repro.serve", "query_snapshot"),
     "run_soak": ("repro.serve.soak", "run_soak"),
     "config_fingerprint": ("repro.checkpoint", "config_fingerprint"),
+    # -- temporal churn + disruption detection -------------------------
+    "ChurnConfig": ("repro.topology.churn", "ChurnConfig"),
+    "ChurnEvent": ("repro.topology.churn", "ChurnEvent"),
+    "ChurnPlan": ("repro.topology.churn", "ChurnPlan"),
+    "apply_events": ("repro.topology.churn", "apply_events"),
+    "plan_churn": ("repro.topology.churn", "plan_churn"),
+    "DisruptionDetector": ("repro.inference", "DisruptionDetector"),
+    "DisruptionPolicy": ("repro.inference", "DisruptionPolicy"),
+    "DisruptionReport": ("repro.inference", "DisruptionReport"),
+    "SnapshotDiff": ("repro.inference", "SnapshotDiff"),
+    "diff_snapshots": ("repro.serve", "diff_snapshots"),
+    "OutageReport": ("repro.serve.outage", "OutageReport"),
+    "run_outage": ("repro.serve.outage", "run_outage"),
     # -- experiments ---------------------------------------------------
     "run_ablation": ("repro.experiments", "run_ablation"),
     "run_alias_census": ("repro.experiments", "run_alias_census"),

@@ -19,6 +19,9 @@ Usage (via ``python -m repro``)::
                              [--threads N] [--intensity X]
                              [--error-budget X] [--no-verify]
                              [--quick] [--sanitize] [--json PATH]
+    python -m repro outage   [--seed N] [--scale ...] [--epochs N]
+                             [--churn 0,1] [--faults 0,1]
+                             [--json PATH]
     python -m repro lint     [PATH] [--format text|json] [--rule R00X]
                              [--baseline [FILE]] [--no-flow]
                              [--graph FILE]
@@ -32,7 +35,10 @@ line-oriented query loop answers lookups against the live map;
 sweeps the moderate fault profile across intensities and reports how
 inference accuracy degrades; ``soak`` hammers the map service with
 query threads while a faulty stream ingests (availability, staleness,
-recovery latency, fingerprint-identity gate); ``lint`` runs the
+recovery latency, fingerprint-identity gate); ``outage`` sweeps churn
+rate × fault intensity over the temporal stream and scores the
+disruption detector's precision/recall/latency against the churn
+plan's seeded event log; ``lint`` runs the
 reprolint static analyzer over the source tree (also available
 standalone as ``repro-lint``).
 
@@ -585,6 +591,84 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------
+# outage
+# ---------------------------------------------------------------------
+
+
+def _configure_outage(outage: argparse.ArgumentParser) -> None:
+    outage.add_argument(
+        "--epochs",
+        type=int,
+        default=10,
+        help="epochs per sweep cell (default: 10)",
+    )
+    outage.add_argument(
+        "--churn",
+        default="0,1",
+        help="comma-separated churn intensities to sweep (default: 0,1; "
+        "each scales the moderate churn profile)",
+    )
+    outage.add_argument(
+        "--faults",
+        default="0,1",
+        help="comma-separated fault intensities to sweep (default: 0,1; "
+        "each scales the moderate measurement-fault profile)",
+    )
+    outage.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep report as JSON to PATH ('-' for stdout)",
+    )
+
+
+def _parse_intensities(text: str, flag: str) -> tuple[float, ...]:
+    try:
+        values = tuple(
+            float(item) for item in text.split(",") if item.strip()
+        )
+    except ValueError:
+        raise ValueError(
+            f"invalid {flag} {text!r}: expected comma-separated numbers, "
+            "e.g. 0,0.5,1"
+        ) from None
+    if not values:
+        raise ValueError(f"{flag} must name at least one intensity")
+    return values
+
+
+def _cmd_outage(args: argparse.Namespace) -> int:
+    # Imported lazily: the outage harness pulls in the whole serve stack.
+    import json as _json
+
+    from .serve.outage import run_outage
+
+    if args.epochs < 1:
+        raise ValueError(f"invalid epochs {args.epochs}: must be at least 1")
+    churn = _parse_intensities(args.churn, "--churn")
+    faults = _parse_intensities(args.faults, "--faults")
+    print(
+        f"outage sweep: {len(churn)}x{len(faults)} cells of "
+        f"{args.epochs} churned epochs each "
+        f"(scale={args.scale}, seed={args.seed}) ..."
+    )
+    report = run_outage(
+        seed=args.seed,
+        scale=args.scale,
+        epochs=args.epochs,
+        churn_intensities=churn,
+        fault_intensities=faults,
+        progress=print,
+    )
+    print(report.format())
+    if args.json is not None:
+        _write_or_print(
+            _json.dumps(report.as_dict(), indent=2), args.json, "outage report"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------
 # lint
 # ---------------------------------------------------------------------
 
@@ -644,6 +728,14 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
         "stream ingests (availability + identity gate)",
         run=_cmd_soak,
         configure=_configure_soak,
+    ),
+    Subcommand(
+        name="outage",
+        help="sweep churn rate x fault intensity over the temporal "
+        "stream and score disruption detection against the seeded "
+        "event log",
+        run=_cmd_outage,
+        configure=_configure_outage,
     ),
     Subcommand(
         name="lint",

@@ -63,6 +63,7 @@ LAYER_RANKS: dict[str, int] = {
     "export": 6,
     "baselines": 6,
     "analysis": 6,
+    "inference": 6,
     # 7 — the stable facade
     "api": 7,
     # 8 — long-running consumers of the facade

@@ -155,6 +155,7 @@ class SharedStateRace(Rule):
                 "record_quarantine",
                 "record_rollback",
                 "record_publish",
+                "record_map_assessment",
                 "subscribe",
             }
         ),

@@ -1,0 +1,31 @@
+"""Inference workloads layered on top of published map snapshots.
+
+The serve layer produces immutable :class:`~repro.serve.snapshot.
+MapSnapshot` versions; this package consumes them (duck-typed — it
+sits *below* serve in the layering DAG, so it never imports it) to
+answer higher-order questions.  First resident: facility-disruption
+detection (:mod:`.disruption`), the "Detecting Network Disruptions At
+Colocation Facilities" workload — diff successive snapshots, aggregate
+per-facility loss, and localise outages with hysteresis so one noisy
+epoch never alarms.
+"""
+
+from __future__ import annotations
+
+from .disruption import (
+    DisruptionDetector,
+    DisruptionPolicy,
+    DisruptionReport,
+    SnapshotDiff,
+    diff_maps,
+    facility_endpoint_counts,
+)
+
+__all__ = [
+    "DisruptionDetector",
+    "DisruptionPolicy",
+    "DisruptionReport",
+    "SnapshotDiff",
+    "diff_maps",
+    "facility_endpoint_counts",
+]

@@ -1,0 +1,546 @@
+"""Facility-disruption detection by diffing successive map snapshots.
+
+Two pieces:
+
+* :func:`diff_maps` — a structured, composable diff between two
+  published snapshots: link endpoints gained/lost per facility and
+  tenant moves.  Diffs over the same underlying walk compose
+  (``diff(a, b).compose(diff(b, c)) == diff(a, c)``), so a consumer
+  that missed an epoch (quarantine) can still reason about the span.
+* :class:`DisruptionDetector` — feeds per-epoch diffs/snapshots into
+  per-facility loss scores with hysteresis and debounce, and emits
+  localised :class:`DisruptionReport`\\ s.
+
+The detector's core discrimination trick is *global-loss subtraction*:
+measurement faults (probe loss, truncation, VP outages) depress the
+inferred map roughly uniformly, while a real facility event craters
+one facility.  Scoring ``local loss − global loss`` therefore stays
+quiet under pure fault pressure and still fires on localised loss; the
+``data_health`` input raises the bar further when the snapshot itself
+reports degraded inputs.  See DESIGN.md §5l.
+
+This package sits below serve in the layering DAG, so everything here
+is duck-typed over the snapshot surface (``links``, ``facility_tenants``,
+``fingerprint``, ``epoch``) rather than importing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as _replace
+from types import MappingProxyType
+from typing import Any, Mapping
+
+__all__ = [
+    "DisruptionDetector",
+    "DisruptionPolicy",
+    "DisruptionReport",
+    "EMPTY_DIFF",
+    "SnapshotDiff",
+    "diff_maps",
+    "facility_endpoint_counts",
+]
+
+#: One link endpoint as the diff tracks it: ("near"|"far", link key).
+Endpoint = tuple[str, tuple[Any, ...]]
+
+#: Shared empty mapping — the identical-snapshot fast path hands out
+#: this one object for all four diff sides, allocating nothing per call.
+EMPTY_DIFF: Mapping[Any, Any] = MappingProxyType({})
+
+
+def _link_key(entry: Any) -> tuple[Any, ...]:
+    """Identity of a link across snapshots (placement excluded — a link
+    re-pinned to another facility shows up as lost+gained, which is
+    exactly the signal a facility diff wants)."""
+    return (
+        entry.kind,
+        entry.near_address,
+        entry.near_asn,
+        entry.far_asn,
+        entry.ixp_id,
+        entry.far_address,
+    )
+
+
+def _facility_endpoints(
+    snapshot: Any,
+) -> dict[int | None, frozenset[Endpoint]]:
+    """facility -> set of link endpoints pinned there (None = unpinned)."""
+    buckets: dict[int | None, set[Endpoint]] = {}
+    for entry in snapshot.links:
+        key = _link_key(entry)
+        buckets.setdefault(entry.near_facility, set()).add(("near", key))
+        buckets.setdefault(entry.far_facility, set()).add(("far", key))
+    return {facility: frozenset(endpoints) for facility, endpoints in buckets.items()}
+
+
+def facility_endpoint_counts(snapshot: Any) -> dict[int, int]:
+    """Pinned link-endpoint count per facility (unpinned excluded)."""
+    counts: dict[int, int] = {}
+    for entry in snapshot.links:
+        for facility in (entry.near_facility, entry.far_facility):
+            if facility is not None:
+                counts[facility] = counts.get(facility, 0) + 1
+    return counts
+
+
+def _facility_tenants(snapshot: Any) -> dict[int, frozenset[int]]:
+    return {
+        facility: frozenset(asns)
+        for facility, asns in snapshot.facility_tenants.items()
+    }
+
+
+def _nonempty(
+    sides: dict[Any, frozenset[Any]],
+) -> Mapping[Any, frozenset[Any]]:
+    kept = {key: value for key, value in sides.items() if value}
+    return MappingProxyType(kept) if kept else EMPTY_DIFF
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotDiff:
+    """Structured change between two snapshots of the same map walk.
+
+    All four mappings are keyed by facility (``None`` holds unpinned
+    link endpoints; tenant maps never use it) and hold frozensets, so
+    composition is plain set algebra.  Identical-fingerprint inputs
+    share :data:`EMPTY_DIFF` on every side.
+    """
+
+    from_epoch: int
+    to_epoch: int
+    from_fingerprint: str
+    to_fingerprint: str
+    links_lost: Mapping[int | None, frozenset[Endpoint]]
+    links_gained: Mapping[int | None, frozenset[Endpoint]]
+    tenants_lost: Mapping[int, frozenset[int]]
+    tenants_gained: Mapping[int, frozenset[int]]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.links_lost
+            or self.links_gained
+            or self.tenants_lost
+            or self.tenants_gained
+        )
+
+    def lost_counts(self) -> dict[int | None, int]:
+        """Endpoints lost per facility, plain-dict rendering."""
+        return {
+            facility: len(self.links_lost[facility])
+            for facility in sorted(self.links_lost, key=lambda f: (f is None, f))
+        }
+
+    def gained_counts(self) -> dict[int | None, int]:
+        return {
+            facility: len(self.links_gained[facility])
+            for facility in sorted(self.links_gained, key=lambda f: (f is None, f))
+        }
+
+    def compose(self, other: "SnapshotDiff") -> "SnapshotDiff":
+        """Associative composition: ``diff(a,b).compose(diff(b,c))``
+        equals ``diff(a,c)``.
+
+        Per facility: an item lost a→b stays lost unless b→c regained
+        it; an item lost b→c counts only if a→b had not just gained it
+        (then it was never in *a*) — and symmetrically for gains.
+        Raises ``ValueError`` when the diffs do not chain.
+        """
+        if self.to_fingerprint != other.from_fingerprint:
+            raise ValueError(
+                "cannot compose diffs: right side does not start where "
+                "the left side ends"
+            )
+
+        def merge(
+            lost_ab: Mapping[Any, frozenset[Any]],
+            gained_ab: Mapping[Any, frozenset[Any]],
+            lost_bc: Mapping[Any, frozenset[Any]],
+            gained_bc: Mapping[Any, frozenset[Any]],
+        ) -> tuple[Mapping[Any, frozenset[Any]], Mapping[Any, frozenset[Any]]]:
+            empty: frozenset[Any] = frozenset()
+            keys = set(lost_ab) | set(gained_ab) | set(lost_bc) | set(gained_bc)
+            lost: dict[Any, frozenset[Any]] = {}
+            gained: dict[Any, frozenset[Any]] = {}
+            for key in sorted(keys, key=lambda k: (k is None, k)):
+                l_ab = lost_ab.get(key, empty)
+                g_ab = gained_ab.get(key, empty)
+                l_bc = lost_bc.get(key, empty)
+                g_bc = gained_bc.get(key, empty)
+                lost[key] = (l_ab - g_bc) | (l_bc - g_ab)
+                gained[key] = (g_ab - l_bc) | (g_bc - l_ab)
+            return _nonempty(lost), _nonempty(gained)
+
+        links_lost, links_gained = merge(
+            self.links_lost, self.links_gained, other.links_lost, other.links_gained
+        )
+        tenants_lost, tenants_gained = merge(
+            self.tenants_lost,
+            self.tenants_gained,
+            other.tenants_lost,
+            other.tenants_gained,
+        )
+        return SnapshotDiff(
+            from_epoch=self.from_epoch,
+            to_epoch=other.to_epoch,
+            from_fingerprint=self.from_fingerprint,
+            to_fingerprint=other.to_fingerprint,
+            links_lost=links_lost,
+            links_gained=links_gained,
+            tenants_lost=tenants_lost,
+            tenants_gained=tenants_gained,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "from_epoch": self.from_epoch,
+            "to_epoch": self.to_epoch,
+            "from_fingerprint": self.from_fingerprint,
+            "to_fingerprint": self.to_fingerprint,
+            "links_lost": {str(k): v for k, v in self.lost_counts().items()},
+            "links_gained": {str(k): v for k, v in self.gained_counts().items()},
+            "tenants_lost": {
+                str(facility): len(self.tenants_lost[facility])
+                for facility in sorted(self.tenants_lost)
+            },
+            "tenants_gained": {
+                str(facility): len(self.tenants_gained[facility])
+                for facility in sorted(self.tenants_gained)
+            },
+        }
+
+
+def diff_maps(before: Any, after: Any) -> SnapshotDiff:
+    """Structured diff between two snapshots (duck-typed).
+
+    Fast path: equal content fingerprints mean equal maps by
+    construction (the fingerprint covers the canonical map content),
+    so the result reuses :data:`EMPTY_DIFF` without touching the link
+    tables at all.
+    """
+    if before.fingerprint == after.fingerprint:
+        return SnapshotDiff(
+            from_epoch=before.epoch,
+            to_epoch=after.epoch,
+            from_fingerprint=before.fingerprint,
+            to_fingerprint=after.fingerprint,
+            links_lost=EMPTY_DIFF,
+            links_gained=EMPTY_DIFF,
+            tenants_lost=EMPTY_DIFF,
+            tenants_gained=EMPTY_DIFF,
+        )
+    links_a = _facility_endpoints(before)
+    links_b = _facility_endpoints(after)
+    tenants_a = _facility_tenants(before)
+    tenants_b = _facility_tenants(after)
+
+    def sides(
+        map_a: dict[Any, frozenset[Any]], map_b: dict[Any, frozenset[Any]]
+    ) -> tuple[Mapping[Any, frozenset[Any]], Mapping[Any, frozenset[Any]]]:
+        empty: frozenset[Any] = frozenset()
+        keys = set(map_a) | set(map_b)
+        lost: dict[Any, frozenset[Any]] = {}
+        gained: dict[Any, frozenset[Any]] = {}
+        for key in sorted(keys, key=lambda k: (k is None, k)):
+            in_a = map_a.get(key, empty)
+            in_b = map_b.get(key, empty)
+            lost[key] = in_a - in_b
+            gained[key] = in_b - in_a
+        return _nonempty(lost), _nonempty(gained)
+
+    links_lost, links_gained = sides(links_a, links_b)
+    tenants_lost, tenants_gained = sides(tenants_a, tenants_b)
+    return SnapshotDiff(
+        from_epoch=before.epoch,
+        to_epoch=after.epoch,
+        from_fingerprint=before.fingerprint,
+        to_fingerprint=after.fingerprint,
+        links_lost=links_lost,
+        links_gained=links_gained,
+        tenants_lost=tenants_lost,
+        tenants_gained=tenants_gained,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DisruptionPolicy:
+    """Thresholds and hysteresis for the facility-loss detector.
+
+    ``loss_threshold`` is on the *excess* local loss ratio (local loss
+    minus global loss — see module docstring); ``fault_margin`` scales
+    with the snapshot's reported input degradation, raising the bar
+    exactly when measurements are least trustworthy.  ``confirm_epochs``
+    consecutive suspect epochs are required before an alarm (debounce),
+    ``clear_epochs`` consecutive recovered epochs before it clears
+    (hysteresis) — one noisy epoch moves nothing in either direction.
+    """
+
+    loss_threshold: float = 0.5
+    clear_threshold: float = 0.25
+    confirm_epochs: int = 2
+    clear_epochs: int = 2
+    min_links: int = 3
+    fault_margin: float = 0.3
+    baseline_gain: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_threshold <= 1.0:
+            raise ValueError("loss_threshold must be in (0, 1]")
+        if not 0.0 <= self.clear_threshold < self.loss_threshold:
+            raise ValueError("clear_threshold must be in [0, loss_threshold)")
+        if self.confirm_epochs < 1 or self.clear_epochs < 1:
+            raise ValueError("confirm_epochs and clear_epochs must be >= 1")
+        if self.min_links < 1:
+            raise ValueError("min_links must be >= 1")
+        if self.fault_margin < 0:
+            raise ValueError("fault_margin must be >= 0")
+        if not 0.0 < self.baseline_gain <= 1.0:
+            raise ValueError("baseline_gain must be in (0, 1]")
+
+    def replace(self, **overrides: Any) -> "DisruptionPolicy":
+        return _replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "loss_threshold": self.loss_threshold,
+            "clear_threshold": self.clear_threshold,
+            "confirm_epochs": self.confirm_epochs,
+            "clear_epochs": self.clear_epochs,
+            "min_links": self.min_links,
+            "fault_margin": self.fault_margin,
+            "baseline_gain": self.baseline_gain,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class DisruptionReport:
+    """One localised detector verdict (``alarm`` or ``clear``)."""
+
+    kind: str
+    facility_id: int
+    epoch: int
+    score: float
+    baseline: float
+    observed: int
+    global_loss: float
+    fingerprint: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "facility_id": self.facility_id,
+            "epoch": self.epoch,
+            "score": round(self.score, 6),
+            "baseline": round(self.baseline, 3),
+            "observed": self.observed,
+            "global_loss": round(self.global_loss, 6),
+            "fingerprint": self.fingerprint,
+        }
+
+
+#: Health assessments the detector can hand the serving layer.
+ASSESSMENTS = ("stable", "topology-change", "measurement-fault", "mixed")
+
+
+@dataclass(slots=True)
+class DisruptionDetector:
+    """Stateful per-facility loss scorer over a snapshot stream.
+
+    Feed it every published snapshot in order via :meth:`observe`
+    (skipped/quarantined epochs are fine — streaks advance on observed
+    epochs only).  The first observation seeds the baselines and never
+    alarms.  Returns the reports newly emitted for that epoch; the
+    full log accumulates on :attr:`reports`.
+    """
+
+    policy: DisruptionPolicy = field(default_factory=DisruptionPolicy)
+    instrumentation: Any = None
+    reports: list[DisruptionReport] = field(default_factory=list)
+    _baselines: dict[int, float] = field(default_factory=dict)
+    _bad_streak: dict[int, int] = field(default_factory=dict)
+    _good_streak: dict[int, int] = field(default_factory=dict)
+    _alarmed: set[int] = field(default_factory=set)
+    _assessment: str = "stable"
+    _observations: int = 0
+    _last_global_loss: float = 0.0
+    _last_fault_pressure: float = 0.0
+    _last_fingerprint: str | None = None
+    _last_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def assessment(self) -> str:
+        """Latest change-vs-fault verdict (one of :data:`ASSESSMENTS`)."""
+        return self._assessment
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    def alarmed_facilities(self) -> tuple[int, ...]:
+        return tuple(sorted(self._alarmed))
+
+    def observe(
+        self,
+        snapshot: Any,
+        *,
+        diff: SnapshotDiff | None = None,
+        data_health: Mapping[str, Any] | None = None,
+    ) -> list[DisruptionReport]:
+        """Score one published snapshot; returns newly emitted reports.
+
+        ``diff`` is advisory (its fast path lets a quiet epoch skip all
+        scoring); the scores themselves come from absolute per-facility
+        endpoint counts against learned baselines, so a missed epoch
+        cannot hide a loss.  ``data_health`` is the snapshot's own
+        input-quality report — fault pressure from it widens the alarm
+        margin instead of tripping it.
+        """
+        epoch = snapshot.epoch
+        if (
+            diff is not None
+            and diff.is_empty
+            and snapshot.fingerprint == self._last_fingerprint
+        ):
+            # Empty diff over the same content: counts cannot have
+            # moved, so skip the link walk.  Scoring still runs — a
+            # facility that went down and *stayed* down produces empty
+            # diffs every epoch while its loss persists.
+            counts = self._last_counts
+        else:
+            counts = facility_endpoint_counts(snapshot)
+        self._last_fingerprint = snapshot.fingerprint
+        self._last_counts = counts
+        self._observations += 1
+        if len(self._baselines) == 0:
+            for facility in sorted(counts):
+                self._baselines[facility] = float(counts[facility])
+            self._assessment = "stable"
+            return []
+
+        ok_fraction = 1.0
+        if data_health is not None:
+            ok_fraction = float(data_health.get("ok_fraction", 1.0))
+        fault_pressure = max(0.0, 1.0 - ok_fraction)
+        self._last_fault_pressure = fault_pressure
+
+        baseline_total = sum(self._baselines.values())
+        observed_total = float(
+            sum(counts.get(facility, 0) for facility in self._baselines)
+        )
+        global_loss = 0.0
+        if baseline_total > 0:
+            global_loss = max(0.0, 1.0 - observed_total / baseline_total)
+        self._last_global_loss = global_loss
+
+        threshold = self.policy.loss_threshold + self.policy.fault_margin * fault_pressure
+        emitted: list[DisruptionReport] = []
+        gain = self.policy.baseline_gain
+        for facility in sorted(set(self._baselines) | set(counts)):
+            baseline = self._baselines.get(facility, 0.0)
+            observed = counts.get(facility, 0)
+            if baseline < self.policy.min_links:
+                # Too small to score; just track its size.
+                self._baselines[facility] = max(float(observed), baseline)
+                continue
+            local_loss = max(0.0, 1.0 - observed / baseline)
+            score = local_loss - global_loss
+            suspect = score >= threshold
+            if facility in self._alarmed:
+                if local_loss <= self.policy.clear_threshold:
+                    streak = self._good_streak.get(facility, 0) + 1
+                    self._good_streak[facility] = streak
+                    if streak >= self.policy.clear_epochs:
+                        self._alarmed.discard(facility)
+                        self._good_streak[facility] = 0
+                        self._bad_streak[facility] = 0
+                        self._baselines[facility] = float(observed)
+                        emitted.append(
+                            self._report(
+                                "clear", facility, epoch, score, baseline,
+                                observed, global_loss, snapshot.fingerprint,
+                            )
+                        )
+                else:
+                    self._good_streak[facility] = 0
+                continue
+            if suspect:
+                streak = self._bad_streak.get(facility, 0) + 1
+                self._bad_streak[facility] = streak
+                if streak >= self.policy.confirm_epochs:
+                    self._alarmed.add(facility)
+                    self._good_streak[facility] = 0
+                    emitted.append(
+                        self._report(
+                            "alarm", facility, epoch, score, baseline,
+                            observed, global_loss, snapshot.fingerprint,
+                        )
+                    )
+            else:
+                self._bad_streak[facility] = 0
+                if observed >= baseline:
+                    self._baselines[facility] = float(observed)
+                else:
+                    self._baselines[facility] = baseline + gain * (observed - baseline)
+        suspected = any(
+            streak > 0 for _, streak in sorted(self._bad_streak.items())
+        )
+        changing = bool(self._alarmed) or suspected
+        faulty = fault_pressure >= 0.05 or (global_loss >= 0.1 and not changing)
+        if changing and faulty:
+            self._assessment = "mixed"
+        elif changing:
+            self._assessment = "topology-change"
+        elif faulty:
+            self._assessment = "measurement-fault"
+        else:
+            self._assessment = "stable"
+        return emitted
+
+    def status(self) -> dict[str, Any]:
+        """Discrimination fields for ``ServiceHealth``/query surfaces."""
+        return {
+            "assessment": self._assessment,
+            "alarmed_facilities": list(self.alarmed_facilities()),
+            "active_alarms": len(self._alarmed),
+            "observations": self._observations,
+            "global_loss": round(self._last_global_loss, 6),
+            "fault_pressure": round(self._last_fault_pressure, 6),
+        }
+
+    def _report(
+        self,
+        kind: str,
+        facility: int,
+        epoch: int,
+        score: float,
+        baseline: float,
+        observed: int,
+        global_loss: float,
+        fingerprint: str,
+    ) -> DisruptionReport:
+        report = DisruptionReport(
+            kind=kind,
+            facility_id=facility,
+            epoch=epoch,
+            score=score,
+            baseline=baseline,
+            observed=observed,
+            global_loss=global_loss,
+            fingerprint=fingerprint,
+        )
+        self.reports.append(report)
+        if self.instrumentation is not None:
+            payload = {
+                "facility_id": facility,
+                "epoch": epoch,
+                "score": round(score, 6),
+                "baseline": round(baseline, 3),
+                "observed": observed,
+            }
+            if kind == "alarm":
+                self.instrumentation.emit("disrupt.alarm", **payload)
+            else:
+                self.instrumentation.emit("disrupt.clear", **payload)
+        return report

@@ -46,6 +46,11 @@ EVENT_NAMES: dict[str, str] = {
     "ingest.epoch.done": "one epoch's traces were folded into the live map",
     "ingest.stream.end": "the simulated traceroute stream was exhausted",
     "ingest.resume": "stream state was restored from a mid-stream checkpoint",
+    "ingest.replan": "a churned epoch re-planned its campaign against the moved world",
+    "churn.event": "one temporal churn event took effect on the ground truth",
+    "disrupt.alarm": "the disruption detector localised a facility-level loss",
+    "disrupt.clear": "a previously alarmed facility recovered and cleared",
+    "serve.health.assessment": "the detector's change-vs-fault verdict was recorded",
     "serve.snapshot.publish": "a versioned map snapshot was durably published",
     "serve.snapshot.swap": "the read path switched to a new snapshot",
     "serve.query": "the query engine answered one lookup",

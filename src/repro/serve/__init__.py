@@ -21,7 +21,16 @@ Four pieces:
   publish-time integrity re-verification with rollback, and a bounded
   snapshot retention ring;
 * :mod:`repro.serve.soak` — the chaos soak harness behind ``repro
-  soak`` (imported lazily by the CLI, like :mod:`repro.faults.chaos`).
+  soak`` (imported lazily by the CLI, like :mod:`repro.faults.chaos`);
+* :mod:`repro.serve.outage` — the churn × fault outage-detection
+  sweep behind ``repro outage``: churned streams scored against the
+  :class:`~repro.topology.churn.ChurnPlan` event log.
+
+Temporal mode: ``run_stream(churn=...)`` re-plans the campaign every
+epoch against a churned world, folds each epoch in isolation against
+the lagged facility database, and feeds published snapshots through
+the :class:`~repro.inference.disruption.DisruptionDetector`; churn-free
+streams are bit-identical to the classic pre-sliced stream.
 
 The contract that makes the service trustworthy: the final snapshot a
 streamed run publishes is **fingerprint-identical** to the map the
@@ -33,11 +42,14 @@ final convergence pass re-folds the full corpus in plan order.
 
 from .health import HealthPolicy, ServiceHealth
 from .ingest import StreamingCfs, slice_epochs
+from .outage import OutagePoint, OutageReport, measurement_faults, run_outage
 from .query import QueryEngine, query_snapshot
 from .service import MapService, ServiceHandle
 from .snapshot import (
     MapSnapshot,
+    SnapshotDiff,
     build_snapshot,
+    diff_snapshots,
     open_snapshot,
     snapshot_from_payload,
     snapshot_payload,
@@ -48,15 +60,21 @@ __all__ = [
     "HealthPolicy",
     "MapService",
     "MapSnapshot",
+    "OutagePoint",
+    "OutageReport",
     "QueryEngine",
     "ServiceHandle",
     "ServiceHealth",
     "ServicePolicy",
     "ServiceSupervisor",
+    "SnapshotDiff",
     "StreamingCfs",
     "build_snapshot",
+    "diff_snapshots",
+    "measurement_faults",
     "open_snapshot",
     "query_snapshot",
+    "run_outage",
     "slice_epochs",
     "snapshot_from_payload",
     "snapshot_payload",

@@ -32,6 +32,7 @@ import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..inference.disruption import ASSESSMENTS
 from ..obs import Instrumentation
 from ..sanitize import enabled as sanitizer_enabled, record_violation
 
@@ -148,6 +149,12 @@ class ServiceHealth:
         #: Recent transition edges, oldest first: (from, to, reason).
         self._history: list[tuple[str, str, str]] = []
         self._listeners: list[Callable[[str, str, str], None]] = []
+        #: Latest change-vs-fault verdict from the disruption detector
+        #: (None until the churned stream records one).  Kept separate
+        #: from :attr:`state` on purpose: "stale because faulty" is a
+        #: *service* condition, "changed because churned" is a *world*
+        #: condition, and conflating them is how detectors cry wolf.
+        self._map_change: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Read side
@@ -208,11 +215,31 @@ class ServiceHealth:
             "data": snapshot_data_health(snapshot),
             "transitions": [list(edge) for edge in self._history],
         }
+        if self._map_change is not None:
+            document["map_change"] = dict(self._map_change)
         if snapshot is not None:
             document["epoch"] = snapshot.epoch
             document["final"] = snapshot.final
             document["fingerprint"] = snapshot.fingerprint
         return document
+
+    def as_dict(self) -> dict[str, Any]:
+        """The snapshot-free health document (change-vs-fault fields
+        included once the detector has reported)."""
+        return self.report(None)
+
+    @property
+    def map_assessment(self) -> str | None:
+        """Latest detector verdict, or None before the first one."""
+        if self._map_change is None:
+            return None
+        return str(self._map_change.get("assessment"))
+
+    def alarmed_facilities(self) -> tuple[int, ...]:
+        """Facilities with an active disruption alarm."""
+        if self._map_change is None:
+            return ()
+        return tuple(self._map_change.get("alarmed_facilities", ()))
 
     # ------------------------------------------------------------------
     # The single mutation point (reprolint R010)
@@ -284,6 +311,34 @@ class ServiceHealth:
         self._epochs_behind += 1
         self.transition(
             self._unhealthy_state(), reason=f"publish of {stage} rolled back"
+        )
+
+    @_mutation_point
+    def record_map_assessment(self, status: dict[str, Any]) -> None:
+        """Absorb the disruption detector's change-vs-fault verdict.
+
+        ``status`` is :meth:`DisruptionDetector.status`: the assessment
+        (one of the detector's closed vocabulary), active alarm
+        facilities, and the global-loss / fault-pressure readings that
+        justify it.  This feeds the ``health`` query verb so operators
+        can distinguish "map moved because the world churned" from
+        "map moved because measurements degraded" — distinct causes,
+        distinct operator responses.
+        """
+        assessment = status.get("assessment")
+        if assessment not in ASSESSMENTS:
+            raise ValueError(
+                f"unknown map assessment {assessment!r}; "
+                f"expected one of {', '.join(ASSESSMENTS)}"
+            )
+        self._map_change = dict(status)
+        self._obs.count("serve.health.assessment")
+        self._obs.emit(
+            "serve.health.assessment",
+            assessment=assessment,
+            active_alarms=int(status.get("active_alarms", 0)),
+            global_loss=status.get("global_loss"),
+            fault_pressure=status.get("fault_pressure"),
         )
 
     @_mutation_point

@@ -28,6 +28,7 @@ from ..alias.midar import AliasSets, MidarConfig, MidarResolver, repair_ip_to_as
 from ..core.alias_constraints import propagate_alias_constraints
 from ..core.classify import PeeringClassifier
 from ..core.constrain import InitialFacilitySearch
+from ..core.facility_db import FacilityDatabase
 from ..core.farside import LinkFinalizer
 from ..core.pipeline import Environment
 from ..core.types import CfsResult, InterfaceState, ObservedPeering, PeeringKind
@@ -51,6 +52,13 @@ def slice_epochs(plan: list[ProbeTask], epochs: int) -> list[list[ProbeTask]]:
 
     Earlier epochs absorb the remainder, so sizes differ by at most one
     and concatenating the slices reproduces the plan exactly.
+
+    When ``epochs > len(plan)`` the trailing slices are **empty** —
+    pinned, tested behavior, not an accident: an empty epoch folds no
+    traces, so the service publishes a snapshot with an *unchanged
+    content fingerprint* and health stays ``ok``.  A feed running dry
+    is "no new data", not an incident; the disruption detector sees an
+    empty diff and keeps quiet.
     """
     if epochs < 1:
         raise ValueError(f"epochs must be at least 1, got {epochs}")
@@ -80,17 +88,22 @@ class StreamingCfs:
         self,
         environment: Environment,
         instrumentation: Instrumentation | None = None,
+        facility_db: FacilityDatabase | None = None,
     ) -> None:
+        """``facility_db`` overrides the environment's constraint
+        database — the churned stream folds each epoch against a
+        *lagged* PeeringDB view (the database trails reality), while
+        the measurement substrate stays the environment's own."""
         config = environment.config.cfs
         seed = environment.config.seed
         self._obs = instrumentation or Instrumentation()
-        self._db = environment.facility_db
+        self._db = facility_db if facility_db is not None else environment.facility_db
         self._ip_to_asn = environment.cymru
         self._classifier = PeeringClassifier(
-            environment.facility_db, instrumentation=self._obs
+            self._db, instrumentation=self._obs
         )
         self._search = InitialFacilitySearch(
-            environment.facility_db,
+            self._db,
             environment.remote_detector(),
             constrain_private_far_side=config.constrain_private_far_side,
             degraded=config.degraded_mode,

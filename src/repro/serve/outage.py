@@ -1,0 +1,278 @@
+"""The outage-detection scoring harness: churn rate × fault intensity.
+
+Every cell of the sweep runs a fresh churned map-service stream
+(:meth:`MapService.run_stream` with a :class:`ChurnPlan`), then scores
+the disruption detector's alarm log against the plan's event log — the
+seeded ground truth:
+
+* **recall** — the fraction of facility power-loss events answered by
+  an alarm at that facility within the event's window (plus the
+  detector's own confirmation latency);
+* **precision** — the fraction of alarms explained by *any* disruption
+  event at that facility (power loss or an AS departure; both darken
+  routers there, so an alarm on either is a correct localisation);
+* **latency** — epochs from event onset to the confirming alarm,
+  averaged over detected events;
+* **false alarms** — alarms matching no event; the zero-churn column
+  must keep this at exactly zero whatever the fault intensity, or the
+  detector is crying wolf at measurement noise.
+
+The fault axis deliberately uses **measurement-class faults only**
+(probe loss, truncation, VP outages, rate limits, dataset decay —
+worker and serve-layer rates zeroed): epoch-level quarantine faults
+test the *supervisor*, and in the temporal mode a quarantined epoch is
+simply never observed, which starves the sweep of data without saying
+anything about detection quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.pipeline import PipelineConfig
+from ..faults.plan import FaultPlan
+from ..inference.disruption import DisruptionPolicy
+from ..obs import Instrumentation
+from ..topology.churn import ChurnConfig, ChurnPlan, plan_churn
+from .service import MapService
+
+__all__ = [
+    "DEFAULT_EPOCHS",
+    "DEFAULT_SEED",
+    "OutagePoint",
+    "OutageReport",
+    "measurement_faults",
+    "run_outage",
+    "score_detection",
+]
+
+#: The reference gate profile (bench_outage, scripts/check.sh).  The
+#: seed is chosen so the moderate churn profile at small scale draws
+#: several scorable facility power losses inside the horizon — seeds
+#: whose outage stream happens to stay quiet for ten epochs would make
+#: the recall gate vacuous.
+DEFAULT_SEED = 2
+DEFAULT_EPOCHS = 10
+
+
+def measurement_faults(intensity: float) -> FaultPlan | None:
+    """The moderate fault plan scaled to ``intensity``, measurement
+    classes only (worker/serve rates zeroed — see module docstring)."""
+    if intensity <= 0:
+        return None
+    return FaultPlan.moderate().scaled(intensity).replace(
+        worker_crash=0.0,
+        worker_hang=0.0,
+        epoch_fail=0.0,
+        snapshot_corrupt=0.0,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OutagePoint:
+    """Detection scores for one (churn intensity, fault intensity) cell."""
+
+    churn_intensity: float
+    fault_intensity: float
+    epochs: int
+    events: int
+    power_losses: int
+    detected: int
+    alarms: int
+    matched_alarms: int
+    false_alarms: int
+    precision: float | None
+    recall: float | None
+    mean_latency: float | None
+    clears: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "churn_intensity": self.churn_intensity,
+            "fault_intensity": self.fault_intensity,
+            "epochs": self.epochs,
+            "events": self.events,
+            "power_losses": self.power_losses,
+            "detected": self.detected,
+            "alarms": self.alarms,
+            "matched_alarms": self.matched_alarms,
+            "false_alarms": self.false_alarms,
+            "precision": self.precision,
+            "recall": self.recall,
+            "mean_latency": self.mean_latency,
+            "clears": self.clears,
+        }
+
+
+@dataclass(slots=True)
+class OutageReport:
+    """The full sweep: one :class:`OutagePoint` per grid cell."""
+
+    seed: int
+    scale: str
+    epochs: int
+    points: list[OutagePoint] = field(default_factory=list)
+
+    def point(
+        self, churn_intensity: float, fault_intensity: float
+    ) -> OutagePoint | None:
+        for point in self.points:
+            if (
+                point.churn_intensity == churn_intensity
+                and point.fault_intensity == fault_intensity
+            ):
+                return point
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "epochs": self.epochs,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+    def format(self) -> str:
+        lines = [
+            "outage-detection sweep "
+            f"(seed {self.seed}, scale {self.scale}, {self.epochs} epochs)",
+            f"{'churn':>6} {'fault':>6} {'events':>7} {'losses':>7} "
+            f"{'detect':>7} {'alarms':>7} {'false':>6} "
+            f"{'prec':>6} {'recall':>7} {'latency':>8}",
+        ]
+        for point in self.points:
+            prec = "-" if point.precision is None else f"{point.precision:.2f}"
+            rec = "-" if point.recall is None else f"{point.recall:.2f}"
+            lat = (
+                "-"
+                if point.mean_latency is None
+                else f"{point.mean_latency:.1f}"
+            )
+            lines.append(
+                f"{point.churn_intensity:>6.2f} {point.fault_intensity:>6.2f} "
+                f"{point.events:>7} {point.power_losses:>7} "
+                f"{point.detected:>7} {point.alarms:>7} "
+                f"{point.false_alarms:>6} {prec:>6} {rec:>7} {lat:>8}"
+            )
+        return "\n".join(lines)
+
+
+def score_detection(
+    plan: ChurnPlan,
+    reports: list[Any],
+    *,
+    grace: int,
+) -> dict[str, Any]:
+    """Score an alarm log against a churn plan's event log.
+
+    ``grace`` extends every event's match window past its end — the
+    detector legitimately needs ``confirm_epochs`` observations to
+    debounce, so an alarm landing just after a short event is a
+    detection, not a coincidence.
+    """
+    alarms = [r for r in reports if r.kind == "alarm"]
+    clears = [r for r in reports if r.kind == "clear"]
+    disruptions = plan.disruption_events()
+    losses = plan.power_loss_events()
+
+    def window_hit(event: Any, report: Any) -> bool:
+        return (
+            event.facility_id == report.facility_id
+            and event.epoch <= report.epoch < event.epoch + event.duration + grace
+        )
+
+    detected = 0
+    latencies: list[int] = []
+    for event in losses:
+        hits = [a for a in alarms if window_hit(event, a)]
+        if hits:
+            detected += 1
+            latencies.append(min(a.epoch for a in hits) - event.epoch)
+    matched = sum(
+        1 for a in alarms if any(window_hit(e, a) for e in disruptions)
+    )
+    false_alarms = len(alarms) - matched
+    precision = matched / len(alarms) if alarms else None
+    recall = detected / len(losses) if losses else None
+    mean_latency = sum(latencies) / len(latencies) if latencies else None
+    return {
+        "events": len(plan.events),
+        "power_losses": len(losses),
+        "detected": detected,
+        "alarms": len(alarms),
+        "matched_alarms": matched,
+        "false_alarms": false_alarms,
+        "precision": precision,
+        "recall": recall,
+        "mean_latency": mean_latency,
+        "clears": len(clears),
+    }
+
+
+def run_outage(
+    *,
+    seed: int = 0,
+    scale: str = "small",
+    epochs: int = 10,
+    churn_intensities: tuple[float, ...] = (0.0, 1.0),
+    fault_intensities: tuple[float, ...] = (0.0, 1.0),
+    disruption_policy: DisruptionPolicy | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> OutageReport:
+    """Sweep churn rate × fault intensity and score detection per cell.
+
+    Every cell builds a fresh service (fresh environment, fresh
+    detector) so cells are independent and any cell is reproducible in
+    isolation from ``(seed, scale, epochs, intensities)`` alone.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    policy = disruption_policy or DisruptionPolicy()
+    report = OutageReport(seed=seed, scale=scale, epochs=epochs)
+    for churn_intensity in churn_intensities:
+        for fault_intensity in fault_intensities:
+            if progress is not None:
+                progress(
+                    f"outage: cell churn={churn_intensity} "
+                    f"fault={fault_intensity}"
+                )
+            config = PipelineConfig.for_scale(scale, seed=seed)
+            plan_faults = measurement_faults(fault_intensity)
+            if plan_faults is not None:
+                # Same installation the chaos harness uses: faults plus
+                # degraded-mode CFS, so interface entries carry the
+                # data_health annotations the detector's fault-pressure
+                # margin reads.
+                config = dataclasses.replace(
+                    config,
+                    faults=plan_faults,
+                    cfs=config.cfs.replace(degraded_mode=True),
+                )
+            service = MapService(
+                config,
+                instrumentation=Instrumentation(),
+                disruption_policy=policy,
+                progress=progress,
+            )
+            churn_config = ChurnConfig.moderate().scaled(churn_intensity)
+            plan = plan_churn(
+                service.environment.topology, epochs, churn_config, seed
+            )
+            service.run_stream(epochs, churn=plan)
+            assert service.detector is not None
+            scores = score_detection(
+                plan,
+                service.detector.reports,
+                grace=policy.confirm_epochs + 1,
+            )
+            report.points.append(
+                OutagePoint(
+                    churn_intensity=churn_intensity,
+                    fault_intensity=fault_intensity,
+                    epochs=epochs,
+                    **scores,
+                )
+            )
+    return report

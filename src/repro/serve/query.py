@@ -19,6 +19,7 @@ answered from)::
     tenants 17              ASNs with an inferred presence at facility 17
     info                    snapshot version, fingerprint, map sizes
     health                  service state, staleness, incident counters
+    health 17               facility 17's disruption-alarm status
     help                    list the commands
 
 Unknown commands and malformed arguments answer ``{"error": ...}`` —
@@ -46,8 +47,9 @@ _HELP = {
     "(order-insensitive)",
     "tenants <facility>": "ASNs with an inferred presence at a facility",
     "info": "snapshot epoch, fingerprint, and map sizes",
-    "health": "service health state, staleness, and incident counters "
-    "(live service only)",
+    "health [facility]": "service health state, staleness, incident "
+    "counters, and change-vs-fault assessment; with a facility id, that "
+    "facility's disruption-alarm status (live service only)",
     "help": "this command list",
 }
 
@@ -237,16 +239,49 @@ class QueryEngine:
             fingerprint=snapshot.fingerprint,
         )
 
+    def _facility_health(
+        self, token: str, snapshot: MapSnapshot | None
+    ) -> dict[str, Any]:
+        """Per-facility disruption status for ``health <facility-id>``.
+
+        The id is bounds-checked exactly like the ``tenants`` argument —
+        same guard, same error shape — before it touches any state.
+        """
+        assert self._health is not None
+        try:
+            facility = int(token)
+        except ValueError:
+            return {"error": "usage: health [facility-id]"}
+        if not 0 <= facility <= MAX_IPV4:
+            return {"error": f"facility id {token!r} is outside [0, 2^32)"}
+        alarmed = self._health.alarmed_facilities()
+        document: dict[str, Any] = {
+            "query": "health",
+            "facility": facility,
+            "alarmed": facility in alarmed,
+            "assessment": self._health.map_assessment,
+            "state": self._health.state,
+        }
+        if snapshot is not None:
+            document["tenants"] = len(
+                snapshot.facility_tenants.get(facility, ())
+            )
+            document["epoch"] = snapshot.epoch
+            document["fingerprint"] = snapshot.fingerprint
+        return document
+
     def execute(self, line: str) -> dict[str, Any]:
         """Answer one query line against the snapshot captured now."""
         snapshot = self._snapshot  # the one capture; never re-read below
         self._obs.count("serve.queries")
         tokens = line.strip().split()
         if tokens and tokens[0].lower() == "health" and self._health is not None:
-            if len(tokens) != 1:
-                response: dict[str, Any] = {"error": "usage: health"}
+            if len(tokens) == 1:
+                response: dict[str, Any] = self._health.report(snapshot)
+            elif len(tokens) == 2:
+                response = self._facility_health(tokens[1], snapshot)
             else:
-                response = self._health.report(snapshot)
+                response = {"error": "usage: health [facility-id]"}
             self._obs.emit(
                 "serve.query",
                 kind=response.get("query", "error"),

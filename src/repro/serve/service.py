@@ -75,13 +75,16 @@ from ..core.pipeline import (
     _open_store,
     build_environment,
 )
+from ..core.facility_db import FacilityDatabase
+from ..inference.disruption import DisruptionDetector, DisruptionPolicy
 from ..measurement.campaign import TraceCorpus
 from ..measurement.traceroute import Traceroute
 from ..obs import Instrumentation
-from .health import HealthPolicy, ServiceHealth
+from ..topology.churn import ChurnPlan, ChurnView, censor_trace, lagged_membership
+from .health import HealthPolicy, ServiceHealth, snapshot_data_health
 from .ingest import StreamingCfs, slice_epochs
 from .query import QueryEngine
-from .snapshot import MapSnapshot, build_snapshot
+from .snapshot import MapSnapshot, build_snapshot, diff_snapshots
 from .supervise import ServicePolicy, ServiceSupervisor
 
 __all__ = ["MapService", "ServiceHandle"]
@@ -163,8 +166,13 @@ class MapService:
         instrumentation: Instrumentation | None = None,
         progress: Callable[[str], None] | None = None,
         policy: ServicePolicy | None = None,
+        disruption_policy: DisruptionPolicy | None = None,
     ) -> None:
         self._obs = instrumentation or Instrumentation()
+        #: Thresholds for the churned-stream disruption detector.
+        self.disruption_policy = disruption_policy or DisruptionPolicy()
+        #: The live detector; populated by churned runs, ``None`` before.
+        self.detector: DisruptionDetector | None = None
         self._progress = progress
         self.environment = build_environment(config)
         self.config = self.environment.config
@@ -347,6 +355,7 @@ class MapService:
         epochs: int = 4,
         *,
         stop_after_epoch: int | None = None,
+        churn: ChurnPlan | None = None,
     ) -> ServiceHandle:
         """Ingest the streamed campaign and publish snapshots.
 
@@ -359,7 +368,18 @@ class MapService:
         snapshot is published (simulating a crash/shutdown mid-stream);
         the returned handle then has ``final=None`` and a later service
         with ``resume=True`` picks up from the checkpoint.
+
+        ``churn`` switches the service into the **temporal** mode: the
+        world moves under the stream according to the
+        :class:`~repro.topology.churn.ChurnPlan`, each epoch re-plans
+        and re-executes the full campaign against the churned reality,
+        and the disruption detector watches the published snapshots.
+        Passing ``churn=None`` (the default) runs the classic
+        pre-sliced stream, bit-for-bit identical to before this mode
+        existed — the two paths share no per-epoch state.
         """
+        if churn is not None:
+            return self._run_churned_stream(churn, epochs, stop_after_epoch)
         env = self.environment
         config = self.config
         obs = self._obs
@@ -511,4 +531,187 @@ class MapService:
                 f"serve: final snapshot published "
                 f"(fingerprint {final_snapshot.fingerprint[:12]}…)"
             )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Temporal mode: the world churns under the stream
+    # ------------------------------------------------------------------
+
+    def _lagged_db(
+        self,
+        view: ChurnView,
+        cache: dict[Any, FacilityDatabase],
+    ) -> FacilityDatabase:
+        """The facility database as PeeringDB *believes* it at ``view``.
+
+        AS departures stay listed until their ``db_epoch`` passes and
+        lagged arrivals appear early — the paper's stale-constraint
+        reality.  Views with the same lag state share one copy (the
+        index and every untouched table are shared with the base, so a
+        lag change costs one membership-dict copy, nothing more).
+        """
+        base = self.environment.facility_db
+        if not view.db_hidden and not view.db_added:
+            return base
+        key = view.db_key
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        database = FacilityDatabase(
+            as_facilities=lagged_membership(base.as_facilities, view),
+            ixp_facilities=dict(base.ixp_facilities),
+            ixp_members=dict(base.ixp_members),
+            active_ixps=base.active_ixps,
+            facility_metro=dict(base.facility_metro),
+            campus=dict(base.campus),
+        )
+        database._ixp_lan_index = base._ixp_lan_index
+        cache[key] = database
+        return database
+
+    def _run_churned_stream(
+        self,
+        churn: ChurnPlan,
+        epochs: int,
+        stop_after_epoch: int | None,
+    ) -> ServiceHandle:
+        """Epoch loop for the temporal mode.
+
+        Differences from the classic stream, each deliberate:
+
+        * **Per-epoch re-planning.**  Every epoch builds a fresh driver
+          at the same seed offset and re-plans the full campaign — the
+          probe panel is therefore stable across epochs (same targets,
+          same sampling draws) while the *measurement substrate* keys
+          per-trace noise by issue sequence, so repeated probes see
+          fresh noise over the same paths.  Churn is then applied as a
+          view over the executed traces: dark routers and downed links
+          truncate exactly the hops the real world would have absorbed.
+        * **Epoch-local folds.**  The cumulative fold can only gain
+          links, so it structurally cannot show loss; the temporal mode
+          folds each epoch into a fresh :class:`StreamingCfs` (against
+          the lagged facility database) and publishes the epoch-local
+          map — successive-snapshot diffing is the whole point, per
+          arXiv:1911.04866.
+        * **No convergence pass, no mid-stream checkpoint.**  A final
+          batch-equivalent snapshot is meaningless when every epoch saw
+          a different world (``handle.final`` stays ``None``), and the
+          stream stage's boundary bookkeeping assumes one immutable
+          plan, so checkpoint/resume is disabled here.
+        * **Quarantined epochs are lost.**  Draining them later would
+          replay a world that no longer exists; the detector simply
+          does not observe those epochs (its streaks advance on
+          observed epochs only).
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be at least 1, got {epochs}")
+        if epochs > churn.epochs:
+            raise ValueError(
+                f"churn plan covers {churn.epochs} epochs, stream wants {epochs}"
+            )
+        env = self.environment
+        config = self.config
+        obs = self._obs
+        handle = ServiceHandle(service=self)
+        names = config.platform_filter
+        supervisor = self.supervisor = self._new_supervisor()
+        detector = DisruptionDetector(
+            policy=self.disruption_policy, instrumentation=obs
+        )
+        self.detector = detector
+        if self.config.resume:
+            self._notify(
+                "serve: churned streams cannot resume (the plan is "
+                "re-drawn per epoch); running fresh"
+            )
+
+        db_cache: dict[Any, FacilityDatabase] = {}
+        previous: MapSnapshot | None = None
+        total_traces = 0
+        for epoch in range(epochs):
+            view = churn.view(epoch)
+            for event in view.started:
+                obs.count("churn.events")
+                obs.emit(
+                    "churn.event",
+                    kind=event.kind,
+                    epoch=event.epoch,
+                    duration=event.duration,
+                    facility_id=event.facility_id,
+                    link_id=event.link_id,
+                    asn=event.asn,
+                    db_epoch=event.db_epoch,
+                )
+            obs.count("ingest.epochs")
+            driver = env.new_driver(0, instrumentation=obs)
+            plan = driver.plan_initial_campaign(env.target_asns)
+            obs.emit(
+                "ingest.replan",
+                epoch=epoch,
+                probes=len(plan),
+                dark_routers=len(view.dark_routers),
+                down_links=len(view.down_pairs),
+            )
+            obs.emit("ingest.epoch.begin", epoch=epoch, probes=len(plan))
+            executed = supervisor.ingest_epoch(driver, epoch, plan)
+            if executed is None:
+                # Quarantined: this epoch's world was never observed.
+                continue
+            censored = [censor_trace(trace, view) for trace in executed]
+            arrived: list[Traceroute] = (
+                censored
+                if names is None
+                else [t for t in censored if t.platform in names]
+            )
+            total_traces += len(arrived)
+            fold = StreamingCfs(
+                env,
+                instrumentation=obs,
+                facility_db=self._lagged_db(view, db_cache),
+            )
+            fold.fold(arrived)
+            snapshot = self._interim_snapshot(fold, epoch)
+            published = supervisor.publish(snapshot, f"snapshot-epoch-{epoch}")
+            obs.emit(
+                "ingest.epoch.done",
+                epoch=epoch,
+                traces=len(arrived),
+                total=total_traces,
+                fingerprint=snapshot.fingerprint,
+                published=published,
+            )
+            if published:
+                handle.snapshots.append(snapshot)
+                diff = (
+                    diff_snapshots(previous, snapshot)
+                    if previous is not None
+                    else None
+                )
+                reports = detector.observe(
+                    snapshot,
+                    diff=diff,
+                    data_health=snapshot_data_health(snapshot),
+                )
+                self.health.record_map_assessment(detector.status())
+                for report in reports:
+                    self._notify(
+                        f"serve: disruption {report.kind} for facility "
+                        f"{report.facility_id} at epoch {report.epoch} "
+                        f"(score {report.score:.2f})"
+                    )
+                previous = snapshot
+                self._notify(
+                    f"serve: epoch {epoch} published ({len(arrived)} traces, "
+                    f"{len(view.active)} active churn events)"
+                )
+            if stop_after_epoch is not None and epoch >= stop_after_epoch:
+                self._notify(f"serve: paused after epoch {epoch}")
+                return handle
+
+        obs.emit(
+            "ingest.stream.end",
+            epochs=epochs,
+            traces=total_traces,
+            quarantined=len(supervisor.quarantined),
+        )
         return handle

@@ -35,6 +35,7 @@ from typing import Any, Mapping
 
 from ..checkpoint.atomic import canonical_json, sha256_hex
 from ..core.types import CfsResult
+from ..inference.disruption import SnapshotDiff, diff_maps
 from ..sanitize import TripwireMapping, enabled as sanitizer_enabled
 
 __all__ = [
@@ -42,7 +43,9 @@ __all__ = [
     "InterfaceEntry",
     "LinkEntry",
     "MapSnapshot",
+    "SnapshotDiff",
     "build_snapshot",
+    "diff_snapshots",
     "open_snapshot",
     "snapshot_from_payload",
     "snapshot_payload",
@@ -119,6 +122,19 @@ class MapSnapshot:
     facility_tenants: Mapping[int, tuple[int, ...]]
     #: Headline counts of the published map.
     stats: Mapping[str, int]
+
+
+def diff_snapshots(before: MapSnapshot, after: MapSnapshot) -> SnapshotDiff:
+    """Structured diff between two published snapshots.
+
+    Thin adapter over :func:`repro.inference.disruption.diff_maps`
+    (the algorithm lives below this layer so detectors need no serve
+    import): link endpoints gained/lost per facility plus tenant
+    moves, composable across epochs.  Equal fingerprints short-circuit
+    to a shared empty diff — the common quiet-epoch case allocates
+    nothing.
+    """
+    return diff_maps(before, after)
 
 
 def _interface_content(entry: InterfaceEntry) -> list[Any]:

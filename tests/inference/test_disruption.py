@@ -1,0 +1,237 @@
+"""Disruption-inference tests: diff algebra and detector dynamics.
+
+The inference package is duck-typed over the snapshot surface, so
+these tests drive it with tiny hand-built snapshots — no pipeline run
+needed — and assert the three contracts: the identical-snapshot fast
+path allocates nothing, diffs compose associatively across epochs, and
+the detector debounces, localises, and stays quiet under uniform
+measurement-fault depression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.inference.disruption import (
+    EMPTY_DIFF,
+    DisruptionDetector,
+    DisruptionPolicy,
+    diff_maps,
+    facility_endpoint_counts,
+)
+
+
+@dataclass(frozen=True)
+class FakeLink:
+    kind: str
+    near_address: int
+    near_asn: int
+    far_asn: int
+    ixp_id: int | None
+    far_address: int | None
+    near_facility: int | None
+    far_facility: int | None
+
+
+@dataclass(frozen=True)
+class FakeSnapshot:
+    epoch: int
+    links: tuple[FakeLink, ...]
+    facility_tenants: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"fp:{hash((self.links, tuple(sorted(self.facility_tenants.items()))))}"
+
+
+def snap(epoch: int, counts: dict[int, int], tenants=None) -> FakeSnapshot:
+    """A snapshot with ``counts[f]`` link endpoints pinned at facility
+    ``f`` (endpoint *i* at facility *f* is the same link object across
+    epochs, so shrinking a count models losing specific links)."""
+    links = tuple(
+        FakeLink(
+            kind="private",
+            near_address=facility * 1000 + i,
+            near_asn=10,
+            far_asn=20,
+            ixp_id=None,
+            far_address=None,
+            near_facility=facility,
+            far_facility=None,
+        )
+        for facility in sorted(counts)
+        for i in range(counts[facility])
+    )
+    return FakeSnapshot(epoch=epoch, links=links, facility_tenants=tenants or {})
+
+
+class TestDiffMaps:
+    def test_identical_snapshots_share_empty_diff(self):
+        a = snap(0, {1: 4, 2: 6})
+        b = snap(1, {1: 4, 2: 6})
+        diff = diff_maps(a, b)
+        assert diff.is_empty
+        # The fast path hands out the one shared mapping on all four
+        # sides — zero per-call allocations for the common quiet epoch.
+        assert diff.links_lost is EMPTY_DIFF
+        assert diff.links_gained is EMPTY_DIFF
+        assert diff.tenants_lost is EMPTY_DIFF
+        assert diff.tenants_gained is EMPTY_DIFF
+
+    def test_loss_localised_to_facility(self):
+        diff = diff_maps(snap(0, {1: 4, 2: 6}), snap(1, {1: 1, 2: 6}))
+        # The lost links' far endpoints were unpinned, so the None
+        # bucket loses their mirror images alongside facility 1.
+        assert diff.lost_counts() == {1: 3, None: 3}
+        assert diff.gained_counts() == {}
+
+    def test_disjoint_facility_sets(self):
+        diff = diff_maps(snap(0, {1: 3}), snap(1, {2: 5}))
+        assert diff.lost_counts() == {1: 3, None: 3}
+        assert diff.gained_counts() == {2: 5, None: 5}
+
+    def test_tenant_moves(self):
+        a = snap(0, {1: 3}, tenants={1: (10, 20)})
+        b = snap(1, {1: 3}, tenants={1: (20, 30)})
+        diff = diff_maps(a, b)
+        assert diff.tenants_lost == {1: frozenset({10})}
+        assert diff.tenants_gained == {1: frozenset({30})}
+
+    def test_compose_matches_direct_diff(self):
+        a = snap(0, {1: 4, 2: 6, 3: 2})
+        b = snap(1, {1: 1, 2: 6, 3: 4})
+        c = snap(2, {1: 4, 2: 3, 3: 4})
+        composed = diff_maps(a, b).compose(diff_maps(b, c))
+        direct = diff_maps(a, c)
+        assert composed.links_lost == direct.links_lost
+        assert composed.links_gained == direct.links_gained
+        assert composed.from_epoch == 0 and composed.to_epoch == 2
+
+    def test_compose_associative(self):
+        a = snap(0, {1: 4, 2: 6})
+        b = snap(1, {1: 0, 2: 7})
+        c = snap(2, {1: 2, 2: 7})
+        d = snap(3, {1: 4, 2: 5})
+        ab, bc, cd = diff_maps(a, b), diff_maps(b, c), diff_maps(c, d)
+        left = ab.compose(bc).compose(cd)
+        right = ab.compose(bc.compose(cd))
+        assert left.links_lost == right.links_lost
+        assert left.links_gained == right.links_gained
+
+    def test_compose_rejects_broken_chain(self):
+        a, b = snap(0, {1: 4}), snap(1, {1: 2})
+        c, d = snap(2, {1: 9}), snap(3, {1: 1})
+        with pytest.raises(ValueError):
+            diff_maps(a, b).compose(diff_maps(c, d))
+
+    def test_endpoint_counts_exclude_unpinned(self):
+        counts = facility_endpoint_counts(snap(0, {1: 4, 2: 6}))
+        assert counts == {1: 4, 2: 6}
+
+
+class TestDetector:
+    BASE = {1: 20, 2: 20, 3: 20}
+
+    def observe(self, detector, snapshot, previous=None, health=None):
+        diff = diff_maps(previous, snapshot) if previous is not None else None
+        return detector.observe(snapshot, diff=diff, data_health=health)
+
+    def test_first_observation_never_alarms(self):
+        detector = DisruptionDetector()
+        assert self.observe(detector, snap(0, {1: 0, 2: 0})) == []
+        assert detector.assessment == "stable"
+
+    def test_debounce_then_alarm_then_hysteresis_clear(self):
+        detector = DisruptionDetector()
+        s0 = snap(0, self.BASE)
+        self.observe(detector, s0)
+        # Facility 1 craters; confirm_epochs=2 means the first suspect
+        # epoch must stay silent.
+        s1 = snap(1, {1: 0, 2: 20, 3: 20})
+        assert self.observe(detector, s1, s0) == []
+        s2 = snap(2, {1: 0, 2: 20, 3: 20})
+        reports = self.observe(detector, s2, s1)
+        assert [r.kind for r in reports] == ["alarm"]
+        assert reports[0].facility_id == 1
+        assert detector.alarmed_facilities() == (1,)
+        assert detector.assessment == "topology-change"
+        # Recovery: one good epoch is not enough (clear_epochs=2).
+        s3 = snap(3, self.BASE)
+        assert self.observe(detector, s3, s2) == []
+        s4 = snap(4, self.BASE)
+        reports = self.observe(detector, s4, s3)
+        assert [r.kind for r in reports] == ["clear"]
+        assert detector.alarmed_facilities() == ()
+        assert detector.assessment == "stable"
+
+    def test_persistent_outage_alarms_through_empty_diffs(self):
+        # A facility that goes down and STAYS down produces identical
+        # successive snapshots — the empty-diff fast path must not
+        # suppress scoring or the alarm never confirms.
+        detector = DisruptionDetector()
+        s0 = snap(0, self.BASE)
+        self.observe(detector, s0)
+        down = {1: 0, 2: 20, 3: 20}
+        s1, s2, s3 = snap(1, down), snap(2, down), snap(3, down)
+        assert self.observe(detector, s1, s0) == []
+        assert diff_maps(s1, s2).is_empty
+        reports = self.observe(detector, s2, s1)
+        assert [r.kind for r in reports] == ["alarm"]
+        assert self.observe(detector, s3, s2) == []
+
+    def test_quiet_under_uniform_depression(self):
+        # Measurement faults depress every facility equally; the
+        # global-loss subtraction must keep all facilities unsuspected.
+        detector = DisruptionDetector()
+        self.observe(detector, snap(0, self.BASE))
+        health = {"ok_fraction": 0.6}
+        for epoch in range(1, 5):
+            faded = {facility: 8 for facility in self.BASE}
+            reports = detector.observe(snap(epoch, faded), data_health=health)
+            assert reports == []
+        assert detector.assessment == "measurement-fault"
+        assert detector.status()["fault_pressure"] == pytest.approx(0.4)
+
+    def test_fault_pressure_raises_the_bar(self):
+        # A borderline local loss that would alarm on clean inputs is
+        # held back when the snapshot reports degraded data.
+        policy = DisruptionPolicy(confirm_epochs=1, fault_margin=0.3)
+        clean = DisruptionDetector(policy=policy)
+        faulty = DisruptionDetector(policy=policy)
+        s0 = snap(0, self.BASE)
+        self.observe(clean, s0)
+        self.observe(faulty, s0)
+        borderline = snap(1, {1: 2, 2: 20, 3: 20})
+        assert [r.kind for r in self.observe(clean, borderline, s0)] == ["alarm"]
+        assert self.observe(
+            faulty, borderline, s0, health={"ok_fraction": 0.5}
+        ) == []
+
+    def test_tiny_facilities_never_score(self):
+        policy = DisruptionPolicy(confirm_epochs=1)
+        detector = DisruptionDetector(policy=policy)
+        base = {1: 2, 2: 20}
+        self.observe(detector, snap(0, base))
+        # Facility 1 (baseline 2 < min_links 3) empties out: no alarm.
+        reports = self.observe(detector, snap(1, {1: 0, 2: 20}))
+        assert reports == []
+
+    def test_baseline_learns_growth_immediately(self):
+        policy = DisruptionPolicy(confirm_epochs=1)
+        detector = DisruptionDetector(policy=policy)
+        self.observe(detector, snap(0, {1: 10, 2: 50, 3: 50}))
+        self.observe(detector, snap(1, {1: 40, 2: 50, 3: 50}))
+        # Dropping back to the OLD normal must now look like a loss
+        # against the grown baseline.
+        reports = self.observe(detector, snap(2, {1: 10, 2: 50, 3: 50}))
+        assert [r.kind for r in reports] == ["alarm"]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            DisruptionPolicy(loss_threshold=0.0)
+        with pytest.raises(ValueError):
+            DisruptionPolicy(clear_threshold=0.9)
+        with pytest.raises(ValueError):
+            DisruptionPolicy(confirm_epochs=0)

@@ -1,0 +1,159 @@
+"""Temporal-mode service tests: churned streams, detection, empty tails.
+
+The expensive end-to-end cases share one module-scoped churned run (an
+injected facility power loss at the largest facility) and assert the
+whole chain: per-epoch re-planning, censored traces, snapshot diffs,
+a localised alarm, the clear after power returns, and the health
+surface's change-vs-fault verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig
+from repro.measurement.campaign import CampaignDriver
+from repro.serve import MapService
+from repro.topology.churn import (
+    FACILITY_POWER_LOSS,
+    ChurnConfig,
+    ChurnEvent,
+    ChurnPlan,
+    apply_events,
+    plan_churn,
+)
+
+EPOCHS = 7
+OUTAGE_EPOCH = 2
+OUTAGE_DURATION = 2
+
+
+def _largest_facility(topology) -> int:
+    counts: dict[int, int] = {}
+    for link in topology.interconnections.values():
+        for facility in (link.facility_a, link.facility_b):
+            if facility is not None:
+                counts[facility] = counts.get(facility, 0) + 1
+    return max(sorted(counts), key=lambda f: counts[f])
+
+
+def _injected_plan(topology, target: int) -> ChurnPlan:
+    events = (
+        ChurnEvent(
+            kind=FACILITY_POWER_LOSS,
+            epoch=OUTAGE_EPOCH,
+            duration=OUTAGE_DURATION,
+            facility_id=target,
+        ),
+    )
+    views = tuple(
+        apply_events(topology, events, epoch) for epoch in range(EPOCHS)
+    )
+    return ChurnPlan(
+        seed=3,
+        epochs=EPOCHS,
+        config=ChurnConfig.zero(),
+        events=events,
+        views=views,
+    )
+
+
+@pytest.fixture(scope="module")
+def churned_run():
+    """One churned stream with a single injected power loss."""
+    service = MapService(PipelineConfig.small(seed=3))
+    target = _largest_facility(service.environment.topology)
+    plan = _injected_plan(service.environment.topology, target)
+    handle = service.run_stream(EPOCHS, churn=plan)
+    return service, handle, target
+
+
+class TestChurnedStream:
+    def test_one_snapshot_per_epoch_no_final(self, churned_run):
+        _, handle, _ = churned_run
+        assert [s.epoch for s in handle.snapshots] == list(range(EPOCHS))
+        # The temporal stream never converges to a batch map: the world
+        # moved mid-run, so there is no single truth to converge to.
+        assert handle.final is None
+
+    def test_outage_alarm_is_localised_and_cleared(self, churned_run):
+        service, _, target = churned_run
+        assert service.detector is not None
+        kinds = [(r.kind, r.facility_id) for r in service.detector.reports]
+        assert ("alarm", target) in kinds
+        assert ("clear", target) in kinds
+        assert all(facility == target for _, facility in kinds)
+        alarm = next(
+            r for r in service.detector.reports if r.kind == "alarm"
+        )
+        # Onset at OUTAGE_EPOCH, confirm_epochs=2 -> alarm one epoch on.
+        assert alarm.epoch == OUTAGE_EPOCH + 1
+        clear = next(
+            r for r in service.detector.reports if r.kind == "clear"
+        )
+        assert clear.epoch >= OUTAGE_EPOCH + OUTAGE_DURATION + 1
+
+    def test_health_surface_reports_the_verdict(self, churned_run):
+        service, _, _ = churned_run
+        # After recovery and the clear, the map settled back down.
+        assert service.health.map_assessment == "stable"
+        assert service.health.alarmed_facilities() == ()
+        document = service.health.as_dict()
+        assert document["map_change"]["observations"] == EPOCHS
+
+    def test_outage_epoch_snapshot_lost_the_facility(self, churned_run):
+        _, handle, target = churned_run
+        from repro.inference.disruption import facility_endpoint_counts
+
+        before = facility_endpoint_counts(handle.snapshots[OUTAGE_EPOCH - 1])
+        during = facility_endpoint_counts(handle.snapshots[OUTAGE_EPOCH])
+        assert before.get(target, 0) > 0
+        # Not necessarily zero: censoring cannot hide the VP's first
+        # egress, and far-side constraint narrowing can still pin a few
+        # links there — the detector keys on the crater, not emptiness.
+        assert during.get(target, 0) < before.get(target, 0) * 0.5
+
+    def test_epochs_beyond_plan_horizon_rejected(self, churned_run):
+        service, _, target = churned_run
+        plan = _injected_plan(service.environment.topology, target)
+        with pytest.raises(ValueError, match="covers 7 epochs"):
+            MapService(PipelineConfig.small(seed=3)).run_stream(
+                EPOCHS + 1, churn=plan
+            )
+
+
+class TestQuietChurnIsQuiet:
+    def test_zero_churn_plan_never_alarms(self):
+        service = MapService(PipelineConfig.small(seed=3))
+        plan = plan_churn(
+            service.environment.topology, 3, ChurnConfig.zero(), seed=3
+        )
+        service.run_stream(3, churn=plan)
+        assert service.detector is not None
+        assert service.detector.reports == []
+        assert service.health.map_assessment == "stable"
+
+
+class TestEmptyTailEpochs:
+    def test_dry_feed_publishes_unchanged_fingerprint_and_stays_ok(
+        self, monkeypatch
+    ):
+        """``epochs > len(plan)``: the pinned slice_epochs behavior at
+        the service level — trailing empty epochs publish snapshots
+        with the fingerprint unchanged and health never leaves ok."""
+        original = CampaignDriver.plan_initial_campaign
+
+        def tiny(self, targets):
+            return original(self, targets)[:4]
+
+        monkeypatch.setattr(CampaignDriver, "plan_initial_campaign", tiny)
+        service = MapService(PipelineConfig.small(seed=3))
+        handle = service.run_stream(6)
+        streamed = [s for s in handle.snapshots if not s.final]
+        assert len(streamed) == 6
+        # Epochs 4 and 5 folded nothing: identical content, same
+        # fingerprint, and the trace counter stops growing.
+        assert streamed[4].fingerprint == streamed[3].fingerprint
+        assert streamed[5].fingerprint == streamed[3].fingerprint
+        assert streamed[5].traces_ingested == streamed[3].traces_ingested
+        assert service.health.state == "ok"

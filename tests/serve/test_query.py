@@ -205,8 +205,51 @@ class TestHealthVerb:
         assert response["epoch"] == small_snapshot.epoch
         assert response["data"]["interfaces"] == len(small_snapshot.interfaces)
 
-    def test_health_takes_no_arguments(self):
+    def test_health_rejects_extra_arguments(self):
         from repro.serve import ServiceHealth
 
         engine = QueryEngine(Instrumentation(), health=ServiceHealth())
-        assert engine.execute("health now")["error"] == "usage: health"
+        error = engine.execute("health 1 2")["error"]
+        assert error == "usage: health [facility-id]"
+
+    def test_facility_health_reports_alarm_status(self, small_snapshot):
+        from repro.serve import ServiceHealth
+
+        health = ServiceHealth()
+        health.record_map_assessment(
+            {
+                "assessment": "topology-change",
+                "alarmed_facilities": [17],
+                "active_alarms": 1,
+                "observations": 4,
+                "global_loss": 0.0,
+                "fault_pressure": 0.0,
+            }
+        )
+        engine = QueryEngine(Instrumentation(), health=health)
+        engine.swap(small_snapshot)
+        alarmed = engine.execute("health 17")
+        assert alarmed["alarmed"] is True
+        assert alarmed["assessment"] == "topology-change"
+        assert alarmed["fingerprint"] == small_snapshot.fingerprint
+        quiet = engine.execute("health 3")
+        assert quiet["alarmed"] is False
+
+    def test_facility_health_bounds_checked_like_tenants(self):
+        from repro.serve import ServiceHealth
+
+        engine = QueryEngine(Instrumentation(), health=ServiceHealth())
+        # Same guard and error shape as the tenants argument: parse
+        # failures are usage errors, out-of-range ids name the range.
+        assert (
+            engine.execute("health sideways")["error"]
+            == "usage: health [facility-id]"
+        )
+        assert "outside [0, 2^32)" in engine.execute("health -1")["error"]
+        assert (
+            "outside [0, 2^32)" in engine.execute(f"health {2**32}")["error"]
+        )
+        # Before any publish the verb still answers for a valid id.
+        response = engine.execute("health 5")
+        assert response["alarmed"] is False
+        assert "fingerprint" not in response
